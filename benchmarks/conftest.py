@@ -1,0 +1,45 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Scale note: the paper's Experiment 1 runs 1,000 patients × 1,000 samples on
+PostgreSQL with a C UDF; the defaults here are scaled down for the pure-
+Python engine (REPRO_BENCH_PATIENTS / REPRO_BENCH_SAMPLES override them).
+The benchmark suite measures the same quantities as Figures 6-8 — check
+counts are attached to each entry as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import set_selectivity
+from repro.workload import build_patients_scenario
+
+BENCH_PATIENTS = int(os.environ.get("REPRO_BENCH_PATIENTS", "40"))
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "25"))
+POLICY_SEED = 411595
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    """One scenario reused by every benchmark; policies are re-generated
+    per requested selectivity through ``at_selectivity``."""
+    return build_patients_scenario(
+        patients=BENCH_PATIENTS, samples_per_patient=BENCH_SAMPLES
+    )
+
+
+@pytest.fixture(scope="session")
+def at_selectivity(bench_scenario):
+    """Callable that (re)installs scattered policies at a selectivity and
+    returns the scenario; caches the last level to avoid useless rewrites."""
+    state = {"current": None}
+
+    def apply(selectivity: float):
+        if state["current"] != selectivity:
+            set_selectivity(bench_scenario, selectivity, POLICY_SEED)
+            state["current"] = selectivity
+        return bench_scenario
+
+    return apply

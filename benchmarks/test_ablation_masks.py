@@ -1,0 +1,130 @@
+"""Ablation — why the bit-mask encoding (Section 5.3) is worth it.
+
+Compares per-tuple compliance checking through:
+
+* the paper's design: one pre-encoded action-signature mask, bitwise AND
+  against the stored policy mask (``complies_with``);
+* a naive baseline: decode the stored policy mask back into rule components
+  and run the object-level Def. 5/6 checks.
+
+Also quantifies the effect of pass-all rule position (early-out) and of
+checking a whole column of policies, which is what the rewritten queries do
+once per accessed tuple.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    JointAccess,
+    MaskLayout,
+    Multiplicity,
+    Policy,
+    PolicyRule,
+    action_complies_with_rule,
+    complies_with,
+    default_purpose_set,
+)
+from repro.core.signatures import ActionSignature
+
+LAYOUT = MaskLayout(
+    "sensed_data",
+    ("watch_id", "timestamp", "temperature", "position", "beats"),
+    default_purpose_set(),
+)
+
+ACTION = ActionType.direct(
+    Multiplicity.SINGLE, Aggregation.AGGREGATION, JointAccess.of("q", "s")
+)
+SIGNATURE = ActionSignature(frozenset({"temperature"}), ACTION)
+SIGNATURE_MASK = LAYOUT.signature_mask(["temperature"], ACTION, "p6")
+
+RULE = PolicyRule.of(
+    ["temperature", "beats"],
+    ["p1", "p6"],
+    ActionType.direct(
+        Multiplicity.SINGLE, Aggregation.AGGREGATION, JointAccess.of("i", "q", "s")
+    ),
+)
+
+
+def make_policy_masks(count: int, seed: int = 7):
+    rng = random.Random(seed)
+    masks = []
+    for _ in range(count):
+        rules = []
+        for _ in range(rng.randint(1, 3)):
+            rules.append(
+                rng.choice((RULE, PolicyRule.pass_all(), PolicyRule.pass_none()))
+            )
+        masks.append(LAYOUT.policy_mask(Policy("sensed_data", tuple(rules))))
+    return masks
+
+
+POLICY_MASKS = make_policy_masks(1000)
+
+
+def test_mask_based_checking_1000_tuples(benchmark):
+    """The paper's design: one complies_with call per stored policy."""
+
+    def run():
+        return sum(
+            1 for mask in POLICY_MASKS if complies_with(SIGNATURE_MASK, mask)
+        )
+
+    hits = benchmark(run)
+    assert 0 < hits < len(POLICY_MASKS)
+
+
+def test_object_level_checking_1000_tuples(benchmark):
+    """Naive baseline: decode each rule mask and apply Defs. 5-6 directly."""
+
+    def decode_rule(rule_mask):
+        if rule_mask == LAYOUT.rule_mask(PolicyRule.pass_all()):
+            return PolicyRule.pass_all()
+        if rule_mask == LAYOUT.rule_mask(PolicyRule.pass_none()):
+            return PolicyRule.pass_none()
+        decoded = LAYOUT.decode_rule_mask(rule_mask)
+        bits = decoded["action_bits"]
+        indirection = "i" if bits[0] else "d"
+        if indirection == "i":
+            action = ActionType.indirect(decoded["joint_access"])
+        else:
+            action = ActionType.direct(
+                Multiplicity.SINGLE if bits[2] else Multiplicity.MULTIPLE,
+                Aggregation.AGGREGATION if bits[4] else Aggregation.NO_AGGREGATION,
+                decoded["joint_access"],
+            )
+        return PolicyRule(
+            frozenset(decoded["columns"]), frozenset(decoded["purposes"]), action
+        )
+
+    def run():
+        hits = 0
+        for mask in POLICY_MASKS:
+            rules = [decode_rule(part) for part in LAYOUT.split_policy_mask(mask)]
+            if any(
+                action_complies_with_rule(SIGNATURE, "p6", rule) for rule in rules
+            ):
+                hits += 1
+        return hits
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("position", ("first", "last"), ids=str)
+def test_pass_all_rule_position(benchmark, position):
+    """Listing 1 short-circuits on the first compliant rule: a policy whose
+    compliant rule comes first is cheaper to accept than one where it is
+    last (footnote 15 randomizes the position for exactly this reason)."""
+    rules = [PolicyRule.pass_none()] * 7
+    if position == "first":
+        policy = Policy("sensed_data", (PolicyRule.pass_all(), *rules))
+    else:
+        policy = Policy("sensed_data", (*rules, PolicyRule.pass_all()))
+    mask = LAYOUT.policy_mask(policy)
+    result = benchmark(lambda: complies_with(SIGNATURE_MASK, mask))
+    assert result is True

@@ -1,0 +1,66 @@
+"""Ablation — effect of the number of rules per policy on query time.
+
+Listing 1 scans a policy's rule masks linearly, so per-tuple check cost
+grows with the policy's rule count.  This bench runs the same query (q5)
+against whole-table policies of 1, 3 and 8 rules (compliant rule last, the
+worst case) and against the 1-3-rule scattered mix the paper uses.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import BENCH_PURPOSE
+from repro.workload import (
+    ScatteredPolicySpec,
+    apply_scattered_policies,
+    build_patients_scenario,
+    get_query,
+    scattered_policy,
+)
+
+PATIENTS = 30
+SAMPLES = 20
+
+_scenario = None
+
+
+def scenario():
+    global _scenario
+    if _scenario is None:
+        _scenario = build_patients_scenario(
+            patients=PATIENTS, samples_per_patient=SAMPLES
+        )
+    return _scenario
+
+
+def install_uniform_policies(instance, rule_count: int) -> None:
+    """Whole-table compliant policies with the pass-all rule last."""
+    for table in ("users", "sensed_data", "nutritional_profiles"):
+        policy = scattered_policy(table, True, rule_count, rule_count - 1)
+        instance.admin.apply_policy(policy)
+
+
+@pytest.mark.parametrize("rule_count", (1, 3, 8), ids=lambda n: f"{n}rules")
+def test_query_time_by_rule_count(benchmark, rule_count):
+    instance = scenario()
+    install_uniform_policies(instance, rule_count)
+    rewritten = instance.monitor.rewrite(get_query("q5").sql, BENCH_PURPOSE)
+    database = instance.database
+    benchmark(lambda: database.query(rewritten))
+    benchmark.extra_info["rules_per_policy"] = rule_count
+
+
+def test_query_time_paper_mix(benchmark):
+    """The paper's setting: 1-3 rules, uniform position (footnote 15)."""
+    instance = scenario()
+    rng = random.Random(15)
+    spec = ScatteredPolicySpec(0.0, min_rules=1, max_rules=3)
+    for table in ("users", "nutritional_profiles"):
+        apply_scattered_policies(instance.admin, table, spec, rng)
+    apply_scattered_policies(
+        instance.admin, "sensed_data", spec, rng, entity_column="watch_id"
+    )
+    rewritten = instance.monitor.rewrite(get_query("q5").sql, BENCH_PURPOSE)
+    database = instance.database
+    benchmark(lambda: database.query(rewritten))

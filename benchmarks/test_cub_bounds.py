@@ -1,0 +1,28 @@
+"""Section 5.6 — the static complexity bound vs measured checks.
+
+For every ad-hoc query, asserts ``measured ≤ cub(q)`` at two selectivities
+and reports both numbers as ``extra_info`` so the bound's tightness can be
+inspected alongside the Figure 6 benches.  The timed operation is the static
+analysis itself, which the paper argues is cheap enough to run per query.
+"""
+
+import pytest
+
+from repro.bench.harness import BENCH_PURPOSE
+from repro.core import SignatureDeriver, complexity_upper_bound
+from repro.workload import AD_HOC_QUERIES
+
+
+@pytest.mark.parametrize("query", AD_HOC_QUERIES, ids=lambda q: q.name)
+def test_cub_dominates_measured_checks(benchmark, at_selectivity, query):
+    scenario = at_selectivity(0.4)
+    deriver = SignatureDeriver(scenario.admin, scenario.admin)
+    signature = deriver.derive(query.sql, BENCH_PURPOSE)
+
+    estimate = benchmark(
+        lambda: complexity_upper_bound(query.sql, signature, scenario.database)
+    )
+    report = scenario.monitor.execute_with_report(query.sql, BENCH_PURPOSE)
+    assert report.compliance_checks <= estimate.upper_bound
+    benchmark.extra_info["cub"] = estimate.upper_bound
+    benchmark.extra_info["measured"] = report.compliance_checks

@@ -1,0 +1,58 @@
+"""Figure 6 — policy compliance checks per query vs policy selectivity.
+
+Each benchmark times one rewritten-query execution and records the number of
+``complieswith`` invocations in ``extra_info["checks"]`` — the y-axis of the
+paper's Figure 6.  The asserted *shape* properties (monotone decrease with
+selectivity; no-filter queries flat) are covered by the regular test suite;
+here the full grid is materialized for inspection via
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from repro.bench.harness import BENCH_PURPOSE, PAPER_SELECTIVITIES
+from repro.core.admin import COMPLIES_WITH
+from repro.workload import AD_HOC_QUERIES, random_queries
+
+from conftest import BENCH_PATIENTS, BENCH_SAMPLES
+
+
+def run_rewritten(scenario, sql):
+    return scenario.monitor.execute(sql, BENCH_PURPOSE)
+
+
+@pytest.mark.parametrize("selectivity", PAPER_SELECTIVITIES, ids=lambda s: f"s{s:g}")
+@pytest.mark.parametrize("query", AD_HOC_QUERIES, ids=lambda q: q.name)
+def test_fig6_adhoc(benchmark, at_selectivity, query, selectivity):
+    scenario = at_selectivity(selectivity)
+    database = scenario.database
+
+    def once():
+        return run_rewritten(scenario, query.sql)
+
+    before = database.function_calls(COMPLIES_WITH)
+    benchmark.pedantic(once, rounds=2, iterations=1, warmup_rounds=0)
+    total_checks = database.function_calls(COMPLIES_WITH) - before
+    benchmark.extra_info["checks"] = total_checks // 2
+    benchmark.extra_info["selectivity"] = selectivity
+
+
+@pytest.mark.parametrize("selectivity", (0.0, 0.4), ids=lambda s: f"s{s:g}")
+@pytest.mark.parametrize(
+    "query",
+    random_queries(seed=2015, patients=BENCH_PATIENTS, samples=BENCH_SAMPLES),
+    ids=lambda q: q.name,
+)
+def test_fig6_random(benchmark, at_selectivity, query, selectivity):
+    scenario = at_selectivity(selectivity)
+    database = scenario.database
+
+    def once():
+        return run_rewritten(scenario, query.sql)
+
+    before = database.function_calls(COMPLIES_WITH)
+    benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["checks"] = (
+        database.function_calls(COMPLIES_WITH) - before
+    )
+    benchmark.extra_info["selectivity"] = selectivity

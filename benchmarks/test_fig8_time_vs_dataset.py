@@ -1,0 +1,54 @@
+"""Figure 8 — execution time vs dataset size at selectivity 0.4.
+
+The paper's Scn 1-4 grow ``sensed_data`` ×10 per step (10^4 → 10^7 rows)
+with ``users``/``nutritional_profiles`` fixed; here the sweep is geometric
+with the same shape at pure-Python-friendly sizes.  The expected outcome —
+near-linear scaling of both the original and rewritten variants, with a
+roughly constant relative overhead — can be read off the benchmark table.
+"""
+
+import pytest
+
+from repro.bench import set_selectivity
+from repro.bench.harness import BENCH_PURPOSE
+from repro.workload import build_patients_scenario, get_query
+
+from conftest import BENCH_PATIENTS, POLICY_SEED
+
+#: Per-patient sample counts of the scenarios (sensed rows = patients × N).
+SAMPLES_SWEEP = (5, 15, 45)
+
+#: Queries chosen to cover the paper's spectrum: scan-heavy (q1, q2),
+#: filter+join (q5), sub-query (q6, q8).
+FIG8_QUERIES = ("q1", "q2", "q5", "q6", "q8")
+
+_scenarios = {}
+
+
+def scenario_for(samples: int):
+    if samples not in _scenarios:
+        scenario = build_patients_scenario(
+            patients=BENCH_PATIENTS, samples_per_patient=samples
+        )
+        set_selectivity(scenario, 0.4, POLICY_SEED)
+        _scenarios[samples] = scenario
+    return _scenarios[samples]
+
+
+@pytest.mark.parametrize("samples", SAMPLES_SWEEP, ids=lambda n: f"n{n}")
+@pytest.mark.parametrize("name", FIG8_QUERIES)
+def test_fig8_original(benchmark, name, samples):
+    scenario = scenario_for(samples)
+    sql = get_query(name).sql
+    benchmark(lambda: scenario.monitor.execute_unprotected(sql))
+    benchmark.extra_info["sensed_rows"] = scenario.sensed_rows
+
+
+@pytest.mark.parametrize("samples", SAMPLES_SWEEP, ids=lambda n: f"n{n}")
+@pytest.mark.parametrize("name", FIG8_QUERIES)
+def test_fig8_rewritten(benchmark, name, samples):
+    scenario = scenario_for(samples)
+    rewritten = scenario.monitor.rewrite(get_query(name).sql, BENCH_PURPOSE)
+    database = scenario.database
+    benchmark(lambda: database.query(rewritten))
+    benchmark.extra_info["sensed_rows"] = scenario.sensed_rows

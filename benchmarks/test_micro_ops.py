@@ -1,0 +1,87 @@
+"""Micro benchmarks of the enforcement pipeline's building blocks.
+
+These quantify the per-statement costs the paper's design minimizes:
+mask encoding, ``compliesWith`` itself (one bitwise AND per rule), query
+signature derivation and rewriting.
+"""
+
+import pytest
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    JointAccess,
+    MaskLayout,
+    Multiplicity,
+    Policy,
+    PolicyRule,
+    complies_with,
+    default_purpose_set,
+)
+from repro.core.signatures import SignatureDeriver
+from repro.workload import get_query
+
+LAYOUT = MaskLayout(
+    "sensed_data",
+    ("watch_id", "timestamp", "temperature", "position", "beats"),
+    default_purpose_set(),
+)
+
+RULE = PolicyRule.of(
+    ["temperature", "beats"],
+    ["p1", "p3", "p4", "p6"],
+    ActionType.direct(
+        Multiplicity.SINGLE, Aggregation.NO_AGGREGATION, JointAccess.of("s")
+    ),
+)
+
+FIG3_QUERY = get_query("q6").sql  # join + sub-query + group by
+
+
+def test_mask_encode_rule(benchmark):
+    benchmark(lambda: LAYOUT.rule_mask(RULE))
+
+
+def test_mask_encode_policy_three_rules(benchmark):
+    policy = Policy("sensed_data", (RULE, PolicyRule.pass_none(), RULE))
+    benchmark(lambda: LAYOUT.policy_mask(policy))
+
+
+@pytest.mark.parametrize("rules", (1, 3, 8), ids=lambda n: f"{n}rules")
+def test_complies_with_by_rule_count(benchmark, rules):
+    """Listing 1 scans rule masks linearly; cost grows with the rule count
+    when the matching rule is last (worst case benchmarked here)."""
+    policy = Policy(
+        "sensed_data",
+        (*[PolicyRule.pass_none()] * (rules - 1), PolicyRule.pass_all()),
+    )
+    policy_mask = LAYOUT.policy_mask(policy)
+    action = ActionType.direct(
+        Multiplicity.SINGLE, Aggregation.NO_AGGREGATION, JointAccess.of("s")
+    )
+    signature_mask = LAYOUT.signature_mask(["temperature"], action, "p1")
+    result = benchmark(lambda: complies_with(signature_mask, policy_mask))
+    assert result is True
+
+
+def test_signature_derivation(benchmark, bench_scenario):
+    deriver = SignatureDeriver(bench_scenario.admin, bench_scenario.admin)
+    benchmark(lambda: deriver.derive(FIG3_QUERY, "p6"))
+
+
+def test_query_rewriting(benchmark, bench_scenario):
+    monitor = bench_scenario.monitor
+    benchmark(lambda: monitor.rewrite(FIG3_QUERY, "p6"))
+
+
+def test_sql_parse(benchmark):
+    from repro.sql import parse_select
+
+    benchmark(lambda: parse_select(FIG3_QUERY))
+
+
+def test_sql_print(benchmark):
+    from repro.sql import parse_select, print_select
+
+    select = parse_select(FIG3_QUERY)
+    benchmark(lambda: print_select(select))

@@ -1,0 +1,132 @@
+"""A day of hospital operations: sessions, roles, DML, audit and EXPLAIN.
+
+Exercises the framework's extension surface on top of the running example:
+
+* role-based purpose authorization (doctors inherit staff grants),
+* user sessions with purpose switching,
+* enforced UPDATEs (only policy-compliant tuples are touched),
+* the audit trail, queryable with plain SQL,
+* EXPLAIN output showing where the compliance checks execute.
+
+Run with:  python examples/hospital_operations.py
+"""
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    AuditLog,
+    EnforcementMonitor,
+    JointAccess,
+    Multiplicity,
+    Policy,
+    PolicyRule,
+    RoleManager,
+    Session,
+)
+from repro.errors import UnauthorizedPurposeError
+from repro.workload import build_patients_scenario
+
+
+def main() -> None:
+    scenario = build_patients_scenario(patients=8, samples_per_patient=10)
+    admin = scenario.admin
+
+    # --- policies: vitals may be aggregated for research, handled in full
+    # for treatment; profiles are treatment-only. -----------------------------
+    admin.apply_policy(Policy("users", (PolicyRule.pass_all(),)))
+    admin.apply_policy(
+        Policy(
+            "sensed_data",
+            (
+                PolicyRule.of(
+                    ["temperature", "beats"],
+                    ["p6"],
+                    ActionType.direct(
+                        Multiplicity.SINGLE, Aggregation.AGGREGATION,
+                        JointAccess.of("q", "s"),
+                    ),
+                ),
+                # Indirect use (filtering/ordering — and with it the right
+                # to *touch* tuples through DML) is treatment-only.
+                PolicyRule.of(
+                    ["watch_id", "timestamp", "temperature", "position", "beats"],
+                    ["p1"],
+                    ActionType.indirect(JointAccess.of("i", "q", "s", "g")),
+                ),
+                PolicyRule.of(
+                    ["watch_id", "timestamp", "temperature", "position", "beats"],
+                    ["p1"],
+                    ActionType.direct(
+                        Multiplicity.SINGLE, Aggregation.NO_AGGREGATION,
+                        JointAccess.of("i", "q", "s", "g"),
+                    ),
+                ),
+            ),
+        )
+    )
+
+    # --- roles: doctors are staff; staff may treat, researchers research. ----
+    roles = RoleManager(admin)
+    roles.install()
+    roles.define_role("staff")
+    roles.define_role("doctor", parent="staff")
+    roles.define_role("researcher")
+    roles.grant_purpose_to_role("staff", "p1")       # treatment
+    roles.grant_purpose_to_role("researcher", "p6")  # research
+    roles.assign_role("dr_grey", "doctor")
+    roles.assign_role("rita", "researcher")
+
+    monitor = EnforcementMonitor(admin, authorizer=roles)
+    audit = AuditLog(scenario.database)
+    monitor.attach_audit(audit)
+
+    # --- the doctor treats; the researcher aggregates. -----------------------
+    grey = Session(monitor, user="dr_grey", purpose="p1")
+    vitals = grey.query(
+        "select timestamp, temperature, beats from sensed_data "
+        "where watch_id like 'watch0' order by timestamp limit 3"
+    )
+    print("dr_grey (treatment) reads patient-0 vitals:")
+    for row in vitals:
+        print("   ", row)
+
+    rita = Session(monitor, user="rita", purpose="p6")
+    cohort = rita.query(
+        "select avg(temperature), avg(beats) from sensed_data"
+    )
+    print("\nrita (research) sees only aggregates:", cohort.first())
+    plain = rita.query("select temperature from sensed_data")
+    print(f"rita's plain read attempt returns {len(plain)} rows")
+
+    try:
+        rita.set_purpose("p1")
+        rita.query("select temperature from sensed_data")
+    except UnauthorizedPurposeError as error:
+        print(f"rita switching to treatment: {error}")
+    rita.set_purpose("p6")
+
+    # --- enforced DML: corrections touch only compliant tuples. --------------
+    corrected = grey.execute(
+        "update sensed_data set position = 'ward_a' "
+        "where watch_id like 'watch0' and timestamp = 1"
+    )
+    print(f"\ndr_grey corrected {corrected} reading(s)")
+    denied_write = rita.execute("delete from sensed_data")
+    print(f"rita's delete attempt removed {denied_write} rows")
+
+    # --- what actually runs: EXPLAIN of the rewritten aggregate. -------------
+    print("\nEXPLAIN for rita's aggregate:")
+    print(rita.explain("select avg(beats) from sensed_data"))
+
+    # --- the audit trail. -----------------------------------------------------
+    print("\naudit trail (via SQL over the al table):")
+    trail = scenario.database.query(
+        "select seq, ui, pi, outcome, rows from al order by seq"
+    )
+    for row in trail:
+        print("   ", row)
+    print(f"denied events: {len(audit.denials())}")
+
+
+if __name__ == "__main__":
+    main()

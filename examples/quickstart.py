@@ -1,0 +1,93 @@
+"""Quickstart: protect a table with an action-aware purpose-based policy.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AccessControlManager,
+    ActionType,
+    Aggregation,
+    Database,
+    EnforcementMonitor,
+    JointAccess,
+    Multiplicity,
+    Policy,
+    PolicyRule,
+    Purpose,
+    PurposeSet,
+)
+from repro.core import SENSITIVE
+
+
+def main() -> None:
+    # 1. An ordinary relational database.
+    db = Database("hr")
+    db.execute("create table employees (name text, role text, salary integer)")
+    db.execute(
+        "insert into employees values "
+        "('ann', 'engineer', 100), ('bob', 'manager', 120), ('cat', 'analyst', 90)"
+    )
+
+    # 2. Configure access control: purposes, categories, policy column.
+    admin = AccessControlManager(db)
+    admin.configure(
+        purposes=PurposeSet([Purpose("p1", "payroll"), Purpose("p2", "analytics")])
+    )
+    admin.categorize("employees", "salary", SENSITIVE)
+    admin.grant_purpose("alice", "p2")
+
+    # 3. A policy: salaries may be *aggregated* for analytics, and disclosed
+    #    plainly only for payroll.
+    policy = Policy(
+        "employees",
+        (
+            PolicyRule.of(
+                ["salary"],
+                ["p2"],
+                ActionType.direct(
+                    Multiplicity.SINGLE,
+                    Aggregation.AGGREGATION,
+                    JointAccess.of("g"),  # only alongside generic data
+                ),
+            ),
+            PolicyRule.of(
+                ["salary", "name", "role"],
+                ["p1"],
+                ActionType.direct(
+                    Multiplicity.SINGLE,
+                    Aggregation.NO_AGGREGATION,
+                    JointAccess.of("g", "s"),
+                ),
+            ),
+            PolicyRule.of(
+                ["name", "role", "salary"],
+                ["p1", "p2"],
+                ActionType.indirect(JointAccess.of("g", "s")),
+            ),
+        ),
+    )
+    admin.apply_policy(policy)
+
+    # 4. Execute queries through the enforcement monitor.
+    monitor = EnforcementMonitor(admin)
+
+    aggregated = monitor.execute(
+        "select avg(salary) from employees", purpose="p2", user="alice"
+    )
+    print("analytics, aggregated   :", aggregated.first())
+
+    plain = monitor.execute(
+        "select salary from employees", purpose="p2", user="alice"
+    )
+    print("analytics, plain salary :", len(plain), "rows (blocked by policy)")
+
+    payroll = monitor.execute("select name, salary from employees", purpose="p1")
+    print("payroll, plain salary   :", sorted(payroll.rows))
+
+    print()
+    print("What actually ran for the analytics aggregate:")
+    print(" ", monitor.rewrite_sql("select avg(salary) from employees", "p2"))
+
+
+if __name__ == "__main__":
+    main()

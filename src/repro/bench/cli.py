@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro.bench <figure>``.
+
+Regenerates the paper's figures as plain-text tables::
+
+    python -m repro.bench fig6              # compliance checks per query
+    python -m repro.bench fig7              # time vs policy selectivity
+    python -m repro.bench fig8              # time vs dataset size
+    python -m repro.bench all               # everything
+    python -m repro.bench fig7 --patients 1000 --samples 1000   # paper scale
+
+Dataset sizes default to the paper's sizes times ``REPRO_SCALE``
+(default 0.01).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .experiments import run_experiment1, run_experiment2
+from .harness import ExperimentConfig, PAPER_SELECTIVITIES
+from .reporting import figure6_table, figure7_table, figure8_table
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    overrides = {}
+    if args.patients is not None:
+        overrides["patients"] = args.patients
+    if args.samples is not None:
+        overrides["samples_per_patient"] = args.samples
+    if args.selectivities:
+        overrides["selectivities"] = tuple(args.selectivities)
+    overrides["include_random"] = not args.no_random
+    overrides["repeat"] = args.repeat
+    return ExperimentConfig.scaled(**overrides)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiment(s) and print the figure tables."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=("fig6", "fig7", "fig8", "cub", "all"),
+        help="which figure to regenerate (cub = §5.6 bound vs measured)",
+    )
+    parser.add_argument("--patients", type=int, default=None)
+    parser.add_argument("--samples", type=int, default=None, help="samples per patient")
+    parser.add_argument(
+        "--selectivities",
+        type=float,
+        nargs="+",
+        default=list(PAPER_SELECTIVITIES),
+        help="policy selectivity sweep (default: 0 0.2 0.4 0.6)",
+    )
+    parser.add_argument(
+        "--no-random",
+        action="store_true",
+        help="run q1-q8 only (skip the r1-r20 random batch)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="timing repetitions (best-of)"
+    )
+    args = parser.parse_args(argv)
+    config = _build_config(args)
+
+    if args.figure in ("fig6", "fig7", "all"):
+        run = run_experiment1(config)
+        if args.figure in ("fig6", "all"):
+            print(figure6_table(run))
+            print()
+        if args.figure in ("fig7", "all"):
+            print(figure7_table(run))
+            print()
+    if args.figure in ("fig8", "all"):
+        result = run_experiment2(config)
+        print(figure8_table(result))
+        if args.figure == "all":
+            print()
+    if args.figure in ("cub", "all"):
+        print(cub_table(config))
+    return 0
+
+
+def cub_table(config: ExperimentConfig) -> str:
+    """Section 5.6: static upper bound vs measured checks per query."""
+    import dataclasses
+
+    from ..core import SignatureDeriver, complexity_upper_bound
+    from .harness import BENCH_PURPOSE, build_scenario, set_selectivity
+    from .reporting import _format_table
+
+    selectivity = 0.4
+    scenario = build_scenario(config)
+    set_selectivity(scenario, selectivity, config.policy_seed)
+    deriver = SignatureDeriver(scenario.admin, scenario.admin)
+    from .harness import experiment_queries
+
+    rows = []
+    for query in experiment_queries(config):
+        signature = deriver.derive(query.sql, BENCH_PURPOSE)
+        estimate = complexity_upper_bound(query.sql, signature, scenario.database)
+        report = scenario.monitor.execute_with_report(query.sql, BENCH_PURPOSE)
+        ratio = (
+            f"{report.compliance_checks / estimate.upper_bound:.2f}"
+            if estimate.upper_bound
+            else "-"
+        )
+        rows.append(
+            [
+                query.name,
+                str(estimate.upper_bound),
+                str(report.compliance_checks),
+                ratio,
+            ]
+        )
+    title = (
+        f"Section 5.6 — cub(q) vs measured checks at s={selectivity:g} "
+        f"(patients={config.patients}, samples={config.samples_per_patient})"
+    )
+    table = _format_table(["query", "cub", "measured", "measured/cub"], rows)
+    return f"{title}\n{table}"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Plain-text rendering of the experiment results.
+
+Prints the same rows/series the paper's figures report: per-query compliance
+check counts across selectivities (Figure 6), original vs rewritten
+execution times across selectivities (Figure 7) and across dataset sizes
+(Figure 8).
+"""
+
+from __future__ import annotations
+
+from .experiments import Experiment2Result
+from .harness import ExperimentRun
+
+
+def _format_table(header: list[str], rows: list[list[str]]) -> str:
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([line(header), separator, *[line(row) for row in rows]])
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}"
+
+
+def figure6_table(run: ExperimentRun) -> str:
+    """Figure 6: policy compliance checks per query, by selectivity."""
+    selectivities = run.selectivities()
+    header = ["query", *[f"s={s:g}" for s in selectivities]]
+    rows = []
+    for query in run.queries():
+        rows.append(
+            [query]
+            + [str(run.cell(query, s).compliance_checks) for s in selectivities]
+        )
+    title = (
+        f"Figure 6 — compliance checks per query "
+        f"(patients={run.config.patients}, "
+        f"samples={run.config.samples_per_patient})"
+    )
+    return f"{title}\n{_format_table(header, rows)}"
+
+
+def figure7_table(run: ExperimentRun) -> str:
+    """Figure 7: execution time (ms) vs policy selectivity."""
+    selectivities = run.selectivities()
+    header = ["query", "orig", *[f"rw s={s:g}" for s in selectivities]]
+    rows = []
+    for query in run.queries():
+        baseline = run.cell(query, selectivities[0]).original_time
+        rows.append(
+            [query, _ms(baseline)]
+            + [_ms(run.cell(query, s).rewritten_time) for s in selectivities]
+        )
+    title = (
+        f"Figure 7 — query execution time (ms) vs policy selectivity "
+        f"(patients={run.config.patients}, "
+        f"samples={run.config.samples_per_patient})"
+    )
+    return f"{title}\n{_format_table(header, rows)}"
+
+
+def figure8_table(result: Experiment2Result) -> str:
+    """Figure 8: execution time (ms) vs dataset size at selectivity 0.4."""
+    if not result.scenarios:
+        return "Figure 8 — (no scenarios)"
+    queries = result.scenarios[0].run.queries()
+    header = ["query"]
+    for scenario in result.scenarios:
+        header.append(f"{scenario.label} orig ({scenario.sensed_rows} rows)")
+        header.append(f"{scenario.label} rw")
+    rows = []
+    for query in queries:
+        row = [query]
+        for scenario in result.scenarios:
+            selectivity = scenario.run.selectivities()[0]
+            cell = scenario.run.cell(query, selectivity)
+            row.append(_ms(cell.original_time))
+            row.append(_ms(cell.rewritten_time))
+        rows.append(row)
+    title = "Figure 8 — query execution time (ms) vs dataset size (s=0.4)"
+    return f"{title}\n{_format_table(header, rows)}"

@@ -1,0 +1,161 @@
+"""Action types (Def. 1) and their compliance relation (Def. 5).
+
+An action type has four dimensions:
+
+* **indirection** — ``DIRECT`` (the datum contributes values to the result
+  set) or ``INDIRECT`` (the datum is only used for filtering / grouping /
+  ordering);
+* **multiplicity** — ``SINGLE`` (the derived value comes from one data
+  field) or ``MULTIPLE`` (combined with other columns);
+* **aggregation** — ``AGGREGATION`` (the field is aggregated across tuples)
+  or ``NO_AGGREGATION``;
+* **joint access** — the set of data categories that may be (for policies)
+  or are (for signatures) accessed together with the constrained columns.
+
+Multiplicity and aggregation are undefined (``None``, the paper's ⊥) for
+indirect accesses — see the ⊥ entries of Figure 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import PolicyError
+from .categories import CategoryRegistry, DataCategory
+
+
+class Indirection(enum.Enum):
+    """First dimension of an action type."""
+
+    DIRECT = "d"
+    INDIRECT = "i"
+
+
+class Multiplicity(enum.Enum):
+    """Second dimension; only meaningful for direct accesses."""
+
+    SINGLE = "s"
+    MULTIPLE = "m"
+
+
+class Aggregation(enum.Enum):
+    """Third dimension; only meaningful for direct accesses."""
+
+    AGGREGATION = "a"
+    NO_AGGREGATION = "n"
+
+
+@dataclass(frozen=True)
+class JointAccess:
+    """The joint-access component *Ja*: a set of allowed/performed categories.
+
+    For a policy rule, the set lists categories whose joint access is
+    *allowed* (value ``a`` in Def. 1).  For an action signature, it lists the
+    categories that the query *actually* accesses jointly with the
+    constrained columns (Example 5).
+    """
+
+    allowed: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def of(cls, *categories: "DataCategory | str") -> "JointAccess":
+        """Build from category objects or codes."""
+        codes = frozenset(
+            category.code if isinstance(category, DataCategory) else category
+            for category in categories
+        )
+        return cls(codes)
+
+    @classmethod
+    def none(cls) -> "JointAccess":
+        """No joint access allowed/performed."""
+        return cls(frozenset())
+
+    @classmethod
+    def all(cls, registry: CategoryRegistry) -> "JointAccess":
+        """Joint access to every registered category."""
+        return cls(frozenset(category.code for category in registry))
+
+    def __contains__(self, category: "DataCategory | str") -> bool:
+        code = category.code if isinstance(category, DataCategory) else category
+        return code in self.allowed
+
+    def union(self, other: "JointAccess") -> "JointAccess":
+        """Set union of two joint-access components."""
+        return JointAccess(self.allowed | other.allowed)
+
+    def is_subset_of(self, other: "JointAccess") -> bool:
+        """Def. 5's joint-access condition: every ``a`` here is ``a`` there."""
+        return self.allowed <= other.allowed
+
+    def codes(self, registry: CategoryRegistry) -> str:
+        """Render as the paper's tuple notation, e.g. ``"a,a,n,n"``."""
+        return ",".join(
+            "a" if category.code in self.allowed else "n" for category in registry
+        )
+
+
+@dataclass(frozen=True)
+class ActionType:
+    """An action type *Ac* (Def. 1).
+
+    ``multiplicity`` and ``aggregation`` are ``None`` (⊥) for indirect
+    accesses; constructing a direct action type without them raises
+    :class:`PolicyError`.
+    """
+
+    indirection: Indirection
+    multiplicity: Multiplicity | None
+    aggregation: Aggregation | None
+    joint_access: JointAccess
+
+    def __post_init__(self) -> None:
+        if self.indirection is Indirection.DIRECT:
+            if self.multiplicity is None or self.aggregation is None:
+                raise PolicyError(
+                    "direct action types require multiplicity and aggregation"
+                )
+
+    # -- constructors used throughout the tests and examples ----------------------
+
+    @classmethod
+    def indirect(cls, joint_access: JointAccess) -> "ActionType":
+        """An indirect access (Ms and Ag are ⊥)."""
+        return cls(Indirection.INDIRECT, None, None, joint_access)
+
+    @classmethod
+    def direct(
+        cls,
+        multiplicity: Multiplicity,
+        aggregation: Aggregation,
+        joint_access: JointAccess,
+    ) -> "ActionType":
+        """A direct access with explicit multiplicity/aggregation."""
+        return cls(Indirection.DIRECT, multiplicity, aggregation, joint_access)
+
+    # -- semantics -----------------------------------------------------------------
+
+    def complies_with(self, rule_action: "ActionType") -> bool:
+        """Def. 5: does this (signature) action type comply with a rule's?
+
+        The operation dimensions must match exactly and the joint-access set
+        must be a subset of the rule's allowed set.
+        """
+        if self.indirection is not rule_action.indirection:
+            return False
+        if self.indirection is Indirection.DIRECT:
+            if self.multiplicity is not rule_action.multiplicity:
+                return False
+            if self.aggregation is not rule_action.aggregation:
+                return False
+        return self.joint_access.is_subset_of(rule_action.joint_access)
+
+    def describe(self, registry: CategoryRegistry) -> str:
+        """Render as the paper's tuple notation, e.g. ``⟨d,s,a,⟨a,a,n,n⟩⟩``."""
+        multiplicity = self.multiplicity.value if self.multiplicity else "⊥"
+        aggregation = self.aggregation.value if self.aggregation else "⊥"
+        return (
+            f"<{self.indirection.value},{multiplicity},{aggregation},"
+            f"<{self.joint_access.codes(registry)}>>"
+        )

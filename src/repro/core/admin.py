@@ -1,0 +1,336 @@
+"""Access Control Management module (Section 2, framework configuration §5.1).
+
+:class:`AccessControlManager` performs the configuration activities of
+Section 5.1 against a target :class:`~repro.engine.Database`:
+
+1. defines the purpose set, persisted in table ``Pr(Id, Ds)``;
+2. records the data categorization in table ``Pm(At, Tb, Ct)``;
+3. records purpose authorizations of users in table ``Pa(Ui, Pi)``;
+4. appends a ``policy`` column (``BIT VARYING``) to every target table;
+5. registers the ``complieswith`` UDF with the engine.
+
+It also implements the :class:`~repro.core.info_tuples.SchemaProvider` and
+:class:`~repro.core.info_tuples.Categorizer` protocols consumed by signature
+derivation, and hands out per-table :class:`~repro.core.masks.MaskLayout`
+encoders (cached, invalidated on purpose/schema changes).
+"""
+
+from __future__ import annotations
+
+from ..engine import Column, Database, SqlType, TableSchema
+from ..engine.types import BitString
+from ..errors import ConfigurationError, PolicyError
+from .categories import CategoryRegistry, DataCategory, DEFAULT_CATEGORIES
+from .masks import MaskLayout, complies_with
+from .policy import Policy
+from .purposes import Purpose, PurposeSet
+
+#: Names of the security meta-data tables: Pr/Pm/Pa from configuration
+#: (§5.1), plus the audit log (``al``) and the role extension's tables.
+META_TABLES = frozenset({"pr", "pm", "pa", "al", "ro", "ur", "rp"})
+
+#: Name of the per-row policy-mask column appended to target tables.
+POLICY_COLUMN = "policy"
+
+#: Name under which the compliance UDF is registered with the engine.
+COMPLIES_WITH = "complieswith"
+
+
+class AccessControlManager:
+    """Configures and serves access-control meta-data for one target DB."""
+
+    def __init__(
+        self,
+        database: Database,
+        categories: CategoryRegistry | None = None,
+    ):
+        self.database = database
+        self.categories = categories or CategoryRegistry(DEFAULT_CATEGORIES)
+        self.purposes = PurposeSet()
+        self._category_map: dict[tuple[str, str], DataCategory] = {}
+        self._layouts: dict[str, MaskLayout] = {}
+        self._configured = False
+
+    # -- configuration (Section 5.1) ---------------------------------------------
+
+    @classmethod
+    def from_existing(
+        cls,
+        database: Database,
+        categories: CategoryRegistry | None = None,
+    ) -> "AccessControlManager":
+        """Rebuild a manager from an already-configured database.
+
+        All administrative state lives in the Pr/Pm meta-tables, so a
+        database reloaded from a snapshot (:mod:`repro.engine.persist`) can
+        be re-attached: purposes and the categorization are read back and
+        the ``complieswith`` UDF is re-registered.  ``categories`` must
+        include every category code appearing in Pm (defaults suffice for
+        the paper's four).
+        """
+        if not database.has_table("pr"):
+            raise ConfigurationError(
+                "database has no Pr table; run configure() instead"
+            )
+        manager = cls(database, categories=categories)
+        manager._configured = True
+        for purpose_id, description in database.table("pr").rows:
+            manager.purposes.add(Purpose(purpose_id, description or ""))
+        for column, table, code in database.table("pm").rows:
+            manager._category_map[(table, column)] = manager.categories.by_code(
+                code
+            )
+        database.register_function(COMPLIES_WITH, complies_with, strict=True)
+        return manager
+
+    def configure(self, purposes: PurposeSet | None = None) -> None:
+        """Run the framework-configuration steps against the target DB.
+
+        Idempotent: re-running on a configured database raises
+        :class:`ConfigurationError` to avoid clobbering meta-data.
+        """
+        if self._configured or self.database.has_table("pr"):
+            raise ConfigurationError("database is already configured")
+        self.database.create_table(
+            TableSchema(
+                "pr",
+                [Column("id", SqlType.TEXT, primary_key=True), Column("ds", SqlType.TEXT)],
+            )
+        )
+        self.database.create_table(
+            TableSchema(
+                "pm",
+                [
+                    Column("at", SqlType.TEXT),
+                    Column("tb", SqlType.TEXT),
+                    Column("ct", SqlType.TEXT),
+                ],
+            )
+        )
+        self.database.create_table(
+            TableSchema(
+                "pa",
+                [Column("ui", SqlType.TEXT), Column("pi", SqlType.TEXT)],
+            )
+        )
+        for table_name in self.target_tables():
+            table = self.database.table(table_name)
+            if POLICY_COLUMN not in table.schema:
+                table.add_column(Column(POLICY_COLUMN, SqlType.BIT_VARYING))
+        self.database.register_function(
+            COMPLIES_WITH, complies_with, strict=True
+        )
+        self._configured = True
+        if purposes is not None:
+            for purpose in purposes.ordered():
+                self.define_purpose(purpose)
+
+    def require_configured(self) -> None:
+        """Raise unless :meth:`configure` has run."""
+        if not self._configured:
+            raise ConfigurationError(
+                "access control is not configured; call configure() first"
+            )
+
+    def protect_table(self, name: str) -> None:
+        """Bring a table created *after* configuration under protection.
+
+        Appends the ``policy`` column (existing rows get NULL — invisible
+        until a policy is attached) and invalidates the table's layout.
+        """
+        self.require_configured()
+        key = name.lower()
+        if key in META_TABLES:
+            raise PolicyError(f"{name!r} is a meta-data table")
+        table = self.database.table(key)
+        if POLICY_COLUMN not in table.schema:
+            table.add_column(Column(POLICY_COLUMN, SqlType.BIT_VARYING))
+        self.invalidate_layouts(key)
+
+    def target_tables(self) -> list[str]:
+        """The protected tables (every table except the meta-data ones)."""
+        return [
+            name
+            for name in self.database.table_names()
+            if name.lower() not in META_TABLES
+        ]
+
+    # -- purposes ---------------------------------------------------------------------
+
+    def define_purpose(self, purpose: Purpose) -> None:
+        """Add a purpose to *Ps* and persist it in Pr."""
+        self.require_configured()
+        self.purposes.add(purpose)
+        self.database.table("pr").insert_row((purpose.id, purpose.description))
+        self._layouts.clear()
+
+    def remove_purpose(self, purpose_id: str) -> Purpose:
+        """Remove a purpose from *Ps* and from Pr.
+
+        Policy masks referencing the purpose become stale; run the policy
+        manager's migration to rewrite them (DESIGN.md §6).
+        """
+        self.require_configured()
+        purpose = self.purposes.remove(purpose_id)
+        self.database.table("pr").delete_rows(lambda row: row[0] == purpose_id)
+        self._layouts.clear()
+        return purpose
+
+    # -- categorization (Pm) -------------------------------------------------------------
+
+    def categorize(self, table: str, column: str, category: DataCategory) -> None:
+        """Record that ``table.column`` belongs to ``category``."""
+        self.require_configured()
+        table_key, column_key = table.lower(), column.lower()
+        schema = self.database.table(table_key).schema
+        if column_key not in schema:
+            raise PolicyError(f"table {table!r} has no column {column!r}")
+        if category not in self.categories:
+            raise PolicyError(f"category {category!r} is not registered")
+        pm = self.database.table("pm")
+        pm.delete_rows(lambda row: row[0] == column_key and row[1] == table_key)
+        pm.insert_row((column_key, table_key, category.code))
+        self._category_map[(table_key, column_key)] = category
+
+    def category(self, table: str, column: str) -> DataCategory:
+        """Categorizer protocol: Pm lookup with the *generic* fallback (§4.1)."""
+        return self._category_map.get(
+            (table.lower(), column.lower()), self.categories.default
+        )
+
+    # -- purpose authorizations (Pa) ---------------------------------------------------------
+
+    def grant_purpose(self, user_id: str, purpose_id: str) -> None:
+        """Authorize a user for a purpose (one Pa row)."""
+        self.require_configured()
+        self.purposes.get(purpose_id)  # validates existence
+        self.database.table("pa").insert_row((user_id, purpose_id))
+
+    def revoke_purpose(self, user_id: str, purpose_id: str) -> int:
+        """Remove a user's authorization; returns removed-row count."""
+        self.require_configured()
+        return self.database.table("pa").delete_rows(
+            lambda row: row[0] == user_id and row[1] == purpose_id
+        )
+
+    def is_authorized(self, user_id: str, purpose_id: str) -> bool:
+        """Whether Pa contains ⟨user, purpose⟩."""
+        self.require_configured()
+        return any(
+            row[0] == user_id and row[1] == purpose_id
+            for row in self.database.table("pa")
+        )
+
+    # -- schema / layout services -----------------------------------------------------------
+
+    def table_columns(self, table: str) -> tuple[str, ...]:
+        """SchemaProvider protocol: logical columns (the policy column hidden)."""
+        schema = self.database.table(table).schema
+        return tuple(
+            column.name.lower()
+            for column in schema.columns
+            if column.name.lower() != POLICY_COLUMN
+        )
+
+    def has_table(self, table: str) -> bool:
+        """SchemaProvider protocol: target-table existence."""
+        key = table.lower()
+        return self.database.has_table(key) and key not in META_TABLES
+
+    def layout(self, table: str) -> MaskLayout:
+        """The mask layout of a target table (cached until invalidated)."""
+        self.require_configured()
+        key = table.lower()
+        if key in META_TABLES or not self.database.has_table(key):
+            raise PolicyError(f"{table!r} is not a protected target table")
+        layout = self._layouts.get(key)
+        if layout is None:
+            layout = MaskLayout(
+                key, self.table_columns(key), self.purposes, self.categories
+            )
+            self._layouts[key] = layout
+        return layout
+
+    def invalidate_layouts(self, table: str | None = None) -> None:
+        """Drop cached layouts after a schema or purpose-set change."""
+        if table is None:
+            self._layouts.clear()
+        else:
+            self._layouts.pop(table.lower(), None)
+
+    # -- policy installation -----------------------------------------------------------------
+
+    def apply_policy(self, policy: Policy) -> int:
+        """Encode a policy and store its mask into matching rows.
+
+        Returns the number of rows whose ``policy`` column was written.  A
+        ``tuple_selector`` of ``(column, value)`` selects rows by equality;
+        ``None`` covers the whole table (the paper's ``tp = ⊥``).
+        """
+        self.require_configured()
+        layout = self.layout(policy.table)
+        policy.validate(layout.columns, self.purposes)
+        mask = layout.policy_mask(policy)
+        return self.store_policy_mask(policy.table, mask, policy.tuple_selector)
+
+    def store_policy_mask(
+        self,
+        table: str,
+        mask: BitString,
+        tuple_selector: tuple[str, object] | None = None,
+    ) -> int:
+        """Store a pre-encoded policy mask (used by the workload generators)."""
+        self.require_configured()
+        target = self.database.table(table)
+        if tuple_selector is None:
+            return target.set_column_value(POLICY_COLUMN, mask)
+        column, value = tuple_selector
+        index = target.schema.column_index(column)
+        return target.set_column_value(
+            POLICY_COLUMN, mask, predicate=lambda row: row[index] == value
+        )
+
+    def policy_masks(self, table: str) -> list[BitString | None]:
+        """The stored policy masks of a table, in row order."""
+        return self.database.table(table).column_values(POLICY_COLUMN)
+
+    def insert_with_policy(
+        self,
+        table: str,
+        values,
+        policy: "Policy | BitString",
+        columns: tuple[str, ...] = (),
+    ) -> None:
+        """Insert one record that "already includes the policy" (§5.3).
+
+        ``values`` covers the logical columns (in ``columns`` order, or
+        schema order when ``columns`` is empty); ``policy`` is either a
+        :class:`~repro.core.policy.Policy` (encoded against this table's
+        layout) or a pre-encoded mask.
+        """
+        self.require_configured()
+        layout = self.layout(table)
+        if isinstance(policy, BitString):
+            mask = policy
+            if len(mask) % layout.rule_length != 0:
+                raise PolicyError(
+                    f"mask length {len(mask)} is not a multiple of the "
+                    f"rule length {layout.rule_length} of {table!r}"
+                )
+        else:
+            if policy.table.lower() != table.lower():
+                raise PolicyError(
+                    f"policy targets {policy.table!r}, not {table!r}"
+                )
+            policy.validate(layout.columns, self.purposes)
+            mask = layout.policy_mask(policy)
+        target = self.database.table(table)
+        logical = columns or self.table_columns(table)
+        if len(tuple(values)) != len(logical):
+            raise PolicyError(
+                f"expected {len(logical)} values for columns {logical}, "
+                f"got {len(tuple(values))}"
+            )
+        target.insert_row(
+            (*values, mask), (*logical, POLICY_COLUMN)
+        )

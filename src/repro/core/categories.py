@@ -1,0 +1,103 @@
+"""Data categories (Section 4.1).
+
+The paper works with four categories referred to by privacy regulations —
+*identifier*, *quasi identifier*, *sensitive* and *generic* — and notes the
+list "is not necessarily complete and administrators can add other
+categories with small extensions".  :class:`CategoryRegistry` implements that
+extension point: joint-access masks are sized by the registry, so adding a
+category grows every subsequently-encoded mask (DESIGN.md §6).
+
+Category order is significant: the joint-access sub-mask of an action type
+mask assigns one bit per category, in registry order.  The default order
+``i, q, s, g`` matches Def. 1 / Def. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PolicyError
+
+
+@dataclass(frozen=True)
+class DataCategory:
+    """A data category: a short code (used in masks) and a display name."""
+
+    code: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise PolicyError("category code must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+IDENTIFIER = DataCategory("i", "identifier")
+QUASI_IDENTIFIER = DataCategory("q", "quasi identifier")
+SENSITIVE = DataCategory("s", "sensitive")
+GENERIC = DataCategory("g", "generic")
+
+DEFAULT_CATEGORIES = (IDENTIFIER, QUASI_IDENTIFIER, SENSITIVE, GENERIC)
+
+
+class CategoryRegistry:
+    """Ordered registry of the data categories of an application scenario."""
+
+    def __init__(self, categories: tuple[DataCategory, ...] = DEFAULT_CATEGORIES):
+        self._categories: list[DataCategory] = []
+        self._by_code: dict[str, DataCategory] = {}
+        self._by_name: dict[str, DataCategory] = {}
+        for category in categories:
+            self.add(category)
+
+    def add(self, category: DataCategory) -> None:
+        """Register an additional category (appended after existing ones)."""
+        if category.code in self._by_code:
+            raise PolicyError(f"duplicate category code {category.code!r}")
+        if category.name.lower() in self._by_name:
+            raise PolicyError(f"duplicate category name {category.name!r}")
+        self._categories.append(category)
+        self._by_code[category.code] = category
+        self._by_name[category.name.lower()] = category
+
+    @property
+    def categories(self) -> tuple[DataCategory, ...]:
+        """All categories in mask-bit order."""
+        return tuple(self._categories)
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __iter__(self):
+        return iter(self._categories)
+
+    def __contains__(self, category: DataCategory) -> bool:
+        return category.code in self._by_code
+
+    def index(self, category: DataCategory) -> int:
+        """Mask-bit position of a category."""
+        try:
+            return self._categories.index(category)
+        except ValueError:
+            raise PolicyError(f"unknown category {category!r}") from None
+
+    def by_code(self, code: str) -> DataCategory:
+        """Look up by short code (``'i'``, ``'q'``, ...)."""
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise PolicyError(f"unknown category code {code!r}") from None
+
+    def by_name(self, name: str) -> DataCategory:
+        """Look up by display name (case-insensitive)."""
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise PolicyError(f"unknown category {name!r}") from None
+
+    @property
+    def default(self) -> DataCategory:
+        """The fallback category for unclassified data (Section 4.1)."""
+        return self.by_code("g") if "g" in self._by_code else self._categories[-1]

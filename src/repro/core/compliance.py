@@ -1,0 +1,74 @@
+"""Object-level policy compliance (Defs. 5, 6 and 17).
+
+These checks operate on :class:`~repro.core.policy.Policy` /
+:class:`~repro.core.signatures.QuerySignature` objects directly, without the
+bit-mask encoding.  The enforcement path uses the masks
+(:mod:`repro.core.masks`); this module exists to state the semantics
+explicitly and to cross-validate the encodings — the property tests assert
+that mask-level and object-level compliance always agree.
+"""
+
+from __future__ import annotations
+
+from .policy import Policy, PolicyRule, SpecialRule
+from .signatures import ActionSignature, QuerySignature, TableSignature
+
+
+def action_complies_with_rule(
+    signature: ActionSignature, purpose: str, rule: PolicyRule
+) -> bool:
+    """Def. 5 + the column/purpose conditions of Def. 6, for one rule.
+
+    A signature complies with a rule when the accessed columns are a subset
+    of the rule's columns, the query purpose is among the rule's purposes,
+    and the action types comply (equal operation dimensions, joint access a
+    subset of the allowed set).
+    """
+    if rule.special is SpecialRule.PASS_ALL:
+        return True
+    if rule.special is SpecialRule.PASS_NONE:
+        return False
+    assert rule.action_type is not None
+    if not signature.columns <= rule.columns:
+        return False
+    if purpose not in rule.purposes:
+        return False
+    return signature.action_type.complies_with(rule.action_type)
+
+
+def action_complies_with_policy(
+    signature: ActionSignature, purpose: str, policy: Policy
+) -> bool:
+    """Def. 16's object-level counterpart: some rule of the policy complies."""
+    return any(
+        action_complies_with_rule(signature, purpose, rule)
+        for rule in policy.rules
+    )
+
+
+def table_signature_complies(
+    table_signature: TableSignature, purpose: str, policy: Policy
+) -> bool:
+    """Def. 6: every action signature on the table complies with the policy."""
+    return all(
+        action_complies_with_policy(action, purpose, policy)
+        for action in table_signature.actions
+    )
+
+
+def query_complies_with_policy(
+    query_signature: QuerySignature, policy: Policy
+) -> bool:
+    """Def. 17's object-level counterpart, including sub-query signatures.
+
+    The query complies when, in every (sub)query block, every table
+    signature whose base table is the policy's table complies.
+    """
+    table_key = policy.table.lower()
+    for block in query_signature.all_signatures():
+        for table_signature in block.tables:
+            if table_signature.table != table_key:
+                continue
+            if not table_signature_complies(table_signature, block.purpose, policy):
+                return False
+    return True

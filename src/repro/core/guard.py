@@ -1,0 +1,122 @@
+"""Administrative authorization (future-work item 4, first half).
+
+Section 8 plans "mechanisms to regulate the specification of data categories
+and policies".  :class:`AdministrationGuard` wraps the management modules
+behind an acting-user check: every mutating administrative operation must be
+performed by a registered administrator.
+
+The guard is deliberately a wrapper, not a change to the admin API: code
+holding the raw :class:`AccessControlManager` is trusted (it models the DBA
+console); code holding only the guard is subject to the check.
+"""
+
+from __future__ import annotations
+
+from ..errors import AccessControlError
+from .admin import AccessControlManager
+from .categories import DataCategory
+from .policy import Policy
+from .policy_manager import PolicyManager
+from .purposes import Purpose
+
+
+class AdministrationError(AccessControlError):
+    """Raised when a non-administrator attempts an administrative action."""
+
+    def __init__(self, user_id: str, action: str):
+        super().__init__(
+            f"user {user_id!r} is not an administrator and may not {action}"
+        )
+        self.user_id = user_id
+        self.action = action
+
+
+class AdministrationGuard:
+    """User-checked façade over the administration and policy modules."""
+
+    def __init__(
+        self,
+        admin: AccessControlManager,
+        manager: PolicyManager | None = None,
+        administrators=(),
+    ):
+        self.admin = admin
+        self.manager = manager or PolicyManager(admin)
+        self._administrators: set[str] = set(administrators)
+
+    # -- administrator registry -------------------------------------------------
+
+    @property
+    def administrators(self) -> frozenset[str]:
+        """The current administrator set."""
+        return frozenset(self._administrators)
+
+    def add_administrator(self, user_id: str, acting_user: str | None = None) -> None:
+        """Register an administrator.
+
+        Bootstrapping: when the set is empty anyone may add the first
+        administrator; afterwards only administrators may.
+        """
+        if self._administrators and acting_user not in self._administrators:
+            raise AdministrationError(
+                str(acting_user), "register administrators"
+            )
+        self._administrators.add(user_id)
+
+    def remove_administrator(self, user_id: str, acting_user: str) -> None:
+        """Remove an administrator (administrators only; no self-lockout)."""
+        self._check(acting_user, "remove administrators")
+        if self._administrators == {user_id}:
+            raise AdministrationError(
+                acting_user, "remove the last administrator"
+            )
+        self._administrators.discard(user_id)
+
+    def _check(self, acting_user: str, action: str) -> None:
+        if acting_user not in self._administrators:
+            raise AdministrationError(acting_user, action)
+
+    # -- guarded operations ------------------------------------------------------
+
+    def define_purpose(self, purpose: Purpose, acting_user: str) -> None:
+        """Guarded :meth:`AccessControlManager.define_purpose`."""
+        self._check(acting_user, "define purposes")
+        self.admin.define_purpose(purpose)
+
+    def remove_purpose(self, purpose_id: str, acting_user: str) -> Purpose:
+        """Guarded :meth:`AccessControlManager.remove_purpose`."""
+        self._check(acting_user, "remove purposes")
+        return self.admin.remove_purpose(purpose_id)
+
+    def categorize(
+        self, table: str, column: str, category: DataCategory, acting_user: str
+    ) -> None:
+        """Guarded :meth:`AccessControlManager.categorize`."""
+        self._check(acting_user, "categorize data")
+        self.admin.categorize(table, column, category)
+
+    def grant_purpose(self, user_id: str, purpose_id: str, acting_user: str) -> None:
+        """Guarded :meth:`AccessControlManager.grant_purpose`."""
+        self._check(acting_user, "grant purpose authorizations")
+        self.admin.grant_purpose(user_id, purpose_id)
+
+    def revoke_purpose(self, user_id: str, purpose_id: str, acting_user: str) -> int:
+        """Guarded :meth:`AccessControlManager.revoke_purpose`."""
+        self._check(acting_user, "revoke purpose authorizations")
+        return self.admin.revoke_purpose(user_id, purpose_id)
+
+    def add_policy(self, policy: Policy, acting_user: str) -> int:
+        """Guarded :meth:`PolicyManager.add_policy`.
+
+        Data subjects may always manage policies on their *own* tuples in
+        the paper's scenario; modelling ownership is application-specific,
+        so the guard restricts whole-table and arbitrary-selector policies
+        to administrators and leaves subject-level checks to the caller.
+        """
+        self._check(acting_user, "install policies")
+        return self.manager.add_policy(policy)
+
+    def remove_policies(self, table: str, acting_user: str) -> int:
+        """Guarded :meth:`PolicyManager.remove_policies`."""
+        self._check(acting_user, "remove policies")
+        return self.manager.remove_policies(table)

@@ -1,0 +1,392 @@
+"""Info tuples and phases 1-2 of query-signature derivation (Section 5.2).
+
+Phase 1 walks each clause of the query model and emits one
+:class:`InfoTuple` per *attribute occurrence*:
+
+* select-list expressions yield **direct** accesses, with multiplicity
+  SINGLE when the expression references a single attribute occurrence and
+  MULTIPLE otherwise (Example 2's ``temperature - avg(temperature)`` counts
+  two occurrences), and aggregation set per-occurrence depending on whether
+  the occurrence sits inside an aggregate call;
+* WHERE / GROUP BY / HAVING / ORDER BY / join-ON expressions yield
+  **indirect** accesses with ⊥ multiplicity and aggregation (Figure 3).
+
+Phase 2 fills the category *Ct* of each tuple from the administrator's data
+categorization and the joint access *Ja* as the union of the categories of
+all *other* attributes accessed by the same query block (Example 5 — the
+same-named column of another table contributes its category; a second
+occurrence of the same attribute does not).
+
+Derived-table columns resolve through provenance to their base column for
+categorization but do not themselves produce info tuples in the outer block;
+the inner query block is analyzed separately (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import SignatureError
+from ..sql import ast
+from .actions import Aggregation, Indirection, JointAccess, Multiplicity
+from .categories import DataCategory
+
+
+class SchemaProvider(Protocol):
+    """Catalog information needed by the derivation (implemented by admin)."""
+
+    def table_columns(self, table: str) -> tuple[str, ...]:
+        """Logical (categorizable) columns of a base table, in schema order."""
+
+    def has_table(self, table: str) -> bool:
+        """Whether a base table with this name exists."""
+
+
+class Categorizer(Protocol):
+    """The data categorization of Section 4.1 (table Pm)."""
+
+    def category(self, table: str, column: str) -> DataCategory:
+        """The data category of a base-table column."""
+
+
+@dataclass(frozen=True)
+class InfoTuple:
+    """Def. 8's info tuple for one attribute occurrence.
+
+    ``source`` is the base table (*Ds*) and ``binding`` the FROM-clause name
+    the occurrence was resolved through (alias or table name).  ``category``
+    and ``joint_access`` are filled by phase 2 (``None`` beforehand — the
+    paper's ⊥ in the upper half of Figure 3).
+    """
+
+    column: str
+    source: str
+    binding: str
+    query_id: str
+    indirection: Indirection
+    multiplicity: Multiplicity | None
+    aggregation: Aggregation | None
+    purpose: str
+    category: DataCategory | None = None
+    joint_access: JointAccess | None = None
+
+
+@dataclass(frozen=True)
+class _ResolvedColumn:
+    """A column reference resolved to its provenance."""
+
+    binding: str
+    column: str
+    base_table: str | None  # None for computed derived columns
+    base_column: str | None
+
+
+class BlockResolver:
+    """Resolves column references of one query block to base columns.
+
+    Supports the scope chain needed by correlated subqueries: unresolved
+    references are retried against the parent block (occurrences that
+    resolve in a parent block belong to the *parent's* signature derivation
+    context in spirit, but the paper's per-block model attributes them to the
+    block where they appear; we follow the paper and attribute them to the
+    base table directly).
+    """
+
+    def __init__(
+        self,
+        select: ast.Select,
+        schema: SchemaProvider,
+        parent: "BlockResolver | None" = None,
+    ):
+        self.schema = schema
+        self.parent = parent
+        # binding -> ("table", table_name) | ("derived", {col: (bt, bc)|None})
+        self.bindings: dict[str, tuple] = {}
+        for source in ast.select_sources(select):
+            if isinstance(source, ast.TableName):
+                if not schema.has_table(source.name):
+                    raise SignatureError(f"unknown table {source.name!r}")
+                self.bindings[source.binding.lower()] = (
+                    "table",
+                    source.name.lower(),
+                )
+            elif isinstance(source, ast.SubquerySource):
+                self.bindings[source.alias.lower()] = (
+                    "derived",
+                    _derived_provenance(source.select, schema, parent),
+                )
+
+    def resolve(self, ref: ast.ColumnRef) -> _ResolvedColumn:
+        """Resolve a reference; raises :class:`SignatureError` when unknown."""
+        name = ref.name.lower()
+        if ref.table is not None:
+            binding = ref.table.lower()
+            if binding in self.bindings:
+                return self._resolve_in(binding, name, ref)
+            if self.parent is not None:
+                return self.parent.resolve(ref)
+            raise SignatureError(f"unknown source {ref.table!r} for column {ref.name!r}")
+        matches = [
+            binding
+            for binding in self.bindings
+            if self._has_column(binding, name)
+        ]
+        if len(matches) > 1:
+            raise SignatureError(f"ambiguous column reference {ref.name!r}")
+        if matches:
+            return self._resolve_in(matches[0], name, ref)
+        if self.parent is not None:
+            return self.parent.resolve(ref)
+        raise SignatureError(f"unknown column {ref.name!r}")
+
+    def _has_column(self, binding: str, name: str) -> bool:
+        kind, payload = self.bindings[binding]
+        if kind == "table":
+            return name in {c.lower() for c in self.schema.table_columns(payload)}
+        return name in payload
+
+    def _resolve_in(self, binding: str, name: str, ref: ast.ColumnRef) -> _ResolvedColumn:
+        kind, payload = self.bindings[binding]
+        if kind == "table":
+            columns = {c.lower() for c in self.schema.table_columns(payload)}
+            if name not in columns:
+                raise SignatureError(
+                    f"table {payload!r} has no column {ref.name!r}"
+                )
+            return _ResolvedColumn(binding, name, payload, name)
+        if name not in payload:
+            raise SignatureError(
+                f"derived table {binding!r} has no column {ref.name!r}"
+            )
+        provenance = payload[name]
+        if provenance is None:
+            return _ResolvedColumn(binding, name, None, None)
+        return _ResolvedColumn(binding, name, provenance[0], provenance[1])
+
+    def expand_star(self, table: str | None) -> list[ast.ColumnRef]:
+        """Expand ``*`` / ``t.*`` into explicit column references."""
+        refs: list[ast.ColumnRef] = []
+        for binding, (kind, payload) in self.bindings.items():
+            if table is not None and binding != table.lower():
+                continue
+            if kind == "table":
+                for column in self.schema.table_columns(payload):
+                    refs.append(ast.ColumnRef(column.lower(), table=binding))
+            else:
+                for column in payload:
+                    refs.append(ast.ColumnRef(column, table=binding))
+        if not refs:
+            raise SignatureError(f"'*' found no columns for {table or '<all>'!r}")
+        return refs
+
+
+def _derived_provenance(
+    select: ast.Select, schema: SchemaProvider, parent: "BlockResolver | None"
+) -> dict[str, tuple[str, str] | None]:
+    """Output column → base provenance mapping for a derived table."""
+    inner = BlockResolver(select, schema, parent=None)
+    provenance: dict[str, tuple[str, str] | None] = {}
+    for item in select.items:
+        expression = item.expression
+        if isinstance(expression, ast.Star):
+            for ref in inner.expand_star(expression.table):
+                resolved = inner.resolve(ref)
+                if resolved.base_table is not None:
+                    provenance[resolved.column] = (
+                        resolved.base_table,
+                        resolved.base_column,
+                    )
+                else:
+                    provenance[resolved.column] = None
+            continue
+        if item.alias:
+            name = item.alias.lower()
+        elif isinstance(expression, ast.ColumnRef):
+            name = expression.name.lower()
+        elif isinstance(expression, ast.FunctionCall):
+            name = expression.name.lower()
+        else:
+            from ..sql.printer import print_expression
+
+            name = print_expression(expression).lower()
+        if isinstance(expression, ast.ColumnRef):
+            resolved = inner.resolve(expression)
+            provenance[name] = (
+                (resolved.base_table, resolved.base_column)
+                if resolved.base_table is not None
+                else None
+            )
+        else:
+            provenance[name] = None
+    return provenance
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: occurrence extraction
+# ---------------------------------------------------------------------------
+
+
+def derive_info_tuples(
+    select: ast.Select,
+    query_id: str,
+    purpose: str,
+    schema: SchemaProvider,
+    categorizer: Categorizer,
+    parent: BlockResolver | None = None,
+) -> tuple[list[InfoTuple], BlockResolver]:
+    """Run phases 1 and 2 for one query block.
+
+    Returns the completed info tuples of this block (categories and joint
+    access filled in) and the block's resolver, which callers pass as the
+    ``parent`` of nested blocks.
+    """
+    resolver = BlockResolver(select, schema, parent)
+    raw: list[InfoTuple] = []
+
+    for item in select.items:
+        raw.extend(
+            _select_item_tuples(item.expression, resolver, query_id, purpose)
+        )
+
+    indirect_expressions: list[ast.Expression] = []
+    if select.where is not None:
+        indirect_expressions.append(select.where)
+    indirect_expressions.extend(select.group_by)
+    if select.having is not None:
+        indirect_expressions.append(select.having)
+    for order_item in select.order_by:
+        indirect_expressions.append(order_item.expression)
+    indirect_expressions.extend(ast.join_conditions(select))
+
+    for expression in indirect_expressions:
+        for ref in ast.iter_column_refs(expression):
+            resolved = resolver.resolve(ref)
+            if resolved.base_table is None:
+                continue  # computed derived column: no base attribute access
+            raw.append(
+                InfoTuple(
+                    column=resolved.base_column,
+                    source=resolved.base_table,
+                    binding=resolved.binding,
+                    query_id=query_id,
+                    indirection=Indirection.INDIRECT,
+                    multiplicity=None,
+                    aggregation=None,
+                    purpose=purpose,
+                )
+            )
+
+    completed = _complete_info_tuples(raw, categorizer)
+    return completed, resolver
+
+
+def _select_item_tuples(
+    expression: ast.Expression,
+    resolver: BlockResolver,
+    query_id: str,
+    purpose: str,
+) -> list[InfoTuple]:
+    """Phase 1 for one select-list expression (direct accesses)."""
+    if isinstance(expression, ast.Star):
+        # `select *` discloses each column individually: one single-source,
+        # non-aggregated direct access per expanded column (Example 1's q2
+        # is blocked by the *indirection* dimension, not by multiplicity).
+        tuples: list[InfoTuple] = []
+        for ref in resolver.expand_star(expression.table):
+            tuples.extend(
+                _select_item_tuples(ref, resolver, query_id, purpose)
+            )
+        return tuples
+    occurrences = _collect_occurrences(expression, resolver, in_aggregate=False)
+    multiplicity = (
+        Multiplicity.SINGLE if len(occurrences) <= 1 else Multiplicity.MULTIPLE
+    )
+    tuples = []
+    for resolved, aggregated in occurrences:
+        if resolved.base_table is None:
+            continue  # computed derived column
+        tuples.append(
+            InfoTuple(
+                column=resolved.base_column,
+                source=resolved.base_table,
+                binding=resolved.binding,
+                query_id=query_id,
+                indirection=Indirection.DIRECT,
+                multiplicity=multiplicity,
+                aggregation=(
+                    Aggregation.AGGREGATION
+                    if aggregated
+                    else Aggregation.NO_AGGREGATION
+                ),
+                purpose=purpose,
+            )
+        )
+    return tuples
+
+
+def _collect_occurrences(
+    expression: ast.Expression,
+    resolver: BlockResolver,
+    in_aggregate: bool,
+) -> list[tuple[_ResolvedColumn, bool]]:
+    """Attribute occurrences of an expression with their aggregation flag.
+
+    Does not descend into nested subqueries (they are separate blocks).
+    """
+    occurrences: list[tuple[_ResolvedColumn, bool]] = []
+    if isinstance(expression, ast.ColumnRef):
+        occurrences.append((resolver.resolve(expression), in_aggregate))
+        return occurrences
+    if isinstance(expression, ast.Star):
+        for ref in resolver.expand_star(expression.table):
+            occurrences.append((resolver.resolve(ref), in_aggregate))
+        return occurrences
+    nested_aggregate = in_aggregate
+    if isinstance(expression, ast.FunctionCall):
+        if expression.name.lower() in ast.AGGREGATE_FUNCTIONS:
+            nested_aggregate = True
+            if len(expression.args) == 1 and isinstance(expression.args[0], ast.Star):
+                # count(*) discloses only cardinality: no attribute access.
+                return occurrences
+    for child in expression.child_expressions():
+        occurrences.extend(_collect_occurrences(child, resolver, nested_aggregate))
+    return occurrences
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: categories and joint access
+# ---------------------------------------------------------------------------
+
+
+def _complete_info_tuples(
+    tuples: list[InfoTuple], categorizer: Categorizer
+) -> list[InfoTuple]:
+    """Fill *Ct* and *Ja*: Ja is the union of the categories of all *other*
+    accessed attributes of the block (per distinct (table, column) pair)."""
+    import dataclasses
+
+    accessed: dict[tuple[str, str], DataCategory] = {}
+    for info in tuples:
+        key = (info.source, info.column)
+        if key not in accessed:
+            accessed[key] = categorizer.category(info.source, info.column)
+
+    completed = []
+    for info in tuples:
+        own_key = (info.source, info.column)
+        joint = JointAccess(
+            frozenset(
+                category.code
+                for key, category in accessed.items()
+                if key != own_key
+            )
+        )
+        completed.append(
+            dataclasses.replace(
+                info,
+                category=accessed[own_key],
+                joint_access=joint,
+            )
+        )
+    return completed

@@ -1,0 +1,231 @@
+"""Enforcement Monitor (Section 2).
+
+:class:`EnforcementMonitor` is the façade a client talks to: it receives a
+SQL query together with its access purpose (and optionally the submitting
+user), verifies the user's purpose authorization against table Pa, derives
+the query signature, rewrites the query with ``complieswith`` conjuncts and
+executes the rewritten statement against the secured DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import Database, ResultSet
+from ..errors import UnauthorizedPurposeError
+from ..sql import ast, parse_select
+from ..sql.printer import print_select
+from .admin import AccessControlManager, COMPLIES_WITH
+from .rewriter import rewrite_query
+from .signatures import QuerySignature, SignatureDeriver
+
+
+@dataclass
+class EnforcementReport:
+    """Everything observable about one monitored execution."""
+
+    original_sql: str
+    rewritten_sql: str
+    purpose: str
+    signature: QuerySignature
+    result: ResultSet
+    compliance_checks: int
+
+
+class EnforcementMonitor:
+    """Rewrites and executes queries under the access-control policies.
+
+    ``authorizer`` decides user-purpose authorization; it defaults to the
+    admin's direct Pa check and can be replaced with a
+    :class:`~repro.core.roles.RoleManager` to get role-based authorization
+    (the paper's future-work item 3).
+    """
+
+    def __init__(self, admin: AccessControlManager, authorizer=None):
+        self.admin = admin
+        self.authorizer = authorizer if authorizer is not None else admin
+        self.deriver = SignatureDeriver(admin, admin)
+        self.audit = None
+
+    def attach_audit(self, audit) -> None:
+        """Record every execution/denial into an :class:`AuditLog`."""
+        self.audit = audit
+
+    def _audit(
+        self,
+        user: str | None,
+        purpose: str,
+        query_id: str,
+        statement: str,
+        outcome: str,
+        rows: int = 0,
+        checks: int = 0,
+    ) -> None:
+        if self.audit is not None:
+            self.audit.record(
+                user, purpose, query_id, statement, outcome, rows, checks
+            )
+
+    @property
+    def database(self) -> Database:
+        """The secured target database."""
+        return self.admin.database
+
+    # -- pipeline pieces ------------------------------------------------------------
+
+    def derive_signature(self, query: str | ast.Select, purpose: str) -> QuerySignature:
+        """Derive the query signature for an access purpose."""
+        self.admin.purposes.get(purpose)  # validates the purpose id
+        return self.deriver.derive(query, purpose)
+
+    def rewrite(self, query: str | ast.Select, purpose: str) -> ast.Select:
+        """Derive the signature and rewrite the query (no execution)."""
+        select = parse_select(query) if isinstance(query, str) else query
+        signature = self.derive_signature(select, purpose)
+        return rewrite_query(select, signature, self.admin)
+
+    def rewrite_sql(self, query: str | ast.Select, purpose: str) -> str:
+        """The rewritten query as SQL text (Listing 3's output)."""
+        return print_select(self.rewrite(query, purpose))
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str | ast.Select,
+        purpose: str,
+        user: str | None = None,
+    ) -> ResultSet:
+        """Enforce and run a query; returns the policy-filtered result set."""
+        return self.execute_with_report(query, purpose, user).result
+
+    def execute_with_report(
+        self,
+        query: str | ast.Select,
+        purpose: str,
+        user: str | None = None,
+    ) -> EnforcementReport:
+        """Like :meth:`execute` but returns the full enforcement report.
+
+        The report includes the number of ``complieswith`` invocations the
+        execution performed — the complexity metric of Figure 6.
+        """
+        self.admin.require_configured()
+        select = parse_select(query) if isinstance(query, str) else query
+        original_sql = query if isinstance(query, str) else print_select(query)
+        if user is not None and not self.authorizer.is_authorized(user, purpose):
+            from .query_model import query_id as compute_query_id
+
+            self._audit(
+                user, purpose, compute_query_id(select), original_sql, "denied"
+            )
+            raise UnauthorizedPurposeError(user, purpose)
+        signature = self.derive_signature(select, purpose)
+        rewritten = rewrite_query(select, signature, self.admin)
+
+        database = self.admin.database
+        checks_before = database.function_calls(COMPLIES_WITH)
+        result = database.query(rewritten)
+        checks = database.function_calls(COMPLIES_WITH) - checks_before
+
+        self._audit(
+            user, purpose, signature.query_id, original_sql, "allowed",
+            rows=len(result), checks=checks,
+        )
+        return EnforcementReport(
+            original_sql=(
+                query if isinstance(query, str) else print_select(query)
+            ),
+            rewritten_sql=print_select(rewritten),
+            purpose=purpose,
+            signature=signature,
+            result=result,
+            compliance_checks=checks,
+        )
+
+    def execute_statement(
+        self,
+        sql: "str | ast.Statement",
+        purpose: str,
+        user: str | None = None,
+    ) -> ResultSet | int:
+        """Enforce and run any SELECT or DML statement.
+
+        SELECT returns the filtered :class:`ResultSet`; UPDATE/DELETE have
+        their read-side (WHERE predicate, SET expressions) checked and only
+        touch policy-compliant tuples, returning the affected-row count;
+        ``INSERT ... SELECT`` enforces the source query.  DDL is rejected —
+        schema changes go through the administration modules.
+        """
+        from ..errors import AccessControlError
+        from ..sql import parse_statement
+        from .dml import rewrite_statement
+
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ast.Select):
+            return self.execute(statement, purpose, user)
+        if isinstance(statement, ast.SetOperation):
+            return self._execute_set_operation(statement, purpose, user)
+        if not isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
+            raise AccessControlError(
+                "DDL statements are not executable through the monitor"
+            )
+        self.admin.require_configured()
+        from ..sql.printer import to_sql
+        from .query_model import query_id as compute_query_id
+
+        original_sql = sql if isinstance(sql, str) else to_sql(statement)
+        statement_id = compute_query_id(original_sql)
+        if user is not None and not self.authorizer.is_authorized(user, purpose):
+            self._audit(user, purpose, statement_id, original_sql, "denied")
+            raise UnauthorizedPurposeError(user, purpose)
+        self.admin.purposes.get(purpose)
+        rewritten = rewrite_statement(statement, purpose, self.deriver, self.admin)
+        database = self.admin.database
+        checks_before = database.function_calls(COMPLIES_WITH)
+        affected = database.execute(rewritten)
+        checks = database.function_calls(COMPLIES_WITH) - checks_before
+        self._audit(
+            user, purpose, statement_id, original_sql, "allowed",
+            rows=affected, checks=checks,
+        )
+        return affected
+
+    def _execute_set_operation(
+        self,
+        statement: ast.SetOperation,
+        purpose: str,
+        user: str | None,
+    ) -> ResultSet:
+        """Enforce a UNION/INTERSECT/EXCEPT chain branch by branch.
+
+        Each SELECT branch is its own query block: it gets its own
+        signature and its own ``complieswith`` conjuncts, then the engine
+        combines the branch results with set semantics.
+        """
+        import dataclasses
+
+        self.admin.require_configured()
+        if user is not None and not self.authorizer.is_authorized(user, purpose):
+            raise UnauthorizedPurposeError(user, purpose)
+
+        def rewrite_node(node):
+            if isinstance(node, ast.SetOperation):
+                return dataclasses.replace(
+                    node,
+                    left=rewrite_node(node.left),
+                    right=rewrite_node(node.right),
+                )
+            signature = self.derive_signature(node, purpose)
+            return rewrite_query(node, signature, self.admin)
+
+        return self.admin.database.query(rewrite_node(statement))
+
+    def execute_unprotected(self, query: str | ast.Select) -> ResultSet:
+        """Run the *original* query, bypassing enforcement.
+
+        Used by the benchmarks to measure the baseline execution time the
+        paper's figures compare against.
+        """
+        select = parse_select(query) if isinstance(query, str) else query
+        return self.admin.database.query(select)

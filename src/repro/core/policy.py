@@ -1,0 +1,122 @@
+"""Data policies and policy rules (Def. 2, Section 6.1).
+
+A :class:`Policy` groups :class:`PolicyRule` objects and applies either to a
+single tuple of a table (``tuple_selector`` set) or to every tuple
+(``tuple_selector is None``, the paper's ``tp = ⊥``).
+
+The special *pass-all* / *pass-none* rules of Section 6.1 — used to build
+*scattered* policies with a chosen selectivity — are represented by the
+:class:`SpecialRule` marker so that their masks can be emitted as all-ones /
+all-zeros strings of the correct rule-mask length.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import PolicyError
+from .actions import ActionType
+from .purposes import Purpose, PurposeSet
+
+
+class SpecialRule(enum.Enum):
+    """Marker for the synthetic rules of Section 6.1."""
+
+    PASS_ALL = "pass-all"    # rule mask of all '1's: complies with anything
+    PASS_NONE = "pass-none"  # rule mask of all '0's: complies with nothing
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """A policy rule *R* = ⟨Cl, Pu, At⟩ (Def. 2).
+
+    Attributes:
+        columns: The set *Cl* of constrained column names of the policy's
+            table.
+        purposes: The set *Pu* of purpose ids for which actions of type
+            ``action_type`` are authorized.
+        action_type: The action type *At* regulated by this rule.
+        special: When set, the rule is a synthetic pass-all/pass-none rule
+            and the other components are ignored for encoding.
+    """
+
+    columns: frozenset[str] = field(default_factory=frozenset)
+    purposes: frozenset[str] = field(default_factory=frozenset)
+    action_type: ActionType | None = None
+    special: SpecialRule | None = None
+
+    def __post_init__(self) -> None:
+        if self.special is None:
+            if not self.columns:
+                raise PolicyError("a policy rule must constrain at least one column")
+            if self.action_type is None:
+                raise PolicyError("a policy rule requires an action type")
+
+    @classmethod
+    def of(
+        cls,
+        columns,
+        purposes,
+        action_type: ActionType,
+    ) -> "PolicyRule":
+        """Convenience constructor accepting iterables and Purpose objects."""
+        return cls(
+            columns=frozenset(c.lower() for c in columns),
+            purposes=frozenset(
+                p.id if isinstance(p, Purpose) else p for p in purposes
+            ),
+            action_type=action_type,
+        )
+
+    @classmethod
+    def pass_all(cls) -> "PolicyRule":
+        """A rule whose mask is all '1's (complies with any signature)."""
+        return cls(special=SpecialRule.PASS_ALL)
+
+    @classmethod
+    def pass_none(cls) -> "PolicyRule":
+        """A rule whose mask is all '0's (complies with no signature)."""
+        return cls(special=SpecialRule.PASS_NONE)
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A data policy *PP* = ⟨Rs, Tb, tp⟩ (Def. 2).
+
+    ``tuple_selector`` identifies the tuple(s) the policy covers; ``None``
+    is the paper's ⊥ (the policy covers every tuple of ``table``).  The
+    selector is interpreted by the administration layer
+    (:mod:`repro.core.admin`) as an equality predicate on a key column.
+    """
+
+    table: str
+    rules: tuple[PolicyRule, ...]
+    tuple_selector: tuple[str, object] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise PolicyError("a policy must contain at least one rule")
+
+    def validate(self, column_names, purpose_set: PurposeSet) -> None:
+        """Check rule columns/purposes against a table schema and purpose set.
+
+        Raises :class:`PolicyError` on the first inconsistency; synthetic
+        pass-all/pass-none rules are always valid.
+        """
+        known_columns = {name.lower() for name in column_names}
+        for rule in self.rules:
+            if rule.special is not None:
+                continue
+            unknown_columns = rule.columns - known_columns
+            if unknown_columns:
+                raise PolicyError(
+                    f"policy on {self.table!r} references unknown columns "
+                    f"{sorted(unknown_columns)}"
+                )
+            for purpose_id in rule.purposes:
+                if purpose_id not in purpose_set:
+                    raise PolicyError(
+                        f"policy on {self.table!r} references unknown purpose "
+                        f"{purpose_id!r}"
+                    )

@@ -1,0 +1,95 @@
+"""Query models (Def. 7).
+
+A :class:`QueryModel` is the abstract representation ⟨S, F, W, G, H⟩ of a
+SELECT statement that the derivation process of Section 5.2 operates on.  We
+derive it from the parsed AST rather than raw text (our parser produces the
+clause structure directly), and attach the query identifier *Qi* — per
+footnote 12, "the hash of the query string".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..sql import ast, parse_select
+from ..sql.printer import print_select
+
+
+def query_id(select: ast.Select | str) -> str:
+    """The identifier *Qi* of a query: an 8-hex-digit hash of its SQL text.
+
+    Hashing the *printed* form makes the id stable across formatting
+    variations of the same statement.
+    """
+    text = select if isinstance(select, str) else print_select(select)
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:8]
+
+
+@dataclass(frozen=True)
+class QueryModel:
+    """Def. 7's ⟨S, F, W, G, H⟩ plus the query id and the underlying AST.
+
+    Attributes:
+        id: The query identifier *Qi*.
+        select_items: *S* — the select-list expressions.
+        sources: *F* — the FROM-clause table expressions.
+        where: *W* — the WHERE predicate, or None (the paper's ⊥).
+        group_by: *G* — the GROUP BY expressions.
+        having: *H* — the HAVING predicate, or None.
+        select_ast: The full AST node, kept for rewriting and execution.
+    """
+
+    id: str
+    select_items: tuple[ast.SelectItem, ...]
+    sources: tuple[ast.TableSource, ...]
+    where: ast.Expression | None
+    group_by: tuple[ast.Expression, ...]
+    having: ast.Expression | None
+    select_ast: ast.Select
+
+    @classmethod
+    def from_select(cls, select: ast.Select) -> "QueryModel":
+        """Build the model of a parsed SELECT."""
+        return cls(
+            id=query_id(select),
+            select_items=select.items,
+            sources=select.sources,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            select_ast=select,
+        )
+
+    @classmethod
+    def from_sql(cls, sql: str) -> "QueryModel":
+        """Parse SQL text and build its model."""
+        return cls.from_select(parse_select(sql))
+
+    def subquery_models(self) -> list["QueryModel"]:
+        """Models of the directly nested subqueries, clause by clause.
+
+        Covers subqueries in F (derived tables), W, H and S — the components
+        Listing 2's ``rwSubQueries`` walks.
+        """
+        models = []
+        for source in ast.select_sources(self.select_ast):
+            if isinstance(source, ast.SubquerySource):
+                models.append(QueryModel.from_select(source.select))
+        expressions: list[ast.Expression] = [
+            item.expression for item in self.select_items
+        ]
+        if self.where is not None:
+            expressions.append(self.where)
+        if self.having is not None:
+            expressions.append(self.having)
+        expressions.extend(self.group_by)
+        expressions.extend(ast.join_conditions(self.select_ast))
+        for expression in expressions:
+            for subquery in ast.iter_subqueries(expression):
+                models.append(QueryModel.from_select(subquery))
+        return models
+
+    def to_sql(self) -> str:
+        """The SQL text of the modeled query."""
+        return print_select(self.select_ast)

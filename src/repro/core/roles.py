@@ -1,0 +1,158 @@
+"""Role-based purpose authorization (the paper's future-work item 3).
+
+Section 8 lists "extend the framework integrating support for role based
+access control" as planned work; the reference purpose-based model of Byun
+and Li [3] already combines purposes with roles.  This module implements
+that combination on top of the existing Pa mechanism:
+
+* table ``ro(role)`` — the role catalog;
+* table ``ur(ui, role)`` — user → role assignments;
+* table ``rp(role, pi)`` — role → purpose authorizations, with a one-level
+  role hierarchy (``parent``) whose authorizations are inherited.
+
+A user is authorized for a purpose when either the direct Pa grant exists
+(:meth:`AccessControlManager.is_authorized`) or one of their roles —
+directly or through its parent chain — is authorized for it.
+"""
+
+from __future__ import annotations
+
+from ..engine import Column, SqlType, TableSchema
+from ..errors import ConfigurationError, PolicyError
+from .admin import AccessControlManager
+
+#: Meta-tables added by the role extension.
+ROLE_TABLES = frozenset({"ro", "ur", "rp"})
+
+
+class RoleManager:
+    """Manages roles, user assignments and role-purpose authorizations."""
+
+    def __init__(self, admin: AccessControlManager):
+        self.admin = admin
+        self._parents: dict[str, str | None] = {}
+        self._installed = False
+
+    # -- installation ------------------------------------------------------------
+
+    def install(self) -> None:
+        """Create the role meta-tables (idempotent-hostile, like configure)."""
+        self.admin.require_configured()
+        database = self.admin.database
+        if self._installed or database.has_table("ro"):
+            raise ConfigurationError("role support is already installed")
+        database.create_table(
+            TableSchema(
+                "ro",
+                [
+                    Column("role", SqlType.TEXT, primary_key=True),
+                    Column("parent", SqlType.TEXT),
+                ],
+            )
+        )
+        database.create_table(
+            TableSchema(
+                "ur",
+                [Column("ui", SqlType.TEXT), Column("role", SqlType.TEXT)],
+            )
+        )
+        database.create_table(
+            TableSchema(
+                "rp",
+                [Column("role", SqlType.TEXT), Column("pi", SqlType.TEXT)],
+            )
+        )
+        self._installed = True
+
+    def _require_installed(self) -> None:
+        if not self._installed:
+            raise ConfigurationError("role support is not installed; call install()")
+
+    # -- role catalog -------------------------------------------------------------
+
+    def define_role(self, role: str, parent: str | None = None) -> None:
+        """Create a role, optionally inheriting a parent's authorizations."""
+        self._require_installed()
+        if role in self._parents:
+            raise PolicyError(f"role {role!r} already exists")
+        if parent is not None and parent not in self._parents:
+            raise PolicyError(f"unknown parent role {parent!r}")
+        self._parents[role] = parent
+        self.admin.database.table("ro").insert_row((role, parent))
+
+    def roles(self) -> tuple[str, ...]:
+        """All defined roles."""
+        return tuple(self._parents)
+
+    def ancestry(self, role: str) -> list[str]:
+        """The role and its parents, nearest first."""
+        if role not in self._parents:
+            raise PolicyError(f"unknown role {role!r}")
+        chain = [role]
+        current = self._parents[role]
+        while current is not None:
+            chain.append(current)
+            current = self._parents[current]
+        return chain
+
+    # -- assignments -------------------------------------------------------------
+
+    def assign_role(self, user_id: str, role: str) -> None:
+        """Give a user a role."""
+        self._require_installed()
+        if role not in self._parents:
+            raise PolicyError(f"unknown role {role!r}")
+        self.admin.database.table("ur").insert_row((user_id, role))
+
+    def unassign_role(self, user_id: str, role: str) -> int:
+        """Remove a user-role assignment; returns removed-row count."""
+        self._require_installed()
+        return self.admin.database.table("ur").delete_rows(
+            lambda row: row[0] == user_id and row[1] == role
+        )
+
+    def user_roles(self, user_id: str) -> list[str]:
+        """The roles directly assigned to a user."""
+        self._require_installed()
+        return [
+            row[1] for row in self.admin.database.table("ur") if row[0] == user_id
+        ]
+
+    # -- role-purpose authorizations -------------------------------------------------
+
+    def grant_purpose_to_role(self, role: str, purpose_id: str) -> None:
+        """Authorize every holder of ``role`` for ``purpose_id``."""
+        self._require_installed()
+        if role not in self._parents:
+            raise PolicyError(f"unknown role {role!r}")
+        self.admin.purposes.get(purpose_id)  # validates
+        self.admin.database.table("rp").insert_row((role, purpose_id))
+
+    def revoke_purpose_from_role(self, role: str, purpose_id: str) -> int:
+        """Remove a role-purpose authorization."""
+        self._require_installed()
+        return self.admin.database.table("rp").delete_rows(
+            lambda row: row[0] == role and row[1] == purpose_id
+        )
+
+    def role_purposes(self, role: str) -> set[str]:
+        """Purposes a role grants, including inherited ones."""
+        self._require_installed()
+        granted: set[str] = set()
+        rp = self.admin.database.table("rp")
+        for ancestor in self.ancestry(role):
+            granted.update(row[1] for row in rp if row[0] == ancestor)
+        return granted
+
+    # -- the combined check consumed by the monitor --------------------------------------
+
+    def is_authorized(self, user_id: str, purpose_id: str) -> bool:
+        """Direct Pa grant OR any assigned role (or ancestor) grants it."""
+        if self.admin.is_authorized(user_id, purpose_id):
+            return True
+        if not self._installed:
+            return False
+        return any(
+            purpose_id in self.role_purposes(role)
+            for role in self.user_roles(user_id)
+        )

@@ -1,0 +1,64 @@
+"""User sessions: the client-facing entry point.
+
+A :class:`Session` binds an :class:`~repro.core.monitor.EnforcementMonitor`
+to a user and a current access purpose, giving application code the shape a
+protected DBMS connection would have::
+
+    session = Session(monitor, user="alice", purpose="p6")
+    session.query("select avg(beats) from sensed_data")
+    session.set_purpose("p1")
+    session.execute("update users set watch_id = 'w' where user_id = 'u'")
+
+Every statement goes through the monitor (signature derivation → rewriting
+→ execution), with the session's user checked against the purpose on each
+call, so a purpose switch takes effect immediately and is individually
+auditable.
+"""
+
+from __future__ import annotations
+
+from ..engine import ResultSet
+from ..errors import PolicyError
+from .monitor import EnforcementMonitor
+
+
+class Session:
+    """A user's connection-like handle onto the protected database."""
+
+    def __init__(self, monitor: EnforcementMonitor, user: str, purpose: str):
+        self.monitor = monitor
+        self.user = user
+        self._purpose = purpose
+        monitor.admin.purposes.get(purpose)  # validates
+
+    @property
+    def purpose(self) -> str:
+        """The session's current access purpose."""
+        return self._purpose
+
+    def set_purpose(self, purpose: str) -> None:
+        """Switch the declared access purpose for subsequent statements."""
+        self.monitor.admin.purposes.get(purpose)
+        self._purpose = purpose
+
+    # -- statement execution ------------------------------------------------------
+
+    def query(self, sql: str) -> ResultSet:
+        """Run a SELECT under the session's user and purpose."""
+        return self.monitor.execute(sql, self._purpose, user=self.user)
+
+    def execute(self, sql: str) -> ResultSet | int:
+        """Run any SELECT/DML statement under the session's user/purpose."""
+        return self.monitor.execute_statement(sql, self._purpose, user=self.user)
+
+    def explain(self, sql: str) -> str:
+        """The rewritten query's plan, as the engine will execute it."""
+        rewritten = self.monitor.rewrite(sql, self._purpose)
+        return self.monitor.database.explain(rewritten)
+
+    def rewritten_sql(self, sql: str) -> str:
+        """What the monitor would actually submit for this statement."""
+        return self.monitor.rewrite_sql(sql, self._purpose)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Session(user={self.user!r}, purpose={self._purpose!r})"

@@ -1,0 +1,28 @@
+"""In-memory relational engine.
+
+This package is the substrate standing in for PostgreSQL in the paper's
+evaluation: a catalog of heap tables, a SQL executor with hash joins,
+grouping/aggregation, subqueries and three-valued logic, a ``BIT VARYING``
+value type for policy masks, and a UDF registry with invocation counters
+(used to measure the number of ``compliesWith`` calls, Figure 6).
+"""
+
+from . import persist
+from .database import Database
+from .functions import FunctionRegistry
+from .result import ResultSet
+from .schema import Column, TableSchema
+from .table import Table
+from .types import BitString, SqlType
+
+__all__ = [
+    "Database",
+    "persist",
+    "FunctionRegistry",
+    "ResultSet",
+    "Column",
+    "TableSchema",
+    "Table",
+    "BitString",
+    "SqlType",
+]

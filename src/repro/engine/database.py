@@ -1,0 +1,243 @@
+"""The in-memory relational database: catalog + statement execution.
+
+:class:`Database` is the stand-in for PostgreSQL in the paper's evaluation
+(Section 6.3).  It owns the table catalog, the scalar-function registry
+(where the enforcement framework installs ``complieswith``), and executes
+parsed or textual SQL statements.  SELECT goes through
+:class:`~repro.engine.executor.SelectExecutor`; DML/DDL are handled here.
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError, ExecutionError
+from ..sql import ast, parse_statement
+from .executor import PreparedSelect, SelectExecutor
+from .expressions import Env, ExpressionCompiler, Scope
+from .functions import FunctionRegistry
+from .result import ResultSet
+from .schema import Column, ColumnBinding, RowShape, TableSchema
+from .table import Table
+from .types import SqlType
+
+
+class Database:
+    """A named collection of tables with a SQL execution interface."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        self.functions = FunctionRegistry()
+
+    # -- catalog -----------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """True when a table with this name exists."""
+        return name.lower() in self.tables
+
+    def table_names(self) -> list[str]:
+        """All table names, in creation order."""
+        return [table.name for table in self.tables.values()]
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from a prepared schema."""
+        key = schema.name.lower()
+        if key in self.tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table; unknown names raise :class:`CatalogError`."""
+        key = name.lower()
+        if key not in self.tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self.tables[key]
+
+    # -- statement execution -----------------------------------------------------
+
+    def execute(self, sql: str | ast.Statement) -> ResultSet | int:
+        """Execute one statement.
+
+        Returns a :class:`ResultSet` for SELECT and an affected-row count for
+        DML; DDL returns 0.
+        """
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            return self.query(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.CreateTable):
+            self._execute_create(statement)
+            return 0
+        if isinstance(statement, ast.DropTable):
+            self.drop_table(statement.name)
+            return 0
+        if isinstance(statement, ast.AlterTableAddColumn):
+            self.table(statement.table).add_column(
+                _column_from_def(statement.column)
+            )
+            return 0
+        if isinstance(statement, ast.AlterTableDropColumn):
+            self.table(statement.table).drop_column(statement.column_name)
+            return 0
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def query(self, sql: "str | ast.Select | ast.SetOperation") -> ResultSet:
+        """Execute a SELECT (or a set-operation chain) and return rows."""
+        if isinstance(sql, str):
+            statement = parse_statement(sql)
+            if not isinstance(statement, (ast.Select, ast.SetOperation)):
+                raise ExecutionError("query() requires a SELECT statement")
+        else:
+            statement = sql
+        if isinstance(statement, ast.SetOperation):
+            from .result import combine_set_operation
+
+            left = self.query(statement.left)
+            right = self.query(statement.right)
+            return combine_set_operation(left, right, statement.op, statement.all)
+        return SelectExecutor(self).execute_select(statement)
+
+    def explain(self, sql: "str | ast.Select | ast.SetOperation") -> str:
+        """An EXPLAIN-style plan description for a query.
+
+        Shows scans, join strategies (hash vs. nested loop), pushed-down
+        filters and the residual WHERE — useful to confirm where the
+        ``complieswith`` conjuncts are evaluated.
+        """
+        if isinstance(sql, str):
+            statement = parse_statement(sql)
+        else:
+            statement = sql
+        if isinstance(statement, ast.SetOperation):
+            parts = []
+            for index, branch in enumerate(statement.branches()):
+                if index:
+                    parts.append(f"-- {statement.op.lower()} --")
+                parts.append(self.explain(branch))
+            return "\n".join(parts)
+        if not isinstance(statement, ast.Select):
+            raise ExecutionError("explain() requires a SELECT statement")
+        executor = SelectExecutor(self)
+        prepared = PreparedSelect(executor, statement, parent_scope=None)
+        return "\n".join(prepared.describe())
+
+    # -- DML -----------------------------------------------------------------------
+
+    def _execute_insert(self, statement: ast.Insert) -> int:
+        table = self.table(statement.table)
+        if statement.select is not None:
+            result = self.query(statement.select)
+            for row in result.rows:
+                table.insert_row(row, statement.columns)
+            return len(result.rows)
+        count = 0
+        for value_row in statement.rows:
+            values = [_constant(expression, self) for expression in value_row]
+            table.insert_row(values, statement.columns)
+            count += 1
+        return count
+
+    def _row_compiler(self, table: Table) -> tuple[ExpressionCompiler, RowShape]:
+        bindings = [
+            ColumnBinding(
+                table.name.lower(), column.name.lower(), index,
+                column.sql_type, table.name.lower(), column.name.lower(),
+            )
+            for index, column in enumerate(table.schema.columns)
+        ]
+        shape = RowShape(bindings)
+        executor = SelectExecutor(self)
+        return executor.compiler(Scope(shape)), shape
+
+    def _execute_update(self, statement: ast.Update) -> int:
+        table = self.table(statement.table)
+        compiler, _ = self._row_compiler(table)
+        predicate = (
+            compiler.compile(statement.where)
+            if statement.where is not None
+            else None
+        )
+        assignments = [
+            (table.schema.column_index(name), compiler.compile(expression))
+            for name, expression in statement.assignments
+        ]
+        env = Env()
+
+        def matches(row: tuple) -> bool:
+            return predicate is None or predicate(row, env) is True
+
+        def updater(row: tuple) -> tuple:
+            new_row = list(row)
+            for index, compiled in assignments:
+                new_row[index] = compiled(row, env)
+            return tuple(new_row)
+
+        return table.update_rows(matches, updater)
+
+    def _execute_delete(self, statement: ast.Delete) -> int:
+        table = self.table(statement.table)
+        compiler, _ = self._row_compiler(table)
+        predicate = (
+            compiler.compile(statement.where)
+            if statement.where is not None
+            else None
+        )
+        env = Env()
+        if predicate is None:
+            count = len(table)
+            table.truncate()
+            return count
+        return table.delete_rows(lambda row: predicate(row, env) is True)
+
+    # -- DDL -----------------------------------------------------------------------
+
+    def _execute_create(self, statement: ast.CreateTable) -> None:
+        columns = [_column_from_def(definition) for definition in statement.columns]
+        self.create_table(TableSchema(statement.name, columns))
+
+    # -- instrumentation ---------------------------------------------------------------
+
+    def register_function(self, name: str, func, strict: bool = True) -> None:
+        """Install a scalar UDF (the paper's ``compliesWith`` goes here)."""
+        self.functions.register(name, func, strict)
+
+    def function_calls(self, name: str) -> int:
+        """Invocation count of a registered function since the last reset."""
+        return self.functions.call_count(name)
+
+    def reset_function_counters(self) -> None:
+        """Zero all function invocation counters."""
+        self.functions.reset_counters()
+
+
+def _column_from_def(definition: ast.ColumnDef) -> Column:
+    default = None
+    if definition.default is not None:
+        default = _constant(definition.default, None)
+    return Column(
+        definition.name,
+        SqlType.from_name(definition.type_name),
+        primary_key=definition.primary_key,
+        not_null=definition.not_null,
+        default=default,
+    )
+
+
+def _constant(expression: ast.Expression, database: "Database | None") -> object:
+    """Evaluate a row-independent expression (INSERT values, defaults)."""
+    registry = database.functions if database is not None else FunctionRegistry()
+    compiler = ExpressionCompiler(Scope(RowShape([])), registry)
+    return compiler.compile(expression)((), Env())

@@ -1,0 +1,871 @@
+"""SELECT execution.
+
+A :class:`PreparedSelect` is built per statement execution: the FROM tree is
+planned (hash joins for equi-join conditions, nested loops otherwise),
+expressions are compiled to closures, aggregates are collected into slots,
+and ``rows(env)`` runs the pipeline:
+
+    FROM → WHERE → GROUP BY/aggregate → HAVING → project → DISTINCT →
+    ORDER BY → LIMIT/OFFSET
+
+Correlated subqueries are supported through the :class:`Scope` chain; an
+uncorrelated subquery's result is computed once per statement execution and
+cached, matching how a conventional engine executes uncorrelated subplans.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..errors import CatalogError, ExecutionError, ExpressionError
+from ..sql import ast
+from .aggregates import is_aggregate_name, make_aggregate
+from .expressions import (
+    CompiledExpr,
+    Env,
+    ExpressionCompiler,
+    Scope,
+    aggregate_key,
+)
+from .result import ResultSet
+from .schema import ColumnBinding, RowShape
+
+
+class TrackingScope(Scope):
+    """A scope that records when resolution escapes to an enclosing block."""
+
+    def __init__(self, shape: RowShape, parent: Scope | None = None):
+        super().__init__(shape, parent)
+        self.escaped = False
+
+    def resolve(self, name: str, table: str | None) -> tuple[int, int]:
+        depth, index = super().resolve(name, table)
+        if depth > 0:
+            self.escaped = True
+        return depth, index
+
+
+class _PushdownSet:
+    """Single-source predicate pushdown bookkeeping.
+
+    A WHERE conjunct whose column references all resolve within one leaf
+    source (and which contains no subquery) is evaluated at that leaf's scan
+    instead of after the joins — the same transformation a conventional
+    planner applies, and the reason the paper's per-table ``compliesWith``
+    conjuncts are charged per *table row* rather than per *joined row*.
+
+    Pushdown is disabled when the FROM tree contains outer joins (filtering
+    the nullable side would change the padding semantics).
+    """
+
+    def __init__(self, select: ast.Select):
+        self.conjuncts: list[list] = []  # [expression, consumed] pairs
+        self._original_where = select.where
+        self._enabled = False
+        if select.where is None or _has_outer_join(select.sources):
+            return
+        self._enabled = True
+        stack = [select.where]
+        ordered: list[ast.Expression] = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.BinaryOp) and node.op == "AND":
+                stack.append(node.right)
+                stack.append(node.left)
+            else:
+                ordered.append(node)
+        # The stack pops left-first, so `ordered` preserves source order.
+        self.conjuncts = [[expression, False] for expression in ordered]
+
+    def claim_for_shape(self, shape: RowShape) -> list[ast.Expression]:
+        """Conjuncts evaluable on this leaf alone; marks them consumed."""
+        claimed = []
+        for entry in self.conjuncts:
+            expression, consumed = entry
+            if consumed:
+                continue
+            if _pushable_to(expression, shape):
+                entry[1] = True
+                claimed.append(expression)
+        return claimed
+
+    def residual_where(self) -> ast.Expression | None:
+        """The remaining WHERE predicate after pushdown (original order)."""
+        if not self._enabled:
+            return self._original_where
+        remaining = [expr for expr, consumed in self.conjuncts if not consumed]
+        residual: ast.Expression | None = None
+        for expression in remaining:
+            residual = (
+                expression
+                if residual is None
+                else ast.BinaryOp("AND", residual, expression)
+            )
+        return residual
+
+
+#: A pushdown set that never claims anything (for nested planning contexts).
+class _NoPushdown:
+    conjuncts: list = []
+
+    def claim_for_shape(self, shape: RowShape) -> list:
+        return []
+
+
+NO_PUSHDOWN = _NoPushdown()
+
+
+def _has_outer_join(sources: tuple[ast.TableSource, ...]) -> bool:
+    def scan(source: ast.TableSource) -> bool:
+        if isinstance(source, ast.Join):
+            if source.kind in ("LEFT", "RIGHT"):
+                return True
+            return scan(source.left) or scan(source.right)
+        return False
+
+    return any(scan(source) for source in sources)
+
+
+def _pushable_to(expression: ast.Expression, shape: RowShape) -> bool:
+    """All column refs resolve in ``shape``, at least one ref, no subqueries."""
+    refs = list(ast.iter_column_refs(expression))
+    if not refs:
+        return False
+    for node in ast.walk_expression(expression):
+        if node.child_selects():
+            return False
+    for ref in refs:
+        table = ref.table.lower() if ref.table else None
+        if not _shape_has(shape, ref.name.lower(), table):
+            return False
+    return True
+
+
+class SourcePlan:
+    """A planned FROM-clause node: a row shape plus a row producer.
+
+    ``kind``/``detail``/``children`` describe the node for EXPLAIN output.
+    """
+
+    def __init__(
+        self,
+        shape: RowShape,
+        producer: Callable[[Env], Iterable[tuple]],
+        kind: str = "source",
+        detail: str = "",
+        children: "list[SourcePlan] | None" = None,
+    ):
+        self.shape = shape
+        self.producer = producer
+        self.kind = kind
+        self.detail = detail
+        self.children = children or []
+
+    def rows(self, env: Env) -> Iterable[tuple]:
+        """Produce this node's rows for the given environment."""
+        return self.producer(env)
+
+    def describe(self, indent: int = 0) -> list[str]:
+        """Render this node and its children as EXPLAIN lines."""
+        label = self.kind if not self.detail else f"{self.kind} {self.detail}"
+        lines = ["  " * indent + label]
+        for child in self.children:
+            lines.extend(child.describe(indent + 1))
+        return lines
+
+
+class PreparedSelect:
+    """A fully planned SELECT, bound to a database snapshot."""
+
+    def __init__(self, executor: "SelectExecutor", select: ast.Select, parent_scope: Scope | None):
+        self.executor = executor
+        self.select = select
+        pushdown = _PushdownSet(select)
+        source_plan = executor.plan_sources(select.sources, parent_scope, pushdown)
+        self.source_plan = source_plan
+        self.scope = TrackingScope(source_plan.shape, parent_scope)
+        self._cache: list[tuple] | None = None
+
+        # A pushed-down conjunct was claimed by the first leaf able to
+        # resolve all of its references — but an unqualified reference that
+        # is ambiguous *block-wide* must still be rejected, exactly as it
+        # would be without pushdown.
+        for expression, consumed in pushdown.conjuncts:
+            if not consumed:
+                continue
+            for ref in ast.iter_column_refs(expression):
+                source_plan.shape.resolve(
+                    ref.name.lower(), ref.table.lower() if ref.table else None
+                )
+
+        compiler = executor.compiler(self.scope)
+        residual_where = pushdown.residual_where()
+        self.residual_where_ast = residual_where
+        self.where = (
+            compiler.compile(residual_where) if residual_where is not None else None
+        )
+
+        self.items = self._expand_items(select.items, source_plan.shape)
+        self.aggregated, self.aggregate_specs = self._collect_aggregates()
+
+        if self.aggregated:
+            self.group_keys = [compiler.compile(e) for e in select.group_by]
+            post_slots = {key: i for i, (key, _, _, _) in enumerate(self.aggregate_specs)}
+            post_compiler = executor.compiler(self.scope, aggregate_slots=post_slots)
+            self.projections = [post_compiler.compile(item.expression) for item in self.items]
+            self.having = (
+                post_compiler.compile(select.having)
+                if select.having is not None
+                else None
+            )
+            self.order_keys = self._compile_order(post_compiler)
+            self.agg_args = [
+                (compiler.compile(arg) if arg is not None else None)
+                for (_, _, _, arg) in self.aggregate_specs
+            ]
+        else:
+            if select.having is not None:
+                raise ExecutionError("HAVING requires GROUP BY or aggregates")
+            self.group_keys = []
+            self.projections = [compiler.compile(item.expression) for item in self.items]
+            self.having = None
+            self.order_keys = self._compile_order(compiler)
+            self.agg_args = []
+
+        self.output_columns = [self._output_name(item) for item in self.items]
+        self.output_bindings = self._derive_output_bindings()
+
+    # -- planning helpers ---------------------------------------------------------
+
+    def _expand_items(
+        self, items: tuple[ast.SelectItem, ...], shape: RowShape
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            expression = item.expression
+            if isinstance(expression, ast.Star):
+                table_key = expression.table.lower() if expression.table else None
+                matched = False
+                for binding in shape.bindings:
+                    if table_key is not None and binding.source != table_key:
+                        continue
+                    matched = True
+                    expanded.append(
+                        ast.SelectItem(
+                            ast.ColumnRef(binding.name, table=binding.source)
+                        )
+                    )
+                if not matched:
+                    raise ExecutionError(
+                        f"'*' expansion found no columns for "
+                        f"{expression.table or '<all>'!r}"
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _collect_aggregates(self) -> tuple[bool, list]:
+        """Find aggregate calls in select/having/order-by expressions.
+
+        Returns ``(aggregated, specs)`` where each spec is
+        ``(key, name, (star, distinct), arg_expression_or_None)``.
+        """
+        specs: dict[str, tuple] = {}
+
+        def scan(expression: ast.Expression) -> None:
+            for node in ast.walk_expression(expression):
+                if isinstance(node, ast.FunctionCall) and is_aggregate_name(node.name):
+                    key = aggregate_key(node)
+                    if key in specs:
+                        continue
+                    star = bool(node.args) and isinstance(node.args[0], ast.Star)
+                    arg = None if (star or not node.args) else node.args[0]
+                    if len(node.args) > 1:
+                        raise ExecutionError(
+                            f"aggregate {node.name}() takes one argument"
+                        )
+                    specs[key] = (key, node.name, (star, node.distinct), arg)
+
+        for item in self.items:
+            scan(item.expression)
+        if self.select.having is not None:
+            scan(self.select.having)
+        for order_item in self.select.order_by:
+            scan(order_item.expression)
+
+        aggregated = bool(specs) or bool(self.select.group_by)
+        return aggregated, list(specs.values())
+
+    def _compile_order(self, compiler: ExpressionCompiler) -> list[tuple[CompiledExpr, bool]]:
+        keys: list[tuple[CompiledExpr, bool]] = []
+        for order_item in self.select.order_by:
+            expression = order_item.expression
+            # ORDER BY <ordinal> selects the i-th projected column.
+            if isinstance(expression, ast.Literal) and isinstance(expression.value, int):
+                index = expression.value - 1
+                if not 0 <= index < len(self.items):
+                    raise ExecutionError(
+                        f"ORDER BY position {expression.value} out of range"
+                    )
+                expression = self.items[index].expression
+            elif isinstance(expression, ast.ColumnRef) and expression.table is None:
+                # An output alias takes precedence over source columns.
+                for item in self.items:
+                    if item.alias and item.alias.lower() == expression.name.lower():
+                        expression = item.expression
+                        break
+            keys.append((compiler.compile(expression), order_item.descending))
+        return keys
+
+    def _output_name(self, item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        expression = item.expression
+        if isinstance(expression, ast.ColumnRef):
+            return expression.name
+        if isinstance(expression, ast.FunctionCall):
+            return expression.name
+        from ..sql.printer import print_expression
+
+        return print_expression(expression)
+
+    def _derive_output_bindings(self) -> list[ColumnBinding]:
+        """Provenance of output columns, for use as a derived table.
+
+        A plain column reference keeps its base table/column so the
+        access-control layer can categorize derived data (DESIGN.md §5).
+        """
+        bindings: list[ColumnBinding] = []
+        for index, item in enumerate(self.items):
+            name = self.output_columns[index].lower()
+            base_table = base_column = None
+            sql_type = None
+            expression = item.expression
+            if isinstance(expression, ast.ColumnRef):
+                try:
+                    depth, _ = self.scope.resolve(expression.name, expression.table)
+                except ExpressionError:
+                    depth = -1
+                if depth == 0:
+                    binding = self.scope.shape.resolve(
+                        expression.name.lower(),
+                        expression.table.lower() if expression.table else None,
+                    )
+                    base_table = binding.base_table
+                    base_column = binding.base_column
+                    sql_type = binding.sql_type
+            bindings.append(
+                ColumnBinding("", name, index, sql_type, base_table, base_column)
+            )
+        return bindings
+
+    # -- EXPLAIN ---------------------------------------------------------------------
+
+    def describe(self) -> list[str]:
+        """EXPLAIN-style plan lines for this SELECT."""
+        from ..sql.printer import print_expression
+
+        lines = []
+        header = "Select"
+        if self.select.distinct:
+            header += " distinct"
+        if self.aggregated:
+            header += " [aggregate]"
+        if self.select.order_by:
+            header += " [sort]"
+        if self.select.limit is not None:
+            header += f" [limit {self.select.limit}]"
+        lines.append(header)
+        if self.residual_where_ast is not None:
+            lines.append(f"  Where [{print_expression(self.residual_where_ast)}]")
+        if self.select.having is not None:
+            lines.append(f"  Having [{print_expression(self.select.having)}]")
+        lines.extend(self.source_plan.describe(indent=1))
+        return lines
+
+    # -- execution ------------------------------------------------------------------
+
+    @property
+    def correlated(self) -> bool:
+        """True when this block references columns of an enclosing block."""
+        return self.scope.escaped
+
+    def rows(self, env: Env) -> list[tuple]:
+        """Execute the pipeline; uncorrelated results are cached."""
+        if not self.correlated and self._cache is not None:
+            return self._cache
+        result = self._execute(env)
+        if not self.correlated:
+            self._cache = result
+        return result
+
+    def _execute(self, env: Env) -> list[tuple]:
+        source_rows = self.source_plan.rows(env)
+        if self.where is not None:
+            where = self.where
+            source_rows = (
+                row for row in source_rows if where(row, env) is True
+            )
+
+        if self.aggregated:
+            projected = self._execute_aggregated(source_rows, env)
+        else:
+            projected = self._execute_plain(source_rows, env)
+
+        if self.select.distinct:
+            seen: set = set()
+            deduped = []
+            for row, order_key in projected:
+                if row in seen:
+                    continue
+                seen.add(row)
+                deduped.append((row, order_key))
+            projected = deduped
+
+        if self.order_keys:
+            projected.sort(key=lambda pair: pair[1])
+
+        rows = [row for row, _ in projected]
+        if self.select.offset is not None:
+            rows = rows[self.select.offset :]
+        if self.select.limit is not None:
+            rows = rows[: self.select.limit]
+        return rows
+
+    def _order_key(self, row: tuple, env: Env) -> tuple:
+        key = []
+        for compiled, descending in self.order_keys:
+            value = compiled(row, env)
+            # NULLs sort last for ASC, first for DESC (PostgreSQL default).
+            null_rank = value is None
+            if descending:
+                key.append((not null_rank, _Reversed(value)))
+            else:
+                key.append((null_rank, value))
+        return tuple(key)
+
+    def _execute_plain(self, source_rows: Iterable[tuple], env: Env) -> list:
+        projections = self.projections
+        results = []
+        for row in source_rows:
+            projected = tuple(projection(row, env) for projection in projections)
+            order_key = self._order_key(row, env) if self.order_keys else ()
+            results.append((projected, order_key))
+        return results
+
+    def _execute_aggregated(self, source_rows: Iterable[tuple], env: Env) -> list:
+        groups: dict[tuple, list] = {}
+        group_order: list[tuple] = []
+        for row in source_rows:
+            key = tuple(
+                _group_key_value(compiled(row, env)) for compiled in self.group_keys
+            )
+            group = groups.get(key)
+            if group is None:
+                accumulators = [
+                    make_aggregate(name, star, distinct)
+                    for (_, name, (star, distinct), _) in self.aggregate_specs
+                ]
+                group = [row, accumulators]
+                groups[key] = group
+                group_order.append(key)
+            for accumulator, arg in zip(group[1], self.agg_args):
+                if arg is None:
+                    accumulator.add(row)  # count(*): any non-None marker
+                else:
+                    accumulator.add(arg(row, env))
+
+        if not groups and not self.select.group_by:
+            # Aggregates over an empty input still yield one row.
+            width = self.source_plan.shape.width()
+            empty_row = (None,) * width
+            accumulators = [
+                make_aggregate(name, star, distinct)
+                for (_, name, (star, distinct), _) in self.aggregate_specs
+            ]
+            groups[()] = [empty_row, accumulators]
+            group_order.append(())
+
+        results = []
+        for key in group_order:
+            representative, accumulators = groups[key]
+            agg_values = tuple(acc.result() for acc in accumulators)
+            group_env = Env(
+                agg=agg_values, outer_row=env.outer_row, outer_env=env.outer_env
+            )
+            if self.having is not None and self.having(representative, group_env) is not True:
+                continue
+            projected = tuple(
+                projection(representative, group_env)
+                for projection in self.projections
+            )
+            order_key = (
+                self._order_key(representative, group_env) if self.order_keys else ()
+            )
+            results.append((projected, order_key))
+        return results
+
+
+class _Reversed:
+    """Wrapper inverting comparison order, for ORDER BY ... DESC keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        if self.value is None:
+            return other.value is not None  # NULLs first for DESC
+        if other.value is None:
+            return False
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _group_key_value(value: object) -> object:
+    """Make a grouping value hashable (floats/ints unify via equality)."""
+    return value
+
+
+class SelectExecutor:
+    """Plans and runs SELECT statements against a database."""
+
+    def __init__(self, database):
+        self.database = database
+
+    # -- compiler / subquery hooks ---------------------------------------------------
+
+    def compiler(
+        self, scope: Scope, aggregate_slots: dict[str, int] | None = None
+    ) -> ExpressionCompiler:
+        """Build an expression compiler bound to this executor."""
+        return ExpressionCompiler(
+            scope, self.database.functions, planner=self, aggregate_slots=aggregate_slots
+        )
+
+    def prepare_subquery(self, select: ast.Select, scope: Scope) -> PreparedSelect:
+        """Plan a nested SELECT whose enclosing block has ``scope``."""
+        return PreparedSelect(self, select, scope)
+
+    # -- public API ---------------------------------------------------------------
+
+    def execute_select(self, select: ast.Select) -> ResultSet:
+        """Run a top-level SELECT and return its result set."""
+        prepared = PreparedSelect(self, select, parent_scope=None)
+        rows = prepared.rows(Env())
+        return ResultSet(prepared.output_columns, rows)
+
+    # -- FROM planning ---------------------------------------------------------------
+
+    def plan_sources(
+        self,
+        sources: tuple[ast.TableSource, ...],
+        parent_scope: Scope | None,
+        pushdown=NO_PUSHDOWN,
+    ) -> SourcePlan:
+        """Plan the whole FROM clause (comma = cross join)."""
+        if not sources:
+            shape = RowShape([])
+            return SourcePlan(shape, lambda env: [()], kind="Values", detail="(one row)")
+        plan = self._plan_source(sources[0], parent_scope, pushdown)
+        for source in sources[1:]:
+            right = self._plan_source(source, parent_scope, pushdown)
+            plan = self._cross_join(plan, right)
+        return plan
+
+    def _plan_source(
+        self, source: ast.TableSource, parent_scope: Scope | None, pushdown
+    ) -> SourcePlan:
+        if isinstance(source, ast.TableName):
+            return self._apply_pushdown(self._plan_table(source), pushdown)
+        if isinstance(source, ast.SubquerySource):
+            return self._apply_pushdown(
+                self._plan_derived(source, parent_scope), pushdown
+            )
+        if isinstance(source, ast.Join):
+            return self._plan_join(source, parent_scope, pushdown)
+        raise ExecutionError(f"unsupported FROM source {type(source).__name__}")
+
+    def _apply_pushdown(self, plan: SourcePlan, pushdown) -> SourcePlan:
+        """Wrap a leaf scan with the WHERE conjuncts it can evaluate alone."""
+        claimed = pushdown.claim_for_shape(plan.shape)
+        if not claimed:
+            return plan
+        scope = TrackingScope(plan.shape, parent=None)
+        predicates = [self.compiler(scope).compile(expr) for expr in claimed]
+        inner = plan.producer
+
+        def produce(env: Env) -> Iterable[tuple]:
+            for row in inner(env):
+                if all(predicate(row, env) is True for predicate in predicates):
+                    yield row
+
+        from ..sql.printer import print_expression
+
+        detail = " and ".join(print_expression(expr) for expr in claimed)
+        return SourcePlan(
+            plan.shape, produce,
+            kind="Filter", detail=f"[{detail}]", children=[plan],
+        )
+
+    def _plan_table(self, source: ast.TableName) -> SourcePlan:
+        table = self.database.table(source.name)
+        binding_name = source.binding.lower()
+        bindings = [
+            ColumnBinding(
+                binding_name,
+                column.name.lower(),
+                index,
+                column.sql_type,
+                table.name.lower(),
+                column.name.lower(),
+            )
+            for index, column in enumerate(table.schema.columns)
+        ]
+        rows = table.rows
+        detail = table.name
+        if binding_name != table.name.lower():
+            detail = f"{table.name} as {binding_name}"
+        return SourcePlan(
+            RowShape(bindings), lambda env: rows, kind="SeqScan", detail=detail
+        )
+
+    def _plan_derived(
+        self, source: ast.SubquerySource, parent_scope: Scope | None
+    ) -> SourcePlan:
+        # Derived tables cannot be correlated (no LATERAL support), so the
+        # inner block is planned without access to the enclosing scope.
+        prepared = PreparedSelect(self, source.select, parent_scope=None)
+        alias = source.alias.lower()
+        bindings = [
+            ColumnBinding(
+                alias,
+                binding.name,
+                index,
+                binding.sql_type,
+                binding.base_table,
+                binding.base_column,
+            )
+            for index, binding in enumerate(prepared.output_bindings)
+        ]
+        plan = SourcePlan(
+            RowShape(bindings),
+            lambda env: prepared.rows(env),
+            kind="Subquery",
+            detail=alias,
+        )
+        plan.children = [prepared.source_plan]
+        return plan
+
+    def _cross_join(self, left: SourcePlan, right: SourcePlan) -> SourcePlan:
+        shape = left.shape.merged_with(right.shape)
+
+        def produce(env: Env) -> Iterable[tuple]:
+            right_rows = list(right.rows(env))
+            for left_row in left.rows(env):
+                for right_row in right_rows:
+                    yield left_row + right_row
+
+        return SourcePlan(
+            shape, produce, kind="NestedLoop", detail="(cross)",
+            children=[left, right],
+        )
+
+    def _plan_join(
+        self, source: ast.Join, parent_scope: Scope | None, pushdown=NO_PUSHDOWN
+    ) -> SourcePlan:
+        left = self._plan_source(source.left, parent_scope, pushdown)
+        right = self._plan_source(source.right, parent_scope, pushdown)
+        shape = left.shape.merged_with(right.shape)
+
+        if source.kind == "CROSS" or source.condition is None:
+            return self._cross_join(left, right)
+
+        equi_pairs, residual = self._split_equi_condition(
+            source.condition, left.shape, right.shape
+        )
+        merged_scope = TrackingScope(shape, parent_scope)
+        residual_predicate = (
+            self.compiler(merged_scope).compile(residual)
+            if residual is not None
+            else None
+        )
+
+        if equi_pairs:
+            return self._hash_join(
+                source.kind, left, right, shape, equi_pairs,
+                residual_predicate, parent_scope,
+            )
+        return self._nested_loop_join(
+            source.kind, left, right, shape,
+            self.compiler(merged_scope).compile(source.condition),
+        )
+
+    def _split_equi_condition(
+        self,
+        condition: ast.Expression,
+        left_shape: RowShape,
+        right_shape: RowShape,
+    ) -> tuple[list[tuple[ast.Expression, ast.Expression]], ast.Expression | None]:
+        """Split an ON condition into hashable equi-pairs and a residual.
+
+        Returns ``(pairs, residual)`` where each pair is ``(left_expr,
+        right_expr)`` with the left expression referencing only left-side
+        columns and vice versa.
+        """
+        conjuncts: list[ast.Expression] = []
+
+        def flatten(node: ast.Expression) -> None:
+            if isinstance(node, ast.BinaryOp) and node.op == "AND":
+                flatten(node.left)
+                flatten(node.right)
+            else:
+                conjuncts.append(node)
+
+        flatten(condition)
+
+        def side_of(expression: ast.Expression) -> str | None:
+            refs = list(ast.iter_column_refs(expression))
+            if not refs or list(ast.iter_subqueries(expression)):
+                return None
+            sides = set()
+            for ref in refs:
+                table = ref.table.lower() if ref.table else None
+                in_left = _shape_has(left_shape, ref.name.lower(), table)
+                in_right = _shape_has(right_shape, ref.name.lower(), table)
+                if in_left and not in_right:
+                    sides.add("left")
+                elif in_right and not in_left:
+                    sides.add("right")
+                else:
+                    return None  # ambiguous or unknown → not hashable
+            if len(sides) == 1:
+                return sides.pop()
+            return None
+
+        pairs: list[tuple[ast.Expression, ast.Expression]] = []
+        residual_parts: list[ast.Expression] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+                left_side = side_of(conjunct.left)
+                right_side = side_of(conjunct.right)
+                if left_side == "left" and right_side == "right":
+                    pairs.append((conjunct.left, conjunct.right))
+                    continue
+                if left_side == "right" and right_side == "left":
+                    pairs.append((conjunct.right, conjunct.left))
+                    continue
+            residual_parts.append(conjunct)
+
+        residual: ast.Expression | None = None
+        for part in residual_parts:
+            residual = part if residual is None else ast.BinaryOp("AND", residual, part)
+        return pairs, residual
+
+    def _hash_join(
+        self,
+        kind: str,
+        left: SourcePlan,
+        right: SourcePlan,
+        shape: RowShape,
+        equi_pairs: list[tuple[ast.Expression, ast.Expression]],
+        residual_predicate: CompiledExpr | None,
+        parent_scope: Scope | None,
+    ) -> SourcePlan:
+        left_scope = TrackingScope(left.shape, parent_scope)
+        right_scope = TrackingScope(right.shape, parent_scope)
+        left_keys = [self.compiler(left_scope).compile(le) for le, _ in equi_pairs]
+        right_keys = [self.compiler(right_scope).compile(re) for _, re in equi_pairs]
+        left_width = left.shape.width()
+        right_width = right.shape.width()
+
+        def produce(env: Env) -> Iterable[tuple]:
+            build: dict[tuple, list[tuple]] = {}
+            right_rows = list(right.rows(env))
+            for right_row in right_rows:
+                key = tuple(k(right_row, env) for k in right_keys)
+                if any(v is None for v in key):
+                    continue  # NULL never joins
+                build.setdefault(key, []).append(right_row)
+
+            matched_right: set[int] = set()
+            for left_row in left.rows(env):
+                key = tuple(k(left_row, env) for k in left_keys)
+                matches = build.get(key, ()) if not any(v is None for v in key) else ()
+                emitted = False
+                for right_row in matches:
+                    combined = left_row + right_row
+                    if (
+                        residual_predicate is not None
+                        and residual_predicate(combined, env) is not True
+                    ):
+                        continue
+                    emitted = True
+                    if kind == "RIGHT":
+                        matched_right.add(id(right_row))
+                    yield combined
+                if not emitted and kind == "LEFT":
+                    yield left_row + (None,) * right_width
+            if kind == "RIGHT":
+                for right_row in right_rows:
+                    if id(right_row) not in matched_right:
+                        yield (None,) * left_width + right_row
+
+        from ..sql.printer import print_expression
+
+        keys = ", ".join(
+            f"{print_expression(le)} = {print_expression(re)}"
+            for le, re in equi_pairs
+        )
+        return SourcePlan(
+            shape, produce,
+            kind="HashJoin", detail=f"({kind.lower()}) on {keys}",
+            children=[left, right],
+        )
+
+    def _nested_loop_join(
+        self,
+        kind: str,
+        left: SourcePlan,
+        right: SourcePlan,
+        shape: RowShape,
+        predicate: CompiledExpr,
+    ) -> SourcePlan:
+        left_width = left.shape.width()
+        right_width = right.shape.width()
+
+        def produce(env: Env) -> Iterable[tuple]:
+            right_rows = list(right.rows(env))
+            matched_right: set[int] = set()
+            for left_row in left.rows(env):
+                emitted = False
+                for index, right_row in enumerate(right_rows):
+                    combined = left_row + right_row
+                    if predicate(combined, env) is True:
+                        emitted = True
+                        matched_right.add(index)
+                        yield combined
+                if not emitted and kind == "LEFT":
+                    yield left_row + (None,) * right_width
+            if kind == "RIGHT":
+                for index, right_row in enumerate(right_rows):
+                    if index not in matched_right:
+                        yield (None,) * left_width + right_row
+
+        return SourcePlan(
+            shape, produce,
+            kind="NestedLoop", detail=f"({kind.lower()})",
+            children=[left, right],
+        )
+
+
+def _shape_has(shape: RowShape, name: str, table: str | None) -> bool:
+    """True when the shape can resolve the reference unambiguously."""
+    try:
+        shape.resolve(name, table)
+    except CatalogError:
+        return False
+    return True

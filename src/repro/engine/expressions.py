@@ -1,0 +1,624 @@
+"""Expression compilation: AST → Python closures.
+
+Expressions are compiled once per statement execution into closures of shape
+``fn(row, env) -> value`` where ``row`` is the current joined-row tuple and
+``env`` carries aggregate results and outer rows (for correlated
+subqueries).  SQL three-valued logic is implemented with ``None`` as the
+UNKNOWN/NULL marker; ``AND``/``OR`` use Kleene semantics with left-to-right
+short-circuit evaluation, which is what makes the paper's rewritten queries
+cheap: the original filter predicate is evaluated before the appended
+``compliesWith`` conjuncts, so filtered-out tuples never pay a policy check
+(Section 6.3's analysis of Figure 6 depends on this behaviour).
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Callable, Protocol
+
+from ..errors import ExecutionError, ExpressionError, TypeMismatchError
+from ..sql import ast
+from .schema import RowShape
+from .types import BitString, SqlType
+
+
+class Env:
+    """Per-evaluation environment: aggregate slot values + outer-row chain."""
+
+    __slots__ = ("agg", "outer_row", "outer_env")
+
+    def __init__(
+        self,
+        agg: tuple | None = None,
+        outer_row: tuple | None = None,
+        outer_env: "Env | None" = None,
+    ):
+        self.agg = agg
+        self.outer_row = outer_row
+        self.outer_env = outer_env
+
+
+EMPTY_ENV = Env()
+
+CompiledExpr = Callable[[tuple, Env], object]
+
+
+class SubqueryPlanner(Protocol):
+    """What the compiler needs from the executor to plan nested SELECTs."""
+
+    def prepare_subquery(self, select: ast.Select, scope: "Scope") -> "PreparedSubquery":
+        """Prepare a nested SELECT for evaluation inside an expression."""
+
+
+class PreparedSubquery(Protocol):
+    """A planned nested SELECT."""
+
+    correlated: bool
+
+    def rows(self, env: Env) -> list[tuple]:
+        """Execute and return the result rows (cached when uncorrelated)."""
+
+
+class Scope:
+    """A lexical scope: the row shape of a query block plus its parent.
+
+    ``depth`` 0 is the innermost block.  Column resolution walks outward,
+    which is how correlated subqueries see their enclosing query's columns.
+    """
+
+    def __init__(self, shape: RowShape, parent: "Scope | None" = None):
+        self.shape = shape
+        self.parent = parent
+
+    def resolve(self, name: str, table: str | None) -> tuple[int, int]:
+        """Return ``(depth, index)`` for a column reference.
+
+        Depth 0 means the current block's row; depth *k* means the row of the
+        *k*-th enclosing block (reached through ``env.outer_*``).  An
+        *ambiguous* reference in an inner block must not silently bind to an
+        enclosing block, so only unknown-column failures walk outward.
+        """
+        from ..errors import AmbiguousColumnError, CatalogError
+
+        scope: Scope | None = self
+        depth = 0
+        while scope is not None:
+            try:
+                binding = scope.shape.resolve(name, table)
+            except AmbiguousColumnError:
+                raise
+            except CatalogError:
+                scope = scope.parent
+                depth += 1
+                continue
+            return depth, binding.index
+        qualified = f"{table}.{name}" if table else name
+        raise ExpressionError(f"unknown column {qualified!r}")
+
+
+class ExpressionCompiler:
+    """Compiles AST expressions against a scope.
+
+    Args:
+        scope: Lexical scope used to resolve column references.
+        registry: Scalar-function registry (for :class:`ast.FunctionCall`).
+        planner: Executor callback used to plan nested SELECTs.
+        aggregate_slots: When compiling post-grouping expressions (select
+            list, HAVING, ORDER BY of an aggregate query), maps the printed
+            form of each aggregate call to its slot in ``env.agg``.
+    """
+
+    def __init__(
+        self,
+        scope: Scope,
+        registry,
+        planner: SubqueryPlanner | None = None,
+        aggregate_slots: dict[str, int] | None = None,
+    ):
+        self.scope = scope
+        self.registry = registry
+        self.planner = planner
+        self.aggregate_slots = aggregate_slots
+
+    # -- entry point -------------------------------------------------------------
+
+    def compile(self, expr: ast.Expression) -> CompiledExpr:
+        """Compile ``expr`` to a closure ``fn(row, env)``."""
+        method = getattr(self, f"_compile_{type(expr).__name__}", None)
+        if method is None:
+            raise ExpressionError(f"cannot compile {type(expr).__name__}")
+        return method(expr)
+
+    # -- leaves ----------------------------------------------------------------
+
+    def _compile_Literal(self, expr: ast.Literal) -> CompiledExpr:
+        value = expr.value
+        return lambda row, env: value
+
+    def _compile_BitStringLiteral(self, expr: ast.BitStringLiteral) -> CompiledExpr:
+        value = BitString.from_bits(expr.bits)
+        return lambda row, env: value
+
+    def _compile_ColumnRef(self, expr: ast.ColumnRef) -> CompiledExpr:
+        depth, index = self.scope.resolve(expr.name, expr.table)
+        if depth == 0:
+            return lambda row, env: row[index]
+
+        def outer_ref(row: tuple, env: Env) -> object:
+            current = env
+            for _ in range(depth - 1):
+                if current.outer_env is None:
+                    raise ExecutionError("correlated reference without outer row")
+                current = current.outer_env
+            if current.outer_row is None:
+                raise ExecutionError("correlated reference without outer row")
+            return current.outer_row[index]
+
+        return outer_ref
+
+    def _compile_Star(self, expr: ast.Star) -> CompiledExpr:
+        raise ExpressionError("'*' is only valid in a select list or count(*)")
+
+    # -- operators ----------------------------------------------------------------
+
+    def _compile_UnaryOp(self, expr: ast.UnaryOp) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        if expr.op == "NOT":
+            def negate(row: tuple, env: Env) -> object:
+                value = operand(row, env)
+                if value is None:
+                    return None
+                return not _as_bool(value)
+            return negate
+        if expr.op == "-":
+            def minus(row: tuple, env: Env) -> object:
+                value = operand(row, env)
+                if value is None:
+                    return None
+                return -_number(value)
+            return minus
+        if expr.op == "+":
+            return operand
+        raise ExpressionError(f"unknown unary operator {expr.op!r}")
+
+    def _compile_BinaryOp(self, expr: ast.BinaryOp) -> CompiledExpr:
+        if expr.op == "AND":
+            return self._compile_and(expr)
+        if expr.op == "OR":
+            return self._compile_or(expr)
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if expr.op in _COMPARATORS:
+            compare = _COMPARATORS[expr.op]
+
+            def comparison(row: tuple, env: Env) -> object:
+                lhs = left(row, env)
+                if lhs is None:
+                    return None
+                rhs = right(row, env)
+                if rhs is None:
+                    return None
+                return compare(_comparable(lhs), _comparable(rhs))
+
+            return comparison
+        if expr.op in _ARITHMETIC:
+            operate = _ARITHMETIC[expr.op]
+
+            def arithmetic(row: tuple, env: Env) -> object:
+                lhs = left(row, env)
+                if lhs is None:
+                    return None
+                rhs = right(row, env)
+                if rhs is None:
+                    return None
+                return operate(lhs, rhs)
+
+            return arithmetic
+        if expr.op == "||":
+            def concat(row: tuple, env: Env) -> object:
+                lhs = left(row, env)
+                rhs = right(row, env)
+                if lhs is None or rhs is None:
+                    return None
+                if isinstance(lhs, BitString) and isinstance(rhs, BitString):
+                    return lhs + rhs
+                return _text(lhs) + _text(rhs)
+            return concat
+        raise ExpressionError(f"unknown binary operator {expr.op!r}")
+
+    def _compile_and(self, expr: ast.BinaryOp) -> CompiledExpr:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+
+        def kleene_and(row: tuple, env: Env) -> object:
+            lhs = left(row, env)
+            if lhs is not None and not _as_bool(lhs):
+                return False
+            rhs = right(row, env)
+            if rhs is not None and not _as_bool(rhs):
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+
+        return kleene_and
+
+    def _compile_or(self, expr: ast.BinaryOp) -> CompiledExpr:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+
+        def kleene_or(row: tuple, env: Env) -> object:
+            lhs = left(row, env)
+            if lhs is not None and _as_bool(lhs):
+                return True
+            rhs = right(row, env)
+            if rhs is not None and _as_bool(rhs):
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+
+        return kleene_or
+
+    # -- predicates ------------------------------------------------------------------
+
+    def _compile_Like(self, expr: ast.Like) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        pattern = self.compile(expr.pattern)
+        negated = expr.negated
+
+        def like(row: tuple, env: Env) -> object:
+            value = operand(row, env)
+            if value is None:
+                return None
+            pattern_value = pattern(row, env)
+            if pattern_value is None:
+                return None
+            matched = bool(
+                _like_regex(_text(pattern_value)).match(_text(value))
+            )
+            return (not matched) if negated else matched
+
+        return like
+
+    def _compile_Between(self, expr: ast.Between) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def between(row: tuple, env: Env) -> object:
+            value = operand(row, env)
+            low_value = low(row, env)
+            high_value = high(row, env)
+            if value is None or low_value is None or high_value is None:
+                return None
+            result = (
+                _comparable(low_value) <= _comparable(value) <= _comparable(high_value)
+            )
+            return (not result) if negated else result
+
+        return between
+
+    def _compile_IsNull(self, expr: ast.IsNull) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        negated = expr.negated
+
+        def is_null(row: tuple, env: Env) -> bool:
+            value = operand(row, env)
+            return (value is not None) if negated else (value is None)
+
+        return is_null
+
+    def _compile_InList(self, expr: ast.InList) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        items = [self.compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def in_list(row: tuple, env: Env) -> object:
+            value = operand(row, env)
+            if value is None:
+                return None
+            saw_null = False
+            matched = False
+            for item in items:
+                candidate = item(row, env)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    matched = True
+                    break
+            if matched:
+                return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_list
+
+    def _compile_InSubquery(self, expr: ast.InSubquery) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        prepared = self._plan_subquery(expr.subquery)
+        negated = expr.negated
+
+        def in_subquery(row: tuple, env: Env) -> object:
+            value = operand(row, env)
+            if value is None:
+                return None
+            inner_env = Env(outer_row=row, outer_env=env)
+            saw_null = False
+            matched = False
+            for result_row in prepared.rows(inner_env):
+                candidate = result_row[0]
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    matched = True
+                    break
+            if matched:
+                return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_subquery
+
+    def _compile_Exists(self, expr: ast.Exists) -> CompiledExpr:
+        prepared = self._plan_subquery(expr.subquery)
+        negated = expr.negated
+
+        def exists(row: tuple, env: Env) -> bool:
+            inner_env = Env(outer_row=row, outer_env=env)
+            found = bool(prepared.rows(inner_env))
+            return (not found) if negated else found
+
+        return exists
+
+    def _compile_ScalarSubquery(self, expr: ast.ScalarSubquery) -> CompiledExpr:
+        prepared = self._plan_subquery(expr.subquery)
+
+        def scalar(row: tuple, env: Env) -> object:
+            inner_env = Env(outer_row=row, outer_env=env)
+            result = prepared.rows(inner_env)
+            if not result:
+                return None
+            if len(result) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            return result[0][0]
+
+        return scalar
+
+    def _plan_subquery(self, select: ast.Select) -> PreparedSubquery:
+        if self.planner is None:
+            raise ExpressionError("subqueries are not allowed in this context")
+        return self.planner.prepare_subquery(select, self.scope)
+
+    # -- calls ------------------------------------------------------------------------
+
+    def _compile_FunctionCall(self, expr: ast.FunctionCall) -> CompiledExpr:
+        from .aggregates import is_aggregate_name
+
+        if is_aggregate_name(expr.name):
+            return self._compile_aggregate_ref(expr)
+        registry = self.registry
+        name = expr.name
+        args = [self.compile(arg) for arg in expr.args]
+
+        def call(row: tuple, env: Env) -> object:
+            return registry.call(name, tuple(arg(row, env) for arg in args))
+
+        return call
+
+    def _compile_aggregate_ref(self, expr: ast.FunctionCall) -> CompiledExpr:
+        if self.aggregate_slots is None:
+            raise ExpressionError(
+                f"aggregate {expr.name}() is not allowed in this clause"
+            )
+        key = aggregate_key(expr)
+        try:
+            slot = self.aggregate_slots[key]
+        except KeyError:
+            raise ExpressionError(
+                f"aggregate {key} was not collected for this query"
+            ) from None
+        return lambda row, env: env.agg[slot]
+
+    def _compile_Cast(self, expr: ast.Cast) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        target = SqlType.from_name(expr.type_name)
+
+        def cast(row: tuple, env: Env) -> object:
+            return _cast_value(operand(row, env), target)
+
+        return cast
+
+    def _compile_CaseWhen(self, expr: ast.CaseWhen) -> CompiledExpr:
+        whens = [
+            (self.compile(condition), self.compile(result))
+            for condition, result in expr.whens
+        ]
+        else_result = (
+            self.compile(expr.else_result) if expr.else_result is not None else None
+        )
+        if expr.operand is None:
+            def searched_case(row: tuple, env: Env) -> object:
+                for condition, result in whens:
+                    value = condition(row, env)
+                    if value is not None and _as_bool(value):
+                        return result(row, env)
+                if else_result is not None:
+                    return else_result(row, env)
+                return None
+            return searched_case
+
+        operand = self.compile(expr.operand)
+
+        def simple_case(row: tuple, env: Env) -> object:
+            subject = operand(row, env)
+            for condition, result in whens:
+                if condition(row, env) == subject:
+                    return result(row, env)
+            if else_result is not None:
+                return else_result(row, env)
+            return None
+
+        return simple_case
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def aggregate_key(call: ast.FunctionCall) -> str:
+    """Canonical text key used to deduplicate aggregate calls within a query."""
+    from ..sql.printer import print_expression
+
+    return print_expression(call)
+
+
+def _as_bool(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise TypeMismatchError(f"expected a boolean, got {value!r}")
+
+
+def _number(value: object) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"expected a number, got {value!r}")
+    return value
+
+
+def _text(value: object) -> str:
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"expected text, got {value!r}")
+    return value
+
+
+def _comparable(value: object) -> object:
+    """Validate that a value participates in ordering comparisons."""
+    if isinstance(value, (int, float, str, bool, BitString)):
+        return value
+    raise TypeMismatchError(f"value {value!r} is not comparable")
+
+
+def _compare_guard(left: object, right: object) -> None:
+    left_numeric = isinstance(left, (int, float)) and not isinstance(left, bool)
+    right_numeric = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if left_numeric != right_numeric or (
+        not left_numeric and type(left) is not type(right)
+    ):
+        raise TypeMismatchError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+
+
+def _cmp(op: Callable[[object, object], bool]) -> Callable[[object, object], bool]:
+    def compare(left: object, right: object) -> bool:
+        _compare_guard(left, right)
+        return op(left, right)
+
+    return compare
+
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": _cmp(lambda a, b: a == b),
+    "<>": _cmp(lambda a, b: a != b),
+    "<": _cmp(lambda a, b: a < b),
+    "<=": _cmp(lambda a, b: a <= b),
+    ">": _cmp(lambda a, b: a > b),
+    ">=": _cmp(lambda a, b: a >= b),
+}
+
+
+def _int_div(a: float, b: float) -> float | int:
+    if b == 0:
+        raise ExecutionError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        # SQL integer division truncates toward zero.
+        quotient = abs(a) // abs(b)
+        return quotient if (a >= 0) == (b >= 0) else -quotient
+    return a / b
+
+
+def _mod(a: float, b: float) -> float | int:
+    if b == 0:
+        raise ExecutionError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        remainder = abs(a) % abs(b)
+        return remainder if a >= 0 else -remainder
+    return a % b
+
+
+def _arith(op: Callable[[float, float], object]) -> Callable[[object, object], object]:
+    def operate(left: object, right: object) -> object:
+        return op(_number(left), _number(right))
+
+    return operate
+
+
+_ARITHMETIC: dict[str, Callable[[object, object], object]] = {
+    "+": _arith(lambda a, b: a + b),
+    "-": _arith(lambda a, b: a - b),
+    "*": _arith(lambda a, b: a * b),
+    "/": _arith(_int_div),
+    "%": _arith(_mod),
+}
+
+
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern to an anchored regex."""
+    parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts) + r"\Z", re.DOTALL)
+
+
+def _cast_value(value: object, target: SqlType) -> object:
+    if value is None:
+        return None
+    try:
+        if target is SqlType.INTEGER or target is SqlType.TIMESTAMP:
+            if isinstance(value, str):
+                return int(value.strip())
+            if isinstance(value, bool):
+                return int(value)
+            return int(value)
+        if target is SqlType.DOUBLE:
+            if isinstance(value, str):
+                return float(value.strip())
+            return float(value)
+        if target is SqlType.TEXT:
+            if isinstance(value, BitString):
+                return value.bits()
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            return str(value)
+        if target is SqlType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("t", "true", "1", "yes"):
+                    return True
+                if lowered in ("f", "false", "0", "no"):
+                    return False
+            raise ValueError(value)
+        if target is SqlType.BIT_VARYING:
+            if isinstance(value, BitString):
+                return value
+            if isinstance(value, str):
+                return BitString.from_bits(value)
+            raise ValueError(value)
+    except (ValueError, TypeError) as exc:
+        raise TypeMismatchError(
+            f"cannot cast {value!r} to {target.value}"
+        ) from exc
+    raise TypeMismatchError(f"unsupported cast target {target.value}")

@@ -1,0 +1,167 @@
+"""Scalar function registry.
+
+The engine ships with a small set of builtins and lets callers register
+user-defined functions — the enforcement framework registers
+``complieswith`` here, mirroring the paper's PostgreSQL C UDF (Section 6.3).
+
+Every registered function carries an invocation counter; Figure 6 of the
+paper measures exactly "the number of times function compliesWith is invoked
+to check the compliance of a query action signature with a policy", so the
+benchmark harness reads :meth:`FunctionRegistry.call_count`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ExpressionError, TypeMismatchError
+
+
+@dataclass
+class RegisteredFunction:
+    """A scalar function plus its bookkeeping.
+
+    Attributes:
+        func: The Python callable.  It receives already-evaluated argument
+            values.  SQL NULL is passed through as ``None``; ``strict``
+            functions short-circuit to NULL instead of being called.
+        strict: When True (the default, like PostgreSQL STRICT functions),
+            the function is not invoked if any argument is NULL — the result
+            is NULL and the invocation is *not* counted.
+        calls: Number of times ``func`` was actually invoked.
+    """
+
+    name: str
+    func: Callable[..., object]
+    strict: bool = True
+    calls: int = 0
+
+
+class FunctionRegistry:
+    """Name → scalar function mapping with per-function call counters."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, RegisteredFunction] = {}
+        _install_builtins(self)
+
+    def register(
+        self, name: str, func: Callable[..., object], strict: bool = True
+    ) -> None:
+        """Register (or replace) a scalar function under ``name``."""
+        key = name.lower()
+        self._functions[key] = RegisteredFunction(key, func, strict)
+
+    def unregister(self, name: str) -> None:
+        """Remove a function; unknown names are ignored."""
+        self._functions.pop(name.lower(), None)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def get(self, name: str) -> RegisteredFunction:
+        """Look up a function, raising :class:`ExpressionError` when missing."""
+        try:
+            return self._functions[name.lower()]
+        except KeyError:
+            raise ExpressionError(f"unknown function {name!r}") from None
+
+    def call(self, name: str, args: tuple) -> object:
+        """Invoke a registered function on evaluated arguments."""
+        registered = self.get(name)
+        if registered.strict and any(arg is None for arg in args):
+            return None
+        registered.calls += 1
+        return registered.func(*args)
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def call_count(self, name: str) -> int:
+        """How many times ``name`` was invoked since the last reset."""
+        key = name.lower()
+        if key not in self._functions:
+            return 0
+        return self._functions[key].calls
+
+    def reset_counters(self) -> None:
+        """Zero every function's invocation counter."""
+        for registered in self._functions.values():
+            registered.calls = 0
+
+
+# ---------------------------------------------------------------------------
+# Builtins
+# ---------------------------------------------------------------------------
+
+
+def _as_number(value: object, context: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"{context} requires a numeric argument, got {value!r}")
+    return value
+
+
+def _install_builtins(registry: FunctionRegistry) -> None:
+    registry.register("abs", lambda v: abs(_as_number(v, "abs")))
+    registry.register("round", _round)
+    registry.register("floor", lambda v: math.floor(_as_number(v, "floor")))
+    registry.register("ceil", lambda v: math.ceil(_as_number(v, "ceil")))
+    registry.register("sqrt", lambda v: math.sqrt(_as_number(v, "sqrt")))
+    registry.register("power", lambda b, e: _as_number(b, "power") ** _as_number(e, "power"))
+    registry.register("mod", lambda a, b: int(_as_number(a, "mod")) % int(_as_number(b, "mod")))
+    registry.register("length", _length)
+    registry.register("lower", lambda v: _as_text(v, "lower").lower())
+    registry.register("upper", lambda v: _as_text(v, "upper").upper())
+    registry.register("trim", lambda v: _as_text(v, "trim").strip())
+    registry.register("substr", _substr)
+    registry.register("substring", _substr)
+    registry.register("replace", _replace)
+    registry.register("concat", _concat, strict=False)
+    registry.register("coalesce", _coalesce, strict=False)
+    registry.register("nullif", lambda a, b: None if a == b else a, strict=False)
+    registry.register("greatest", lambda *vs: max(vs))
+    registry.register("least", lambda *vs: min(vs))
+    registry.register("sign", lambda v: (v > 0) - (v < 0))
+
+
+def _as_text(value: object, context: str) -> str:
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"{context} requires a text argument, got {value!r}")
+    return value
+
+
+def _round(value: object, digits: object = 0) -> float:
+    return round(_as_number(value, "round"), int(_as_number(digits, "round")))
+
+
+def _length(value: object) -> int:
+    if isinstance(value, str):
+        return len(value)
+    if hasattr(value, "__len__"):
+        return len(value)  # BitString supports len()
+    raise TypeMismatchError(f"length() requires text or bits, got {value!r}")
+
+
+def _substr(value: object, start: object, count: object = None) -> str:
+    text = _as_text(value, "substr")
+    begin = int(_as_number(start, "substr")) - 1  # SQL substr is 1-based
+    if count is None:
+        return text[max(begin, 0) :]
+    return text[max(begin, 0) : max(begin, 0) + int(_as_number(count, "substr"))]
+
+
+def _replace(value: object, old: object, new: object) -> str:
+    return _as_text(value, "replace").replace(
+        _as_text(old, "replace"), _as_text(new, "replace")
+    )
+
+
+def _concat(*values: object) -> str:
+    return "".join(str(v) for v in values if v is not None)
+
+
+def _coalesce(*values: object) -> object:
+    for value in values:
+        if value is not None:
+            return value
+    return None

@@ -1,0 +1,103 @@
+"""Database persistence: JSON snapshots.
+
+``dump``/``load`` serialize the whole catalog — schemas, rows and the
+``BIT VARYING`` policy masks — to a JSON document or file.  Registered
+functions are *not* serialized (code doesn't round-trip through JSON);
+reattach UDFs after loading, e.g. by rebuilding the access-control manager
+with :meth:`repro.core.admin.AccessControlManager.from_existing`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import EngineError
+from .database import Database
+from .schema import Column, TableSchema
+from .types import BitString, SqlType
+
+FORMAT_VERSION = 1
+
+_BITS_KEY = "$bits"
+
+
+def _encode_value(value: object) -> object:
+    if isinstance(value, BitString):
+        return {_BITS_KEY: value.bits()}
+    return value
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict) and set(value) == {_BITS_KEY}:
+        return BitString.from_bits(value[_BITS_KEY])
+    return value
+
+
+def to_document(database: Database) -> dict:
+    """Serialize a database to a JSON-compatible dict."""
+    tables = []
+    for table in database.tables.values():
+        tables.append(
+            {
+                "name": table.schema.name,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.sql_type.value,
+                        "primary_key": column.primary_key,
+                        "not_null": column.not_null,
+                        "default": _encode_value(column.default),
+                    }
+                    for column in table.schema.columns
+                ],
+                "rows": [
+                    [_encode_value(value) for value in row] for row in table.rows
+                ],
+            }
+        )
+    return {"version": FORMAT_VERSION, "name": database.name, "tables": tables}
+
+
+def from_document(document: dict) -> Database:
+    """Rebuild a database from :func:`to_document` output."""
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise EngineError(f"unsupported snapshot version {version!r}")
+    database = Database(document.get("name", "db"))
+    for entry in document["tables"]:
+        columns = [
+            Column(
+                column["name"],
+                SqlType(column["type"]),
+                primary_key=column.get("primary_key", False),
+                not_null=column.get("not_null", False),
+                default=_decode_value(column.get("default")),
+            )
+            for column in entry["columns"]
+        ]
+        table = database.create_table(TableSchema(entry["name"], columns))
+        table.rows = [
+            tuple(_decode_value(value) for value in row) for row in entry["rows"]
+        ]
+    return database
+
+
+def dumps(database: Database) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_document(database))
+
+
+def loads(text: str) -> Database:
+    """Deserialize from a JSON string."""
+    return from_document(json.loads(text))
+
+
+def dump(database: Database, path: "str | Path") -> None:
+    """Write a snapshot file."""
+    Path(path).write_text(dumps(database), encoding="utf-8")
+
+
+def load(path: "str | Path") -> Database:
+    """Read a snapshot file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

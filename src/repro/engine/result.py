@@ -1,0 +1,130 @@
+"""Query result container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import ExecutionError
+
+
+class ResultSet:
+    """An ordered bag of result rows with column names.
+
+    Rows are plain tuples; ``columns`` gives the display names in select-list
+    order.  Helper accessors cover the common test/bench patterns.
+    """
+
+    def __init__(self, columns: list[str], rows: list[tuple]):
+        self.columns = list(columns)
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def first(self) -> tuple | None:
+        """The first row, or None when empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> object:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[object]:
+        """All values of the named output column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def sorted(self) -> "ResultSet":
+        """A copy with rows sorted (useful for order-insensitive comparison)."""
+        key = lambda row: tuple((v is None, str(type(v)), v) for v in row)
+        return ResultSet(self.columns, sorted(self.rows, key=key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+
+def combine_set_operation(
+    left: "ResultSet", right: "ResultSet", op: str, all_rows: bool
+) -> "ResultSet":
+    """SQL set-operation semantics over two result sets.
+
+    Column names come from the left operand; arities must match.  NULLs
+    compare equal for set-operation purposes (standard SQL), which Python
+    tuple equality provides directly.
+    """
+    if len(left.columns) != len(right.columns):
+        raise ExecutionError(
+            f"{op} operands have different arities: "
+            f"{len(left.columns)} vs {len(right.columns)}"
+        )
+    if op == "UNION":
+        combined = left.rows + right.rows
+        rows = combined if all_rows else _dedupe(combined)
+    elif op == "INTERSECT":
+        if all_rows:
+            rows = _multiset_intersect(left.rows, right.rows)
+        else:
+            right_set = set(right.rows)
+            rows = [row for row in _dedupe(left.rows) if row in right_set]
+    elif op == "EXCEPT":
+        if all_rows:
+            rows = _multiset_except(left.rows, right.rows)
+        else:
+            right_set = set(right.rows)
+            rows = [row for row in _dedupe(left.rows) if row not in right_set]
+    else:
+        raise ExecutionError(f"unknown set operation {op!r}")
+    return ResultSet(left.columns, rows)
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    seen: set = set()
+    unique = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique
+
+
+def _multiset_intersect(left: list[tuple], right: list[tuple]) -> list[tuple]:
+    from collections import Counter
+
+    budget = Counter(right)
+    rows = []
+    for row in left:
+        if budget[row] > 0:
+            budget[row] -= 1
+            rows.append(row)
+    return rows
+
+
+def _multiset_except(left: list[tuple], right: list[tuple]) -> list[tuple]:
+    from collections import Counter
+
+    budget = Counter(right)
+    rows = []
+    for row in left:
+        if budget[row] > 0:
+            budget[row] -= 1
+        else:
+            rows.append(row)
+    return rows

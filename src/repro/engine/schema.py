@@ -1,0 +1,169 @@
+"""Table schemas and the catalog-facing column model.
+
+Column order matters throughout the access-control core: the paper's column
+masks (Def. 10) assign bit *i* to the *i*-th attribute of the table, so
+:class:`TableSchema` exposes a stable, insertion-ordered column list and an
+:meth:`TableSchema.column_index` lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+from .types import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    sql_type: SqlType
+    primary_key: bool = False
+    not_null: bool = False
+    default: object = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` definitions.
+
+    Names are matched case-insensitively (like PostgreSQL's lower-case
+    folding) but the original spelling is preserved for display.
+    """
+
+    def __init__(self, name: str, columns: list[Column] | tuple[Column, ...]):
+        if not name:
+            raise CatalogError("table name must be non-empty")
+        self.name = name
+        self._columns: list[Column] = []
+        self._index: dict[str, int] = {}
+        for column in columns:
+            self._add(column)
+
+    def _add(self, column: Column) -> None:
+        key = column.name.lower()
+        if key in self._index:
+            raise CatalogError(
+                f"duplicate column {column.name!r} in table {self.name!r}"
+            )
+        self._index[key] = len(self._columns)
+        self._columns.append(column)
+
+    # -- read access -----------------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        """The columns in definition order."""
+        return tuple(self._columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """The column names in definition order."""
+        return tuple(column.name for column in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column_index(self, name: str) -> int:
+        """0-based position of a column; raises :class:`CatalogError` if absent."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        return self._columns[self.column_index(name)]
+
+    # -- schema evolution --------------------------------------------------------
+
+    def with_column(self, column: Column) -> "TableSchema":
+        """Return a new schema with ``column`` appended."""
+        return TableSchema(self.name, [*self._columns, column])
+
+    def without_column(self, name: str) -> "TableSchema":
+        """Return a new schema with the named column removed."""
+        index = self.column_index(name)
+        remaining = [c for i, c in enumerate(self._columns) if i != index]
+        if not remaining:
+            raise CatalogError(f"cannot drop the last column of {self.name!r}")
+        return TableSchema(self.name, remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.sql_type.value}" for c in self._columns)
+        return f"TableSchema({self.name}: {cols})"
+
+
+@dataclass(frozen=True)
+class ColumnBinding:
+    """A column as visible inside a query: source binding name + position.
+
+    ``source`` is the FROM-clause binding (alias or table name, lower-cased),
+    ``name`` the column name (lower-cased), ``index`` the slot in the joined
+    row tuple, and ``base_table``/``base_column`` the provenance used by the
+    access-control layer (None for computed derived-table columns).
+    """
+
+    source: str
+    name: str
+    index: int
+    sql_type: SqlType | None = None
+    base_table: str | None = None
+    base_column: str | None = None
+
+
+@dataclass
+class RowShape:
+    """Describes the tuple layout produced by a FROM-clause plan node."""
+
+    bindings: list[ColumnBinding] = field(default_factory=list)
+
+    def width(self) -> int:
+        """Number of slots in the row tuple."""
+        return len(self.bindings)
+
+    def resolve(self, name: str, table: str | None) -> ColumnBinding:
+        """Resolve a (possibly qualified) column reference.
+
+        Raises :class:`CatalogError` when the reference is unknown or
+        ambiguous, mirroring a real SQL engine's binder.
+        """
+        name_key = name.lower()
+        table_key = table.lower() if table else None
+        matches = [
+            binding
+            for binding in self.bindings
+            if binding.name == name_key
+            and (table_key is None or binding.source == table_key)
+        ]
+        if not matches:
+            qualified = f"{table}.{name}" if table else name
+            raise CatalogError(f"unknown column {qualified!r}")
+        if len(matches) > 1:
+            from ..errors import AmbiguousColumnError
+
+            qualified = f"{table}.{name}" if table else name
+            raise AmbiguousColumnError(f"ambiguous column reference {qualified!r}")
+        return matches[0]
+
+    def merged_with(self, other: "RowShape") -> "RowShape":
+        """Concatenate two shapes (used when joining two sources)."""
+        offset = self.width()
+        shifted = [
+            ColumnBinding(
+                b.source, b.name, b.index + offset, b.sql_type,
+                b.base_table, b.base_column,
+            )
+            for b in other.bindings
+        ]
+        return RowShape([*self.bindings, *shifted])

@@ -1,0 +1,145 @@
+"""Row storage.
+
+A :class:`Table` stores rows as Python tuples in insertion order.  Schema
+evolution (ALTER TABLE) rewrites stored rows, which is what the paper's
+framework-configuration step does when it appends the ``policy`` column to
+every target-DB table (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..errors import CatalogError, ExecutionError
+from .schema import Column, TableSchema
+from .types import coerce_value
+
+
+class Table:
+    """A heap table: a schema plus a list of row tuples."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: list[tuple] = []
+
+    @property
+    def name(self) -> str:
+        """The table name."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    # -- DML -----------------------------------------------------------------
+
+    def insert_row(self, values: Iterable[object], columns: tuple[str, ...] = ()) -> None:
+        """Insert one row.
+
+        When ``columns`` is given, missing columns get their declared default
+        (or NULL); otherwise ``values`` must cover the full schema in order.
+        """
+        values = list(values)
+        if columns:
+            if len(values) != len(columns):
+                raise ExecutionError(
+                    f"INSERT into {self.name!r}: {len(columns)} columns but "
+                    f"{len(values)} values"
+                )
+            row = [column.default for column in self.schema.columns]
+            for column_name, value in zip(columns, values):
+                row[self.schema.column_index(column_name)] = value
+        else:
+            if len(values) != len(self.schema):
+                raise ExecutionError(
+                    f"INSERT into {self.name!r}: expected {len(self.schema)} "
+                    f"values, got {len(values)}"
+                )
+            row = values
+        coerced = tuple(
+            coerce_value(column.sql_type, value)
+            for column, value in zip(self.schema.columns, row)
+        )
+        for column, value in zip(self.schema.columns, coerced):
+            if value is None and column.not_null:
+                raise ExecutionError(
+                    f"NULL value in NOT NULL column {column.name!r} of "
+                    f"table {self.name!r}"
+                )
+        self.rows.append(coerced)
+
+    def update_rows(
+        self,
+        predicate: Callable[[tuple], bool],
+        updater: Callable[[tuple], tuple],
+    ) -> int:
+        """Apply ``updater`` to every row matching ``predicate``; return count."""
+        updated = 0
+        new_rows = []
+        for row in self.rows:
+            if predicate(row):
+                new_row = updater(row)
+                new_rows.append(
+                    tuple(
+                        coerce_value(column.sql_type, value)
+                        for column, value in zip(self.schema.columns, new_row)
+                    )
+                )
+                updated += 1
+            else:
+                new_rows.append(row)
+        self.rows = new_rows
+        return updated
+
+    def delete_rows(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete every row matching ``predicate``; return the count."""
+        kept = [row for row in self.rows if not predicate(row)]
+        deleted = len(self.rows) - len(kept)
+        self.rows = kept
+        return deleted
+
+    def truncate(self) -> None:
+        """Remove all rows."""
+        self.rows.clear()
+
+    # -- DDL -----------------------------------------------------------------
+
+    def add_column(self, column: Column) -> None:
+        """Append a column, filling existing rows with its default."""
+        self.schema = self.schema.with_column(column)
+        fill = column.default
+        self.rows = [(*row, fill) for row in self.rows]
+
+    def drop_column(self, name: str) -> None:
+        """Drop a column and rewrite stored rows."""
+        index = self.schema.column_index(name)
+        self.schema = self.schema.without_column(name)
+        self.rows = [tuple(v for i, v in enumerate(row) if i != index) for row in self.rows]
+
+    # -- column-level access (used by the policy administration layer) --------
+
+    def column_values(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        index = self.schema.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def set_column_value(
+        self,
+        name: str,
+        value: object,
+        predicate: Callable[[tuple], bool] | None = None,
+    ) -> int:
+        """Assign ``value`` to a column on all (or predicate-matching) rows."""
+        index = self.schema.column_index(name)
+        column = self.schema.columns[index]
+        coerced = coerce_value(column.sql_type, value)
+
+        def updater(row: tuple) -> tuple:
+            return (*row[:index], coerced, *row[index + 1 :])
+
+        if predicate is None:
+            self.rows = [updater(row) for row in self.rows]
+            return len(self.rows)
+        return self.update_rows(predicate, updater)

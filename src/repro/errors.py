@@ -1,0 +1,111 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  The hierarchy mirrors the subsystems: the SQL
+front end raises :class:`SqlError` subclasses, the relational engine raises
+:class:`EngineError` subclasses, and the access-control core raises
+:class:`AccessControlError` subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# SQL front end
+# --------------------------------------------------------------------------
+
+
+class SqlError(ReproError):
+    """Base class for lexing/parsing failures."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer meets a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the token stream does not form a valid statement."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+# --------------------------------------------------------------------------
+# Relational engine
+# --------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for execution-time failures of the relational engine."""
+
+
+class CatalogError(EngineError):
+    """Unknown or duplicate table/column/function, or invalid DDL."""
+
+
+class AmbiguousColumnError(CatalogError):
+    """An unqualified column reference matches more than one source.
+
+    Distinct from the unknown-column case: scope resolution must *not* fall
+    back to an enclosing query block when the inner block's reference is
+    ambiguous.
+    """
+
+
+class TypeMismatchError(EngineError):
+    """An operator or function was applied to operands of the wrong type."""
+
+
+class ExpressionError(EngineError):
+    """An expression cannot be compiled or evaluated (bad column ref, ...)."""
+
+
+class ExecutionError(EngineError):
+    """A query plan failed during execution."""
+
+
+# --------------------------------------------------------------------------
+# Access-control core
+# --------------------------------------------------------------------------
+
+
+class AccessControlError(ReproError):
+    """Base class for policy/enforcement configuration failures."""
+
+
+class PolicyError(AccessControlError):
+    """A policy or rule is malformed with respect to its table/purpose set."""
+
+
+class MaskError(AccessControlError):
+    """A bit-mask operation received incompatible operands."""
+
+
+class SignatureError(AccessControlError):
+    """Query-signature derivation failed for a statement."""
+
+
+class ConfigurationError(AccessControlError):
+    """The target database is not (or is inconsistently) configured."""
+
+
+class UnauthorizedPurposeError(AccessControlError):
+    """A user submitted a query for a purpose they are not authorized for."""
+
+    def __init__(self, user_id: str, purpose_id: str):
+        super().__init__(
+            f"user {user_id!r} is not authorized for purpose {purpose_id!r}"
+        )
+        self.user_id = user_id
+        self.purpose_id = purpose_id

@@ -1,0 +1,24 @@
+"""SQL front end: lexer, parser, AST and printer.
+
+This package replaces the commercial "SQL General Parser" used by the paper
+(Section 5.2, footnote 11).  The supported dialect covers the paper's whole
+workload: SELECT with joins, subqueries in FROM/WHERE/select list, GROUP BY,
+HAVING, ORDER BY, DISTINCT, LIMIT/OFFSET, plus INSERT/UPDATE/DELETE and
+CREATE/ALTER/DROP TABLE for framework configuration.
+"""
+
+from . import ast
+from .lexer import tokenize
+from .parser import parse_expression, parse_select, parse_statement
+from .printer import print_expression, print_select, to_sql
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "parse_expression",
+    "parse_select",
+    "parse_statement",
+    "print_expression",
+    "print_select",
+    "to_sql",
+]

@@ -1,0 +1,226 @@
+"""Hand-written SQL lexer.
+
+Turns a SQL source string into a list of :class:`~repro.sql.tokens.Token`.
+Supports:
+
+* line comments (``-- ...``) and block comments (``/* ... */``),
+* single-quoted string literals with ``''`` escaping,
+* double-quoted identifiers,
+* bit-string literals ``b'0101'`` (used for policy masks in rewritten
+  queries, mirroring PostgreSQL's syntax),
+* integer and floating point numeric literals,
+* the operator and punctuation inventory of :mod:`repro.sql.tokens`.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` and return the token list (terminated by EOF)."""
+    return Lexer(sql).tokenize()
+
+
+class Lexer:
+    """Single-pass scanner over a SQL source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: list[Token] = []
+        self._token_line = 1
+        self._token_column = 1
+
+    # -- public API --------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole source and return the token list."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                break
+            self._scan_token()
+        self._emit(TokenType.EOF, "")
+        return self.tokens
+
+    # -- internals ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _emit(self, token_type: TokenType, value: str, start: int | None = None) -> None:
+        position = self.pos if start is None else start
+        self.tokens.append(
+            Token(token_type, value, position, self._token_line, self._token_column)
+        )
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.pos, self.line, self.column)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _scan_token(self) -> None:
+        start = self.pos
+        self._token_line = self.line
+        self._token_column = self.column
+        ch = self._peek()
+
+        # Bit-string literal: b'0101' / B'0101'
+        if ch in "bB" and self._peek(1) == "'":
+            self._scan_bitstring(start)
+            return
+        if ch.isalpha() or ch == "_":
+            self._scan_word(start)
+            return
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            self._scan_number(start)
+            return
+        if ch == "'":
+            self._scan_string(start)
+            return
+        if ch == '"':
+            self._scan_quoted_identifier(start)
+            return
+        for op in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                self._emit(TokenType.OPERATOR, op, start)
+                return
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            self._emit(TokenType.OPERATOR, ch, start)
+            return
+        if ch in PUNCTUATION:
+            self._advance()
+            self._emit(TokenType.PUNCTUATION, ch, start)
+            return
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _scan_word(self, start: int) -> None:
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.pos]
+        upper = text.upper()
+        if upper in KEYWORDS:
+            self._emit(TokenType.KEYWORD, upper, start)
+        else:
+            self._emit(TokenType.IDENTIFIER, text, start)
+
+    def _scan_number(self, start: int) -> None:
+        seen_dot = False
+        seen_exp = False
+        while True:
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and not seen_exp:
+                # A trailing '.' followed by a non-digit belongs to
+                # qualified names (e.g. "1." never appears in our SQL).
+                if not self._peek(1).isdigit():
+                    break
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and not seen_exp and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                seen_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        self._emit(TokenType.NUMBER, self.source[start : self.pos], start)
+
+    def _scan_string(self, start: int) -> None:
+        self._advance()  # opening quote
+        chunks: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    chunks.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                chunks.append(ch)
+                self._advance()
+        self._emit(TokenType.STRING, "".join(chunks), start)
+
+    def _scan_bitstring(self, start: int) -> None:
+        self._advance(2)  # b'
+        bits_start = self.pos
+        # NB: compare against a tuple — `"" in "01"` is True, and _peek()
+        # returns "" at end of input.
+        while self._peek() in ("0", "1"):
+            self._advance()
+        bits = self.source[bits_start : self.pos]
+        if self._peek() != "'":
+            raise self._error("unterminated bit-string literal")
+        self._advance()
+        self._emit(TokenType.BITSTRING, bits, start)
+
+    def _scan_quoted_identifier(self, start: int) -> None:
+        self._advance()  # opening quote
+        chunks: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated quoted identifier")
+            ch = self._peek()
+            if ch == '"':
+                if self._peek(1) == '"':
+                    chunks.append('"')
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                chunks.append(ch)
+                self._advance()
+        self._emit(TokenType.IDENTIFIER, "".join(chunks), start)

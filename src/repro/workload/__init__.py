@@ -1,0 +1,37 @@
+"""Benchmark workload: the patients scenario, policies and query sets."""
+
+from .patients import (
+    CATEGORIZATION,
+    PatientsScenario,
+    build_patients_scenario,
+    create_patients_schema,
+    populate_patients,
+)
+from .policies import (
+    ScatteredPolicySpec,
+    apply_experiment_policies,
+    apply_scattered_policies,
+    compliance_flags,
+    scattered_policy,
+)
+from .queries import AD_HOC_QUERIES, BenchmarkQuery, get_query
+from .randgen import RANDOM_QUERY_CLASSES, RandomQueryGenerator, random_queries
+
+__all__ = [
+    "CATEGORIZATION",
+    "PatientsScenario",
+    "build_patients_scenario",
+    "create_patients_schema",
+    "populate_patients",
+    "ScatteredPolicySpec",
+    "apply_experiment_policies",
+    "apply_scattered_policies",
+    "compliance_flags",
+    "scattered_policy",
+    "AD_HOC_QUERIES",
+    "BenchmarkQuery",
+    "get_query",
+    "RANDOM_QUERY_CLASSES",
+    "RandomQueryGenerator",
+    "random_queries",
+]

@@ -1,0 +1,89 @@
+"""The ad-hoc benchmark queries q1-q8 (Figure 4).
+
+The SQL text follows the paper verbatim, except that the paper's
+``watch100``/``temperature>37`` style literals are kept as-is — they refer
+to values the generator of :mod:`repro.workload.patients` produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """A named benchmark query."""
+
+    name: str
+    sql: str
+    description: str
+
+
+Q1 = BenchmarkQuery(
+    "q1",
+    "select distinct watch_id from sensed_data",
+    "projection with DISTINCT over the big table",
+)
+Q2 = BenchmarkQuery(
+    "q2",
+    "select count(watch_id) from sensed_data",
+    "single aggregate over the big table",
+)
+Q3 = BenchmarkQuery(
+    "q3",
+    "select count(watch_id) from sensed_data "
+    "where not watch_id like 'watch100'",
+    "aggregate with a negated LIKE filter",
+)
+Q4 = BenchmarkQuery(
+    "q4",
+    "select food_intolerances, count(user_id) from users "
+    "join nutritional_profiles "
+    "on users.nutritional_profile_id=nutritional_profiles.profile_id "
+    "where not food_intolerances like 'no_intolerance' "
+    "group by food_intolerances",
+    "join + filter + group by on the small tables",
+)
+Q5 = BenchmarkQuery(
+    "q5",
+    "select user_id, temperature from users join sensed_data "
+    "on users.watch_id=sensed_data.watch_id "
+    "where sensed_data.temperature>37 and timestamp>0",
+    "join + conjunctive filter, wide result",
+)
+Q6 = BenchmarkQuery(
+    "q6",
+    "select user_id, avg(temperature), avg(beats) "
+    "from users join sensed_data on users.watch_id=sensed_data.watch_id "
+    "where timestamp >0 and nutritional_profile_id in "
+    "(select profile_id from nutritional_profiles "
+    "where not food_intolerances like 'no_intolerance') "
+    "group by user_id",
+    "join + IN sub-query + group by with two aggregates",
+)
+Q7 = BenchmarkQuery(
+    "q7",
+    "select user_id, avg(beats), food_preferences "
+    "from users join sensed_data on users.watch_id=sensed_data.watch_id "
+    "join nutritional_profiles "
+    "on users.nutritional_profile_id=nutritional_profiles.profile_id "
+    "where diet_type like 'low_sugar' group by user_id, food_preferences",
+    "three-way join + filter + group by",
+)
+Q8 = BenchmarkQuery(
+    "q8",
+    "select user_id, avg(s1.b) from users join "
+    "(select watch_id as w, beats as b from sensed_data where beats>100) s1 "
+    "on users.watch_id=s1.w group by user_id",
+    "derived-table sub-query in FROM",
+)
+
+AD_HOC_QUERIES: tuple[BenchmarkQuery, ...] = (Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8)
+
+
+def get_query(name: str) -> BenchmarkQuery:
+    """Look up an ad-hoc query by name (``"q1"``...``"q8"``)."""
+    for query in AD_HOC_QUERIES:
+        if query.name == name.lower():
+            return query
+    raise KeyError(f"unknown benchmark query {name!r}")

@@ -1,0 +1,277 @@
+"""Random query generation (Section 6.2, Figure 5).
+
+The paper complements q1-q8 with twenty automatically generated queries
+r1-r20 "to show that the framework behavior is consistent with any type of
+query".  The generator here mirrors the described approach: it analyzes the
+*patients* scheme, randomly selects the tables and attributes to access, and
+randomly derives projection / join / where / group by / having expressions
+based on attribute types and value domains.
+
+The class of each rI follows Figure 5:
+
+=============  ==================================================
+r1, r12, r20   select from a single data source and aggregate data
+r2, r7, r17    join sources, aggregate, and filter the grouped data
+r3, r4, r14, r16  join multiple data sources
+r5, r8, r11, r13, r15, r18  join multiple data sources and aggregate
+r6, r9, r10, r19  select from a single data source
+=============  ==================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .patients import DIET_TYPES, FOOD_INTOLERANCES, FOOD_PREFERENCES, POSITIONS
+from .queries import BenchmarkQuery
+
+#: Figure 5's class of each random query.
+RANDOM_QUERY_CLASSES: dict[str, str] = {
+    **{name: "single_aggregate" for name in ("r1", "r12", "r20")},
+    **{name: "join_aggregate_having" for name in ("r2", "r7", "r17")},
+    **{name: "join" for name in ("r3", "r4", "r14", "r16")},
+    **{
+        name: "join_aggregate"
+        for name in ("r5", "r8", "r11", "r13", "r15", "r18")
+    },
+    **{name: "single" for name in ("r6", "r9", "r10", "r19")},
+}
+
+
+@dataclass(frozen=True)
+class _ColumnInfo:
+    """Schema + value-domain knowledge driving predicate generation."""
+
+    table: str
+    name: str
+    kind: str  # "text" | "int" | "float"
+    values: tuple = ()
+    numeric_range: tuple[float, float] | None = None
+
+
+def _schema_columns(patients: int, samples: int) -> tuple[_ColumnInfo, ...]:
+    """The patients scheme with value domains scaled to the dataset size."""
+    return (
+        _ColumnInfo("users", "user_id", "text"),
+        _ColumnInfo("users", "watch_id", "text"),
+        _ColumnInfo(
+            "users", "nutritional_profile_id", "int",
+            numeric_range=(0, max(patients - 1, 1)),
+        ),
+        _ColumnInfo("sensed_data", "watch_id", "text"),
+        _ColumnInfo(
+            "sensed_data", "timestamp", "int", numeric_range=(1, max(samples, 2))
+        ),
+        _ColumnInfo(
+            "sensed_data", "temperature", "float", numeric_range=(35.0, 41.0)
+        ),
+        _ColumnInfo("sensed_data", "position", "text", values=POSITIONS),
+        _ColumnInfo("sensed_data", "beats", "int", numeric_range=(50, 140)),
+        _ColumnInfo(
+            "nutritional_profiles", "profile_id", "int",
+            numeric_range=(0, max(patients - 1, 1)),
+        ),
+        _ColumnInfo(
+            "nutritional_profiles", "food_intolerances", "text",
+            values=FOOD_INTOLERANCES,
+        ),
+        _ColumnInfo(
+            "nutritional_profiles", "food_preferences", "text",
+            values=FOOD_PREFERENCES,
+        ),
+        _ColumnInfo("nutritional_profiles", "diet_type", "text", values=DIET_TYPES),
+    )
+
+#: Join edges of the patients scheme: (left, right, condition template).
+_JOIN_EDGES = (
+    ("users", "sensed_data", "users.watch_id=sensed_data.watch_id"),
+    (
+        "users",
+        "nutritional_profiles",
+        "users.nutritional_profile_id=nutritional_profiles.profile_id",
+    ),
+)
+
+
+def _qualified(column: _ColumnInfo, multi_table: bool) -> str:
+    # watch_id exists in two tables; always qualify in multi-table queries.
+    return f"{column.table}.{column.name}" if multi_table else column.name
+
+
+class RandomQueryGenerator:
+    """Seeded generator of the Figure 5 query classes.
+
+    ``patients``/``samples`` scale the literal value domains (id ranges,
+    timestamps) so that generated predicates stay meaningful at any dataset
+    size.
+    """
+
+    def __init__(self, seed: int = 2015, patients: int = 1000, samples: int = 1000):
+        self.rng = random.Random(seed)
+        self.patients = patients
+        self.columns = _schema_columns(patients, samples)
+
+    # -- schema helpers ---------------------------------------------------------
+
+    def _table_columns(self, table: str) -> list[_ColumnInfo]:
+        return [column for column in self.columns if column.table == table]
+
+    def _columns_of(self, tables: list[str]) -> list[_ColumnInfo]:
+        return [column for column in self.columns if column.table in tables]
+
+    def _numeric_columns(self, tables: list[str]) -> list[_ColumnInfo]:
+        return [
+            column
+            for column in self._columns_of(tables)
+            if column.kind in ("int", "float")
+        ]
+
+    def _group_column(self, tables: list[str]) -> _ColumnInfo:
+        candidates = [
+            column for column in self._columns_of(tables) if column.kind == "text"
+        ]
+        return self.rng.choice(candidates)
+
+    def _predicate(self, column: _ColumnInfo, multi_table: bool) -> str:
+        rng = self.rng
+        name = _qualified(column, multi_table)
+        if column.kind == "text":
+            if column.values:
+                value = rng.choice(column.values)
+                if rng.random() < 0.3:
+                    return f"not {name} like '{value}'"
+                return f"{name} like '{value}'"
+            return f"not {name} like 'watch{rng.randrange(self.patients)}'"
+        assert column.numeric_range is not None
+        low, high = column.numeric_range
+        if column.kind == "int":
+            pivot = rng.randint(int(low), int(high))
+        else:
+            pivot = round(rng.uniform(low, high), 1)
+        operator = rng.choice((">", "<", ">="))
+        return f"{name} {operator} {pivot}"
+
+    def _aggregate(self, column: _ColumnInfo, multi_table: bool) -> str:
+        name = _qualified(column, multi_table)
+        function = self.rng.choice(("avg", "min", "max", "sum", "count"))
+        return f"{function}({name})"
+
+    def _join_clause(self) -> tuple[list[str], str]:
+        """Pick a join of two or three tables; returns (tables, FROM text)."""
+        if self.rng.random() < 0.3:
+            tables = ["users", "sensed_data", "nutritional_profiles"]
+            from_sql = (
+                "users join sensed_data on users.watch_id=sensed_data.watch_id "
+                "join nutritional_profiles "
+                "on users.nutritional_profile_id=nutritional_profiles.profile_id"
+            )
+            return tables, from_sql
+        left, right, condition = self.rng.choice(_JOIN_EDGES)
+        return [left, right], f"{left} join {right} on {condition}"
+
+    # -- class generators --------------------------------------------------------
+
+    def single(self) -> str:
+        """Plain projection from one table, with an optional filter."""
+        rng = self.rng
+        table = rng.choice(("users", "sensed_data", "nutritional_profiles"))
+        columns = self._table_columns(table)
+        projected = rng.sample(columns, k=rng.randint(1, min(3, len(columns))))
+        sql = f"select {', '.join(c.name for c in projected)} from {table}"
+        if rng.random() < 0.7:
+            sql += f" where {self._predicate(rng.choice(columns), False)}"
+        return sql
+
+    def single_aggregate(self) -> str:
+        """Aggregation over one table, optionally grouped and filtered."""
+        rng = self.rng
+        table = rng.choice(("sensed_data", "nutritional_profiles", "users"))
+        numeric = self._numeric_columns([table])
+        aggregates = [
+            self._aggregate(rng.choice(numeric), False)
+            for _ in range(rng.randint(1, 2))
+        ]
+        group = None
+        if rng.random() < 0.6:
+            group = self._group_column([table])
+            select_list = [group.name, *aggregates]
+        else:
+            select_list = aggregates
+        sql = f"select {', '.join(select_list)} from {table}"
+        if rng.random() < 0.5:
+            sql += (
+                f" where {self._predicate(rng.choice(self._table_columns(table)), False)}"
+            )
+        if group is not None:
+            sql += f" group by {group.name}"
+        return sql
+
+    def join(self) -> str:
+        """Join two or three tables, project plain columns, filter."""
+        rng = self.rng
+        tables, from_sql = self._join_clause()
+        candidates = self._columns_of(tables)
+        projected = rng.sample(candidates, k=rng.randint(2, 4))
+        select_list = ", ".join(_qualified(c, True) for c in projected)
+        sql = f"select {select_list} from {from_sql}"
+        if rng.random() < 0.8:
+            sql += f" where {self._predicate(rng.choice(candidates), True)}"
+        return sql
+
+    def join_aggregate(self) -> str:
+        """Join + GROUP BY + aggregates (no having)."""
+        rng = self.rng
+        tables, from_sql = self._join_clause()
+        group = self._group_column(tables)
+        numeric = self._numeric_columns(tables)
+        aggregates = [
+            self._aggregate(rng.choice(numeric), True)
+            for _ in range(rng.randint(1, 2))
+        ]
+        sql = (
+            f"select {_qualified(group, True)}, {', '.join(aggregates)} "
+            f"from {from_sql}"
+        )
+        if rng.random() < 0.6:
+            candidates = self._columns_of(tables)
+            sql += f" where {self._predicate(rng.choice(candidates), True)}"
+        sql += f" group by {_qualified(group, True)}"
+        return sql
+
+    def join_aggregate_having(self) -> str:
+        """Join + GROUP BY + aggregate filtered by HAVING."""
+        rng = self.rng
+        tables, from_sql = self._join_clause()
+        group = self._group_column(tables)
+        numeric = self._numeric_columns(tables)
+        target = rng.choice(numeric)
+        aggregate = f"avg({_qualified(target, True)})"
+        assert target.numeric_range is not None
+        low, high = target.numeric_range
+        threshold = round((low + high) / 2, 1)
+        sql = (
+            f"select {_qualified(group, True)}, {aggregate} from {from_sql} "
+            f"group by {_qualified(group, True)} "
+            f"having {aggregate} > {threshold}"
+        )
+        return sql
+
+    # -- batch API -----------------------------------------------------------------
+
+    def generate(self) -> tuple[BenchmarkQuery, ...]:
+        """Produce r1-r20 with the class assignment of Figure 5."""
+        queries = []
+        for index in range(1, 21):
+            name = f"r{index}"
+            kind = RANDOM_QUERY_CLASSES[name]
+            sql = getattr(self, kind)()
+            queries.append(BenchmarkQuery(name, sql, f"random: {kind}"))
+        return tuple(queries)
+
+
+def random_queries(
+    seed: int = 2015, patients: int = 1000, samples: int = 1000
+) -> tuple[BenchmarkQuery, ...]:
+    """The r1-r20 batch for a seed (deterministic)."""
+    return RandomQueryGenerator(seed, patients, samples).generate()

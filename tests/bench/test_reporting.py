@@ -1,0 +1,77 @@
+"""Reporting-table rendering unit tests."""
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentRun,
+    QueryMeasurement,
+)
+from repro.bench.experiments import DatasetScenarioResult, Experiment2Result
+from repro.bench.reporting import figure6_table, figure7_table, figure8_table
+
+
+def measurement(query, selectivity, checks=100, orig=0.010, rewritten=0.020):
+    return QueryMeasurement(
+        query=query,
+        selectivity=selectivity,
+        original_time=orig,
+        rewritten_time=rewritten,
+        compliance_checks=checks,
+        original_rows=10,
+        rewritten_rows=6,
+    )
+
+
+def sample_run():
+    run = ExperimentRun(ExperimentConfig(patients=5, samples_per_patient=2))
+    for selectivity in (0.0, 0.4):
+        run.measurements.append(measurement("q1", selectivity, checks=50))
+        run.measurements.append(measurement("q2", selectivity, checks=75))
+    return run
+
+
+class TestRunAccessors:
+    def test_queries_and_selectivities_ordered(self):
+        run = sample_run()
+        assert run.queries() == ["q1", "q2"]
+        assert run.selectivities() == [0.0, 0.4]
+
+    def test_cell_and_overhead(self):
+        run = sample_run()
+        cell = run.cell("q2", 0.4)
+        assert cell.compliance_checks == 75
+        assert cell.overhead == 0.010
+
+
+class TestTables:
+    def test_figure6_layout(self):
+        table = figure6_table(sample_run())
+        lines = table.splitlines()
+        assert "Figure 6" in lines[0]
+        assert "s=0" in lines[1] and "s=0.4" in lines[1]
+        assert any("q1" in line and "50" in line for line in lines)
+
+    def test_figure7_layout(self):
+        table = figure7_table(sample_run())
+        assert "orig" in table
+        assert "10.0" in table  # 0.010 s rendered as ms
+        assert "20.0" in table
+
+    def test_figure8_layout(self):
+        result = Experiment2Result(
+            scenarios=[
+                DatasetScenarioResult("Scn 1", 10, _single_cell_run(0.4)),
+                DatasetScenarioResult("Scn 2", 100, _single_cell_run(0.4)),
+            ]
+        )
+        table = figure8_table(result)
+        assert "Scn 1" in table and "Scn 2" in table
+        assert "(10 rows)" in table and "(100 rows)" in table
+
+    def test_figure8_empty(self):
+        assert "no scenarios" in figure8_table(Experiment2Result())
+
+
+def _single_cell_run(selectivity):
+    run = ExperimentRun(ExperimentConfig(selectivities=(selectivity,)))
+    run.measurements.append(measurement("q1", selectivity))
+    return run

@@ -1,0 +1,84 @@
+"""Audit-log tests."""
+
+import pytest
+
+from repro.core import Policy, PolicyRule
+from repro.core.audit import AuditLog
+from repro.errors import UnauthorizedPurposeError
+
+
+@pytest.fixture()
+def audited(fresh_scenario):
+    log = AuditLog(fresh_scenario.database)
+    fresh_scenario.monitor.attach_audit(log)
+    fresh_scenario.admin.apply_policy(Policy("users", (PolicyRule.pass_all(),)))
+    fresh_scenario.admin.grant_purpose("alice", "p1")
+    return fresh_scenario, log
+
+
+class TestRecording:
+    def test_allowed_query_recorded(self, audited):
+        scenario, log = audited
+        scenario.monitor.execute("select user_id from users", "p1", user="alice")
+        assert len(log) == 1
+        record = log.records[0]
+        assert record.outcome == "allowed"
+        assert record.user == "alice"
+        assert record.purpose == "p1"
+        assert record.rows == scenario.patients
+        assert record.compliance_checks > 0
+        assert len(record.query_id) == 8
+
+    def test_denied_attempt_recorded(self, audited):
+        scenario, log = audited
+        with pytest.raises(UnauthorizedPurposeError):
+            scenario.monitor.execute(
+                "select user_id from users", "p1", user="mallory"
+            )
+        assert log.denials()[0].user == "mallory"
+        assert log.denials()[0].rows == 0
+
+    def test_dml_recorded(self, audited):
+        scenario, log = audited
+        scenario.monitor.execute_statement(
+            "update users set watch_id = 'w' where user_id like 'user0'", "p1"
+        )
+        record = log.records[-1]
+        assert record.outcome == "allowed"
+        assert record.rows == 1
+        assert "update users" in record.statement
+
+    def test_sequence_monotone(self, audited):
+        scenario, log = audited
+        for _ in range(3):
+            scenario.monitor.execute("select user_id from users", "p1")
+        assert [record.sequence for record in log.records] == [1, 2, 3]
+
+    def test_queries_without_audit_attached_not_recorded(self, fresh_scenario):
+        fresh_scenario.admin.apply_policy(
+            Policy("users", (PolicyRule.pass_all(),))
+        )
+        fresh_scenario.monitor.execute("select user_id from users", "p1")
+        # No AuditLog attached: nothing was created.
+        assert not fresh_scenario.database.has_table("al")
+
+
+class TestTrailQueries:
+    def test_log_is_queryable_with_sql(self, audited):
+        scenario, log = audited
+        scenario.monitor.execute("select user_id from users", "p1", user="alice")
+        result = scenario.database.query(
+            "select ui, outcome from al where pi like 'p1'"
+        )
+        assert ("alice", "allowed") in result.rows
+
+    def test_for_user_and_by_purpose(self, audited):
+        scenario, log = audited
+        scenario.monitor.execute("select user_id from users", "p1", user="alice")
+        scenario.monitor.execute("select user_id from users", "p2")
+        assert len(log.for_user("alice")) == 1
+        assert len(log.by_purpose("p2")) == 1
+
+    def test_audit_table_is_not_a_target_table(self, audited):
+        scenario, _ = audited
+        assert "al" not in scenario.admin.target_tables()

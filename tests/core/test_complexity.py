@@ -1,0 +1,100 @@
+"""Static complexity analysis tests (Section 5.6, Equation 1)."""
+
+import pytest
+
+from repro.core import SignatureDeriver, complexity_upper_bound
+from repro.workload import AD_HOC_QUERIES, apply_experiment_policies
+
+
+@pytest.fixture()
+def deriver(scenario):
+    return SignatureDeriver(scenario.admin, scenario.admin)
+
+
+def cub(scenario, deriver, sql, purpose="p6"):
+    signature = deriver.derive(sql, purpose)
+    return complexity_upper_bound(sql, signature, scenario.database)
+
+
+class TestEquationOne:
+    def test_primitive_query_bound(self, scenario, deriver):
+        # One action signature over sensed_data → n_i * 1.
+        estimate = cub(scenario, deriver, "select temperature from sensed_data")
+        sensed_rows = scenario.sensed_rows
+        assert estimate.upper_bound == sensed_rows
+        assert estimate.terms == (("sensed_data", sensed_rows, 1),)
+
+    def test_bound_scales_with_signature_count(self, scenario, deriver):
+        # Filter adds an indirect signature → n_i * 2.
+        estimate = cub(
+            scenario, deriver,
+            "select temperature from sensed_data where beats > 100",
+        )
+        assert estimate.upper_bound == scenario.sensed_rows * 2
+
+    def test_join_sums_per_table_terms(self, scenario, deriver):
+        estimate = cub(
+            scenario, deriver,
+            "select user_id, temperature from users join sensed_data "
+            "on users.watch_id = sensed_data.watch_id",
+        )
+        tables = {term[0] for term in estimate.terms}
+        assert tables == {"users", "sensed_data"}
+        manual = sum(n * j for _, n, j in estimate.terms)
+        assert estimate.upper_bound == manual
+
+    def test_structured_query_adds_subquery_terms(self, scenario, deriver):
+        simple = cub(scenario, deriver, "select user_id from users")
+        structured = cub(
+            scenario, deriver,
+            "select user_id from users where nutritional_profile_id in "
+            "(select profile_id from nutritional_profiles)",
+        )
+        inner_tables = {term[0] for term in structured.terms}
+        assert "nutritional_profiles" in inner_tables
+        assert structured.upper_bound > simple.upper_bound
+
+    def test_derived_table_counted_in_inner_block_only(self, scenario, deriver):
+        estimate = cub(
+            scenario, deriver,
+            "select user_id, avg(s1.b) from users join "
+            "(select watch_id as w, beats as b from sensed_data "
+            "where beats > 100) s1 on users.watch_id = s1.w group by user_id",
+        )
+        sensed_terms = [t for t in estimate.terms if t[0] == "sensed_data"]
+        assert len(sensed_terms) == 1  # once, from the inner block
+
+    def test_paper_signature_count_range(self, scenario, deriver):
+        # Section 5.6 assumes 1 <= j_i <= 5 for the paper's workload.
+        for query in AD_HOC_QUERIES:
+            estimate = cub(scenario, deriver, query.sql)
+            for _, _, j in estimate.terms:
+                assert 1 <= j <= 5
+
+
+class TestBoundSoundness:
+    """cub(q) must dominate the measured number of checks (Figure 6)."""
+
+    @pytest.mark.parametrize("selectivity", [0.0, 0.4])
+    def test_measured_checks_bounded(self, fresh_scenario, selectivity):
+        apply_experiment_policies(fresh_scenario, selectivity, seed=5)
+        deriver = SignatureDeriver(fresh_scenario.admin, fresh_scenario.admin)
+        for query in AD_HOC_QUERIES:
+            report = fresh_scenario.monitor.execute_with_report(query.sql, "p6")
+            estimate = complexity_upper_bound(
+                query.sql, report.signature, fresh_scenario.database
+            )
+            assert report.compliance_checks <= estimate.upper_bound, query.name
+
+    def test_bound_tight_for_no_filter_single_signature_query(self, fresh_scenario):
+        apply_experiment_policies(fresh_scenario, 0.0, seed=5)
+        report = fresh_scenario.monitor.execute_with_report(
+            "select temperature from sensed_data", "p6"
+        )
+        deriver = SignatureDeriver(fresh_scenario.admin, fresh_scenario.admin)
+        estimate = complexity_upper_bound(
+            "select temperature from sensed_data",
+            report.signature,
+            fresh_scenario.database,
+        )
+        assert report.compliance_checks == estimate.upper_bound

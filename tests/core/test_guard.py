@@ -1,0 +1,90 @@
+"""Administration-guard tests (future-work item 4's "regulate the
+specification of data categories and policies")."""
+
+import pytest
+
+from repro.core import Policy, PolicyRule, Purpose, SENSITIVE
+from repro.core.guard import AdministrationError, AdministrationGuard
+
+
+@pytest.fixture()
+def guard(fresh_scenario):
+    instance = AdministrationGuard(
+        fresh_scenario.admin, fresh_scenario.manager, administrators={"dba"}
+    )
+    return instance
+
+
+class TestAdministratorRegistry:
+    def test_bootstrap_first_administrator(self, fresh_scenario):
+        guard = AdministrationGuard(fresh_scenario.admin)
+        guard.add_administrator("root")
+        assert "root" in guard.administrators
+
+    def test_second_administrator_needs_authorization(self, guard):
+        guard.add_administrator("second", acting_user="dba")
+        assert "second" in guard.administrators
+        with pytest.raises(AdministrationError):
+            guard.add_administrator("mallory", acting_user="mallory")
+
+    def test_remove_administrator(self, guard):
+        guard.add_administrator("second", acting_user="dba")
+        guard.remove_administrator("second", acting_user="dba")
+        assert "second" not in guard.administrators
+
+    def test_cannot_remove_last_administrator(self, guard):
+        with pytest.raises(AdministrationError):
+            guard.remove_administrator("dba", acting_user="dba")
+
+    def test_non_admin_cannot_remove(self, guard):
+        with pytest.raises(AdministrationError):
+            guard.remove_administrator("dba", acting_user="mallory")
+
+
+class TestGuardedOperations:
+    def test_admin_can_define_purpose(self, guard):
+        guard.define_purpose(Purpose("p9", "audit"), acting_user="dba")
+        assert "p9" in guard.admin.purposes
+
+    def test_non_admin_cannot_define_purpose(self, guard):
+        with pytest.raises(AdministrationError):
+            guard.define_purpose(Purpose("p9", "audit"), acting_user="eve")
+        assert "p9" not in guard.admin.purposes
+
+    def test_admin_can_categorize(self, guard):
+        guard.categorize("users", "watch_id", SENSITIVE, acting_user="dba")
+        assert guard.admin.category("users", "watch_id") is SENSITIVE
+
+    def test_non_admin_cannot_categorize(self, guard):
+        with pytest.raises(AdministrationError):
+            guard.categorize("users", "watch_id", SENSITIVE, acting_user="eve")
+
+    def test_grant_and_revoke_purpose(self, guard):
+        guard.grant_purpose("alice", "p1", acting_user="dba")
+        assert guard.admin.is_authorized("alice", "p1")
+        assert guard.revoke_purpose("alice", "p1", acting_user="dba") == 1
+
+    def test_non_admin_cannot_grant(self, guard):
+        with pytest.raises(AdministrationError):
+            guard.grant_purpose("eve", "p1", acting_user="eve")
+
+    def test_policy_installation(self, guard, fresh_scenario):
+        rows = guard.add_policy(
+            Policy("users", (PolicyRule.pass_all(),)), acting_user="dba"
+        )
+        assert rows == fresh_scenario.patients
+        assert guard.remove_policies("users", acting_user="dba") == 1
+
+    def test_non_admin_cannot_install_policy(self, guard):
+        with pytest.raises(AdministrationError):
+            guard.add_policy(
+                Policy("users", (PolicyRule.pass_all(),)), acting_user="eve"
+            )
+        # Nothing was written.
+        assert all(mask is None for mask in guard.admin.policy_masks("users"))
+
+    def test_error_message_names_user_and_action(self, guard):
+        with pytest.raises(AdministrationError) as info:
+            guard.remove_purpose("p1", acting_user="eve")
+        assert "eve" in str(info.value)
+        assert "remove purposes" in str(info.value)

@@ -1,0 +1,91 @@
+"""BlockResolver unit tests: provenance, star expansion, error paths."""
+
+import pytest
+
+from repro.core.info_tuples import BlockResolver
+from repro.errors import SignatureError
+from repro.sql import ast, parse_select
+
+
+@pytest.fixture()
+def resolver(scenario):
+    select = parse_select(
+        "select user_id from users u join "
+        "(select watch_id as w, beats, beats + 1 as computed "
+        "from sensed_data) s1 on u.watch_id = s1.w"
+    )
+    return BlockResolver(select, scenario.admin)
+
+
+class TestResolution:
+    def test_qualified_base_table(self, resolver):
+        resolved = resolver.resolve(ast.ColumnRef("user_id", table="u"))
+        assert resolved.base_table == "users"
+        assert resolved.base_column == "user_id"
+        assert resolved.binding == "u"
+
+    def test_unqualified_unique(self, resolver):
+        resolved = resolver.resolve(ast.ColumnRef("user_id"))
+        assert resolved.base_table == "users"
+
+    def test_derived_alias_keeps_provenance(self, resolver):
+        resolved = resolver.resolve(ast.ColumnRef("w", table="s1"))
+        assert resolved.base_table == "sensed_data"
+        assert resolved.base_column == "watch_id"
+
+    def test_derived_passthrough_column(self, resolver):
+        resolved = resolver.resolve(ast.ColumnRef("beats", table="s1"))
+        assert resolved.base_table == "sensed_data"
+
+    def test_computed_derived_column_has_no_provenance(self, resolver):
+        resolved = resolver.resolve(ast.ColumnRef("computed", table="s1"))
+        assert resolved.base_table is None
+        assert resolved.base_column is None
+
+    def test_unknown_source_rejected(self, resolver):
+        with pytest.raises(SignatureError):
+            resolver.resolve(ast.ColumnRef("x", table="ghost"))
+
+    def test_unknown_column_rejected(self, resolver):
+        with pytest.raises(SignatureError):
+            resolver.resolve(ast.ColumnRef("ghost"))
+
+    def test_ambiguous_unqualified_rejected(self, scenario):
+        select = parse_select(
+            "select 1 from users join sensed_data "
+            "on users.watch_id = sensed_data.watch_id"
+        )
+        block = BlockResolver(select, scenario.admin)
+        with pytest.raises(SignatureError):
+            block.resolve(ast.ColumnRef("watch_id"))
+
+    def test_parent_chain_resolution(self, scenario):
+        outer = BlockResolver(parse_select("select 1 from users"), scenario.admin)
+        inner = BlockResolver(
+            parse_select("select 1 from sensed_data"), scenario.admin, parent=outer
+        )
+        resolved = inner.resolve(ast.ColumnRef("user_id"))
+        assert resolved.base_table == "users"
+
+
+class TestStarExpansion:
+    def test_expand_all_sources(self, resolver):
+        refs = resolver.expand_star(None)
+        names = {(ref.table, ref.name) for ref in refs}
+        assert ("u", "user_id") in names
+        assert ("s1", "w") in names
+        assert ("s1", "computed") in names
+
+    def test_expand_single_source(self, resolver):
+        refs = resolver.expand_star("u")
+        assert {ref.name for ref in refs} == {
+            "user_id", "watch_id", "nutritional_profile_id"
+        }
+
+    def test_expand_unknown_source_rejected(self, resolver):
+        with pytest.raises(SignatureError):
+            resolver.expand_star("ghost")
+
+    def test_policy_column_never_expanded(self, resolver):
+        refs = resolver.expand_star("u")
+        assert "policy" not in {ref.name for ref in refs}

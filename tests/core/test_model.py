@@ -1,0 +1,231 @@
+"""Model-layer tests: categories, purposes, action types, policies."""
+
+import pytest
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    CategoryRegistry,
+    DataCategory,
+    GENERIC,
+    IDENTIFIER,
+    Indirection,
+    JointAccess,
+    Multiplicity,
+    Policy,
+    PolicyRule,
+    Purpose,
+    PurposeSet,
+    QUASI_IDENTIFIER,
+    SENSITIVE,
+    SpecialRule,
+    default_purpose_set,
+)
+from repro.errors import PolicyError
+
+
+class TestCategories:
+    def test_default_registry_order_matches_def1(self):
+        registry = CategoryRegistry()
+        assert [c.code for c in registry] == ["i", "q", "s", "g"]
+
+    def test_lookup_by_code_and_name(self):
+        registry = CategoryRegistry()
+        assert registry.by_code("s") is SENSITIVE
+        assert registry.by_name("Quasi Identifier") is QUASI_IDENTIFIER
+
+    def test_index(self):
+        registry = CategoryRegistry()
+        assert registry.index(IDENTIFIER) == 0
+        assert registry.index(GENERIC) == 3
+
+    def test_custom_category_appended(self):
+        registry = CategoryRegistry()
+        biometric = DataCategory("b", "biometric")
+        registry.add(biometric)
+        assert registry.index(biometric) == 4
+        assert len(registry) == 5
+
+    def test_duplicate_code_rejected(self):
+        registry = CategoryRegistry()
+        with pytest.raises(PolicyError):
+            registry.add(DataCategory("i", "other identifier"))
+
+    def test_unknown_lookups_raise(self):
+        registry = CategoryRegistry()
+        with pytest.raises(PolicyError):
+            registry.by_code("z")
+        with pytest.raises(PolicyError):
+            registry.by_name("nope")
+
+    def test_default_fallback_is_generic(self):
+        assert CategoryRegistry().default is GENERIC
+
+
+class TestPurposes:
+    def test_running_example_purposes(self):
+        purposes = default_purpose_set()
+        assert len(purposes) == 8
+        assert purposes.get("p6").description == "research"
+
+    def test_mask_order_is_alphabetic_by_id(self):
+        # Example 9's ordering criterion.
+        purposes = PurposeSet([Purpose("p2"), Purpose("p10"), Purpose("p1")])
+        assert purposes.ids() == ("p1", "p10", "p2")
+
+    def test_index(self):
+        purposes = default_purpose_set()
+        assert purposes.index("p1") == 0
+        assert purposes.index("p8") == 7
+
+    def test_contains_accepts_purpose_or_id(self):
+        purposes = default_purpose_set()
+        assert "p3" in purposes
+        assert Purpose("p3") in purposes
+        assert "p99" not in purposes
+
+    def test_duplicate_rejected(self):
+        purposes = default_purpose_set()
+        with pytest.raises(PolicyError):
+            purposes.add(Purpose("p1"))
+
+    def test_remove(self):
+        purposes = default_purpose_set()
+        removed = purposes.remove("p8")
+        assert removed.description == "sale"
+        assert "p8" not in purposes
+
+    def test_unknown_operations_raise(self):
+        purposes = default_purpose_set()
+        with pytest.raises(PolicyError):
+            purposes.get("p99")
+        with pytest.raises(PolicyError):
+            purposes.remove("p99")
+        with pytest.raises(PolicyError):
+            purposes.index("p99")
+
+    def test_empty_purpose_id_rejected(self):
+        with pytest.raises(PolicyError):
+            Purpose("")
+
+
+class TestActionTypes:
+    def test_indirect_has_bottom_dimensions(self):
+        action = ActionType.indirect(JointAccess.of("s"))
+        assert action.indirection is Indirection.INDIRECT
+        assert action.multiplicity is None
+        assert action.aggregation is None
+
+    def test_direct_requires_dimensions(self):
+        with pytest.raises(PolicyError):
+            ActionType(Indirection.DIRECT, None, None, JointAccess.none())
+
+    def test_joint_access_of_mixed_args(self):
+        joint = JointAccess.of(SENSITIVE, "q")
+        assert "s" in joint
+        assert QUASI_IDENTIFIER in joint
+        assert "i" not in joint
+
+    def test_joint_access_union_and_subset(self):
+        a = JointAccess.of("i")
+        b = JointAccess.of("q")
+        assert a.union(b).allowed == frozenset({"i", "q"})
+        assert a.is_subset_of(a.union(b))
+        assert not a.union(b).is_subset_of(a)
+
+    def test_joint_access_all(self):
+        joint = JointAccess.all(CategoryRegistry())
+        assert joint.allowed == frozenset({"i", "q", "s", "g"})
+
+    def test_compliance_equal_dimensions(self):
+        # Example 7: <d,s,a,<a,a,n,n>> complies with <d,s,a,<a,a,a,n>>.
+        signature = ActionType.direct(
+            Multiplicity.SINGLE, Aggregation.AGGREGATION, JointAccess.of("i", "q")
+        )
+        rule = ActionType.direct(
+            Multiplicity.SINGLE, Aggregation.AGGREGATION,
+            JointAccess.of("i", "q", "s"),
+        )
+        assert signature.complies_with(rule)
+        assert not rule.complies_with(signature)  # larger joint access
+
+    def test_compliance_requires_same_indirection(self):
+        indirect = ActionType.indirect(JointAccess.none())
+        direct = ActionType.direct(
+            Multiplicity.SINGLE, Aggregation.NO_AGGREGATION, JointAccess.none()
+        )
+        assert not indirect.complies_with(direct)
+        assert not direct.complies_with(indirect)
+
+    def test_compliance_requires_same_multiplicity_and_aggregation(self):
+        base = ActionType.direct(
+            Multiplicity.SINGLE, Aggregation.AGGREGATION, JointAccess.none()
+        )
+        other_multiplicity = ActionType.direct(
+            Multiplicity.MULTIPLE, Aggregation.AGGREGATION, JointAccess.none()
+        )
+        other_aggregation = ActionType.direct(
+            Multiplicity.SINGLE, Aggregation.NO_AGGREGATION, JointAccess.none()
+        )
+        assert not base.complies_with(other_multiplicity)
+        assert not base.complies_with(other_aggregation)
+
+    def test_describe(self):
+        registry = CategoryRegistry()
+        action = ActionType.direct(
+            Multiplicity.SINGLE, Aggregation.NO_AGGREGATION, JointAccess.of("s")
+        )
+        assert action.describe(registry) == "<d,s,n,<n,n,a,n>>"
+        assert ActionType.indirect(JointAccess.none()).describe(registry) == (
+            "<i,⊥,⊥,<n,n,n,n>>"
+        )
+
+
+class TestPolicies:
+    def rule(self):
+        return PolicyRule.of(
+            ["temperature", "beats"],
+            ["p1", "p3"],
+            ActionType.indirect(JointAccess.of("s")),
+        )
+
+    def test_rule_of_lowercases_columns(self):
+        rule = PolicyRule.of(["Temperature"], ["p1"], ActionType.indirect(JointAccess.none()))
+        assert rule.columns == frozenset({"temperature"})
+
+    def test_rule_of_accepts_purpose_objects(self):
+        rule = PolicyRule.of(["a"], [Purpose("p1")], ActionType.indirect(JointAccess.none()))
+        assert rule.purposes == frozenset({"p1"})
+
+    def test_rule_requires_columns_and_action(self):
+        with pytest.raises(PolicyError):
+            PolicyRule(columns=frozenset(), purposes=frozenset({"p1"}),
+                       action_type=ActionType.indirect(JointAccess.none()))
+        with pytest.raises(PolicyError):
+            PolicyRule(columns=frozenset({"a"}), purposes=frozenset({"p1"}))
+
+    def test_special_rules_skip_validation(self):
+        assert PolicyRule.pass_all().special is SpecialRule.PASS_ALL
+        assert PolicyRule.pass_none().special is SpecialRule.PASS_NONE
+
+    def test_policy_requires_rules(self):
+        with pytest.raises(PolicyError):
+            Policy("t", ())
+
+    def test_policy_validate_against_schema(self):
+        policy = Policy("sensed_data", (self.rule(),))
+        purposes = default_purpose_set()
+        policy.validate(
+            ["watch_id", "timestamp", "temperature", "position", "beats"], purposes
+        )
+        with pytest.raises(PolicyError):
+            policy.validate(["watch_id"], purposes)
+
+    def test_policy_validate_unknown_purpose(self):
+        rule = PolicyRule.of(["a"], ["p99"], ActionType.indirect(JointAccess.none()))
+        with pytest.raises(PolicyError):
+            Policy("t", (rule,)).validate(["a"], default_purpose_set())
+
+    def test_tuple_selector_default_is_whole_table(self):
+        policy = Policy("t", (PolicyRule.pass_all(),))
+        assert policy.tuple_selector is None

@@ -1,0 +1,178 @@
+"""Enforcement Monitor tests: the end-to-end execute path."""
+
+import pytest
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    EnforcementMonitor,
+    JointAccess,
+    Multiplicity,
+    Policy,
+    PolicyRule,
+)
+from repro.errors import PolicyError, UnauthorizedPurposeError
+from repro.workload import apply_experiment_policies
+
+
+class TestExecutionBasics:
+    def test_pass_all_preserves_results(self, fresh_scenario):
+        admin = fresh_scenario.admin
+        for table in admin.target_tables():
+            admin.apply_policy(Policy(table, (PolicyRule.pass_all(),)))
+        monitor = fresh_scenario.monitor
+        original = monitor.execute_unprotected("select user_id from users")
+        enforced = monitor.execute("select user_id from users", "p1")
+        assert sorted(enforced.rows) == sorted(original.rows)
+
+    def test_pass_none_blocks_everything(self, fresh_scenario):
+        admin = fresh_scenario.admin
+        admin.apply_policy(Policy("users", (PolicyRule.pass_none(),)))
+        result = fresh_scenario.monitor.execute("select user_id from users", "p1")
+        assert len(result) == 0
+
+    def test_unknown_purpose_rejected(self, fresh_scenario):
+        with pytest.raises(PolicyError):
+            fresh_scenario.monitor.execute("select user_id from users", "p99")
+
+    def test_report_contents(self, policy_scenario):
+        report = policy_scenario.monitor.execute_with_report(
+            "select count(watch_id) from sensed_data", "p6"
+        )
+        assert report.purpose == "p6"
+        assert "complieswith" in report.rewritten_sql
+        assert report.compliance_checks > 0
+        assert report.signature.table_signature("sensed_data") is not None
+
+    def test_rewrite_sql_has_conjunct_per_action_signature(self, policy_scenario):
+        sql = policy_scenario.monitor.rewrite_sql(
+            "select user_id, avg(beats) from users join sensed_data "
+            "on users.watch_id = sensed_data.watch_id "
+            "group by user_id having avg(beats) > 90",
+            "p3",
+        )
+        assert sql.count("complieswith") == 6  # Listing 3's six conjuncts
+
+
+class TestUserAuthorization:
+    def test_authorized_user_executes(self, fresh_scenario):
+        admin = fresh_scenario.admin
+        admin.grant_purpose("alice", "p1")
+        admin.apply_policy(Policy("users", (PolicyRule.pass_all(),)))
+        result = fresh_scenario.monitor.execute(
+            "select user_id from users", "p1", user="alice"
+        )
+        assert len(result) > 0
+
+    def test_unauthorized_user_rejected(self, fresh_scenario):
+        with pytest.raises(UnauthorizedPurposeError):
+            fresh_scenario.monitor.execute(
+                "select user_id from users", "p1", user="mallory"
+            )
+
+    def test_user_with_other_purpose_rejected(self, fresh_scenario):
+        fresh_scenario.admin.grant_purpose("alice", "p2")
+        with pytest.raises(UnauthorizedPurposeError):
+            fresh_scenario.monitor.execute(
+                "select user_id from users", "p1", user="alice"
+            )
+
+
+class TestActionAwareEnforcement:
+    """End-to-end checks of the model's action dimensions."""
+
+    def grant(self, scenario, action, columns=("temperature",), purposes=("p1",)):
+        scenario.admin.apply_policy(
+            Policy(
+                "sensed_data",
+                (PolicyRule.of(columns, purposes, action),),
+            )
+        )
+        # Other tables fully open so they never interfere.
+        for table in ("users", "nutritional_profiles"):
+            scenario.admin.apply_policy(Policy(table, (PolicyRule.pass_all(),)))
+
+    def test_indirect_only_policy(self, fresh_scenario):
+        # Example 1: indirect access granted → filtering works, showing fails.
+        self.grant(
+            fresh_scenario,
+            ActionType.indirect(JointAccess.of("s")),
+            columns=("temperature", "beats"),
+        )
+        monitor = fresh_scenario.monitor
+        filtering = monitor.execute(
+            "select beats from sensed_data where temperature > 36", "p1"
+        )
+        assert len(filtering) == 0  # direct access to beats not granted either
+        indirect_only = monitor.execute(
+            "select count(*) from sensed_data where temperature > 0", "p1"
+        )
+        assert indirect_only.scalar() > 0  # count(*) accesses no columns
+
+    def test_aggregation_only_policy(self, fresh_scenario):
+        # Example 3: direct access with aggregation allowed.
+        self.grant(
+            fresh_scenario,
+            ActionType.direct(
+                Multiplicity.SINGLE, Aggregation.AGGREGATION, JointAccess.of("q", "s")
+            ),
+        )
+        monitor = fresh_scenario.monitor
+        aggregated = monitor.execute(
+            "select avg(temperature) from sensed_data", "p1"
+        )
+        assert aggregated.scalar() is not None
+        plain = monitor.execute("select temperature from sensed_data", "p1")
+        assert len(plain) == 0  # plain disclosure not granted
+
+    def test_purpose_dimension(self, fresh_scenario):
+        self.grant(
+            fresh_scenario,
+            ActionType.direct(
+                Multiplicity.SINGLE, Aggregation.NO_AGGREGATION, JointAccess.of("q", "s")
+            ),
+            purposes=("p6",),
+        )
+        monitor = fresh_scenario.monitor
+        granted = monitor.execute("select temperature from sensed_data", "p6")
+        assert len(granted) > 0
+        denied = monitor.execute("select temperature from sensed_data", "p7")
+        assert len(denied) == 0
+
+    def test_joint_access_dimension(self, fresh_scenario):
+        # temperature may only be jointly accessed with sensitive data:
+        # joining it with user_id (identifier) must be blocked.
+        self.grant(
+            fresh_scenario,
+            ActionType.direct(
+                Multiplicity.SINGLE, Aggregation.NO_AGGREGATION, JointAccess.of("s")
+            ),
+        )
+        monitor = fresh_scenario.monitor
+        alone = monitor.execute("select temperature from sensed_data", "p1")
+        assert len(alone) > 0
+        joined = monitor.execute(
+            "select user_id, temperature from users join sensed_data "
+            "on users.watch_id = sensed_data.watch_id",
+            "p1",
+        )
+        assert len(joined) == 0
+
+
+class TestSelectivityBehaviour:
+    def test_selectivity_filters_expected_fraction(self, fresh_scenario):
+        apply_experiment_policies(fresh_scenario, selectivity=0.4, seed=7)
+        monitor = fresh_scenario.monitor
+        total = fresh_scenario.patients
+        result = monitor.execute("select user_id from users", "p1")
+        assert len(result) == round(0.6 * total)
+
+    def test_selectivity_zero_keeps_all(self, fresh_scenario):
+        apply_experiment_policies(fresh_scenario, selectivity=0.0, seed=7)
+        result = fresh_scenario.monitor.execute("select user_id from users", "p1")
+        assert len(result) == fresh_scenario.patients
+
+    def test_selectivity_one_blocks_all(self, fresh_scenario):
+        apply_experiment_policies(fresh_scenario, selectivity=1.0, seed=7)
+        result = fresh_scenario.monitor.execute("select user_id from users", "p1")
+        assert len(result) == 0

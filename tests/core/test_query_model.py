@@ -1,0 +1,66 @@
+"""Query model tests (Def. 7) and query-id stability."""
+
+from repro.core import QueryModel, query_id
+from repro.sql import parse_select
+
+
+class TestQueryId:
+    def test_id_is_eight_hex_chars(self):
+        identifier = query_id("select 1")
+        assert len(identifier) == 8
+        assert set(identifier) <= set("0123456789abcdef")
+
+    def test_id_stable_across_formatting(self):
+        a = query_id(parse_select("select  a FROM t"))
+        b = query_id(parse_select("select a from t"))
+        assert a == b
+
+    def test_different_queries_differ(self):
+        assert query_id("select a from t") != query_id("select b from t")
+
+
+class TestQueryModel:
+    FIG3 = (
+        "select user_id, avg(beats) from users join sensed_data "
+        "on users.watch_id = sensed_data.watch_id "
+        "group by user_id having avg(beats) > 90"
+    )
+
+    def test_components_of_def7(self):
+        model = QueryModel.from_sql(self.FIG3)
+        assert len(model.select_items) == 2      # S
+        assert len(model.sources) == 1            # F (one join tree)
+        assert model.where is None                # W = ⊥
+        assert len(model.group_by) == 1           # G
+        assert model.having is not None           # H
+
+    def test_where_component(self):
+        model = QueryModel.from_sql("select a from t where a > 1")
+        assert model.where is not None
+
+    def test_to_sql_roundtrip(self):
+        model = QueryModel.from_sql(self.FIG3)
+        assert query_id(model.to_sql()) == model.id
+
+    def test_subquery_models_from_where(self):
+        model = QueryModel.from_sql(
+            "select a from t where a in (select b from s)"
+        )
+        subs = model.subquery_models()
+        assert len(subs) == 1
+        assert subs[0].id == query_id(parse_select("select b from s"))
+
+    def test_subquery_models_from_from_clause(self):
+        model = QueryModel.from_sql(
+            "select d.a from (select a from t) d"
+        )
+        assert len(model.subquery_models()) == 1
+
+    def test_nested_subqueries_only_first_level(self):
+        model = QueryModel.from_sql(
+            "select a from t where a in "
+            "(select b from s where b in (select c from u))"
+        )
+        subs = model.subquery_models()
+        assert len(subs) == 1  # the inner-inner belongs to the child model
+        assert len(subs[0].subquery_models()) == 1

@@ -1,0 +1,143 @@
+"""Role-based purpose authorization tests (future-work item 3)."""
+
+import pytest
+
+from repro.core import EnforcementMonitor, Policy, PolicyRule, RoleManager
+from repro.errors import ConfigurationError, PolicyError, UnauthorizedPurposeError
+
+
+@pytest.fixture()
+def roles(fresh_scenario):
+    manager = RoleManager(fresh_scenario.admin)
+    manager.install()
+    return manager
+
+
+class TestInstallation:
+    def test_meta_tables_created(self, fresh_scenario, roles):
+        for name in ("ro", "ur", "rp"):
+            assert fresh_scenario.database.has_table(name)
+
+    def test_double_install_rejected(self, roles):
+        with pytest.raises(ConfigurationError):
+            roles.install()
+
+    def test_operations_require_install(self, fresh_scenario):
+        manager = RoleManager(fresh_scenario.admin)
+        with pytest.raises(ConfigurationError):
+            manager.define_role("nurse")
+
+
+class TestRoleCatalog:
+    def test_define_and_list(self, roles):
+        roles.define_role("nurse")
+        roles.define_role("doctor")
+        assert set(roles.roles()) == {"nurse", "doctor"}
+
+    def test_duplicate_rejected(self, roles):
+        roles.define_role("nurse")
+        with pytest.raises(PolicyError):
+            roles.define_role("nurse")
+
+    def test_hierarchy(self, roles):
+        roles.define_role("staff")
+        roles.define_role("nurse", parent="staff")
+        roles.define_role("head_nurse", parent="nurse")
+        assert roles.ancestry("head_nurse") == ["head_nurse", "nurse", "staff"]
+
+    def test_unknown_parent_rejected(self, roles):
+        with pytest.raises(PolicyError):
+            roles.define_role("nurse", parent="ghost")
+
+    def test_rows_persisted(self, fresh_scenario, roles):
+        roles.define_role("staff")
+        roles.define_role("nurse", parent="staff")
+        rows = fresh_scenario.database.query("select role, parent from ro").rows
+        assert ("nurse", "staff") in rows
+
+
+class TestAssignmentsAndGrants:
+    def test_assign_and_query(self, roles):
+        roles.define_role("nurse")
+        roles.assign_role("carla", "nurse")
+        assert roles.user_roles("carla") == ["nurse"]
+
+    def test_assign_unknown_role_rejected(self, roles):
+        with pytest.raises(PolicyError):
+            roles.assign_role("carla", "ghost")
+
+    def test_unassign(self, roles):
+        roles.define_role("nurse")
+        roles.assign_role("carla", "nurse")
+        assert roles.unassign_role("carla", "nurse") == 1
+        assert roles.user_roles("carla") == []
+
+    def test_grant_purpose_to_role(self, roles):
+        roles.define_role("nurse")
+        roles.grant_purpose_to_role("nurse", "p1")
+        assert roles.role_purposes("nurse") == {"p1"}
+
+    def test_grant_unknown_purpose_rejected(self, roles):
+        roles.define_role("nurse")
+        with pytest.raises(PolicyError):
+            roles.grant_purpose_to_role("nurse", "p99")
+
+    def test_revoke_purpose(self, roles):
+        roles.define_role("nurse")
+        roles.grant_purpose_to_role("nurse", "p1")
+        assert roles.revoke_purpose_from_role("nurse", "p1") == 1
+        assert roles.role_purposes("nurse") == set()
+
+    def test_purposes_inherited_through_hierarchy(self, roles):
+        roles.define_role("staff")
+        roles.define_role("nurse", parent="staff")
+        roles.grant_purpose_to_role("staff", "p1")
+        roles.grant_purpose_to_role("nurse", "p3")
+        assert roles.role_purposes("nurse") == {"p1", "p3"}
+        assert roles.role_purposes("staff") == {"p1"}
+
+
+class TestCombinedAuthorization:
+    def test_role_grants_authorization(self, roles):
+        roles.define_role("researcher")
+        roles.grant_purpose_to_role("researcher", "p6")
+        roles.assign_role("rita", "researcher")
+        assert roles.is_authorized("rita", "p6")
+        assert not roles.is_authorized("rita", "p7")
+        assert not roles.is_authorized("someone_else", "p6")
+
+    def test_direct_pa_grant_still_works(self, fresh_scenario, roles):
+        fresh_scenario.admin.grant_purpose("paula", "p2")
+        assert roles.is_authorized("paula", "p2")
+
+    def test_inherited_authorization(self, roles):
+        roles.define_role("staff")
+        roles.define_role("nurse", parent="staff")
+        roles.grant_purpose_to_role("staff", "p1")
+        roles.assign_role("carla", "nurse")
+        assert roles.is_authorized("carla", "p1")
+
+    def test_monitor_uses_role_authorizer(self, fresh_scenario, roles):
+        admin = fresh_scenario.admin
+        admin.apply_policy(Policy("users", (PolicyRule.pass_all(),)))
+        roles.define_role("researcher")
+        roles.grant_purpose_to_role("researcher", "p6")
+        roles.assign_role("rita", "researcher")
+
+        monitor = EnforcementMonitor(admin, authorizer=roles)
+        result = monitor.execute("select user_id from users", "p6", user="rita")
+        assert len(result) > 0
+        with pytest.raises(UnauthorizedPurposeError):
+            monitor.execute("select user_id from users", "p7", user="rita")
+
+    def test_default_monitor_ignores_roles(self, fresh_scenario, roles):
+        admin = fresh_scenario.admin
+        admin.apply_policy(Policy("users", (PolicyRule.pass_all(),)))
+        roles.define_role("researcher")
+        roles.grant_purpose_to_role("researcher", "p6")
+        roles.assign_role("rita", "researcher")
+        # The plain monitor checks Pa only: the role grant is not enough.
+        with pytest.raises(UnauthorizedPurposeError):
+            fresh_scenario.monitor.execute(
+                "select user_id from users", "p6", user="rita"
+            )

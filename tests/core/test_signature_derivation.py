@@ -1,0 +1,284 @@
+"""Query-signature derivation tests, asserting Figure 3 exactly.
+
+The worked example of Section 5.2: deriving the signature of
+
+    select user_id, avg(beats) from users join sensed_data
+    on users.watch_id = sensed_data.watch_id
+    group by user_id having avg(beats) > 90
+
+with access purpose healthcare-operations (p3).
+"""
+
+import pytest
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    Indirection,
+    JointAccess,
+    Multiplicity,
+    SignatureDeriver,
+)
+from repro.core.signatures import ActionSignature
+from repro.errors import SignatureError
+
+FIG3_QUERY = (
+    "select user_id, avg(beats) from users join sensed_data "
+    "on users.watch_id = sensed_data.watch_id "
+    "group by user_id having avg(beats) > 90"
+)
+
+
+@pytest.fixture()
+def deriver(scenario):
+    return SignatureDeriver(scenario.admin, scenario.admin)
+
+
+def action_set(table_signature):
+    return {
+        (
+            frozenset(a.columns),
+            a.action_type.indirection,
+            a.action_type.multiplicity,
+            a.action_type.aggregation,
+            a.action_type.joint_access.allowed,
+        )
+        for a in table_signature.actions
+    }
+
+
+class TestFigure3:
+    def test_purpose_recorded(self, deriver):
+        signature = deriver.derive(FIG3_QUERY, "p3")
+        assert signature.purpose == "p3"
+        assert signature.subqueries == ()
+
+    def test_users_table_signature(self, deriver):
+        signature = deriver.derive(FIG3_QUERY, "p3")
+        users = signature.table_signature("users")
+        assert users.table == "users"
+        assert action_set(users) == {
+            # select user_id: direct, single, no aggregation, Ja = {q, s}
+            (
+                frozenset({"user_id"}),
+                Indirection.DIRECT, Multiplicity.SINGLE,
+                Aggregation.NO_AGGREGATION, frozenset({"q", "s"}),
+            ),
+            # join on watch_id: indirect, Ja = {i, q, s}
+            (
+                frozenset({"watch_id"}),
+                Indirection.INDIRECT, None, None, frozenset({"i", "q", "s"}),
+            ),
+            # group by user_id: indirect, Ja = {q, s}
+            (
+                frozenset({"user_id"}),
+                Indirection.INDIRECT, None, None, frozenset({"q", "s"}),
+            ),
+        }
+
+    def test_sensed_data_table_signature(self, deriver):
+        signature = deriver.derive(FIG3_QUERY, "p3")
+        sensed = signature.table_signature("sensed_data")
+        assert action_set(sensed) == {
+            # avg(beats): direct, single, aggregation, Ja = {i, q}
+            (
+                frozenset({"beats"}),
+                Indirection.DIRECT, Multiplicity.SINGLE,
+                Aggregation.AGGREGATION, frozenset({"i", "q"}),
+            ),
+            # join on watch_id: indirect, Ja = {i, q, s}
+            (
+                frozenset({"watch_id"}),
+                Indirection.INDIRECT, None, None, frozenset({"i", "q", "s"}),
+            ),
+            # having avg(beats): indirect, Ja = {i, q}
+            (
+                frozenset({"beats"}),
+                Indirection.INDIRECT, None, None, frozenset({"i", "q"}),
+            ),
+        }
+
+    def test_signature_counts_match_figure(self, deriver):
+        signature = deriver.derive(FIG3_QUERY, "p3")
+        assert len(signature.table_signature("users").actions) == 3
+        assert len(signature.table_signature("sensed_data").actions) == 3
+
+
+class TestExample5:
+    """select avg(temperature) from sensed_data s join users u ...:
+    direct-single-aggregation on temperature with Ja = {q, i}."""
+
+    QUERY = (
+        "select avg(temperature) from sensed_data s join users u "
+        "on s.watch_id = u.watch_id where u.user_id like 'Bob'"
+    )
+
+    def test_temperature_action(self, deriver):
+        signature = deriver.derive(self.QUERY, "p6")
+        sensed = signature.table_signature("s")
+        assert sensed.table == "sensed_data"
+        direct = [
+            a for a in sensed.actions
+            if a.action_type.indirection is Indirection.DIRECT
+        ]
+        assert len(direct) == 1
+        action = direct[0]
+        assert action.columns == frozenset({"temperature"})
+        assert action.action_type.multiplicity is Multiplicity.SINGLE
+        assert action.action_type.aggregation is Aggregation.AGGREGATION
+        # Derived as {quasi identifier, identifier} per Example 5.
+        assert action.action_type.joint_access.allowed == frozenset({"q", "i"})
+
+
+class TestMultiplicity:
+    def test_single_occurrence_is_single_source(self, deriver):
+        signature = deriver.derive("select temperature from sensed_data", "p1")
+        action = signature.table_signature("sensed_data").actions[0]
+        assert action.action_type.multiplicity is Multiplicity.SINGLE
+
+    def test_example2_expression_is_multiple_source(self, deriver):
+        # temperature - avg(temperature) combines two attribute occurrences.
+        signature = deriver.derive(
+            "select temperature - avg(temperature) from sensed_data", "p1"
+        )
+        sensed = signature.table_signature("sensed_data")
+        assert all(
+            a.action_type.multiplicity is Multiplicity.MULTIPLE
+            for a in sensed.actions
+        )
+
+    def test_cross_column_expression_is_multiple(self, deriver):
+        signature = deriver.derive(
+            "select temperature + beats from sensed_data", "p1"
+        )
+        sensed = signature.table_signature("sensed_data")
+        for action in sensed.actions:
+            assert action.action_type.multiplicity is Multiplicity.MULTIPLE
+
+    def test_same_action_type_columns_merge(self, deriver):
+        signature = deriver.derive(
+            "select temperature, beats from sensed_data", "p1"
+        )
+        sensed = signature.table_signature("sensed_data")
+        assert len(sensed.actions) == 1
+        assert sensed.actions[0].columns == frozenset({"temperature", "beats"})
+
+
+class TestIndirectClauses:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select user_id from users where watch_id like 'w%'",
+            "select user_id from users group by user_id, watch_id",
+            "select user_id from users order by watch_id",
+        ],
+    )
+    def test_clause_produces_indirect_access(self, deriver, sql):
+        signature = deriver.derive(sql, "p1")
+        users = signature.table_signature("users")
+        indirect = [
+            a for a in users.actions
+            if a.action_type.indirection is Indirection.INDIRECT
+        ]
+        assert any("watch_id" in a.columns for a in indirect)
+
+    def test_count_star_accesses_no_columns(self, deriver):
+        signature = deriver.derive("select count(*) from users", "p1")
+        assert signature.table_signature("users") is None
+
+    def test_star_expands_to_all_columns(self, deriver):
+        signature = deriver.derive("select * from users", "p1")
+        users = signature.table_signature("users")
+        columns = frozenset().union(*(a.columns for a in users.actions))
+        assert columns == frozenset(
+            {"user_id", "watch_id", "nutritional_profile_id"}
+        )
+
+    def test_star_columns_are_single_source(self, deriver):
+        # Each column of `select *` is disclosed on its own: multiplicity is
+        # SINGLE per column, not MULTIPLE for the star as a whole.
+        signature = deriver.derive("select * from users", "p1")
+        users = signature.table_signature("users")
+        for action in users.actions:
+            assert action.action_type.multiplicity is Multiplicity.SINGLE
+            assert action.action_type.aggregation is Aggregation.NO_AGGREGATION
+
+
+class TestSubqueries:
+    def test_in_subquery_gets_own_signature(self, deriver):
+        signature = deriver.derive(
+            "select user_id from users where nutritional_profile_id in "
+            "(select profile_id from nutritional_profiles "
+            "where diet_type like 'vegan')",
+            "p6",
+        )
+        assert len(signature.subqueries) == 1
+        inner = signature.subqueries[0]
+        assert inner.purpose == "p6"
+        assert inner.table_signature("nutritional_profiles") is not None
+
+    def test_derived_table_inner_and_outer_signatures(self, deriver):
+        signature = deriver.derive(
+            "select user_id, avg(s1.b) from users join "
+            "(select watch_id as w, beats as b from sensed_data "
+            "where beats > 100) s1 on users.watch_id = s1.w group by user_id",
+            "p6",
+        )
+        # Outer block: the derived binding keeps provenance to sensed_data.
+        s1 = signature.table_signature("s1")
+        assert s1.table == "sensed_data"
+        # Inner block gets its own full signature.
+        inner = signature.subqueries[0]
+        sensed = inner.table_signature("sensed_data")
+        assert sensed is not None
+        assert any(
+            a.action_type.indirection is Indirection.DIRECT for a in sensed.actions
+        )
+
+    def test_joint_access_uses_provenance_categories(self, deriver):
+        signature = deriver.derive(
+            "select user_id, s1.b from users join "
+            "(select watch_id as w, beats as b from sensed_data) s1 "
+            "on users.watch_id = s1.w",
+            "p6",
+        )
+        users = signature.table_signature("users")
+        direct = [
+            a for a in users.actions
+            if a.action_type.indirection is Indirection.DIRECT
+        ][0]
+        # user_id jointly accessed with watch_id (q) and beats-via-s1 (s).
+        assert direct.action_type.joint_access.allowed == frozenset({"q", "s"})
+
+    def test_subquery_lookup_by_id(self, deriver):
+        signature = deriver.derive(
+            "select user_id from users where nutritional_profile_id in "
+            "(select profile_id from nutritional_profiles)",
+            "p1",
+        )
+        inner = signature.subqueries[0]
+        assert signature.subquery_signature(inner.query_id) is inner
+        with pytest.raises(SignatureError):
+            signature.subquery_signature("ffffffff")
+
+
+class TestErrors:
+    def test_unknown_table_rejected(self, deriver):
+        with pytest.raises(SignatureError):
+            deriver.derive("select x from no_such_table", "p1")
+
+    def test_unknown_column_rejected(self, deriver):
+        with pytest.raises(SignatureError):
+            deriver.derive("select no_such_column from users", "p1")
+
+    def test_ambiguous_column_rejected(self, deriver):
+        with pytest.raises(SignatureError):
+            deriver.derive(
+                "select watch_id from users join sensed_data "
+                "on users.watch_id = sensed_data.watch_id",
+                "p1",
+            )
+
+    def test_policy_column_is_not_addressable(self, deriver):
+        with pytest.raises(SignatureError):
+            deriver.derive("select policy from users", "p1")

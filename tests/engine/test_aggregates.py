@@ -1,0 +1,92 @@
+"""Aggregate accumulator tests (SQL NULL semantics)."""
+
+import pytest
+
+from repro.engine.aggregates import is_aggregate_name, make_aggregate
+from repro.errors import ExpressionError, TypeMismatchError
+
+
+def run(name, values, star=False, distinct=False):
+    aggregate = make_aggregate(name, star=star, distinct=distinct)
+    for value in values:
+        aggregate.add(value)
+    return aggregate.result()
+
+
+class TestCount:
+    def test_count_skips_nulls(self):
+        assert run("count", [1, None, 2, None]) == 2
+
+    def test_count_star_counts_everything(self):
+        assert run("count", [1, None, 2], star=True) == 3
+
+    def test_count_empty_is_zero(self):
+        assert run("count", []) == 0
+
+    def test_count_distinct(self):
+        assert run("count", [1, 1, 2, None, 2], distinct=True) == 2
+
+    def test_count_distinct_star_invalid(self):
+        with pytest.raises(ExpressionError):
+            make_aggregate("count", star=True, distinct=True)
+
+
+class TestSumAvg:
+    def test_sum(self):
+        assert run("sum", [1, 2, 3]) == 6
+
+    def test_sum_skips_nulls(self):
+        assert run("sum", [1, None, 2]) == 3
+
+    def test_sum_empty_is_null(self):
+        assert run("sum", []) is None
+
+    def test_sum_all_nulls_is_null(self):
+        assert run("sum", [None, None]) is None
+
+    def test_avg(self):
+        assert run("avg", [1, 2, 3]) == 2.0
+
+    def test_avg_skips_nulls(self):
+        assert run("avg", [2, None, 4]) == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert run("avg", []) is None
+
+    def test_sum_distinct(self):
+        assert run("sum", [1, 1, 2], distinct=True) == 3
+
+    def test_avg_distinct(self):
+        assert run("avg", [2, 2, 4], distinct=True) == 3.0
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            run("sum", ["x"])
+
+
+class TestMinMax:
+    def test_min_max_numbers(self):
+        assert run("min", [3, 1, 2]) == 1
+        assert run("max", [3, 1, 2]) == 3
+
+    def test_min_max_text(self):
+        assert run("min", ["b", "a", "c"]) == "a"
+        assert run("max", ["b", "a", "c"]) == "c"
+
+    def test_min_max_skip_nulls(self):
+        assert run("min", [None, 5, None, 3]) == 3
+
+    def test_min_max_empty_is_null(self):
+        assert run("min", []) is None
+        assert run("max", []) is None
+
+
+class TestFactory:
+    def test_is_aggregate_name(self):
+        for name in ("count", "SUM", "Avg", "min", "max"):
+            assert is_aggregate_name(name)
+        assert not is_aggregate_name("lower")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ExpressionError):
+            make_aggregate("median")

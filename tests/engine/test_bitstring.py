@@ -1,0 +1,136 @@
+"""BitString unit tests (the BIT VARYING value type)."""
+
+import pytest
+
+from repro.engine.types import BitString, SqlType, coerce_value, python_type_matches
+from repro.errors import MaskError, TypeMismatchError
+
+
+class TestConstruction:
+    def test_from_bits_roundtrip(self):
+        assert BitString.from_bits("0101").bits() == "0101"
+
+    def test_empty_bit_string(self):
+        empty = BitString.from_bits("")
+        assert len(empty) == 0
+        assert empty.bits() == ""
+
+    def test_leading_zeros_preserved(self):
+        assert BitString.from_bits("0001").bits() == "0001"
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(MaskError):
+            BitString.from_bits("01x1")
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(MaskError):
+            BitString(8, 3)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(MaskError):
+            BitString(0, -1)
+
+    def test_zeros_and_ones(self):
+        assert BitString.zeros(4).bits() == "0000"
+        assert BitString.ones(4).bits() == "1111"
+
+    def test_from_positions(self):
+        assert BitString.from_positions([0, 3], 5).bits() == "10010"
+
+    def test_from_positions_out_of_range(self):
+        with pytest.raises(MaskError):
+            BitString.from_positions([5], 5)
+
+
+class TestAccess:
+    def test_leftmost_bit_is_index_zero(self):
+        bits = BitString.from_bits("10")
+        assert bits[0] == 1
+        assert bits[1] == 0
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitString.from_bits("10")[2]
+
+    def test_positions(self):
+        assert BitString.from_bits("01010").positions() == [1, 3]
+
+    def test_substring(self):
+        assert BitString.from_bits("110010").substring(2, 3).bits() == "001"
+
+    def test_substring_full(self):
+        bits = BitString.from_bits("1010")
+        assert bits.substring(0, 4) == bits
+
+    def test_substring_out_of_range(self):
+        with pytest.raises(MaskError):
+            BitString.from_bits("10").substring(1, 5)
+
+
+class TestOperators:
+    def test_and(self):
+        a = BitString.from_bits("1100")
+        b = BitString.from_bits("1010")
+        assert (a & b).bits() == "1000"
+
+    def test_or_and_xor(self):
+        a = BitString.from_bits("1100")
+        b = BitString.from_bits("1010")
+        assert (a | b).bits() == "1110"
+        assert (a ^ b).bits() == "0110"
+
+    def test_invert(self):
+        assert (~BitString.from_bits("1001")).bits() == "0110"
+
+    def test_concatenation(self):
+        assert (BitString.from_bits("10") + BitString.from_bits("01")).bits() == "1001"
+
+    def test_concatenation_with_empty(self):
+        bits = BitString.from_bits("101")
+        assert (bits + BitString.from_bits("")) == bits
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MaskError):
+            BitString.from_bits("10") & BitString.from_bits("100")
+
+    def test_and_with_non_bitstring_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BitString.from_bits("10") & "10"
+
+    def test_equality_considers_length(self):
+        assert BitString.from_bits("01") != BitString.from_bits("001")
+        assert BitString.from_bits("01") == BitString.from_bits("01")
+
+    def test_hashable(self):
+        assert len({BitString.from_bits("01"), BitString.from_bits("01")}) == 1
+
+
+class TestTypeHelpers:
+    def test_sql_type_from_name(self):
+        assert SqlType.from_name("BIT VARYING") is SqlType.BIT_VARYING
+        assert SqlType.from_name("double precision") is SqlType.DOUBLE
+        assert SqlType.from_name("VARCHAR") is SqlType.TEXT
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            SqlType.from_name("GEOMETRY")
+
+    def test_null_matches_everything(self):
+        for sql_type in SqlType:
+            assert python_type_matches(sql_type, None)
+
+    def test_bool_is_not_integer(self):
+        assert not python_type_matches(SqlType.INTEGER, True)
+        assert python_type_matches(SqlType.BOOLEAN, True)
+
+    def test_coerce_int_to_double(self):
+        assert coerce_value(SqlType.DOUBLE, 3) == 3.0
+        assert isinstance(coerce_value(SqlType.DOUBLE, 3), float)
+
+    def test_coerce_rejects_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(SqlType.INTEGER, "five")
+
+    def test_bitstring_storable_in_bit_varying(self):
+        bits = BitString.from_bits("101")
+        assert coerce_value(SqlType.BIT_VARYING, bits) is bits

@@ -1,0 +1,116 @@
+"""Database-level DML/DDL and instrumentation tests."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.types import BitString
+from repro.errors import CatalogError, ExecutionError
+
+
+@pytest.fixture()
+def db():
+    database = Database("testdb")
+    database.execute("create table t (a integer, b text)")
+    return database
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, db):
+        assert db.has_table("t")
+        assert db.table("T").name == "t"
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("create table t (x integer)")
+
+    def test_drop(self, db):
+        db.execute("drop table t")
+        assert not db.has_table("t")
+
+    def test_drop_unknown_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("drop table nope")
+
+    def test_table_names_in_creation_order(self, db):
+        db.execute("create table z (x integer)")
+        db.execute("create table a (x integer)")
+        assert db.table_names() == ["t", "z", "a"]
+
+    def test_query_on_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.query("select * from nope")
+
+
+class TestDml:
+    def test_insert_returns_row_count(self, db):
+        assert db.execute("insert into t values (1, 'x'), (2, 'y')") == 2
+
+    def test_insert_with_column_list(self, db):
+        db.execute("insert into t (b) values ('only-b')")
+        assert db.query("select a, b from t").first() == (None, "only-b")
+
+    def test_insert_select(self, db):
+        db.execute("insert into t values (1, 'x'), (2, 'y')")
+        db.execute("create table t2 (a integer, b text)")
+        count = db.execute("insert into t2 select a, b from t where a > 1")
+        assert count == 1
+        assert db.query("select a from t2").scalar() == 2
+
+    def test_update_with_where(self, db):
+        db.execute("insert into t values (1, 'x'), (2, 'y')")
+        assert db.execute("update t set b = 'z' where a = 2") == 1
+        assert sorted(db.query("select b from t").column("b")) == ["x", "z"]
+
+    def test_update_expression_uses_old_row(self, db):
+        db.execute("insert into t values (10, 'x')")
+        db.execute("update t set a = a + 1")
+        assert db.query("select a from t").scalar() == 11
+
+    def test_delete_with_where(self, db):
+        db.execute("insert into t values (1, 'x'), (2, 'y')")
+        assert db.execute("delete from t where b like 'x'") == 1
+        assert len(db.query("select * from t")) == 1
+
+    def test_delete_all(self, db):
+        db.execute("insert into t values (1, 'x'), (2, 'y')")
+        assert db.execute("delete from t") == 2
+
+    def test_ddl_returns_zero(self, db):
+        assert db.execute("create table t3 (x integer)") == 0
+
+
+class TestAlter:
+    def test_add_column_visible_to_queries(self, db):
+        db.execute("insert into t values (1, 'x')")
+        db.execute("alter table t add column policy bit varying")
+        assert db.query("select policy from t").scalar() is None
+
+    def test_added_bit_column_stores_masks(self, db):
+        db.execute("insert into t values (1, 'x')")
+        db.execute("alter table t add column policy bit varying")
+        db.table("t").set_column_value("policy", BitString.from_bits("1010"))
+        assert db.query("select policy from t").scalar().bits() == "1010"
+
+    def test_drop_column(self, db):
+        db.execute("insert into t values (1, 'x')")
+        db.execute("alter table t drop column b")
+        assert db.query("select * from t").columns == ["a"]
+
+
+class TestInstrumentation:
+    def test_udf_registration_and_counting(self, db):
+        db.register_function("istrue", lambda v: v)
+        db.execute("insert into t values (1, 'x'), (2, 'y'), (3, 'z')")
+        result = db.query("select a from t where istrue(a > 1)")
+        assert len(result) == 2
+        assert db.function_calls("istrue") == 3
+
+    def test_reset_function_counters(self, db):
+        db.register_function("f", lambda: True)
+        db.query("select f()")
+        db.reset_function_counters()
+        assert db.function_calls("f") == 0
+
+    def test_query_requires_select(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("delete from t")

@@ -1,0 +1,114 @@
+"""Scalar function registry tests, including the UDF call counters."""
+
+import pytest
+
+from repro.engine.functions import FunctionRegistry
+from repro.errors import ExpressionError, TypeMismatchError
+
+
+@pytest.fixture()
+def registry():
+    return FunctionRegistry()
+
+
+class TestBuiltins:
+    def test_abs(self, registry):
+        assert registry.call("abs", (-4,)) == 4
+
+    def test_round_with_digits(self, registry):
+        assert registry.call("round", (3.14159, 2)) == 3.14
+
+    def test_floor_ceil(self, registry):
+        assert registry.call("floor", (3.7,)) == 3
+        assert registry.call("ceil", (3.2,)) == 4
+
+    def test_lower_upper_trim(self, registry):
+        assert registry.call("lower", ("AbC",)) == "abc"
+        assert registry.call("upper", ("AbC",)) == "ABC"
+        assert registry.call("trim", ("  x  ",)) == "x"
+
+    def test_length_of_text(self, registry):
+        assert registry.call("length", ("hello",)) == 5
+
+    def test_substr_is_one_based(self, registry):
+        assert registry.call("substr", ("abcdef", 2, 3)) == "bcd"
+        assert registry.call("substr", ("abcdef", 4)) == "def"
+
+    def test_replace(self, registry):
+        assert registry.call("replace", ("aXbX", "X", "-")) == "a-b-"
+
+    def test_concat_skips_nulls(self, registry):
+        assert registry.call("concat", ("a", None, "b")) == "ab"
+
+    def test_coalesce(self, registry):
+        assert registry.call("coalesce", (None, None, 3)) == 3
+        assert registry.call("coalesce", (None,)) is None
+
+    def test_nullif(self, registry):
+        assert registry.call("nullif", (1, 1)) is None
+        assert registry.call("nullif", (1, 2)) == 1
+
+    def test_greatest_least(self, registry):
+        assert registry.call("greatest", (1, 5, 3)) == 5
+        assert registry.call("least", (1, 5, 3)) == 1
+
+    def test_type_errors_surface(self, registry):
+        with pytest.raises(TypeMismatchError):
+            registry.call("abs", ("not a number",))
+
+
+class TestStrictness:
+    def test_strict_function_returns_null_on_null_arg(self, registry):
+        assert registry.call("abs", (None,)) is None
+
+    def test_strict_null_shortcut_not_counted(self, registry):
+        registry.call("abs", (None,))
+        assert registry.call_count("abs") == 0
+        registry.call("abs", (1,))
+        assert registry.call_count("abs") == 1
+
+    def test_non_strict_function_sees_nulls(self, registry):
+        registry.register("always42", lambda *a: 42, strict=False)
+        assert registry.call("always42", (None,)) == 42
+
+
+class TestRegistration:
+    def test_register_and_call_udf(self, registry):
+        registry.register("twice", lambda v: v * 2)
+        assert registry.call("twice", (21,)) == 42
+
+    def test_names_are_case_insensitive(self, registry):
+        registry.register("MyFunc", lambda: 1)
+        assert "myfunc" in registry
+        assert registry.call("MYFUNC", ()) == 1
+
+    def test_unknown_function_raises(self, registry):
+        with pytest.raises(ExpressionError):
+            registry.call("no_such_function", ())
+
+    def test_unregister(self, registry):
+        registry.register("gone", lambda: 1)
+        registry.unregister("gone")
+        assert "gone" not in registry
+
+    def test_replace_existing(self, registry):
+        registry.register("f", lambda: 1)
+        registry.register("f", lambda: 2)
+        assert registry.call("f", ()) == 2
+
+
+class TestCounters:
+    def test_counts_accumulate(self, registry):
+        registry.register("cw", lambda a, b: True)
+        for _ in range(5):
+            registry.call("cw", (1, 2))
+        assert registry.call_count("cw") == 5
+
+    def test_reset_counters(self, registry):
+        registry.register("cw", lambda: True)
+        registry.call("cw", ())
+        registry.reset_counters()
+        assert registry.call_count("cw") == 0
+
+    def test_unknown_function_count_is_zero(self, registry):
+        assert registry.call_count("missing") == 0

@@ -1,0 +1,122 @@
+"""Join execution tests: hash equi-joins, nested loops, outer joins."""
+
+import pytest
+
+from repro.engine import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("create table a (id integer, av text)")
+    database.execute("create table b (id integer, bv text)")
+    database.execute("insert into a values (1, 'a1'), (2, 'a2'), (3, 'a3')")
+    database.execute("insert into b values (2, 'b2'), (3, 'b3'), (3, 'b3x'), (4, 'b4')")
+    return database
+
+
+class TestInnerJoin:
+    def test_equi_join(self, db):
+        result = db.query("select av, bv from a join b on a.id = b.id")
+        assert sorted(result.rows) == [("a2", "b2"), ("a3", "b3"), ("a3", "b3x")]
+
+    def test_equi_join_reversed_condition(self, db):
+        result = db.query("select av, bv from a join b on b.id = a.id")
+        assert len(result) == 3
+
+    def test_join_with_residual_condition(self, db):
+        result = db.query(
+            "select av, bv from a join b on a.id = b.id and bv <> 'b3x'"
+        )
+        assert sorted(result.rows) == [("a2", "b2"), ("a3", "b3")]
+
+    def test_non_equi_join_falls_back_to_nested_loop(self, db):
+        result = db.query("select av, bv from a join b on a.id < b.id")
+        assert len(result) == 8  # 1<{2,3,3,4}, 2<{3,3,4}, 3<{4}
+
+    def test_null_keys_never_join(self, db):
+        db.execute("insert into a values (null, 'anull')")
+        db.execute("insert into b values (null, 'bnull')")
+        result = db.query("select av, bv from a join b on a.id = b.id")
+        assert all("null" not in row[0] for row in result.rows)
+
+    def test_three_way_join(self, db):
+        db.execute("create table c (id integer, cv text)")
+        db.execute("insert into c values (3, 'c3')")
+        result = db.query(
+            "select av, bv, cv from a join b on a.id = b.id "
+            "join c on a.id = c.id"
+        )
+        assert sorted(result.rows) == [("a3", "b3", "c3"), ("a3", "b3x", "c3")]
+
+    def test_self_join_with_aliases(self, db):
+        result = db.query(
+            "select x.av, y.av from a x join a y on x.id = y.id"
+        )
+        assert len(result) == 3
+
+
+class TestCrossJoin:
+    def test_explicit_cross_join(self, db):
+        assert len(db.query("select 1 from a cross join b")) == 12
+
+    def test_comma_cross_join(self, db):
+        assert len(db.query("select 1 from a, b")) == 12
+
+    def test_comma_join_with_where_acts_as_inner(self, db):
+        result = db.query("select av, bv from a, b where a.id = b.id")
+        assert len(result) == 3
+
+
+class TestOuterJoins:
+    def test_left_join_pads_missing(self, db):
+        result = db.query(
+            "select av, bv from a left join b on a.id = b.id order by av"
+        )
+        assert ("a1", None) in result.rows
+        assert len(result) == 4
+
+    def test_right_join_pads_missing(self, db):
+        result = db.query("select av, bv from a right join b on a.id = b.id")
+        assert (None, "b4") in result.rows
+        assert len(result) == 4
+
+    def test_left_join_null_filtering(self, db):
+        result = db.query(
+            "select av from a left join b on a.id = b.id where bv is null"
+        )
+        assert result.column("av") == ["a1"]
+
+    def test_left_join_non_equi(self, db):
+        result = db.query("select av, bv from a left join b on a.id > b.id")
+        assert ("a1", None) in result.rows  # no b.id < 1
+
+    def test_left_join_residual_keeps_padding(self, db):
+        # residual condition that always fails → every left row padded
+        result = db.query(
+            "select av, bv from a left join b on a.id = b.id and bv = 'nope'"
+        )
+        assert len(result) == 3
+        assert all(row[1] is None for row in result.rows)
+
+
+class TestJoinCorrectnessAgainstCross:
+    """Hash join must agree with the naive cross-join + filter plan."""
+
+    def test_equivalence(self, db):
+        fast = db.query("select av, bv from a join b on a.id = b.id")
+        slow = db.query("select av, bv from a, b where a.id = b.id")
+        assert sorted(fast.rows) == sorted(slow.rows)
+
+    def test_equivalence_with_composite_key(self, db):
+        db.execute("create table c1 (x integer, y integer)")
+        db.execute("create table c2 (x integer, y integer)")
+        db.execute("insert into c1 values (1,1),(1,2),(2,1)")
+        db.execute("insert into c2 values (1,1),(1,2),(2,2)")
+        fast = db.query(
+            "select c1.x, c1.y from c1 join c2 on c1.x = c2.x and c1.y = c2.y"
+        )
+        slow = db.query(
+            "select c1.x, c1.y from c1, c2 where c1.x = c2.x and c1.y = c2.y"
+        )
+        assert sorted(fast.rows) == sorted(slow.rows)

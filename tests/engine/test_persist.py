@@ -1,0 +1,97 @@
+"""Persistence tests: snapshot round-trips and admin re-attachment."""
+
+import pytest
+
+from repro.core import AccessControlManager, EnforcementMonitor, Policy, PolicyRule
+from repro.engine import Database, persist
+from repro.engine.types import BitString
+from repro.errors import ConfigurationError, EngineError
+from repro.workload import apply_experiment_policies
+
+
+class TestRoundTrip:
+    def test_schema_and_rows_roundtrip(self):
+        database = Database("snap")
+        database.execute(
+            "create table t (a integer primary key, b text not null, "
+            "c double, d boolean)"
+        )
+        database.execute("insert into t values (1, 'x', 2.5, true)")
+        database.execute("insert into t values (2, 'y', null, false)")
+        restored = persist.loads(persist.dumps(database))
+        assert restored.name == "snap"
+        assert restored.table("t").schema.column_names == ("a", "b", "c", "d")
+        assert restored.table("t").rows == database.table("t").rows
+        assert restored.table("t").schema.columns[0].primary_key
+        assert restored.table("t").schema.columns[1].not_null
+
+    def test_bitstring_values_roundtrip(self):
+        database = Database()
+        database.execute("create table t (p bit varying)")
+        database.table("t").insert_row((BitString.from_bits("010110"),))
+        database.table("t").insert_row((None,))
+        restored = persist.loads(persist.dumps(database))
+        values = restored.table("t").column_values("p")
+        assert values[0] == BitString.from_bits("010110")
+        assert values[1] is None
+
+    def test_restored_database_is_queryable(self):
+        database = Database()
+        database.execute("create table t (v integer)")
+        database.execute("insert into t values (1), (2), (3)")
+        restored = persist.loads(persist.dumps(database))
+        assert restored.query("select sum(v) from t").scalar() == 6
+
+    def test_file_roundtrip(self, tmp_path):
+        database = Database()
+        database.execute("create table t (v integer)")
+        database.execute("insert into t values (42)")
+        path = tmp_path / "snapshot.json"
+        persist.dump(database, path)
+        restored = persist.load(path)
+        assert restored.query("select v from t").scalar() == 42
+
+    def test_version_checked(self):
+        with pytest.raises(EngineError):
+            persist.from_document({"version": 99, "tables": []})
+
+    def test_default_values_roundtrip(self):
+        database = Database()
+        database.execute("create table t (v integer default 7)")
+        restored = persist.loads(persist.dumps(database))
+        restored.execute("insert into t (v) values (1)")
+        assert restored.table("t").schema.columns[0].default == 7
+
+
+class TestAdminReattachment:
+    def test_from_existing_restores_enforcement(self, policy_scenario):
+        snapshot = persist.dumps(policy_scenario.database)
+        restored_db = persist.loads(snapshot)
+        admin = AccessControlManager.from_existing(restored_db)
+        monitor = EnforcementMonitor(admin)
+
+        original = policy_scenario.monitor.execute(
+            "select user_id from users", "p1"
+        )
+        restored = monitor.execute("select user_id from users", "p1")
+        assert sorted(restored.rows) == sorted(original.rows)
+
+    def test_from_existing_restores_purposes_and_categories(self, scenario):
+        snapshot = persist.dumps(scenario.database)
+        admin = AccessControlManager.from_existing(persist.loads(snapshot))
+        assert admin.purposes.ids() == scenario.admin.purposes.ids()
+        assert (
+            admin.category("sensed_data", "temperature")
+            is scenario.admin.category("sensed_data", "temperature")
+        )
+
+    def test_from_existing_requires_configured_db(self):
+        with pytest.raises(ConfigurationError):
+            AccessControlManager.from_existing(Database())
+
+    def test_reattached_admin_can_evolve(self, policy_scenario):
+        restored_db = persist.loads(persist.dumps(policy_scenario.database))
+        admin = AccessControlManager.from_existing(restored_db)
+        admin.apply_policy(Policy("users", (PolicyRule.pass_none(),)))
+        monitor = EnforcementMonitor(admin)
+        assert len(monitor.execute("select user_id from users", "p1")) == 0

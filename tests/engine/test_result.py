@@ -1,0 +1,68 @@
+"""ResultSet accessor tests."""
+
+import pytest
+
+from repro.engine.result import ResultSet, combine_set_operation
+from repro.errors import ExecutionError
+
+
+@pytest.fixture()
+def result():
+    return ResultSet(["name", "salary"], [("ann", 100), ("bob", 80)])
+
+
+class TestAccessors:
+    def test_len_iter_bool(self, result):
+        assert len(result) == 2
+        assert list(result) == [("ann", 100), ("bob", 80)]
+        assert result
+        assert not ResultSet(["x"], [])
+
+    def test_first(self, result):
+        assert result.first() == ("ann", 100)
+        assert ResultSet(["x"], []).first() is None
+
+    def test_scalar(self):
+        assert ResultSet(["x"], [(42,)]).scalar() == 42
+
+    def test_scalar_requires_1x1(self, result):
+        with pytest.raises(ExecutionError):
+            result.scalar()
+        with pytest.raises(ExecutionError):
+            ResultSet(["x"], []).scalar()
+
+    def test_column_case_insensitive(self, result):
+        assert result.column("SALARY") == [100, 80]
+
+    def test_unknown_column(self, result):
+        with pytest.raises(ExecutionError):
+            result.column("nope")
+
+    def test_to_dicts(self, result):
+        assert result.to_dicts()[0] == {"name": "ann", "salary": 100}
+
+    def test_sorted_handles_mixed_none(self):
+        unsorted = ResultSet(["v"], [(2,), (None,), (1,)])
+        assert unsorted.sorted().rows[-1] == (None,)
+
+
+class TestCombine:
+    def test_arity_checked(self):
+        with pytest.raises(ExecutionError):
+            combine_set_operation(
+                ResultSet(["a"], []), ResultSet(["a", "b"], []), "UNION", False
+            )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ExecutionError):
+            combine_set_operation(
+                ResultSet(["a"], []), ResultSet(["a"], []), "MERGE", False
+            )
+
+    def test_union_names_from_left(self):
+        combined = combine_set_operation(
+            ResultSet(["left"], [(1,)]), ResultSet(["right"], [(2,)]),
+            "UNION", False,
+        )
+        assert combined.columns == ["left"]
+        assert sorted(combined.rows) == [(1,), (2,)]

@@ -1,0 +1,139 @@
+"""Set-operation tests: UNION / INTERSECT / EXCEPT (+ ALL variants)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExecutionError
+from repro.sql import ast, parse_statement, to_sql
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("create table a (v integer)")
+    database.execute("create table b (v integer)")
+    database.execute("insert into a values (1), (2), (2), (3)")
+    database.execute("insert into b values (2), (3), (3), (4)")
+    return database
+
+
+class TestParsing:
+    def test_union_parses_to_set_operation(self):
+        statement = parse_statement("select 1 union select 2")
+        assert isinstance(statement, ast.SetOperation)
+        assert statement.op == "UNION"
+        assert not statement.all
+
+    def test_union_all(self):
+        statement = parse_statement("select 1 union all select 2")
+        assert statement.all
+
+    def test_chain_is_left_associative(self):
+        statement = parse_statement("select 1 union select 2 except select 3")
+        assert statement.op == "EXCEPT"
+        assert isinstance(statement.left, ast.SetOperation)
+        assert statement.left.op == "UNION"
+
+    def test_branches(self):
+        statement = parse_statement(
+            "select 1 union select 2 intersect select 3"
+        )
+        assert len(statement.branches()) == 3
+
+    def test_roundtrip(self):
+        sql = "select v from a union all select v from b"
+        printed = to_sql(parse_statement(sql))
+        assert to_sql(parse_statement(printed)) == printed
+
+
+class TestSemantics:
+    def test_union_dedupes(self, db):
+        result = db.query("select v from a union select v from b")
+        assert sorted(result.column("v")) == [1, 2, 3, 4]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.query("select v from a union all select v from b")
+        assert len(result) == 8
+
+    def test_intersect(self, db):
+        result = db.query("select v from a intersect select v from b")
+        assert sorted(result.column("v")) == [2, 3]
+
+    def test_intersect_all_multiplicity(self, db):
+        # a has one 3, b has two -> min multiplicity 1; a has two 2s, b one.
+        result = db.query("select v from a intersect all select v from b")
+        assert sorted(result.column("v")) == [2, 3]
+
+    def test_except(self, db):
+        result = db.query("select v from a except select v from b")
+        assert result.column("v") == [1]
+
+    def test_except_all_multiplicity(self, db):
+        # a's two 2s minus b's one 2 leaves one 2.
+        result = db.query("select v from a except all select v from b")
+        assert sorted(result.column("v")) == [1, 2]
+
+    def test_column_names_come_from_left(self, db):
+        result = db.query("select v as left_name from a union select v from b")
+        assert result.columns == ["left_name"]
+
+    def test_nulls_compare_equal_in_set_ops(self, db):
+        db.execute("insert into a values (null), (null)")
+        db.execute("insert into b values (null)")
+        result = db.query("select v from a intersect select v from b")
+        assert None in result.column("v")
+        union = db.query("select v from a union select v from b")
+        assert union.column("v").count(None) == 1
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("select v from a union select v, v from b")
+
+    def test_chain_evaluation(self, db):
+        result = db.query(
+            "select v from a union select v from b except select 4"
+        )
+        assert sorted(result.column("v")) == [1, 2, 3]
+
+
+class TestEnforcement:
+    def test_branches_enforced_independently(self, fresh_scenario):
+        from repro.core import Policy, PolicyRule
+
+        admin = fresh_scenario.admin
+        # users open, nutritional_profiles closed.
+        admin.apply_policy(Policy("users", (PolicyRule.pass_all(),)))
+        admin.apply_policy(
+            Policy("nutritional_profiles", (PolicyRule.pass_none(),))
+        )
+        result = fresh_scenario.monitor.execute_statement(
+            "select user_id from users "
+            "union all "
+            "select food_preferences from nutritional_profiles",
+            "p1",
+        )
+        # Only the users branch contributes rows.
+        assert len(result) == fresh_scenario.patients
+        assert all(value.startswith("user") for value in result.column("user_id"))
+
+    def test_union_dedupe_after_enforcement(self, fresh_scenario):
+        from repro.core import Policy, PolicyRule
+
+        fresh_scenario.admin.apply_policy(
+            Policy("users", (PolicyRule.pass_all(),))
+        )
+        result = fresh_scenario.monitor.execute_statement(
+            "select watch_id from users union select watch_id from users",
+            "p1",
+        )
+        assert len(result) == fresh_scenario.patients  # deduped
+
+    def test_set_operation_respects_user_authorization(self, fresh_scenario):
+        from repro.errors import UnauthorizedPurposeError
+
+        with pytest.raises(UnauthorizedPurposeError):
+            fresh_scenario.monitor.execute_statement(
+                "select user_id from users union select user_id from users",
+                "p1",
+                user="mallory",
+            )

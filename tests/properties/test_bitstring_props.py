@@ -1,0 +1,76 @@
+"""Property-based tests for BitString."""
+
+from hypothesis import given, strategies as st
+
+from repro.engine.types import BitString
+
+bits_text = st.text(alphabet="01", min_size=0, max_size=64)
+nonempty_bits = st.text(alphabet="01", min_size=1, max_size=64)
+
+
+@given(bits_text)
+def test_from_bits_roundtrip(bits):
+    assert BitString.from_bits(bits).bits() == bits
+
+
+@given(nonempty_bits)
+def test_indexing_matches_text(bits):
+    value = BitString.from_bits(bits)
+    for index, char in enumerate(bits):
+        assert value[index] == int(char)
+
+
+@given(bits_text, bits_text)
+def test_concatenation_matches_text(a, b):
+    assert (BitString.from_bits(a) + BitString.from_bits(b)).bits() == a + b
+
+
+@given(nonempty_bits, st.data())
+def test_substring_matches_slicing(bits, data):
+    value = BitString.from_bits(bits)
+    start = data.draw(st.integers(0, len(bits)))
+    length = data.draw(st.integers(0, len(bits) - start))
+    assert value.substring(start, length).bits() == bits[start : start + length]
+
+
+@given(st.integers(1, 64), st.data())
+def test_bitwise_ops_match_per_bit(length, data):
+    a = BitString.from_bits(data.draw(st.text("01", min_size=length, max_size=length)))
+    b = BitString.from_bits(data.draw(st.text("01", min_size=length, max_size=length)))
+    for index in range(length):
+        assert (a & b)[index] == (a[index] & b[index])
+        assert (a | b)[index] == (a[index] | b[index])
+        assert (a ^ b)[index] == (a[index] ^ b[index])
+        assert (~a)[index] == 1 - a[index]
+
+
+@given(bits_text)
+def test_and_identities(bits):
+    value = BitString.from_bits(bits)
+    assert value & value == value
+    assert value & BitString.ones(len(bits)) == value
+    assert value & BitString.zeros(len(bits)) == BitString.zeros(len(bits))
+
+
+@given(bits_text)
+def test_positions_roundtrip(bits):
+    value = BitString.from_bits(bits)
+    rebuilt = BitString.from_positions(value.positions(), len(bits))
+    assert rebuilt == value
+
+
+@given(nonempty_bits)
+def test_subset_characterization(bits):
+    """asm & rm == asm iff set-bits(asm) ⊆ set-bits(rm) — the property the
+    whole compliance encoding relies on (Def. 15)."""
+    import random
+
+    rng = random.Random(42)
+    rm = BitString.from_bits(bits)
+    # Derive a subset mask by clearing random bits.
+    asm_bits = "".join(
+        "0" if (char == "1" and rng.random() < 0.5) else char for char in bits
+    )
+    asm = BitString.from_bits(asm_bits)
+    assert (asm & rm) == asm
+    assert set(asm.positions()) <= set(rm.positions())

@@ -1,0 +1,121 @@
+"""Property: mask-level compliance (Defs. 14-16) ≡ object-level (Defs. 5-6).
+
+Random rules and random action signatures over the sensed_data layout must
+produce identical verdicts from ``complies_with`` on the encoded masks and
+from the explicit object-level checks — the central correctness claim of the
+encoding strategy of Section 5.3.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    JointAccess,
+    MaskLayout,
+    Multiplicity,
+    Policy,
+    PolicyRule,
+    action_complies_with_policy,
+    complies_with,
+    default_purpose_set,
+)
+from repro.core.signatures import ActionSignature
+
+COLUMNS = ("watch_id", "timestamp", "temperature", "position", "beats")
+PURPOSE_IDS = tuple(f"p{i}" for i in range(1, 9))
+CATEGORY_CODES = ("i", "q", "s", "g")
+
+LAYOUT = MaskLayout("sensed_data", COLUMNS, default_purpose_set())
+
+
+def action_types():
+    joint = st.frozensets(st.sampled_from(CATEGORY_CODES)).map(JointAccess)
+    indirect = joint.map(ActionType.indirect)
+    direct = st.builds(
+        ActionType.direct,
+        st.sampled_from((Multiplicity.SINGLE, Multiplicity.MULTIPLE)),
+        st.sampled_from((Aggregation.AGGREGATION, Aggregation.NO_AGGREGATION)),
+        joint,
+    )
+    return st.one_of(indirect, direct)
+
+
+def rules():
+    ordinary = st.builds(
+        lambda columns, purposes, action: PolicyRule(
+            frozenset(columns), frozenset(purposes), action
+        ),
+        st.frozensets(st.sampled_from(COLUMNS), min_size=1),
+        st.frozensets(st.sampled_from(PURPOSE_IDS)),
+        action_types(),
+    )
+    return st.one_of(
+        ordinary,
+        st.just(PolicyRule.pass_all()),
+        st.just(PolicyRule.pass_none()),
+    )
+
+
+def policies():
+    return st.lists(rules(), min_size=1, max_size=4).map(
+        lambda rule_list: Policy("sensed_data", tuple(rule_list))
+    )
+
+
+def signatures():
+    return st.builds(
+        lambda columns, action: ActionSignature(frozenset(columns), action),
+        st.frozensets(st.sampled_from(COLUMNS), min_size=1),
+        action_types(),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(signatures(), st.sampled_from(PURPOSE_IDS), policies())
+def test_mask_and_object_compliance_agree(signature, purpose, policy):
+    object_verdict = action_complies_with_policy(signature, purpose, policy)
+    mask_verdict = complies_with(
+        LAYOUT.signature_mask(signature.columns, signature.action_type, purpose),
+        LAYOUT.policy_mask(policy),
+    )
+    assert mask_verdict == object_verdict
+
+
+@settings(max_examples=100, deadline=None)
+@given(signatures(), st.sampled_from(PURPOSE_IDS), policies())
+def test_adding_pass_all_rule_grants(signature, purpose, policy):
+    extended = Policy(
+        "sensed_data", (*policy.rules, PolicyRule.pass_all())
+    )
+    assert complies_with(
+        LAYOUT.signature_mask(signature.columns, signature.action_type, purpose),
+        LAYOUT.policy_mask(extended),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(signatures(), st.sampled_from(PURPOSE_IDS), policies())
+def test_rule_order_is_irrelevant(signature, purpose, policy):
+    reversed_policy = Policy("sensed_data", tuple(reversed(policy.rules)))
+    mask = LAYOUT.signature_mask(
+        signature.columns, signature.action_type, purpose
+    )
+    assert complies_with(mask, LAYOUT.policy_mask(policy)) == complies_with(
+        mask, LAYOUT.policy_mask(reversed_policy)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(signatures(), st.sampled_from(PURPOSE_IDS))
+def test_rule_mask_decode_reencode_is_identity(signature, purpose):
+    rule = PolicyRule(
+        frozenset(signature.columns),
+        frozenset({purpose}),
+        signature.action_type,
+    )
+    mask = LAYOUT.rule_mask(rule)
+    decoded = LAYOUT.decode_rule_mask(mask)
+    assert decoded["columns"] == set(rule.columns)
+    assert decoded["purposes"] == set(rule.purposes)
+    assert decoded["joint_access"].allowed == rule.action_type.joint_access.allowed

@@ -1,0 +1,126 @@
+"""Property: policy-mask migration preserves compliance verdicts.
+
+After adding a purpose or a column, re-encoding a stored mask under the new
+layout must give the same verdict for every signature expressible under the
+*old* layout (old purposes, old columns).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ActionType,
+    Aggregation,
+    JointAccess,
+    MaskLayout,
+    Multiplicity,
+    Policy,
+    PolicyManager,
+    PolicyRule,
+    Purpose,
+    complies_with,
+    default_purpose_set,
+)
+from repro.core.policy_manager import PolicyManager as _PM
+
+OLD_COLUMNS = ("watch_id", "timestamp", "temperature", "position", "beats")
+NEW_COLUMNS = (*OLD_COLUMNS, "oxygen")
+OLD_PURPOSES = tuple(f"p{i}" for i in range(1, 9))
+CATEGORY_CODES = ("i", "q", "s", "g")
+
+
+def new_purpose_set():
+    purposes = default_purpose_set()
+    purposes.add(Purpose("p0", "archiving"))  # sorts first: shifts every bit
+    return purposes
+
+
+OLD_LAYOUT = MaskLayout("sensed_data", OLD_COLUMNS, default_purpose_set())
+NEW_LAYOUT = MaskLayout("sensed_data", NEW_COLUMNS, new_purpose_set())
+
+
+def action_types():
+    joint = st.frozensets(st.sampled_from(CATEGORY_CODES)).map(JointAccess)
+    return st.one_of(
+        joint.map(ActionType.indirect),
+        st.builds(
+            ActionType.direct,
+            st.sampled_from((Multiplicity.SINGLE, Multiplicity.MULTIPLE)),
+            st.sampled_from((Aggregation.AGGREGATION, Aggregation.NO_AGGREGATION)),
+            joint,
+        ),
+    )
+
+
+def rules():
+    ordinary = st.builds(
+        lambda columns, purposes, action: PolicyRule(
+            frozenset(columns), frozenset(purposes), action
+        ),
+        st.frozensets(st.sampled_from(OLD_COLUMNS), min_size=1),
+        st.frozensets(st.sampled_from(OLD_PURPOSES)),
+        action_types(),
+    )
+    return st.one_of(
+        ordinary, st.just(PolicyRule.pass_all()), st.just(PolicyRule.pass_none())
+    )
+
+
+def migrate_mask(mask):
+    # Reuse the manager's private migration logic directly on layouts.
+    manager = object.__new__(_PM)
+    return manager._migrate_mask(mask, OLD_LAYOUT, NEW_LAYOUT)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(rules(), min_size=1, max_size=3),
+    st.frozensets(st.sampled_from(OLD_COLUMNS), min_size=1),
+    action_types(),
+    st.sampled_from(OLD_PURPOSES),
+)
+def test_migration_preserves_old_verdicts(rule_list, columns, action, purpose):
+    policy = Policy("sensed_data", tuple(rule_list))
+    old_mask = OLD_LAYOUT.policy_mask(policy)
+    new_mask = migrate_mask(old_mask)
+
+    old_verdict = complies_with(
+        OLD_LAYOUT.signature_mask(columns, action, purpose), old_mask
+    )
+    new_verdict = complies_with(
+        NEW_LAYOUT.signature_mask(columns, action, purpose), new_mask
+    )
+    assert new_verdict == old_verdict
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(rules(), min_size=1, max_size=3), action_types())
+def test_migration_grants_nothing_to_new_purpose(rule_list, action):
+    """Only pass-all rules may authorize the newly added purpose."""
+    policy = Policy("sensed_data", tuple(rule_list))
+    new_mask = migrate_mask(OLD_LAYOUT.policy_mask(policy))
+    verdict = complies_with(
+        NEW_LAYOUT.signature_mask(("beats",), action, "p0"), new_mask
+    )
+    has_pass_all = any(
+        rule.special is not None and rule.special.value == "pass-all"
+        for rule in policy.rules
+    )
+    if not has_pass_all:
+        assert not verdict
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(rules(), min_size=1, max_size=3), action_types())
+def test_migration_grants_nothing_on_new_column(rule_list, action):
+    """Only pass-all rules may cover the newly added column."""
+    policy = Policy("sensed_data", tuple(rule_list))
+    new_mask = migrate_mask(OLD_LAYOUT.policy_mask(policy))
+    verdict = complies_with(
+        NEW_LAYOUT.signature_mask(("oxygen",), action, "p1"), new_mask
+    )
+    has_pass_all = any(
+        rule.special is not None and rule.special.value == "pass-all"
+        for rule in policy.rules
+    )
+    if not has_pass_all:
+        assert not verdict

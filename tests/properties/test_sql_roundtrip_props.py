@@ -1,0 +1,120 @@
+"""Property: printing a generated SELECT AST and re-parsing it is lossless.
+
+Random ASTs are built bottom-up from hypothesis strategies covering the full
+expression grammar (including nested subqueries); ``to_sql`` output must
+re-parse to an equal AST.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast, parse_select, to_sql
+
+names = st.sampled_from(("a", "b", "c", "watch_id", "temperature"))
+table_names = st.sampled_from(("t", "users", "sensed_data"))
+
+
+def literals():
+    return st.one_of(
+        st.integers(-1000, 1000).map(ast.Literal),
+        st.booleans().map(ast.Literal),
+        st.just(ast.Literal(None)),
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=8,
+        ).map(ast.Literal),
+        st.text(alphabet="01", min_size=1, max_size=12).map(ast.BitStringLiteral),
+    )
+
+
+def column_refs():
+    return st.builds(
+        ast.ColumnRef, names, st.one_of(st.none(), table_names)
+    )
+
+
+def expressions(depth: int = 2):
+    if depth == 0:
+        return st.one_of(literals(), column_refs())
+    sub = expressions(depth - 1)
+    return st.one_of(
+        literals(),
+        column_refs(),
+        st.builds(
+            ast.BinaryOp,
+            st.sampled_from(("AND", "OR", "=", "<>", "<", "<=", ">", ">=",
+                             "+", "-", "*", "/", "%", "||")),
+            sub,
+            sub,
+        ),
+        st.builds(ast.UnaryOp, st.sampled_from(("NOT", "-")), sub),
+        st.builds(
+            ast.FunctionCall,
+            st.sampled_from(("avg", "count", "lower", "coalesce")),
+            st.tuples(sub),
+            st.booleans(),
+        ),
+        st.builds(ast.IsNull, sub, st.booleans()),
+        st.builds(ast.Like, sub, st.just(ast.Literal("x%")), st.booleans()),
+        st.builds(ast.Between, sub, sub, sub, st.booleans()),
+        st.builds(
+            ast.InList, sub, st.tuples(sub, sub), st.booleans()
+        ),
+        st.builds(ast.Cast, sub, st.sampled_from(("INTEGER", "TEXT"))),
+        st.builds(
+            lambda condition, result, else_result: ast.CaseWhen(
+                ((condition, result),), None, else_result
+            ),
+            sub, sub, st.one_of(st.none(), sub),
+        ),
+    )
+
+
+def simple_selects():
+    return st.builds(
+        lambda items, table, where, distinct: ast.Select(
+            items=tuple(ast.SelectItem(e) for e in items),
+            sources=(ast.TableName(table),),
+            where=where,
+            distinct=distinct,
+        ),
+        st.lists(expressions(1), min_size=1, max_size=3),
+        table_names,
+        st.one_of(st.none(), expressions(1)),
+        st.booleans(),
+    )
+
+
+def selects():
+    base = simple_selects()
+    with_subquery = st.builds(
+        lambda outer, inner, negated: ast.Select(
+            items=outer.items,
+            sources=outer.sources,
+            where=ast.InSubquery(ast.ColumnRef("a"), inner, negated),
+        ),
+        base, base, st.booleans(),
+    )
+    with_derived = st.builds(
+        lambda inner, alias: ast.Select(
+            items=(ast.SelectItem(ast.Star()),),
+            sources=(ast.SubquerySource(inner, alias),),
+        ),
+        base, st.sampled_from(("d", "s1")),
+    )
+    return st.one_of(base, with_subquery, with_derived)
+
+
+@settings(max_examples=250, deadline=None)
+@given(selects())
+def test_print_parse_roundtrip(select):
+    printed = to_sql(select)
+    reparsed = parse_select(printed)
+    assert to_sql(reparsed) == printed
+
+
+@settings(max_examples=250, deadline=None)
+@given(expressions(3))
+def test_expression_roundtrip(expression):
+    select = ast.Select((ast.SelectItem(expression),))
+    printed = to_sql(select)
+    assert to_sql(parse_select(printed)) == printed

@@ -1,0 +1,125 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_normalized_upper(self):
+        tokens = tokenize("select from WHERE Group")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE", "GROUP"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_spelling(self):
+        tokens = tokenize("Users watch_ID")
+        assert [t.value for t in tokens[:-1]] == ["Users", "watch_ID"]
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+
+    def test_type_words_are_soft_keywords(self):
+        # `timestamp` is a column of the paper's sensed_data table.
+        tokens = tokenize("timestamp integer bit varying")
+        assert all(t.type is TokenType.IDENTIFIER for t in tokens[:-1])
+
+    def test_eof_token_terminates_stream(self):
+        assert tokenize("select")[-1].type is TokenType.EOF
+
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestLiterals:
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "42"
+
+    def test_float_literal(self):
+        assert tokenize("3.75")[0].value == "3.75"
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e6")[0].value == "1e6"
+        assert tokenize("2.5E-3")[0].value == "2.5E-3"
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == ".5"
+
+    def test_string_literal_content_is_decoded(self):
+        token = tokenize("'no_intolerance'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "no_intolerance"
+
+    def test_string_literal_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_bitstring_literal(self):
+        token = tokenize("b'010110'")[0]
+        assert token.type is TokenType.BITSTRING
+        assert token.value == "010110"
+
+    def test_bitstring_uppercase_prefix(self):
+        assert tokenize("B'11'")[0].type is TokenType.BITSTRING
+
+    def test_unterminated_bitstring_raises(self):
+        with pytest.raises(LexError):
+            tokenize("b'0101")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"select"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "select"
+
+
+class TestOperatorsAndPunctuation:
+    def test_multi_char_operators(self):
+        assert values("a <= b >= c <> d != e || f") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "||", "f",
+        ]
+
+    def test_single_char_operators(self):
+        assert values("a+b-c*d/e%f=g") == [
+            "a", "+", "b", "-", "c", "*", "d", "/", "e", "%", "f", "=", "g",
+        ]
+
+    def test_punctuation(self):
+        assert values("f(a, b.c);") == ["f", "(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a ? b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert values("select -- a comment\n1") == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        assert values("select /* anything\nhere */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("select /* never closed")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("select\n  x")
+        x = tokens[1]
+        assert x.line == 2
+        assert x.column == 3

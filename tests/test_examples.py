@@ -1,0 +1,25 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(EXAMPLES_DIR.glob("*.py")),
+    ids=lambda path: path.stem,
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart", "nursing_home", "policy_administration",
+            "experiment_tour"} <= names

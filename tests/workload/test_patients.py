@@ -1,0 +1,62 @@
+"""Patients-scenario generator tests (Section 3 / Section 6 data rules)."""
+
+from repro.workload import build_patients_scenario, CATEGORIZATION
+
+
+class TestSchemaAndData:
+    def test_tables_exist(self, scenario):
+        for table in ("users", "sensed_data", "nutritional_profiles"):
+            assert scenario.database.has_table(table)
+
+    def test_row_counts_follow_section6(self, scenario):
+        # One users row and one profile per patient, N samples each.
+        database = scenario.database
+        assert len(database.table("users")) == scenario.patients
+        assert len(database.table("nutritional_profiles")) == scenario.patients
+        assert len(database.table("sensed_data")) == scenario.sensed_rows
+
+    def test_every_patient_has_watch_and_profile(self, scenario):
+        result = scenario.database.query(
+            "select count(*) from users join nutritional_profiles "
+            "on users.nutritional_profile_id = nutritional_profiles.profile_id"
+        )
+        assert result.scalar() == scenario.patients
+
+    def test_sensed_rows_reference_existing_watches(self, scenario):
+        orphans = scenario.database.query(
+            "select count(*) from sensed_data where watch_id not in "
+            "(select watch_id from users)"
+        )
+        assert orphans.scalar() == 0
+
+    def test_value_domains(self, scenario):
+        result = scenario.database.query(
+            "select min(temperature), max(temperature), min(beats), max(beats) "
+            "from sensed_data"
+        )
+        tmin, tmax, bmin, bmax = result.first()
+        assert 35.0 <= tmin <= tmax <= 41.0
+        assert 50 <= bmin <= bmax <= 140
+
+    def test_deterministic_for_seed(self):
+        a = build_patients_scenario(patients=5, samples_per_patient=3, seed=42)
+        b = build_patients_scenario(patients=5, samples_per_patient=3, seed=42)
+        assert a.database.table("sensed_data").rows == b.database.table("sensed_data").rows
+
+    def test_different_seeds_differ(self):
+        a = build_patients_scenario(patients=5, samples_per_patient=3, seed=1)
+        b = build_patients_scenario(patients=5, samples_per_patient=3, seed=2)
+        assert a.database.table("sensed_data").rows != b.database.table("sensed_data").rows
+
+
+class TestConfiguration:
+    def test_purposes_p1_to_p8(self, scenario):
+        assert scenario.admin.purposes.ids() == tuple(f"p{i}" for i in range(1, 9))
+
+    def test_figure2_categories_installed(self, scenario):
+        pm_rows = scenario.database.query("select at, tb, ct from pm").rows
+        assert len(pm_rows) == len(CATEGORIZATION)
+
+    def test_policy_columns_installed(self, scenario):
+        for table in ("users", "sensed_data", "nutritional_profiles"):
+            assert "policy" in scenario.database.table(table).schema

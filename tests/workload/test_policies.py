@@ -1,0 +1,135 @@
+"""Scattered-policy generation tests (Section 6.1)."""
+
+import random
+
+import pytest
+
+from repro.core import complies_with
+from repro.engine.types import BitString
+from repro.workload import (
+    ScatteredPolicySpec,
+    apply_experiment_policies,
+    apply_scattered_policies,
+    compliance_flags,
+    scattered_policy,
+)
+
+
+class TestScatteredPolicy:
+    def test_compliant_policy_contains_one_pass_all(self):
+        policy = scattered_policy("users", True, 3, 1)
+        specials = [rule.special.value for rule in policy.rules]
+        assert specials.count("pass-all") == 1
+        assert specials.count("pass-none") == 2
+
+    def test_non_compliant_policy_is_all_pass_none(self):
+        policy = scattered_policy("users", False, 3, 0)
+        assert all(rule.special.value == "pass-none" for rule in policy.rules)
+
+    def test_pass_all_position_wraps(self):
+        policy = scattered_policy("users", True, 2, 5)
+        assert policy.rules[1].special.value == "pass-all"
+
+
+class TestComplianceFlags:
+    def test_exact_fraction(self):
+        flags = compliance_flags(100, 0.4, random.Random(1))
+        assert flags.count(False) == 40
+        assert flags.count(True) == 60
+
+    def test_rounding(self):
+        flags = compliance_flags(10, 0.25, random.Random(1))
+        assert flags.count(False) == 2  # round(2.5) banker's → 2
+
+    def test_extremes(self):
+        assert all(compliance_flags(10, 0.0, random.Random(1)))
+        assert not any(compliance_flags(10, 1.0, random.Random(1)))
+
+    def test_shuffled(self):
+        flags = compliance_flags(1000, 0.5, random.Random(1))
+        # Not all the Falses at the front.
+        assert flags[:500].count(False) not in (0, 500)
+
+
+class TestSpecValidation:
+    def test_selectivity_range_enforced(self):
+        with pytest.raises(ValueError):
+            ScatteredPolicySpec(1.5)
+        with pytest.raises(ValueError):
+            ScatteredPolicySpec(-0.1)
+
+    def test_rule_range_enforced(self):
+        with pytest.raises(ValueError):
+            ScatteredPolicySpec(0.5, min_rules=0)
+        with pytest.raises(ValueError):
+            ScatteredPolicySpec(0.5, min_rules=3, max_rules=2)
+
+
+class TestApplication:
+    def test_every_row_gets_a_mask(self, fresh_scenario):
+        spec = ScatteredPolicySpec(0.4)
+        apply_scattered_policies(
+            fresh_scenario.admin, "users", spec, random.Random(1)
+        )
+        masks = fresh_scenario.admin.policy_masks("users")
+        assert all(isinstance(mask, BitString) for mask in masks)
+
+    def test_rule_counts_within_spec(self, fresh_scenario):
+        spec = ScatteredPolicySpec(0.5, min_rules=1, max_rules=3)
+        apply_scattered_policies(
+            fresh_scenario.admin, "users", spec, random.Random(1)
+        )
+        layout = fresh_scenario.admin.layout("users")
+        for mask in fresh_scenario.admin.policy_masks("users"):
+            rules = len(mask) // layout.rule_length
+            assert 1 <= rules <= 3
+
+    def test_assignment_fraction_matches_selectivity(self, fresh_scenario):
+        spec = ScatteredPolicySpec(0.4)
+        assignment = apply_scattered_policies(
+            fresh_scenario.admin, "users", spec, random.Random(1)
+        )
+        non_compliant = sum(1 for c in assignment.values() if not c)
+        assert non_compliant == round(0.4 * fresh_scenario.patients)
+
+    def test_entity_grouping_shares_masks(self, fresh_scenario):
+        # All samples of one watch share the same policy (Section 6 rule 2).
+        spec = ScatteredPolicySpec(0.4)
+        apply_scattered_policies(
+            fresh_scenario.admin, "sensed_data", spec, random.Random(1),
+            entity_column="watch_id",
+        )
+        table = fresh_scenario.database.table("sensed_data")
+        watch_index = table.schema.column_index("watch_id")
+        policy_index = table.schema.column_index("policy")
+        per_watch: dict = {}
+        for row in table.rows:
+            per_watch.setdefault(row[watch_index], set()).add(row[policy_index])
+        assert all(len(masks) == 1 for masks in per_watch.values())
+
+    def test_compliant_mask_passes_any_signature(self, policy_scenario):
+        admin = policy_scenario.admin
+        layout = admin.layout("users")
+        from repro.core import ActionType, JointAccess
+
+        signature = layout.signature_mask(
+            ["user_id"], ActionType.indirect(JointAccess.all(admin.categories)), "p1"
+        )
+        results = {
+            complies_with(signature, mask)
+            for mask in admin.policy_masks("users")
+        }
+        assert results == {True, False}  # both kinds present at s=0.4
+
+    def test_apply_experiment_policies_covers_all_tables(self, fresh_scenario):
+        assignments = apply_experiment_policies(fresh_scenario, 0.2, seed=3)
+        assert set(assignments) == {"users", "nutritional_profiles", "sensed_data"}
+        # sensed_data assignment is keyed by watch entity.
+        assert len(assignments["sensed_data"]) == fresh_scenario.patients
+
+    def test_reapplication_changes_masks(self, fresh_scenario):
+        apply_experiment_policies(fresh_scenario, 0.0, seed=3)
+        before = list(fresh_scenario.admin.policy_masks("users"))
+        apply_experiment_policies(fresh_scenario, 1.0, seed=3)
+        after = list(fresh_scenario.admin.policy_masks("users"))
+        assert before != after

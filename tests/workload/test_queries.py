@@ -1,0 +1,117 @@
+"""q1-q8 and random-query generator tests (Figures 4 and 5)."""
+
+import pytest
+
+from repro.sql import parse_select
+from repro.workload import (
+    AD_HOC_QUERIES,
+    RANDOM_QUERY_CLASSES,
+    RandomQueryGenerator,
+    get_query,
+    random_queries,
+)
+
+
+class TestAdHocQueries:
+    def test_eight_queries(self):
+        assert [q.name for q in AD_HOC_QUERIES] == [f"q{i}" for i in range(1, 9)]
+
+    @pytest.mark.parametrize("query", AD_HOC_QUERIES, ids=lambda q: q.name)
+    def test_parses(self, query):
+        parse_select(query.sql)
+
+    @pytest.mark.parametrize("query", AD_HOC_QUERIES, ids=lambda q: q.name)
+    def test_executes_unprotected(self, scenario, query):
+        scenario.monitor.execute_unprotected(query.sql)
+
+    def test_lookup(self):
+        assert get_query("Q5").name == "q5"
+        with pytest.raises(KeyError):
+            get_query("q99")
+
+    def test_q8_has_derived_table(self):
+        from repro.sql import ast
+
+        select = parse_select(get_query("q8").sql)
+        sources = list(ast.select_sources(select))
+        assert any(isinstance(s, ast.SubquerySource) for s in sources)
+
+    def test_q6_has_in_subquery(self):
+        from repro.sql import ast
+
+        select = parse_select(get_query("q6").sql)
+        subs = list(ast.iter_subqueries(select.where))
+        assert len(subs) == 1
+
+
+class TestRandomQueries:
+    def test_twenty_queries(self):
+        queries = random_queries(seed=1)
+        assert [q.name for q in queries] == [f"r{i}" for i in range(1, 21)]
+
+    def test_deterministic_per_seed(self):
+        assert random_queries(seed=5) == random_queries(seed=5)
+
+    def test_seeds_differ(self):
+        assert random_queries(seed=5) != random_queries(seed=6)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_parse(self, seed):
+        for query in random_queries(seed=seed):
+            parse_select(query.sql)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_all_execute(self, scenario, seed):
+        queries = random_queries(
+            seed=seed,
+            patients=scenario.patients,
+            samples=scenario.samples_per_patient,
+        )
+        for query in queries:
+            scenario.monitor.execute_unprotected(query.sql)
+
+    def test_figure5_class_structure(self):
+        """Each rI must exhibit the SQL features its Figure 5 class names."""
+        from repro.sql import ast
+
+        queries = random_queries(seed=9)
+        for query in queries:
+            kind = RANDOM_QUERY_CLASSES[query.name]
+            select = parse_select(query.sql)
+            sources = list(ast.select_sources(select))
+            has_join = any(
+                isinstance(s, ast.Join) for s in select.sources
+            )
+            has_aggregate = any(
+                ast.expression_aggregates(i.expression, ast.AGGREGATE_FUNCTIONS)
+                for i in select.items
+            )
+            if kind.startswith("join"):
+                assert has_join, query.name
+            else:
+                assert len(sources) == 1, query.name
+            if "aggregate" in kind:
+                assert has_aggregate, query.name
+            else:
+                assert not has_aggregate, query.name
+            if kind == "join_aggregate_having":
+                assert select.having is not None, query.name
+
+    def test_class_assignment_matches_figure5(self):
+        assert RANDOM_QUERY_CLASSES["r1"] == "single_aggregate"
+        assert RANDOM_QUERY_CLASSES["r2"] == "join_aggregate_having"
+        assert RANDOM_QUERY_CLASSES["r3"] == "join"
+        assert RANDOM_QUERY_CLASSES["r5"] == "join_aggregate"
+        assert RANDOM_QUERY_CLASSES["r6"] == "single"
+        assert len(RANDOM_QUERY_CLASSES) == 20
+
+    def test_generator_scales_value_domains(self):
+        generator = RandomQueryGenerator(seed=1, patients=50, samples=20)
+        profile = [
+            c for c in generator.columns if c.name == "profile_id"
+        ][0]
+        assert profile.numeric_range == (0, 49)
+        timestamp = [
+            c for c in generator.columns if c.name == "timestamp"
+        ][0]
+        assert timestamp.numeric_range == (1, 20)
