@@ -88,6 +88,18 @@ def main() -> None:
     print("What actually ran for the analytics aggregate:")
     print(" ", monitor.rewrite_sql("select avg(salary) from employees", "p2"))
 
+    # 5. Prepare once, execute many: the parse → sign → rewrite → plan
+    #    pipeline runs a single time; executions bind parameters against
+    #    the cached plan, and any later policy change transparently forces
+    #    a fresh rewrite (the cache key embeds the admin's policy epoch).
+    query = monitor.prepare(
+        "select avg(salary) from employees where role = :role", purpose="p2"
+    )
+    print()
+    for role in ("engineer", "manager", "analyst"):
+        print(f"analytics, avg {role:<8}:", query.execute({"role": role}).scalar())
+    print("plan cache              :", monitor.plan_cache_info())
+
 
 if __name__ == "__main__":
     main()

@@ -5,37 +5,51 @@ from .experiments import (
     Experiment2Result,
     run_experiment1,
     run_experiment2,
+    run_hotpath,
 )
 from .harness import (
     BENCH_PURPOSE,
     ExperimentConfig,
     ExperimentRun,
+    HotPathMeasurement,
+    HotPathRun,
     PAPER_SELECTIVITIES,
     QueryMeasurement,
     build_scenario,
     count_checks,
     experiment_queries,
+    measure_hotpath,
     measure_query,
     set_selectivity,
 )
-from .reporting import figure6_table, figure7_table, figure8_table
+from .reporting import (
+    figure6_table,
+    figure7_table,
+    figure8_table,
+    hotpath_table,
+)
 
 __all__ = [
     "DatasetScenarioResult",
     "Experiment2Result",
     "run_experiment1",
     "run_experiment2",
+    "run_hotpath",
     "BENCH_PURPOSE",
     "ExperimentConfig",
     "ExperimentRun",
+    "HotPathMeasurement",
+    "HotPathRun",
     "PAPER_SELECTIVITIES",
     "QueryMeasurement",
     "build_scenario",
     "count_checks",
     "experiment_queries",
+    "measure_hotpath",
     "measure_query",
     "set_selectivity",
     "figure6_table",
     "figure7_table",
     "figure8_table",
+    "hotpath_table",
 ]

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import argparse
 
-from .experiments import run_experiment1, run_experiment2
+from .experiments import run_experiment1, run_experiment2, run_hotpath
 from .harness import ExperimentConfig, PAPER_SELECTIVITIES
-from .reporting import figure6_table, figure7_table, figure8_table
+from .reporting import figure6_table, figure7_table, figure8_table, hotpath_table
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -42,8 +42,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=("fig6", "fig7", "fig8", "cub", "all"),
-        help="which figure to regenerate (cub = §5.6 bound vs measured)",
+        choices=("fig6", "fig7", "fig8", "cub", "hotpath", "all"),
+        help=(
+            "which figure to regenerate (cub = §5.6 bound vs measured, "
+            "hotpath = cold vs cached prepared-pipeline latency)"
+        ),
     )
     parser.add_argument("--patients", type=int, default=None)
     parser.add_argument("--samples", type=int, default=None, help="samples per patient")
@@ -80,6 +83,10 @@ def main(argv: list[str] | None = None) -> int:
             print()
     if args.figure in ("cub", "all"):
         print(cub_table(config))
+        if args.figure == "all":
+            print()
+    if args.figure in ("hotpath", "all"):
+        print(hotpath_table(run_hotpath(config)))
     return 0
 
 

@@ -15,8 +15,10 @@ from dataclasses import dataclass, field
 from .harness import (
     ExperimentConfig,
     ExperimentRun,
+    HotPathRun,
     build_scenario,
     experiment_queries,
+    measure_hotpath,
     measure_query,
     set_selectivity,
 )
@@ -38,6 +40,33 @@ def run_experiment1(config: ExperimentConfig | None = None) -> ExperimentRun:
         for query in queries:
             run.measurements.append(
                 measure_query(scenario, query, selectivity, config.repeat)
+            )
+    return run
+
+
+def run_hotpath(
+    config: ExperimentConfig | None = None, executions: int = 5
+) -> HotPathRun:
+    """Prepared-pipeline experiment: cold vs cached enforcement latency.
+
+    For every (query, selectivity) sweep point this measures the full
+    pipeline on a cold plan cache, the prepare step alone, and repeated
+    executions through a prepared handle (plan cached), plus the cache hit
+    rate those executions achieved.  Regenerating policies between sweep
+    points bumps the policy epoch, so each selectivity level starts from a
+    genuinely invalidated cache.
+    """
+    config = config or ExperimentConfig.scaled()
+    scenario = build_scenario(config)
+    queries = experiment_queries(config)
+    run = HotPathRun(config)
+    for selectivity in config.selectivities:
+        set_selectivity(scenario, selectivity, config.policy_seed)
+        for query in queries:
+            run.measurements.append(
+                measure_hotpath(
+                    scenario, query, selectivity, config.repeat, executions
+                )
             )
     return run
 

@@ -190,6 +190,121 @@ def measure_query(
     )
 
 
+@dataclass
+class HotPathMeasurement:
+    """One (query, selectivity) cell of the prepared-pipeline experiment.
+
+    ``cold_time`` runs the whole enforcement pipeline on a cold plan cache
+    (parse → sign → rewrite → plan → execute); ``prepare_time`` is the same
+    pipeline without the execution; ``cached_time`` executes through a
+    prepared handle whose plan is already cached, so it isolates the cost
+    the cache removes from every repeated query.
+    """
+
+    query: str
+    selectivity: float
+    cold_time: float
+    prepare_time: float
+    cached_time: float
+    cache_hits: int
+    cache_lookups: int
+
+    @property
+    def speedup(self) -> float:
+        """Cold over cached latency (>1 means the cache pays off)."""
+        if self.cached_time <= 0:
+            return float("inf")
+        return self.cold_time / self.cached_time
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit share during the cached executions."""
+        if self.cache_lookups == 0:
+            return 1.0
+        return self.cache_hits / self.cache_lookups
+
+
+@dataclass
+class HotPathRun:
+    """All hot-path measurements of one experiment configuration."""
+
+    config: ExperimentConfig
+    measurements: list[HotPathMeasurement] = field(default_factory=list)
+
+    def cell(self, query: str, selectivity: float) -> HotPathMeasurement:
+        """Look up a single measurement."""
+        for measurement in self.measurements:
+            if (
+                measurement.query == query
+                and abs(measurement.selectivity - selectivity) < 1e-9
+            ):
+                return measurement
+        raise KeyError((query, selectivity))
+
+    def queries(self) -> list[str]:
+        """Distinct query names, in first-seen order."""
+        seen: list[str] = []
+        for measurement in self.measurements:
+            if measurement.query not in seen:
+                seen.append(measurement.query)
+        return seen
+
+    def selectivities(self) -> list[float]:
+        """Distinct selectivity values, in first-seen order."""
+        seen: list[float] = []
+        for measurement in self.measurements:
+            if measurement.selectivity not in seen:
+                seen.append(measurement.selectivity)
+        return seen
+
+    def hit_rate(self) -> float:
+        """Aggregate plan-cache hit rate over all cached executions."""
+        lookups = sum(m.cache_lookups for m in self.measurements)
+        if lookups == 0:
+            return 1.0
+        return sum(m.cache_hits for m in self.measurements) / lookups
+
+
+def measure_hotpath(
+    scenario: PatientsScenario,
+    query: BenchmarkQuery,
+    selectivity: float,
+    repeat: int = 1,
+    executions: int = 5,
+) -> HotPathMeasurement:
+    """Measure cold vs cached enforcement latency for one query."""
+    monitor = scenario.monitor
+
+    def cold() -> None:
+        monitor.clear_plan_cache()
+        monitor.execute(query.sql, BENCH_PURPOSE)
+
+    cold_time = time_query(cold, repeat)
+
+    def cold_prepare() -> None:
+        monitor.clear_plan_cache()
+        monitor.prepare(query.sql, BENCH_PURPOSE)
+
+    prepare_time = time_query(cold_prepare, repeat)
+
+    prepared = monitor.prepare(query.sql, BENCH_PURPOSE)
+    before = monitor.plan_cache_info()
+    cached_time = time_query(prepared.execute, max(repeat, executions))
+    after = monitor.plan_cache_info()
+    hits = after["hits"] - before["hits"]
+    lookups = hits + (after["misses"] - before["misses"])
+
+    return HotPathMeasurement(
+        query=query.name,
+        selectivity=selectivity,
+        cold_time=cold_time,
+        prepare_time=prepare_time,
+        cached_time=cached_time,
+        cache_hits=hits,
+        cache_lookups=lookups,
+    )
+
+
 def count_checks(scenario: PatientsScenario, sql: str, purpose: str = BENCH_PURPOSE) -> int:
     """The number of ``complieswith`` invocations one execution performs."""
     database = scenario.database

@@ -9,7 +9,7 @@ execution times across selectivities (Figure 7) and across dataset sizes
 from __future__ import annotations
 
 from .experiments import Experiment2Result
-from .harness import ExperimentRun
+from .harness import ExperimentRun, HotPathRun
 
 
 def _format_table(header: list[str], rows: list[list[str]]) -> str:
@@ -64,6 +64,42 @@ def figure7_table(run: ExperimentRun) -> str:
         f"samples={run.config.samples_per_patient})"
     )
     return f"{title}\n{_format_table(header, rows)}"
+
+
+def hotpath_table(run: HotPathRun) -> str:
+    """Prepared pipeline: cold vs cached enforcement latency (ms).
+
+    ``cold`` is the full parse → sign → rewrite → plan → execute pipeline
+    on an empty plan cache, ``prep`` the pipeline without execution, and
+    ``hot`` an execution through the epoch-keyed plan cache; ``speedup``
+    is cold/hot averaged across the selectivity sweep.
+    """
+    selectivities = run.selectivities()
+    header = ["query"]
+    for s in selectivities:
+        header.extend([f"s={s:g} cold", "prep", "hot"])
+    header.append("speedup")
+    rows = []
+    for query in run.queries():
+        row = [query]
+        speedups = []
+        for s in selectivities:
+            cell = run.cell(query, s)
+            row.extend(
+                [_ms(cell.cold_time), _ms(cell.prepare_time), _ms(cell.cached_time)]
+            )
+            speedups.append(cell.speedup)
+        row.append(f"{sum(speedups) / len(speedups):.1f}x" if speedups else "-")
+        rows.append(row)
+    title = (
+        f"Prepared pipeline — cold vs cached enforcement latency (ms) "
+        f"(patients={run.config.patients}, "
+        f"samples={run.config.samples_per_patient})"
+    )
+    hit_line = (
+        f"plan-cache hit rate over cached executions: {run.hit_rate():.0%}"
+    )
+    return f"{title}\n{_format_table(header, rows)}\n{hit_line}"
 
 
 def figure8_table(result: Experiment2Result) -> str:

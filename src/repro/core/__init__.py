@@ -32,7 +32,12 @@ from .compliance import (
 )
 from .complexity import ComplexityEstimate, complexity_upper_bound
 from .masks import MaskLayout, action_mask_length, complies_with
-from .monitor import EnforcementMonitor, EnforcementReport
+from .monitor import (
+    CompiledEnforcedPlan,
+    EnforcementMonitor,
+    EnforcementReport,
+    PreparedEnforcedQuery,
+)
 from .policy import Policy, PolicyRule, SpecialRule
 from .policy_manager import PolicyManager
 from .purposes import Purpose, PurposeSet, default_purpose_set
@@ -58,7 +63,8 @@ __all__ = [
     "query_complies_with_policy", "table_signature_complies",
     "ComplexityEstimate", "complexity_upper_bound",
     "MaskLayout", "action_mask_length", "complies_with",
-    "EnforcementMonitor", "EnforcementReport",
+    "CompiledEnforcedPlan", "EnforcementMonitor", "EnforcementReport",
+    "PreparedEnforcedQuery",
     "Policy", "PolicyRule", "SpecialRule", "PolicyManager",
     "Purpose", "PurposeSet", "default_purpose_set",
     "QueryModel", "query_id", "rewrite_query",

@@ -18,6 +18,7 @@ encoders (cached, invalidated on purpose/schema changes).
 from __future__ import annotations
 
 from ..engine import Column, Database, SqlType, TableSchema
+from ..engine.functions import MemoizedFunction
 from ..engine.types import BitString
 from ..errors import ConfigurationError, PolicyError
 from .categories import CategoryRegistry, DataCategory, DEFAULT_CATEGORIES
@@ -50,6 +51,28 @@ class AccessControlManager:
         self._category_map: dict[tuple[str, str], DataCategory] = {}
         self._layouts: dict[str, MaskLayout] = {}
         self._configured = False
+        self._policy_epoch = 0
+        self._compliance_memo = MemoizedFunction(complies_with)
+
+    # -- policy epoch -------------------------------------------------------------
+
+    @property
+    def policy_epoch(self) -> int:
+        """Monotonic counter of policy-relevant state changes.
+
+        Every mutation that can alter what a rewritten query returns —
+        storing policy masks, (re)categorizing columns, changing the purpose
+        set, protecting new tables, mask migrations — bumps it.  Cached
+        enforcement plans embed the epoch they were compiled under, so a
+        bump invalidates them without any back-pointers from here to the
+        monitors holding the caches.
+        """
+        return self._policy_epoch
+
+    def bump_policy_epoch(self) -> None:
+        """Invalidate derived enforcement state after a policy-relevant write."""
+        self._policy_epoch += 1
+        self._compliance_memo.clear()
 
     # -- configuration (Section 5.1) ---------------------------------------------
 
@@ -80,7 +103,9 @@ class AccessControlManager:
             manager._category_map[(table, column)] = manager.categories.by_code(
                 code
             )
-        database.register_function(COMPLIES_WITH, complies_with, strict=True)
+        database.register_function(
+            COMPLIES_WITH, manager._compliance_memo, strict=True
+        )
         return manager
 
     def configure(self, purposes: PurposeSet | None = None) -> None:
@@ -118,7 +143,7 @@ class AccessControlManager:
             if POLICY_COLUMN not in table.schema:
                 table.add_column(Column(POLICY_COLUMN, SqlType.BIT_VARYING))
         self.database.register_function(
-            COMPLIES_WITH, complies_with, strict=True
+            COMPLIES_WITH, self._compliance_memo, strict=True
         )
         self._configured = True
         if purposes is not None:
@@ -146,6 +171,7 @@ class AccessControlManager:
         if POLICY_COLUMN not in table.schema:
             table.add_column(Column(POLICY_COLUMN, SqlType.BIT_VARYING))
         self.invalidate_layouts(key)
+        self.bump_policy_epoch()
 
     def target_tables(self) -> list[str]:
         """The protected tables (every table except the meta-data ones)."""
@@ -163,6 +189,7 @@ class AccessControlManager:
         self.purposes.add(purpose)
         self.database.table("pr").insert_row((purpose.id, purpose.description))
         self._layouts.clear()
+        self.bump_policy_epoch()
 
     def remove_purpose(self, purpose_id: str) -> Purpose:
         """Remove a purpose from *Ps* and from Pr.
@@ -174,6 +201,7 @@ class AccessControlManager:
         purpose = self.purposes.remove(purpose_id)
         self.database.table("pr").delete_rows(lambda row: row[0] == purpose_id)
         self._layouts.clear()
+        self.bump_policy_epoch()
         return purpose
 
     # -- categorization (Pm) -------------------------------------------------------------
@@ -191,6 +219,7 @@ class AccessControlManager:
         pm.delete_rows(lambda row: row[0] == column_key and row[1] == table_key)
         pm.insert_row((column_key, table_key, category.code))
         self._category_map[(table_key, column_key)] = category
+        self.bump_policy_epoch()
 
     def category(self, table: str, column: str) -> DataCategory:
         """Categorizer protocol: Pm lookup with the *generic* fallback (§4.1)."""
@@ -282,6 +311,7 @@ class AccessControlManager:
         """Store a pre-encoded policy mask (used by the workload generators)."""
         self.require_configured()
         target = self.database.table(table)
+        self.bump_policy_epoch()
         if tuple_selector is None:
             return target.set_column_value(POLICY_COLUMN, mask)
         column, value = tuple_selector
@@ -334,3 +364,4 @@ class AccessControlManager:
         target.insert_row(
             (*values, mask), (*logical, POLICY_COLUMN)
         )
+        self.bump_policy_epoch()

@@ -5,17 +5,30 @@ SQL query together with its access purpose (and optionally the submitting
 user), verifies the user's purpose authorization against table Pa, derives
 the query signature, rewrites the query with ``complieswith`` conjuncts and
 executes the rewritten statement against the secured DBMS.
+
+The parse → sign → rewrite → plan pipeline runs once per distinct
+``(query, purpose)`` pair and is cached: :meth:`EnforcementMonitor.prepare`
+returns a :class:`PreparedEnforcedQuery` that replays the compiled plan on
+every execution, and :meth:`execute` / :meth:`execute_with_report` are thin
+wrappers over the same cache.  Cache keys embed the admin's *policy epoch*
+(:attr:`~repro.core.admin.AccessControlManager.policy_epoch`), so any
+policy, categorization or purpose-set change transparently forces a fresh
+rewrite — a prepared query can never replay a plan compiled under policies
+that no longer hold.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..engine import Database, ResultSet
-from ..errors import UnauthorizedPurposeError
-from ..sql import ast, parse_select
-from ..sql.printer import print_select
+from ..engine.database import PreparedQuery
+from ..errors import ParseError, UnauthorizedPurposeError
+from ..sql import ast, parse_select, parse_statement
+from ..sql.printer import print_select, to_sql
 from .admin import AccessControlManager, COMPLIES_WITH
+from .query_model import query_id as compute_query_id
 from .rewriter import rewrite_query
 from .signatures import QuerySignature, SignatureDeriver
 
@@ -27,9 +40,99 @@ class EnforcementReport:
     original_sql: str
     rewritten_sql: str
     purpose: str
-    signature: QuerySignature
+    signature: QuerySignature | None
     result: ResultSet
     compliance_checks: int
+    cache_hit: bool = False
+
+
+@dataclass(frozen=True)
+class CompiledEnforcedPlan:
+    """One plan-cache entry: everything derived from ⟨query, purpose⟩.
+
+    Valid exactly as long as the policy epoch it was compiled under; the
+    cache key embeds :attr:`epoch`, so entries from older epochs simply
+    stop being found (and are purged on the next insertion).
+
+    ``signature`` is ``None`` for set-operation chains, where each SELECT
+    branch carries its own signature inside the rewritten tree.
+    """
+
+    query_id: str
+    purpose: str
+    epoch: int
+    original_sql: str
+    statement: "ast.Select | ast.SetOperation"
+    rewritten: "ast.Select | ast.SetOperation"
+    rewritten_sql: str
+    signature: QuerySignature | None
+    plan: PreparedQuery
+
+
+class PreparedEnforcedQuery:
+    """A ⟨query, purpose⟩ pair prepared for repeated enforced execution.
+
+    The handle itself stores no compiled state: every :meth:`execute`
+    resolves the current plan through the monitor's epoch-keyed cache.  As
+    long as policies are unchanged that is a dictionary hit replaying the
+    compiled plan (no parsing, signature derivation or rewriting); after a
+    policy, categorization or purpose-set change the epoch has moved and
+    the next execution recompiles against the new state.
+    """
+
+    def __init__(
+        self,
+        monitor: "EnforcementMonitor",
+        statement: "ast.Select | ast.SetOperation",
+        query_id: str,
+        purpose: str,
+        original_sql: str | None = None,
+    ):
+        self.monitor = monitor
+        self.statement = statement
+        self.query_id = query_id
+        self.purpose = purpose
+        self.original_sql = original_sql
+
+    @property
+    def plan(self) -> CompiledEnforcedPlan:
+        """The currently valid compiled plan (recompiled if the epoch moved)."""
+        plan, _ = self.monitor._compiled_plan(
+            self.statement, self.query_id, self.purpose
+        )
+        return plan
+
+    @property
+    def rewritten_sql(self) -> str:
+        """The enforced SQL the next execution will run."""
+        return self.plan.rewritten_sql
+
+    @property
+    def signature(self) -> QuerySignature | None:
+        """The query signature (None for set-operation chains)."""
+        return self.plan.signature
+
+    @property
+    def parameters(self) -> "list[ast.Parameter]":
+        """The placeholders the query declares, in binding order."""
+        return self.plan.plan.parameters
+
+    def execute(self, params=None, user: str | None = None) -> ResultSet:
+        """Run the prepared query under ``params``; returns filtered rows."""
+        return self.execute_with_report(params=params, user=user).result
+
+    def execute_with_report(
+        self, params=None, user: str | None = None
+    ) -> EnforcementReport:
+        """Run the prepared query and return the full enforcement report."""
+        return self.monitor._run_cached(
+            self.statement,
+            self.query_id,
+            self.purpose,
+            user,
+            params,
+            text=self.original_sql,
+        )
 
 
 class EnforcementMonitor:
@@ -39,13 +142,33 @@ class EnforcementMonitor:
     admin's direct Pa check and can be replaced with a
     :class:`~repro.core.roles.RoleManager` to get role-based authorization
     (the paper's future-work item 3).
+
+    ``plan_cache_size`` bounds the compiled-plan LRU cache (keyed by
+    ⟨query id, purpose, policy epoch⟩); ``parse_cache_size`` bounds the
+    policy-independent SQL-text → AST memo in front of it.
     """
 
-    def __init__(self, admin: AccessControlManager, authorizer=None):
+    def __init__(
+        self,
+        admin: AccessControlManager,
+        authorizer=None,
+        plan_cache_size: int = 128,
+        parse_cache_size: int = 256,
+    ):
         self.admin = admin
         self.authorizer = authorizer if authorizer is not None else admin
         self.deriver = SignatureDeriver(admin, admin)
         self.audit = None
+        self.plan_cache_size = plan_cache_size
+        self.parse_cache_size = parse_cache_size
+        self._plan_cache: "OrderedDict[tuple[str, str, int], CompiledEnforcedPlan]" = (
+            OrderedDict()
+        )
+        self._parse_memo: "OrderedDict[str, tuple[ast.Select | ast.SetOperation, str]]" = (
+            OrderedDict()
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def attach_audit(self, audit) -> None:
         """Record every execution/denial into an :class:`AuditLog`."""
@@ -88,6 +211,191 @@ class EnforcementMonitor:
         """The rewritten query as SQL text (Listing 3's output)."""
         return print_select(self.rewrite(query, purpose))
 
+    # -- prepared pipeline -----------------------------------------------------------
+
+    def _resolve(
+        self, query, allow_set_ops: bool = False
+    ) -> "tuple[ast.Select | ast.SetOperation, str, str | None]":
+        """Parse (memoized) and identify a query.
+
+        Returns ``(statement, query_id, text)``; ``text`` is the raw SQL
+        exactly as the caller wrote it (used in reports and audit records)
+        and ``None`` for AST inputs.  The memo is keyed by the raw text and
+        holds only policy-independent results, so it never needs epoch
+        invalidation; the query id hashes the *printed* form, making it
+        stable across formatting variants of the same statement.
+        """
+        if isinstance(query, str):
+            cached = self._parse_memo.get(query)
+            if cached is None:
+                statement = parse_statement(query)
+                if not isinstance(statement, (ast.Select, ast.SetOperation)):
+                    raise ParseError(
+                        "expected a SELECT statement, got "
+                        f"{type(statement).__name__}"
+                    )
+                cached = (statement, compute_query_id(to_sql(statement)))
+                self._parse_memo[query] = cached
+                if len(self._parse_memo) > self.parse_cache_size:
+                    self._parse_memo.popitem(last=False)
+            else:
+                self._parse_memo.move_to_end(query)
+            statement, qid = cached
+            text: str | None = query
+        else:
+            statement, text = query, None
+            qid = compute_query_id(to_sql(statement))
+        if not allow_set_ops and not isinstance(statement, ast.Select):
+            raise ParseError(
+                f"expected a SELECT statement, got {type(statement).__name__}"
+            )
+        return statement, qid, text
+
+    def _compiled_plan(
+        self,
+        statement: "ast.Select | ast.SetOperation",
+        qid: str,
+        purpose: str,
+    ) -> tuple[CompiledEnforcedPlan, bool]:
+        """The compiled plan for ⟨query, purpose⟩ at the current epoch.
+
+        Returns ``(plan, cache_hit)``.  On a miss the full pipeline runs —
+        signature derivation, rewriting, printing, engine planning — and
+        the result is cached under ⟨query id, purpose, epoch⟩ with LRU
+        eviction beyond :attr:`plan_cache_size`.
+        """
+        epoch = self.admin.policy_epoch
+        key = (qid, purpose, epoch)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            self.cache_hits += 1
+            return plan, True
+        self.cache_misses += 1
+        self.admin.purposes.get(purpose)  # validates the purpose id
+        if isinstance(statement, ast.SetOperation):
+            signature = None
+            rewritten: "ast.Select | ast.SetOperation" = (
+                self._rewrite_set_operation(statement, purpose)
+            )
+        else:
+            signature = self.deriver.derive(statement, purpose)
+            rewritten = rewrite_query(statement, signature, self.admin)
+        plan = CompiledEnforcedPlan(
+            query_id=qid,
+            purpose=purpose,
+            epoch=epoch,
+            original_sql=to_sql(statement),
+            statement=statement,
+            rewritten=rewritten,
+            rewritten_sql=to_sql(rewritten),
+            signature=signature,
+            plan=self.database.prepare(rewritten),
+        )
+        # Keys embed the current epoch, so entries compiled under earlier
+        # epochs can never be hit again — drop them before LRU eviction
+        # starts pushing out live plans.
+        for stale in [k for k in self._plan_cache if k[2] != epoch]:
+            del self._plan_cache[stale]
+        self._plan_cache[key] = plan
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+        return plan, False
+
+    def _rewrite_set_operation(
+        self, node: "ast.Select | ast.SetOperation", purpose: str
+    ) -> "ast.Select | ast.SetOperation":
+        """Rewrite a UNION/INTERSECT/EXCEPT chain branch by branch.
+
+        Each SELECT branch is its own query block: it gets its own
+        signature and its own ``complieswith`` conjuncts, then the engine
+        combines the branch results with set semantics.
+        """
+        import dataclasses
+
+        if isinstance(node, ast.SetOperation):
+            return dataclasses.replace(
+                node,
+                left=self._rewrite_set_operation(node.left, purpose),
+                right=self._rewrite_set_operation(node.right, purpose),
+            )
+        signature = self.deriver.derive(node, purpose)
+        return rewrite_query(node, signature, self.admin)
+
+    def prepare(self, query, purpose: str) -> PreparedEnforcedQuery:
+        """Parse, sign, rewrite and plan a query once for repeated execution.
+
+        The returned handle's :meth:`~PreparedEnforcedQuery.execute` binds
+        parameter values (``?`` / ``$n`` / ``:name`` placeholders) at
+        execution time; as long as policies are unchanged, repeated
+        executions skip the whole enforcement pipeline and replay the
+        compiled plan against current table contents.
+        """
+        self.admin.require_configured()
+        statement, qid, text = self._resolve(query, allow_set_ops=True)
+        self._compiled_plan(statement, qid, purpose)  # compile eagerly
+        return PreparedEnforcedQuery(self, statement, qid, purpose, text)
+
+    def _run_cached(
+        self,
+        statement: "ast.Select | ast.SetOperation",
+        qid: str,
+        purpose: str,
+        user: str | None,
+        params,
+        text: str | None = None,
+    ) -> EnforcementReport:
+        """Authorize, fetch the compiled plan, execute, audit — the one
+        execution path shared by plain/prepared/set-operation entry points."""
+        self.admin.require_configured()
+        if user is not None and not self.authorizer.is_authorized(user, purpose):
+            self._audit(
+                user,
+                purpose,
+                qid,
+                text if text is not None else to_sql(statement),
+                "denied",
+            )
+            raise UnauthorizedPurposeError(user, purpose)
+        plan, hit = self._compiled_plan(statement, qid, purpose)
+        original_sql = text if text is not None else plan.original_sql
+
+        database = self.admin.database
+        checks_before = database.function_calls(COMPLIES_WITH)
+        result = database.execute_prepared(plan.plan, params)
+        checks = database.function_calls(COMPLIES_WITH) - checks_before
+
+        self._audit(
+            user, purpose, qid, original_sql, "allowed",
+            rows=len(result), checks=checks,
+        )
+        return EnforcementReport(
+            original_sql=original_sql,
+            rewritten_sql=plan.rewritten_sql,
+            purpose=purpose,
+            signature=plan.signature,
+            result=result,
+            compliance_checks=checks,
+            cache_hit=hit,
+        )
+
+    # -- cache instrumentation ---------------------------------------------------------
+
+    def plan_cache_info(self) -> dict:
+        """Hit/miss counters and current occupancy of the plan cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._plan_cache),
+            "maxsize": self.plan_cache_size,
+            "epoch": self.admin.policy_epoch,
+        }
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached plans and parse results (counters are kept)."""
+        self._plan_cache.clear()
+        self._parse_memo.clear()
+
     # -- execution --------------------------------------------------------------------
 
     def execute(
@@ -95,53 +403,27 @@ class EnforcementMonitor:
         query: str | ast.Select,
         purpose: str,
         user: str | None = None,
+        params=None,
     ) -> ResultSet:
         """Enforce and run a query; returns the policy-filtered result set."""
-        return self.execute_with_report(query, purpose, user).result
+        return self.execute_with_report(query, purpose, user, params=params).result
 
     def execute_with_report(
         self,
         query: str | ast.Select,
         purpose: str,
         user: str | None = None,
+        params=None,
     ) -> EnforcementReport:
         """Like :meth:`execute` but returns the full enforcement report.
 
         The report includes the number of ``complieswith`` invocations the
-        execution performed — the complexity metric of Figure 6.
+        execution performed — the complexity metric of Figure 6 — and
+        whether the compiled plan came from the cache.
         """
         self.admin.require_configured()
-        select = parse_select(query) if isinstance(query, str) else query
-        original_sql = query if isinstance(query, str) else print_select(query)
-        if user is not None and not self.authorizer.is_authorized(user, purpose):
-            from .query_model import query_id as compute_query_id
-
-            self._audit(
-                user, purpose, compute_query_id(select), original_sql, "denied"
-            )
-            raise UnauthorizedPurposeError(user, purpose)
-        signature = self.derive_signature(select, purpose)
-        rewritten = rewrite_query(select, signature, self.admin)
-
-        database = self.admin.database
-        checks_before = database.function_calls(COMPLIES_WITH)
-        result = database.query(rewritten)
-        checks = database.function_calls(COMPLIES_WITH) - checks_before
-
-        self._audit(
-            user, purpose, signature.query_id, original_sql, "allowed",
-            rows=len(result), checks=checks,
-        )
-        return EnforcementReport(
-            original_sql=(
-                query if isinstance(query, str) else print_select(query)
-            ),
-            rewritten_sql=print_select(rewritten),
-            purpose=purpose,
-            signature=signature,
-            result=result,
-            compliance_checks=checks,
-        )
+        statement, qid, text = self._resolve(query)
+        return self._run_cached(statement, qid, purpose, user, params, text)
 
     def execute_statement(
         self,
@@ -158,23 +440,20 @@ class EnforcementMonitor:
         schema changes go through the administration modules.
         """
         from ..errors import AccessControlError
-        from ..sql import parse_statement
         from .dml import rewrite_statement
 
         statement = parse_statement(sql) if isinstance(sql, str) else sql
+        text = sql if isinstance(sql, str) else None
         if isinstance(statement, ast.Select):
-            return self.execute(statement, purpose, user)
+            return self.execute(statement if text is None else text, purpose, user)
         if isinstance(statement, ast.SetOperation):
-            return self._execute_set_operation(statement, purpose, user)
+            return self._execute_set_operation(statement, purpose, user, text)
         if not isinstance(statement, (ast.Insert, ast.Update, ast.Delete)):
             raise AccessControlError(
                 "DDL statements are not executable through the monitor"
             )
         self.admin.require_configured()
-        from ..sql.printer import to_sql
-        from .query_model import query_id as compute_query_id
-
-        original_sql = sql if isinstance(sql, str) else to_sql(statement)
+        original_sql = text if text is not None else to_sql(statement)
         statement_id = compute_query_id(original_sql)
         if user is not None and not self.authorizer.is_authorized(user, purpose):
             self._audit(user, purpose, statement_id, original_sql, "denied")
@@ -196,30 +475,24 @@ class EnforcementMonitor:
         statement: ast.SetOperation,
         purpose: str,
         user: str | None,
+        text: str | None = None,
+        params=None,
     ) -> ResultSet:
-        """Enforce a UNION/INTERSECT/EXCEPT chain branch by branch.
+        """Enforce a UNION/INTERSECT/EXCEPT chain through the cached path.
 
-        Each SELECT branch is its own query block: it gets its own
-        signature and its own ``complieswith`` conjuncts, then the engine
-        combines the branch results with set semantics.
+        Goes through the same :meth:`_run_cached` as plain SELECTs, so the
+        execution is audited and its ``complieswith`` invocations counted
+        like every other enforced query.
         """
-        import dataclasses
-
         self.admin.require_configured()
-        if user is not None and not self.authorizer.is_authorized(user, purpose):
-            raise UnauthorizedPurposeError(user, purpose)
-
-        def rewrite_node(node):
-            if isinstance(node, ast.SetOperation):
-                return dataclasses.replace(
-                    node,
-                    left=rewrite_node(node.left),
-                    right=rewrite_node(node.right),
-                )
-            signature = self.derive_signature(node, purpose)
-            return rewrite_query(node, signature, self.admin)
-
-        return self.admin.database.query(rewrite_node(statement))
+        statement, qid, resolved_text = (
+            self._resolve(text, allow_set_ops=True)
+            if text is not None
+            else (statement, compute_query_id(to_sql(statement)), None)
+        )
+        return self._run_cached(
+            statement, qid, purpose, user, params, resolved_text
+        ).result
 
     def execute_unprotected(self, query: str | ast.Select) -> ResultSet:
         """Run the *original* query, bypassing enforcement.

@@ -55,6 +55,7 @@ class PolicyManager:
         before = len(self._policies)
         self._policies = [p for p in self._policies if p.table.lower() != key]
         self.admin.database.table(key).set_column_value(POLICY_COLUMN, None)
+        self.admin.bump_policy_epoch()
         return before - len(self._policies)
 
     def reapply_all(self) -> int:
@@ -106,6 +107,7 @@ class PolicyManager:
                 continue  # layout unchanged
             rewritten += self._migrate_table(table, old_layout, new_layout)
         self.snapshot_layouts()
+        self.admin.bump_policy_epoch()
         return rewritten
 
     def _migrate_table(

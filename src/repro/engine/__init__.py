@@ -8,8 +8,8 @@ value type for policy masks, and a UDF registry with invocation counters
 """
 
 from . import persist
-from .database import Database
-from .functions import FunctionRegistry
+from .database import Database, PreparedQuery, bind_parameters
+from .functions import FunctionRegistry, MemoizedFunction
 from .result import ResultSet
 from .schema import Column, TableSchema
 from .table import Table
@@ -17,8 +17,11 @@ from .types import BitString, SqlType
 
 __all__ = [
     "Database",
+    "PreparedQuery",
+    "bind_parameters",
     "persist",
     "FunctionRegistry",
+    "MemoizedFunction",
     "ResultSet",
     "Column",
     "TableSchema",

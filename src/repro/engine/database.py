@@ -20,6 +20,104 @@ from .table import Table
 from .types import SqlType
 
 
+class PreparedQuery:
+    """A planned SELECT (or set-operation chain) reusable across executions.
+
+    Planning — FROM-tree layout, join strategy, expression compilation —
+    happens once in the constructor; :meth:`execute` then runs the compiled
+    pipeline against the *current* table contents, with parameter values
+    supplied through an execution-time environment rather than baked-in
+    literals.  This is the engine half of the prepare-once/execute-many
+    discipline the enforcement monitor builds its plan cache on.
+    """
+
+    def __init__(self, database: "Database", statement: "ast.Select | ast.SetOperation"):
+        self.database = database
+        self.statement = statement
+        self.executor = SelectExecutor(database)
+        self.parameters = ast.collect_parameters(statement)
+        self._plan = self._prepare_node(statement)
+
+    def _prepare_node(self, node):
+        if isinstance(node, ast.SetOperation):
+            return (
+                node,
+                self._prepare_node(node.left),
+                self._prepare_node(node.right),
+            )
+        return PreparedSelect(self.executor, node, parent_scope=None)
+
+    def execute(self, params=None) -> ResultSet:
+        """Run the prepared pipeline under the given parameter bindings.
+
+        ``params`` is a sequence (bound to ``$1``, ``$2``, ... in order) or
+        a mapping keyed by parameter index/name; missing bindings raise
+        :class:`ExecutionError` before execution starts.
+        """
+        bound = bind_parameters(params, self.parameters)
+        self.executor.reset_caches()
+        return self._execute_node(self._plan, Env(params=bound))
+
+    def _execute_node(self, plan, env: Env) -> ResultSet:
+        if isinstance(plan, PreparedSelect):
+            return ResultSet(plan.output_columns, plan.rows(env))
+        from .result import combine_set_operation
+
+        node, left, right = plan
+        return combine_set_operation(
+            self._execute_node(left, env),
+            self._execute_node(right, env),
+            node.op,
+            node.all,
+        )
+
+    def describe(self) -> list[str]:
+        """EXPLAIN-style plan lines (set-operation branches concatenated)."""
+        lines: list[str] = []
+
+        def walk(plan) -> None:
+            if isinstance(plan, PreparedSelect):
+                lines.extend(plan.describe())
+                return
+            node, left, right = plan
+            walk(left)
+            lines.append(f"-- {node.op.lower()} --")
+            walk(right)
+
+        walk(self._plan)
+        return lines
+
+
+def bind_parameters(params, declared) -> dict | None:
+    """Normalize user-supplied bindings and check them against ``declared``.
+
+    Sequences bind positionally to ``$1..$n``; mappings bind by index or by
+    (case-insensitive) name.  Raises :class:`ExecutionError` when a declared
+    parameter has no binding — surplus bindings are ignored.
+    """
+    if params is None:
+        bound: dict = {}
+    elif isinstance(params, dict):
+        bound = {}
+        for key, value in params.items():
+            if isinstance(key, str):
+                bound[key.lower()] = value
+            else:
+                bound[int(key)] = value
+    elif isinstance(params, (list, tuple)):
+        bound = {index: value for index, value in enumerate(params, start=1)}
+    else:
+        raise ExecutionError(
+            f"parameters must be a sequence or mapping, got {type(params).__name__}"
+        )
+    missing = [p.placeholder for p in declared if p.key not in bound]
+    if missing:
+        raise ExecutionError(
+            f"missing values for parameters: {', '.join(sorted(missing))}"
+        )
+    return bound
+
+
 class Database:
     """A named collection of tables with a SQL execution interface."""
 
@@ -109,6 +207,27 @@ class Database:
             right = self.query(statement.right)
             return combine_set_operation(left, right, statement.op, statement.all)
         return SelectExecutor(self).execute_select(statement)
+
+    def prepare(self, sql: "str | ast.Select | ast.SetOperation") -> PreparedQuery:
+        """Plan a SELECT once for repeated execution (prepare/execute).
+
+        The returned :class:`PreparedQuery` is bound to the current schema
+        (``*`` expansion, column resolution) but reads table contents at
+        execution time, so it observes later inserts/updates.
+        """
+        if isinstance(sql, str):
+            statement = parse_statement(sql)
+        else:
+            statement = sql
+        if not isinstance(statement, (ast.Select, ast.SetOperation)):
+            raise ExecutionError("prepare() requires a SELECT statement")
+        return PreparedQuery(self, statement)
+
+    def execute_prepared(self, prepared: PreparedQuery, params=None) -> ResultSet:
+        """Run a prepared query under parameter bindings (see :meth:`prepare`)."""
+        if prepared.database is not self:
+            raise ExecutionError("prepared query belongs to a different database")
+        return prepared.execute(params)
 
     def explain(self, sql: "str | ast.Select | ast.SetOperation") -> str:
         """An EXPLAIN-style plan description for a query.

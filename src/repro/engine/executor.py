@@ -179,6 +179,7 @@ class PreparedSelect:
 
     def __init__(self, executor: "SelectExecutor", select: ast.Select, parent_scope: Scope | None):
         self.executor = executor
+        executor.register_prepared(self)
         self.select = select
         pushdown = _PushdownSet(select)
         source_plan = executor.plan_sources(select.sources, parent_scope, pushdown)
@@ -491,7 +492,8 @@ class PreparedSelect:
             representative, accumulators = groups[key]
             agg_values = tuple(acc.result() for acc in accumulators)
             group_env = Env(
-                agg=agg_values, outer_row=env.outer_row, outer_env=env.outer_env
+                agg=agg_values, outer_row=env.outer_row,
+                outer_env=env.outer_env, params=env.params,
             )
             if self.having is not None and self.having(representative, group_env) is not True:
                 continue
@@ -535,6 +537,23 @@ class SelectExecutor:
 
     def __init__(self, database):
         self.database = database
+        self.prepared_selects: list[PreparedSelect] = []
+
+    def register_prepared(self, prepared: PreparedSelect) -> None:
+        """Track a planned block so its caches can be reset between runs."""
+        self.prepared_selects.append(prepared)
+
+    def reset_caches(self) -> None:
+        """Drop cached uncorrelated-subquery results across the plan tree.
+
+        A :class:`PreparedSelect` caches uncorrelated results for the
+        duration of one statement execution; a plan that is *reused* across
+        executions (the prepared-statement path) must clear those caches
+        before each run — the underlying data or the parameter bindings may
+        have changed.
+        """
+        for prepared in self.prepared_selects:
+            prepared._cache = None
 
     # -- compiler / subquery hooks ---------------------------------------------------
 
@@ -625,12 +644,13 @@ class SelectExecutor:
             )
             for index, column in enumerate(table.schema.columns)
         ]
-        rows = table.rows
         detail = table.name
         if binding_name != table.name.lower():
             detail = f"{table.name} as {binding_name}"
+        # Read table.rows at execution time (not planning time): prepared
+        # plans are re-executed after inserts/updates replace the row list.
         return SourcePlan(
-            RowShape(bindings), lambda env: rows, kind="SeqScan", detail=detail
+            RowShape(bindings), lambda env: table.rows, kind="SeqScan", detail=detail
         )
 
     def _plan_derived(

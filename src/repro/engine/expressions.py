@@ -24,19 +24,27 @@ from .types import BitString, SqlType
 
 
 class Env:
-    """Per-evaluation environment: aggregate slot values + outer-row chain."""
+    """Per-evaluation environment: aggregate slots, outer rows, parameters.
 
-    __slots__ = ("agg", "outer_row", "outer_env")
+    ``params`` maps parameter keys (1-based ints for positional/numbered
+    placeholders, lower-cased strings for named ones) to bound values; it is
+    threaded unchanged into subquery environments so one prepared plan can be
+    executed under many bindings.
+    """
+
+    __slots__ = ("agg", "outer_row", "outer_env", "params")
 
     def __init__(
         self,
         agg: tuple | None = None,
         outer_row: tuple | None = None,
         outer_env: "Env | None" = None,
+        params: "dict[int | str, object] | None" = None,
     ):
         self.agg = agg
         self.outer_row = outer_row
         self.outer_env = outer_env
+        self.params = params
 
 
 EMPTY_ENV = Env()
@@ -156,6 +164,25 @@ class ExpressionCompiler:
             return current.outer_row[index]
 
         return outer_ref
+
+    def _compile_Parameter(self, expr: ast.Parameter) -> CompiledExpr:
+        key = expr.key
+        placeholder = expr.placeholder
+
+        def parameter(row: tuple, env: Env) -> object:
+            params = env.params
+            if params is None:
+                raise ExecutionError(
+                    f"no parameters bound (placeholder {placeholder})"
+                )
+            try:
+                return params[key]
+            except KeyError:
+                raise ExecutionError(
+                    f"no value bound for parameter {placeholder}"
+                ) from None
+
+        return parameter
 
     def _compile_Star(self, expr: ast.Star) -> CompiledExpr:
         raise ExpressionError("'*' is only valid in a select list or count(*)")
@@ -346,7 +373,7 @@ class ExpressionCompiler:
             value = operand(row, env)
             if value is None:
                 return None
-            inner_env = Env(outer_row=row, outer_env=env)
+            inner_env = Env(outer_row=row, outer_env=env, params=env.params)
             saw_null = False
             matched = False
             for result_row in prepared.rows(inner_env):
@@ -369,7 +396,7 @@ class ExpressionCompiler:
         negated = expr.negated
 
         def exists(row: tuple, env: Env) -> bool:
-            inner_env = Env(outer_row=row, outer_env=env)
+            inner_env = Env(outer_row=row, outer_env=env, params=env.params)
             found = bool(prepared.rows(inner_env))
             return (not found) if negated else found
 
@@ -379,7 +406,7 @@ class ExpressionCompiler:
         prepared = self._plan_subquery(expr.subquery)
 
         def scalar(row: tuple, env: Env) -> object:
-            inner_env = Env(outer_row=row, outer_env=env)
+            inner_env = Env(outer_row=row, outer_env=env, params=env.params)
             result = prepared.rows(inner_env)
             if not result:
                 return None

@@ -39,6 +39,48 @@ class RegisteredFunction:
     calls: int = 0
 
 
+class MemoizedFunction:
+    """A pure scalar function wrapped with a bounded argument→result memo.
+
+    Register the *wrapper* instead of swapping registry entries on every
+    change: :meth:`FunctionRegistry.call` increments the invocation counter
+    before delegating here, so memo hits are still counted — the Figure-6
+    metric measures how often the rewritten query *invokes* ``complieswith``,
+    not how often the underlying bit arithmetic actually runs.  (Re-calling
+    :meth:`FunctionRegistry.register` would also zero the counter, losing
+    the measurement.)  Arguments must be hashable; unhashable calls fall
+    through to the wrapped function uncached.
+    """
+
+    __slots__ = ("func", "maxsize", "_cache")
+
+    def __init__(self, func: Callable[..., object], maxsize: int = 4096):
+        self.func = func
+        self.maxsize = maxsize
+        self._cache: dict[tuple, object] = {}
+
+    def __call__(self, *args: object) -> object:
+        try:
+            return self._cache[args]
+        except KeyError:
+            pass
+        except TypeError:
+            return self.func(*args)
+        result = self.func(*args)
+        if len(self._cache) >= self.maxsize:
+            self._cache.clear()
+        self._cache[args] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop every memoized result (call when the inputs' meaning shifts)."""
+        self._cache.clear()
+
+    def cached_results(self) -> int:
+        """Number of argument tuples currently memoized."""
+        return len(self._cache)
+
+
 class FunctionRegistry:
     """Name → scalar function mapping with per-function call counters."""
 

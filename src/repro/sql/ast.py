@@ -46,6 +46,32 @@ class BitStringLiteral(Expression):
 
 
 @dataclass(frozen=True)
+class Parameter(Expression):
+    """A query parameter placeholder: ``?``, ``$n`` or ``:name``.
+
+    Positional/numbered parameters carry a 1-based ``index``; named
+    parameters carry a lower-cased ``name``.  Exactly one of the two is set.
+    The value is supplied at execution time through the parameter
+    environment, which is what lets one prepared plan serve many bindings.
+    """
+
+    index: int | None = None
+    name: str | None = None
+
+    @property
+    def key(self) -> int | str:
+        """The binding key: the index for positional, the name for named."""
+        return self.name if self.name is not None else self.index
+
+    @property
+    def placeholder(self) -> str:
+        """The canonical SQL spelling of this parameter."""
+        if self.name is not None:
+            return f":{self.name}"
+        return f"${self.index}"
+
+
+@dataclass(frozen=True)
 class ColumnRef(Expression):
     """A (possibly qualified) column reference such as ``t.col`` or ``col``."""
 
@@ -426,6 +452,47 @@ def iter_subqueries(expr: Expression) -> Iterator[Select]:
     """
     for node in walk_expression(expr):
         yield from node.child_selects()
+
+
+def clause_expressions(select: Select) -> Iterator[Expression]:
+    """Yield the top-level expressions of every clause of a SELECT."""
+    for item in select.items:
+        yield item.expression
+    if select.where is not None:
+        yield select.where
+    yield from select.group_by
+    if select.having is not None:
+        yield select.having
+    for order_item in select.order_by:
+        yield order_item.expression
+    yield from join_conditions(select)
+
+
+def collect_parameters(statement: "Select | SetOperation") -> list[Parameter]:
+    """Every :class:`Parameter` of a statement, subqueries included.
+
+    Used by the prepared-statement machinery to validate bindings before
+    execution; duplicates (the same placeholder used twice) appear once.
+    """
+    seen: dict[object, Parameter] = {}
+
+    def scan_select(select: Select) -> None:
+        for source in select_sources(select):
+            if isinstance(source, SubquerySource):
+                scan_select(source.select)
+        for expression in clause_expressions(select):
+            for node in walk_expression(expression):
+                if isinstance(node, Parameter):
+                    seen.setdefault(node.key, node)
+                for nested in node.child_selects():
+                    scan_select(nested)
+
+    branches = (
+        statement.branches() if isinstance(statement, SetOperation) else [statement]
+    )
+    for branch in branches:
+        scan_select(branch)
+    return list(seen.values())
 
 
 def expression_aggregates(expr: Expression, aggregate_names: frozenset[str]) -> list[FunctionCall]:

@@ -9,6 +9,8 @@ Supports:
 * bit-string literals ``b'0101'`` (used for policy masks in rewritten
   queries, mirroring PostgreSQL's syntax),
 * integer and floating point numeric literals,
+* query parameter placeholders — ``?`` (positional), ``$n`` (numbered,
+  PostgreSQL style) and ``:name`` (named) — used by prepared statements,
 * the operator and punctuation inventory of :mod:`repro.sql.tokens`.
 """
 
@@ -122,6 +124,26 @@ class Lexer:
             return
         if ch == '"':
             self._scan_quoted_identifier(start)
+            return
+        # Parameter placeholders.  The token value encodes the flavour:
+        # "" for a positional "?", digits for "$n", a word for ":name".
+        if ch == "?":
+            self._advance()
+            self._emit(TokenType.PARAMETER, "", start)
+            return
+        if ch == "$" and self._peek(1).isdigit():
+            self._advance()
+            digits_start = self.pos
+            while self._peek().isdigit():
+                self._advance()
+            self._emit(TokenType.PARAMETER, self.source[digits_start : self.pos], start)
+            return
+        if ch == ":" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+            self._advance()
+            name_start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            self._emit(TokenType.PARAMETER, self.source[name_start : self.pos], start)
             return
         for op in MULTI_CHAR_OPERATORS:
             if self.source.startswith(op, self.pos):

@@ -49,6 +49,9 @@ class Parser:
         self.source = source
         self.tokens = tokenize(source)
         self.index = 0
+        # Auto-numbering for "?" placeholders: like SQLite, each "?" takes
+        # one more than the highest parameter index seen so far.
+        self._param_counter = 0
 
     # -- token plumbing ------------------------------------------------------
 
@@ -527,6 +530,9 @@ class Parser:
         if token.type is TokenType.BITSTRING:
             self._advance()
             return ast.BitStringLiteral(token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return self._parameter(token.value)
         if token.is_keyword("TRUE"):
             self._advance()
             return ast.Literal(True)
@@ -557,6 +563,19 @@ class Parser:
         if token.type is TokenType.IDENTIFIER:
             return self._identifier_expression()
         raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parameter(self, value: str) -> ast.Parameter:
+        """Build a Parameter from a lexed placeholder token value."""
+        if value == "":  # "?" — auto-numbered
+            self._param_counter += 1
+            return ast.Parameter(index=self._param_counter)
+        if value.isdigit():  # "$n"
+            index = int(value)
+            if index < 1:
+                raise self._error("parameter indexes are 1-based")
+            self._param_counter = max(self._param_counter, index)
+            return ast.Parameter(index=index)
+        return ast.Parameter(name=value.lower())  # ":name"
 
     def _case_expression(self) -> ast.Expression:
         self._expect_keyword("CASE")

@@ -162,6 +162,11 @@ def print_expression(expr: ast.Expression, parent_precedence: int = 0) -> str:
         return _print_literal(expr.value)
     if isinstance(expr, ast.BitStringLiteral):
         return f"b'{expr.bits}'"
+    if isinstance(expr, ast.Parameter):
+        # "?" placeholders print in their numbered form, so the printed
+        # text re-parses to an identical AST (and hashes to the same
+        # query id as the "$n" spelling).
+        return expr.placeholder
     if isinstance(expr, ast.ColumnRef):
         return str(expr)
     if isinstance(expr, ast.Star):

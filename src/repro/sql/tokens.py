@@ -23,6 +23,7 @@ class TokenType(enum.Enum):
     BITSTRING = "bitstring"  # b'0101' literals (policy masks)
     OPERATOR = "operator"
     PUNCTUATION = "punctuation"  # ( ) , . ;
+    PARAMETER = "parameter"  # ? / $n / :name placeholders
     EOF = "eof"
 
 

@@ -103,6 +103,9 @@ def apply_scattered_policies(
             )
             assignment[index] = compliant
         storage.rows = new_rows
+        # Masks were written past store_policy_mask, so invalidate cached
+        # enforcement plans here.
+        admin.bump_policy_epoch()
         return assignment
 
     entity_index = storage.schema.column_index(entity_column)
@@ -120,6 +123,7 @@ def apply_scattered_policies(
         (*row[:policy_index], masks[row[entity_index]], *row[policy_index + 1 :])
         for row in storage.rows
     ]
+    admin.bump_policy_epoch()
     return assignment
 
 

@@ -104,7 +104,7 @@ class TestOperatorsAndPunctuation:
 
     def test_unknown_character_raises(self):
         with pytest.raises(LexError):
-            tokenize("a ? b")
+            tokenize("a @ b")
 
 
 class TestCommentsAndWhitespace:

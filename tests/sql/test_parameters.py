@@ -1,0 +1,102 @@
+"""Query-parameter placeholders: lexing, parsing, printing, collection."""
+
+import pytest
+
+from repro.core import query_id
+from repro.errors import ParseError
+from repro.sql import ast, parse_select, parse_statement, to_sql
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+class TestLexing:
+    def test_question_mark_is_parameter_token(self):
+        token = tokenize("?")[0]
+        assert token.type is TokenType.PARAMETER
+        assert token.value == ""
+
+    def test_dollar_number_is_parameter_token(self):
+        token = tokenize("$17")[0]
+        assert token.type is TokenType.PARAMETER
+        assert token.value == "17"
+
+    def test_colon_name_is_parameter_token(self):
+        token = tokenize(":watch_id")[0]
+        assert token.type is TokenType.PARAMETER
+        assert token.value == "watch_id"
+
+    def test_bare_dollar_is_not_a_parameter(self):
+        from repro.errors import LexError
+
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestParsing:
+    def where(self, sql):
+        return parse_select(sql).where
+
+    def test_question_marks_auto_number(self):
+        where = self.where("select 1 from t where a = ? and b = ?")
+        assert where.left.right == ast.Parameter(index=1)
+        assert where.right.right == ast.Parameter(index=2)
+
+    def test_dollar_parameters_keep_their_index(self):
+        where = self.where("select 1 from t where a = $2 and b = $2")
+        assert where.left.right == ast.Parameter(index=2)
+        assert where.right.right == ast.Parameter(index=2)
+
+    def test_question_mark_numbering_continues_after_dollar(self):
+        # SQLite-style: `?` takes max-seen index + 1.
+        where = self.where("select 1 from t where a = $3 and b = ?")
+        assert where.right.right == ast.Parameter(index=4)
+
+    def test_named_parameters_are_lowercased(self):
+        where = self.where("select 1 from t where a = :Lo")
+        assert where.right == ast.Parameter(name="lo")
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("select 1 from t where a = $0")
+
+
+class TestPrinting:
+    def test_question_mark_prints_numbered(self):
+        select = parse_select("select 1 from t where a = ?")
+        assert "$1" in to_sql(select)
+
+    def test_named_parameter_prints_name(self):
+        select = parse_select("select 1 from t where a = :lo")
+        assert ":lo" in to_sql(select)
+
+    def test_round_trip_is_stable(self):
+        sql = "select x from t where a = ? and b = :hi and c in ($5, $6)"
+        printed = to_sql(parse_select(sql))
+        assert to_sql(parse_statement(printed)) == printed
+
+    def test_spellings_share_query_id(self):
+        # `?` prints as `$1`, so both spellings hash to the same plan key.
+        q = parse_select("select x from t where a = ?")
+        d = parse_select("select x from t where a = $1")
+        assert query_id(to_sql(q)) == query_id(to_sql(d))
+
+
+class TestCollection:
+    def test_collects_in_binding_order_without_duplicates(self):
+        select = parse_select(
+            "select a, $2 from t where b = :lo and c = $2 having count(*) > :hi"
+        )
+        keys = [p.key for p in ast.collect_parameters(select)]
+        assert keys == [2, "lo", "hi"]
+
+    def test_collects_from_subqueries_and_set_operations(self):
+        statement = parse_statement(
+            "select a from t where b in (select c from u where d = $1) "
+            "union select e from v where f = :cut"
+        )
+        keys = {p.key for p in ast.collect_parameters(statement)}
+        assert keys == {1, "cut"}
+
+    def test_placeholder_spelling(self):
+        assert ast.Parameter(index=3).placeholder == "$3"
+        assert ast.Parameter(name="lo").placeholder == ":lo"
