@@ -1,0 +1,70 @@
+"""Serving enforced queries: the repro.server quickstart.
+
+Starts an in-process :class:`repro.server.QueryServer` on the patients
+scenario and walks one client session through the protocol verbs: plain
+queries (watch the plan cache warm up), prepared statements with
+parameters, a purpose switch into a denial, DML, and the stats verb.
+"""
+
+from repro.core import AuditLog
+from repro.errors import RemoteError
+from repro.server import Client, QueryServer
+from repro.workload import apply_experiment_policies, build_patients_scenario
+
+
+def main() -> None:
+    scenario = build_patients_scenario(patients=20, samples_per_patient=5)
+    apply_experiment_policies(scenario, selectivity=0.4, seed=99)
+    scenario.admin.grant_purpose("alice", "p6")  # not p7: see the denial below
+    scenario.monitor.attach_audit(AuditLog(scenario.database))
+
+    with QueryServer(scenario.monitor, workers=4) as server:
+        host, port = server.address
+        print(f"server listening on {host}:{port}")
+
+        with Client(host, port) as client:
+            session = client.hello("alice", "p6")
+            print(f"session {session}: alice, purpose p6")
+
+            sql = "select avg(beats) from sensed_data"
+            first = client.query(sql)
+            again = client.query(sql)
+            print(
+                f"avg(beats) = {first.rows[0][0]:.1f} "
+                f"(cache {first.cache_hit} -> {again.cache_hit}, "
+                f"{again.checks} compliance checks)"
+            )
+
+            statement = client.prepare(
+                "select temperature from sensed_data where watch_id = ?"
+            )
+            for watch in ("watch3", "watch7"):
+                rows = client.execute_prepared(statement, [watch])
+                print(f"{watch}: {len(rows)} readings")
+            client.close_prepared(statement)
+
+            changed = client.execute(
+                "update users set nutritional_profile_id = 99 "
+                "where user_id = 'user3'"
+            )
+            print(f"update users: {changed} row(s)")
+
+            client.set_purpose("p7")  # alice holds no grant for p7
+            try:
+                client.query(sql)
+            except RemoteError as exc:
+                print(f"under p7: {exc.code}")
+
+            stats = client.stats()
+            cache = stats["plan_cache"]
+            print(
+                f"stats: {stats['server']['requests']} requests, "
+                f"{stats['server']['denials']} denial(s), "
+                f"plan cache {cache['hits']} hits / {cache['misses']} misses"
+            )
+            client.bye()
+    print("server stopped")
+
+
+if __name__ == "__main__":
+    main()

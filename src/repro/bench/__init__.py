@@ -1,5 +1,10 @@
 """Benchmark harness regenerating the paper's evaluation (Section 6)."""
 
+from .concurrency import (
+    ConcurrencyRun,
+    ConcurrencySample,
+    run_concurrency,
+)
 from .experiments import (
     DatasetScenarioResult,
     Experiment2Result,
@@ -23,6 +28,7 @@ from .harness import (
     set_selectivity,
 )
 from .reporting import (
+    concurrency_table,
     figure6_table,
     figure7_table,
     figure8_table,
@@ -30,6 +36,10 @@ from .reporting import (
 )
 
 __all__ = [
+    "ConcurrencyRun",
+    "ConcurrencySample",
+    "run_concurrency",
+    "concurrency_table",
     "DatasetScenarioResult",
     "Experiment2Result",
     "run_experiment1",

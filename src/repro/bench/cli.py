@@ -5,6 +5,7 @@ Regenerates the paper's figures as plain-text tables::
     python -m repro.bench fig6              # compliance checks per query
     python -m repro.bench fig7              # time vs policy selectivity
     python -m repro.bench fig8              # time vs dataset size
+    python -m repro.bench concurrency       # threads vs enforced throughput
     python -m repro.bench all               # everything
     python -m repro.bench fig7 --patients 1000 --samples 1000   # paper scale
 
@@ -15,10 +16,18 @@ Dataset sizes default to the paper's sizes times ``REPRO_SCALE``
 from __future__ import annotations
 
 import argparse
+import json
 
+from .concurrency import run_concurrency
 from .experiments import run_experiment1, run_experiment2, run_hotpath
 from .harness import ExperimentConfig, PAPER_SELECTIVITIES
-from .reporting import figure6_table, figure7_table, figure8_table, hotpath_table
+from .reporting import (
+    concurrency_table,
+    figure6_table,
+    figure7_table,
+    figure8_table,
+    hotpath_table,
+)
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -42,10 +51,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=("fig6", "fig7", "fig8", "cub", "hotpath", "all"),
+        choices=("fig6", "fig7", "fig8", "cub", "hotpath", "concurrency", "all"),
         help=(
             "which figure to regenerate (cub = §5.6 bound vs measured, "
-            "hotpath = cold vs cached prepared-pipeline latency)"
+            "hotpath = cold vs cached prepared-pipeline latency, "
+            "concurrency = enforced throughput vs parallel sessions)"
         ),
     )
     parser.add_argument("--patients", type=int, default=None)
@@ -64,6 +74,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--repeat", type=int, default=1, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="thread sweep for the concurrency experiment",
+    )
+    parser.add_argument(
+        "--queries-per-session",
+        type=int,
+        default=8,
+        help="statement-mix iterations per session (concurrency experiment)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "where the concurrency experiment writes its JSON summary "
+            "(default: BENCH_concurrency.json)"
+        ),
     )
     args = parser.parse_args(argv)
     config = _build_config(args)
@@ -87,6 +119,20 @@ def main(argv: list[str] | None = None) -> int:
             print()
     if args.figure in ("hotpath", "all"):
         print(hotpath_table(run_hotpath(config)))
+        if args.figure == "all":
+            print()
+    if args.figure in ("concurrency", "all"):
+        run = run_concurrency(
+            config,
+            thread_counts=tuple(args.threads),
+            queries_per_session=args.queries_per_session,
+        )
+        print(concurrency_table(run))
+        json_path = args.json_out or "BENCH_concurrency.json"
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(run.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {json_path}")
     return 0
 
 

@@ -1,0 +1,213 @@
+"""Concurrency experiment: enforced throughput under parallel sessions.
+
+Not in the paper — the paper's evaluation (Section 6.3) is strictly
+sequential — but the question the :mod:`repro.server` subsystem exists to
+answer: what does the enforcement pipeline sustain when many authenticated
+sessions hit it at once?  For each point of a thread sweep the experiment
+starts an in-process :class:`~repro.server.QueryServer`, opens one session
+per thread and drives a fixed per-session statement mix (cached SELECTs,
+parameterized prepared executions), reporting throughput, p50/p95 latency,
+the plan-cache hit rate and any ``server_busy`` backpressure hits.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import RemoteError
+from ..server import Client, QueryServer
+from .harness import (
+    BENCH_PURPOSE,
+    ExperimentConfig,
+    build_scenario,
+    set_selectivity,
+)
+
+#: The per-session statement mix: two plain SELECTs that should hit the plan
+#: cache after warmup, plus one prepared statement executed under a
+#: per-iteration parameter binding.
+MIX_QUERIES = (
+    "select avg(beats) from sensed_data",
+    "select user_id, watch_id from users",
+)
+MIX_PREPARED = "select beats from sensed_data where watch_id = ?"
+
+
+@dataclass
+class ConcurrencySample:
+    """One sweep point: ``threads`` parallel sessions, aggregated."""
+
+    threads: int
+    queries: int
+    elapsed: float
+    latencies: list[float] = field(repr=False, default_factory=list)
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    busy_responses: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed statements per second across all sessions."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.queries / self.elapsed
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile (seconds) over all completed statements."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit share over this sweep point's lookups."""
+        if self.cache_lookups == 0:
+            return 1.0
+        return self.cache_hits / self.cache_lookups
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (latency list reduced to percentiles)."""
+        return {
+            "threads": self.threads,
+            "queries": self.queries,
+            "elapsed_s": self.elapsed,
+            "throughput_qps": self.throughput,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "hit_rate": self.hit_rate,
+            "busy_responses": self.busy_responses,
+        }
+
+
+@dataclass
+class ConcurrencyRun:
+    """All sweep points of one concurrency experiment."""
+
+    config: ExperimentConfig
+    selectivity: float
+    queries_per_session: int
+    samples: list[ConcurrencySample] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """The ``BENCH_concurrency.json`` payload."""
+        return {
+            "experiment": "concurrency",
+            "patients": self.config.patients,
+            "samples_per_patient": self.config.samples_per_patient,
+            "selectivity": self.selectivity,
+            "queries_per_session": self.queries_per_session,
+            "sweep": [sample.to_dict() for sample in self.samples],
+        }
+
+
+def _session_worker(
+    address: tuple[str, int],
+    user: str,
+    iterations: int,
+    sample: ConcurrencySample,
+    lock: threading.Lock,
+    start_gate: threading.Event,
+) -> None:
+    latencies: list[float] = []
+    completed = 0
+    busy = 0
+    with Client(*address) as client:
+        client.hello(user, BENCH_PURPOSE)
+        statement = client.prepare(MIX_PREPARED)
+        start_gate.wait()
+        for iteration in range(iterations):
+            calls = [
+                lambda sql=sql: client.query(sql) for sql in MIX_QUERIES
+            ]
+            calls.append(
+                lambda i=iteration: client.execute_prepared(
+                    statement, [f"watch{i % 7}"]
+                )
+            )
+            for call in calls:
+                begin = time.perf_counter()
+                try:
+                    call()
+                except RemoteError as exc:
+                    if exc.code != "server_busy":
+                        raise
+                    busy += 1
+                    continue
+                latencies.append(time.perf_counter() - begin)
+                completed += 1
+        client.bye()
+    with lock:
+        sample.latencies.extend(latencies)
+        sample.queries += completed
+        sample.busy_responses += busy
+
+
+def run_concurrency(
+    config: ExperimentConfig | None = None,
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8),
+    queries_per_session: int = 8,
+    selectivity: float = 0.4,
+    max_pending: int = 64,
+) -> ConcurrencyRun:
+    """Sweep session/thread counts against an in-process query server.
+
+    One scenario is built for the whole run; each sweep point gets a fresh
+    server (worker pool sized to the thread count) and a cleared plan cache,
+    so hit rates and latencies are comparable across points.
+    """
+    config = config or ExperimentConfig.scaled()
+    scenario = build_scenario(config)
+    set_selectivity(scenario, selectivity, config.policy_seed)
+    run = ConcurrencyRun(
+        config=config,
+        selectivity=selectivity,
+        queries_per_session=queries_per_session,
+    )
+    users = [f"bench{index}" for index in range(max(thread_counts))]
+    for user in users:
+        scenario.admin.grant_purpose(user, BENCH_PURPOSE)
+
+    for threads in thread_counts:
+        scenario.monitor.clear_plan_cache()
+        info_before = scenario.monitor.plan_cache_info()
+        sample = ConcurrencySample(threads=threads, queries=0, elapsed=0.0)
+        lock = threading.Lock()
+        start_gate = threading.Event()
+        with QueryServer(
+            scenario.monitor, workers=threads, max_pending=max_pending
+        ) as server:
+            workers = [
+                threading.Thread(
+                    target=_session_worker,
+                    args=(
+                        server.address,
+                        users[index],
+                        queries_per_session,
+                        sample,
+                        lock,
+                        start_gate,
+                    ),
+                )
+                for index in range(threads)
+            ]
+            for worker in workers:
+                worker.start()
+            begin = time.perf_counter()
+            start_gate.set()
+            for worker in workers:
+                worker.join()
+            sample.elapsed = time.perf_counter() - begin
+        info_after = scenario.monitor.plan_cache_info()
+        sample.cache_hits = info_after["hits"] - info_before["hits"]
+        sample.cache_lookups = sample.cache_hits + (
+            info_after["misses"] - info_before["misses"]
+        )
+        run.samples.append(sample)
+    return run

@@ -8,6 +8,7 @@ execution times across selectivities (Figure 7) and across dataset sizes
 
 from __future__ import annotations
 
+from .concurrency import ConcurrencyRun
 from .experiments import Experiment2Result
 from .harness import ExperimentRun, HotPathRun
 
@@ -100,6 +101,37 @@ def hotpath_table(run: HotPathRun) -> str:
         f"plan-cache hit rate over cached executions: {run.hit_rate():.0%}"
     )
     return f"{title}\n{_format_table(header, rows)}\n{hit_line}"
+
+
+def concurrency_table(run: ConcurrencyRun) -> str:
+    """Concurrency sweep: enforced throughput and latency per thread count.
+
+    ``qps`` counts completed statements per second across all sessions;
+    ``p50``/``p95`` are per-statement round-trip latencies; ``hit`` is the
+    plan-cache hit rate during the sweep point; ``busy`` the number of
+    ``server_busy`` backpressure responses clients absorbed.
+    """
+    header = ["threads", "queries", "qps", "p50 ms", "p95 ms", "hit", "busy"]
+    rows = []
+    for sample in run.samples:
+        rows.append(
+            [
+                str(sample.threads),
+                str(sample.queries),
+                f"{sample.throughput:.0f}",
+                _ms(sample.percentile(0.50)),
+                _ms(sample.percentile(0.95)),
+                f"{sample.hit_rate:.0%}",
+                str(sample.busy_responses),
+            ]
+        )
+    title = (
+        f"Concurrency — enforced throughput vs parallel sessions "
+        f"(patients={run.config.patients}, "
+        f"samples={run.config.samples_per_patient}, "
+        f"selectivity={run.selectivity:g})"
+    )
+    return f"{title}\n{_format_table(header, rows)}"
 
 
 def figure8_table(result: Experiment2Result) -> str:

@@ -250,6 +250,17 @@ class AccessControlManager:
             for row in self.database.table("pa")
         )
 
+    def known_user(self, user_id: str) -> bool:
+        """Whether the user appears in Pa at all (holds any grant).
+
+        Users are not a first-class catalog entity in the paper — Pa is the
+        only place they exist — so "known" means "has at least one purpose
+        authorization".  Sessions use this to reject unknown users up front
+        instead of at first execution.
+        """
+        self.require_configured()
+        return any(row[0] == user_id for row in self.database.table("pa"))
+
     # -- schema / layout services -----------------------------------------------------------
 
     def table_columns(self, table: str) -> tuple[str, ...]:

@@ -11,6 +11,7 @@ data and can itself be queried with SQL.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 
 from ..engine import Column, Database, SqlType, TableSchema
@@ -25,7 +26,7 @@ class AuditRecord:
     purpose: str
     query_id: str
     statement: str
-    outcome: str  # "allowed" | "denied"
+    outcome: str  # "allowed" | "denied" | "purpose_switch"
     rows: int
     compliance_checks: int
 
@@ -39,6 +40,10 @@ class AuditLog:
         self.database = database
         self.records: list[AuditRecord] = []
         self._sequence = itertools.count(1)
+        # One record() = a sequence draw, a list append and a table insert;
+        # the lock keeps those atomic when many server threads audit at once
+        # (so `al` rows never appear out of sequence order).
+        self._lock = threading.Lock()
         if not database.has_table(self.TABLE):
             database.create_table(
                 TableSchema(
@@ -67,25 +72,26 @@ class AuditLog:
         compliance_checks: int = 0,
     ) -> AuditRecord:
         """Append one event to the log (memory + the ``al`` table)."""
-        entry = AuditRecord(
-            sequence=next(self._sequence),
-            user=user,
-            purpose=purpose,
-            query_id=query_id,
-            statement=statement,
-            outcome=outcome,
-            rows=rows,
-            compliance_checks=compliance_checks,
-        )
-        self.records.append(entry)
-        self.database.table(self.TABLE).insert_row(
-            (
-                entry.sequence, entry.user, entry.purpose, entry.query_id,
-                entry.statement, entry.outcome, entry.rows,
-                entry.compliance_checks,
+        with self._lock:
+            entry = AuditRecord(
+                sequence=next(self._sequence),
+                user=user,
+                purpose=purpose,
+                query_id=query_id,
+                statement=statement,
+                outcome=outcome,
+                rows=rows,
+                compliance_checks=compliance_checks,
             )
-        )
-        return entry
+            self.records.append(entry)
+            self.database.table(self.TABLE).insert_row(
+                (
+                    entry.sequence, entry.user, entry.purpose, entry.query_id,
+                    entry.statement, entry.outcome, entry.rows,
+                    entry.compliance_checks,
+                )
+            )
+            return entry
 
     # -- queries -------------------------------------------------------------------
 
@@ -99,6 +105,14 @@ class AuditLog:
     def denials(self) -> list[AuditRecord]:
         """Events that were denied."""
         return [record for record in self.records if record.outcome == "denied"]
+
+    def purpose_switches(self) -> list[AuditRecord]:
+        """Session purpose changes (per-session purpose churn)."""
+        return [
+            record
+            for record in self.records
+            if record.outcome == "purpose_switch"
+        ]
 
     def by_purpose(self, purpose: str) -> list[AuditRecord]:
         """Events executed under one purpose."""

@@ -19,6 +19,7 @@ that no longer hold.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -146,6 +147,14 @@ class EnforcementMonitor:
     ``plan_cache_size`` bounds the compiled-plan LRU cache (keyed by
     ⟨query id, purpose, policy epoch⟩); ``parse_cache_size`` bounds the
     policy-independent SQL-text → AST memo in front of it.
+
+    The caches and their counters are lock-guarded, so one monitor can serve
+    many threads (the :mod:`repro.server` deployment): cache hits and plan
+    compilation serialize on the monitor's lock, while the executions
+    themselves run outside it.  Callers that interleave reads with policy
+    or data *writes* must provide their own exclusion (the server's
+    readers–writer lock); the monitor only guarantees its internal state
+    stays consistent.
     """
 
     def __init__(
@@ -169,6 +178,12 @@ class EnforcementMonitor:
         )
         self.cache_hits = 0
         self.cache_misses = 0
+        # Guards both OrderedDict caches and the hit/miss counters: their
+        # get / move_to_end / popitem sequences are multi-step and corrupt
+        # the LRU order (or lose counts) when query threads interleave.
+        # Reentrant because a cache miss compiles under the lock and the
+        # compile path may consult `_resolve` again for nested statements.
+        self._cache_lock = threading.RLock()
 
     def attach_audit(self, audit) -> None:
         """Record every execution/denial into an :class:`AuditLog`."""
@@ -226,20 +241,21 @@ class EnforcementMonitor:
         stable across formatting variants of the same statement.
         """
         if isinstance(query, str):
-            cached = self._parse_memo.get(query)
-            if cached is None:
-                statement = parse_statement(query)
-                if not isinstance(statement, (ast.Select, ast.SetOperation)):
-                    raise ParseError(
-                        "expected a SELECT statement, got "
-                        f"{type(statement).__name__}"
-                    )
-                cached = (statement, compute_query_id(to_sql(statement)))
-                self._parse_memo[query] = cached
-                if len(self._parse_memo) > self.parse_cache_size:
-                    self._parse_memo.popitem(last=False)
-            else:
-                self._parse_memo.move_to_end(query)
+            with self._cache_lock:
+                cached = self._parse_memo.get(query)
+                if cached is None:
+                    statement = parse_statement(query)
+                    if not isinstance(statement, (ast.Select, ast.SetOperation)):
+                        raise ParseError(
+                            "expected a SELECT statement, got "
+                            f"{type(statement).__name__}"
+                        )
+                    cached = (statement, compute_query_id(to_sql(statement)))
+                    self._parse_memo[query] = cached
+                    if len(self._parse_memo) > self.parse_cache_size:
+                        self._parse_memo.popitem(last=False)
+                else:
+                    self._parse_memo.move_to_end(query)
             statement, qid = cached
             text: str | None = query
         else:
@@ -264,43 +280,44 @@ class EnforcementMonitor:
         the result is cached under ⟨query id, purpose, epoch⟩ with LRU
         eviction beyond :attr:`plan_cache_size`.
         """
-        epoch = self.admin.policy_epoch
-        key = (qid, purpose, epoch)
-        plan = self._plan_cache.get(key)
-        if plan is not None:
-            self._plan_cache.move_to_end(key)
-            self.cache_hits += 1
-            return plan, True
-        self.cache_misses += 1
-        self.admin.purposes.get(purpose)  # validates the purpose id
-        if isinstance(statement, ast.SetOperation):
-            signature = None
-            rewritten: "ast.Select | ast.SetOperation" = (
-                self._rewrite_set_operation(statement, purpose)
+        with self._cache_lock:
+            epoch = self.admin.policy_epoch
+            key = (qid, purpose, epoch)
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                self.cache_hits += 1
+                return plan, True
+            self.cache_misses += 1
+            self.admin.purposes.get(purpose)  # validates the purpose id
+            if isinstance(statement, ast.SetOperation):
+                signature = None
+                rewritten: "ast.Select | ast.SetOperation" = (
+                    self._rewrite_set_operation(statement, purpose)
+                )
+            else:
+                signature = self.deriver.derive(statement, purpose)
+                rewritten = rewrite_query(statement, signature, self.admin)
+            plan = CompiledEnforcedPlan(
+                query_id=qid,
+                purpose=purpose,
+                epoch=epoch,
+                original_sql=to_sql(statement),
+                statement=statement,
+                rewritten=rewritten,
+                rewritten_sql=to_sql(rewritten),
+                signature=signature,
+                plan=self.database.prepare(rewritten),
             )
-        else:
-            signature = self.deriver.derive(statement, purpose)
-            rewritten = rewrite_query(statement, signature, self.admin)
-        plan = CompiledEnforcedPlan(
-            query_id=qid,
-            purpose=purpose,
-            epoch=epoch,
-            original_sql=to_sql(statement),
-            statement=statement,
-            rewritten=rewritten,
-            rewritten_sql=to_sql(rewritten),
-            signature=signature,
-            plan=self.database.prepare(rewritten),
-        )
-        # Keys embed the current epoch, so entries compiled under earlier
-        # epochs can never be hit again — drop them before LRU eviction
-        # starts pushing out live plans.
-        for stale in [k for k in self._plan_cache if k[2] != epoch]:
-            del self._plan_cache[stale]
-        self._plan_cache[key] = plan
-        while len(self._plan_cache) > self.plan_cache_size:
-            self._plan_cache.popitem(last=False)
-        return plan, False
+            # Keys embed the current epoch, so entries compiled under earlier
+            # epochs can never be hit again — drop them before LRU eviction
+            # starts pushing out live plans.
+            for stale in [k for k in self._plan_cache if k[2] != epoch]:
+                del self._plan_cache[stale]
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+            return plan, False
 
     def _rewrite_set_operation(
         self, node: "ast.Select | ast.SetOperation", purpose: str
@@ -383,18 +400,20 @@ class EnforcementMonitor:
 
     def plan_cache_info(self) -> dict:
         """Hit/miss counters and current occupancy of the plan cache."""
-        return {
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "size": len(self._plan_cache),
-            "maxsize": self.plan_cache_size,
-            "epoch": self.admin.policy_epoch,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "size": len(self._plan_cache),
+                "maxsize": self.plan_cache_size,
+                "epoch": self.admin.policy_epoch,
+            }
 
     def clear_plan_cache(self) -> None:
         """Drop all cached plans and parse results (counters are kept)."""
-        self._plan_cache.clear()
-        self._parse_memo.clear()
+        with self._cache_lock:
+            self._plan_cache.clear()
+            self._parse_memo.clear()
 
     # -- execution --------------------------------------------------------------------
 
@@ -419,10 +438,12 @@ class EnforcementMonitor:
 
         The report includes the number of ``complieswith`` invocations the
         execution performed — the complexity metric of Figure 6 — and
-        whether the compiled plan came from the cache.
+        whether the compiled plan came from the cache.  Set-operation chains
+        (UNION/INTERSECT/EXCEPT) take the same cached path, each branch
+        enforced with its own signature.
         """
         self.admin.require_configured()
-        statement, qid, text = self._resolve(query)
+        statement, qid, text = self._resolve(query, allow_set_ops=True)
         return self._run_cached(statement, qid, purpose, user, params, text)
 
     def execute_statement(

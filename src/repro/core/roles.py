@@ -156,3 +156,11 @@ class RoleManager:
             purpose_id in self.role_purposes(role)
             for role in self.user_roles(user_id)
         )
+
+    def known_user(self, user_id: str) -> bool:
+        """Direct Pa grant OR at least one role assignment in Ur."""
+        if self.admin.known_user(user_id):
+            return True
+        if not self._installed:
+            return False
+        return bool(self.user_roles(user_id))

@@ -13,6 +13,13 @@ Every statement goes through the monitor (signature derivation → rewriting
 → execution), with the session's user checked against the purpose on each
 call, so a purpose switch takes effect immediately and is individually
 auditable.
+
+Construction validates both ends of the binding: the purpose must exist in
+*Ps* and the user must be known to the authorizer (hold at least one Pa
+grant, or a role assignment under the role extension) — an unknown user is
+rejected up front rather than at first execution.  Purpose switches are
+recorded in the monitor's audit log, so per-session purpose churn is
+traceable after the fact.
 """
 
 from __future__ import annotations
@@ -30,6 +37,13 @@ class Session:
         self.user = user
         self._purpose = purpose
         monitor.admin.purposes.get(purpose)  # validates
+        knows = getattr(monitor.authorizer, "known_user", None)
+        if knows is None:
+            knows = monitor.admin.known_user
+        if not knows(user):
+            raise PolicyError(
+                f"unknown user {user!r}: no purpose authorization on record"
+            )
 
     @property
     def purpose(self) -> str:
@@ -37,9 +51,20 @@ class Session:
         return self._purpose
 
     def set_purpose(self, purpose: str) -> None:
-        """Switch the declared access purpose for subsequent statements."""
+        """Switch the declared access purpose for subsequent statements.
+
+        The switch itself is audited (outcome ``purpose_switch``) under the
+        *new* purpose, with the old one recorded in the statement text.
+        """
         self.monitor.admin.purposes.get(purpose)
-        self._purpose = purpose
+        previous, self._purpose = self._purpose, purpose
+        self.monitor._audit(
+            self.user,
+            purpose,
+            "-",
+            f"set purpose {previous} -> {purpose}",
+            "purpose_switch",
+        )
 
     # -- statement execution ------------------------------------------------------
 

@@ -55,8 +55,10 @@ class PreparedQuery:
         :class:`ExecutionError` before execution starts.
         """
         bound = bind_parameters(params, self.parameters)
-        self.executor.reset_caches()
-        return self._execute_node(self._plan, Env(params=bound))
+        # A fresh subquery-result cache per execution: the compiled plan is
+        # immutable and may be running on several threads at once, so all
+        # per-run state lives in the environment.
+        return self._execute_node(self._plan, Env(params=bound, subq={}))
 
     def _execute_node(self, plan, env: Env) -> ResultSet:
         if isinstance(plan, PreparedSelect):
@@ -293,7 +295,7 @@ class Database:
             (table.schema.column_index(name), compiler.compile(expression))
             for name, expression in statement.assignments
         ]
-        env = Env()
+        env = Env(subq={})
 
         def matches(row: tuple) -> bool:
             return predicate is None or predicate(row, env) is True
@@ -314,7 +316,7 @@ class Database:
             if statement.where is not None
             else None
         )
-        env = Env()
+        env = Env(subq={})
         if predicate is None:
             count = len(table)
             table.truncate()

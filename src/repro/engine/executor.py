@@ -179,13 +179,11 @@ class PreparedSelect:
 
     def __init__(self, executor: "SelectExecutor", select: ast.Select, parent_scope: Scope | None):
         self.executor = executor
-        executor.register_prepared(self)
         self.select = select
         pushdown = _PushdownSet(select)
         source_plan = executor.plan_sources(select.sources, parent_scope, pushdown)
         self.source_plan = source_plan
         self.scope = TrackingScope(source_plan.shape, parent_scope)
-        self._cache: list[tuple] | None = None
 
         # A pushed-down conjunct was claimed by the first leaf able to
         # resolve all of its references — but an unqualified reference that
@@ -392,13 +390,22 @@ class PreparedSelect:
         return self.scope.escaped
 
     def rows(self, env: Env) -> list[tuple]:
-        """Execute the pipeline; uncorrelated results are cached."""
-        if not self.correlated and self._cache is not None:
-            return self._cache
-        result = self._execute(env)
-        if not self.correlated:
-            self._cache = result
-        return result
+        """Execute the pipeline; uncorrelated results are cached.
+
+        The cache lives in ``env.subq`` (keyed by plan identity), so it is
+        scoped to one statement execution: a plan shared across executions —
+        or across threads, on the prepared-statement path — never carries
+        results from one run into the next.  Environments without a ``subq``
+        dict simply skip the memoization.
+        """
+        if self.correlated or env.subq is None:
+            return self._execute(env)
+        key = id(self)
+        cached = env.subq.get(key)
+        if cached is None:
+            cached = self._execute(env)
+            env.subq[key] = cached
+        return cached
 
     def _execute(self, env: Env) -> list[tuple]:
         source_rows = self.source_plan.rows(env)
@@ -537,23 +544,6 @@ class SelectExecutor:
 
     def __init__(self, database):
         self.database = database
-        self.prepared_selects: list[PreparedSelect] = []
-
-    def register_prepared(self, prepared: PreparedSelect) -> None:
-        """Track a planned block so its caches can be reset between runs."""
-        self.prepared_selects.append(prepared)
-
-    def reset_caches(self) -> None:
-        """Drop cached uncorrelated-subquery results across the plan tree.
-
-        A :class:`PreparedSelect` caches uncorrelated results for the
-        duration of one statement execution; a plan that is *reused* across
-        executions (the prepared-statement path) must clear those caches
-        before each run — the underlying data or the parameter bindings may
-        have changed.
-        """
-        for prepared in self.prepared_selects:
-            prepared._cache = None
 
     # -- compiler / subquery hooks ---------------------------------------------------
 
@@ -574,7 +564,7 @@ class SelectExecutor:
     def execute_select(self, select: ast.Select) -> ResultSet:
         """Run a top-level SELECT and return its result set."""
         prepared = PreparedSelect(self, select, parent_scope=None)
-        rows = prepared.rows(Env())
+        rows = prepared.rows(Env(subq={}))
         return ResultSet(prepared.output_columns, rows)
 
     # -- FROM planning ---------------------------------------------------------------

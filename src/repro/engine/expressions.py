@@ -30,9 +30,14 @@ class Env:
     placeholders, lower-cased strings for named ones) to bound values; it is
     threaded unchanged into subquery environments so one prepared plan can be
     executed under many bindings.
+
+    ``subq`` is the per-execution cache of uncorrelated-subquery results,
+    keyed by plan identity.  It lives on the environment — not on the plan —
+    so a single prepared plan can run on many threads at once without the
+    executions seeing (or clobbering) each other's cached results.
     """
 
-    __slots__ = ("agg", "outer_row", "outer_env", "params")
+    __slots__ = ("agg", "outer_row", "outer_env", "params", "subq")
 
     def __init__(
         self,
@@ -40,11 +45,13 @@ class Env:
         outer_row: tuple | None = None,
         outer_env: "Env | None" = None,
         params: "dict[int | str, object] | None" = None,
+        subq: "dict[int, list[tuple]] | None" = None,
     ):
         self.agg = agg
         self.outer_row = outer_row
         self.outer_env = outer_env
         self.params = params
+        self.subq = subq
 
 
 EMPTY_ENV = Env()
@@ -373,7 +380,7 @@ class ExpressionCompiler:
             value = operand(row, env)
             if value is None:
                 return None
-            inner_env = Env(outer_row=row, outer_env=env, params=env.params)
+            inner_env = Env(outer_row=row, outer_env=env, params=env.params, subq=env.subq)
             saw_null = False
             matched = False
             for result_row in prepared.rows(inner_env):
@@ -396,7 +403,7 @@ class ExpressionCompiler:
         negated = expr.negated
 
         def exists(row: tuple, env: Env) -> bool:
-            inner_env = Env(outer_row=row, outer_env=env, params=env.params)
+            inner_env = Env(outer_row=row, outer_env=env, params=env.params, subq=env.subq)
             found = bool(prepared.rows(inner_env))
             return (not found) if negated else found
 
@@ -406,7 +413,7 @@ class ExpressionCompiler:
         prepared = self._plan_subquery(expr.subquery)
 
         def scalar(row: tuple, env: Env) -> object:
-            inner_env = Env(outer_row=row, outer_env=env, params=env.params)
+            inner_env = Env(outer_row=row, outer_env=env, params=env.params, subq=env.subq)
             result = prepared.rows(inner_env)
             if not result:
                 return None

@@ -13,6 +13,7 @@ benchmark harness reads :meth:`FunctionRegistry.call_count`.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -30,13 +31,17 @@ class RegisteredFunction:
         strict: When True (the default, like PostgreSQL STRICT functions),
             the function is not invoked if any argument is NULL — the result
             is NULL and the invocation is *not* counted.
-        calls: Number of times ``func`` was actually invoked.
+        calls: Number of times ``func`` was actually invoked.  Incremented
+            under ``lock``: ``calls += 1`` is a read-modify-write that loses
+            counts when concurrent query threads interleave, and Figure 6's
+            metric (and the server's stats) are built on this counter.
     """
 
     name: str
     func: Callable[..., object]
     strict: bool = True
     calls: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
 class MemoizedFunction:
@@ -50,35 +55,48 @@ class MemoizedFunction:
     :meth:`FunctionRegistry.register` would also zero the counter, losing
     the measurement.)  Arguments must be hashable; unhashable calls fall
     through to the wrapped function uncached.
+
+    The memo is guarded by a lock so concurrent query threads can share it:
+    lookups, the clear-on-overflow sequence and epoch-driven :meth:`clear`
+    calls would otherwise interleave (a reader could observe a cache that a
+    policy change is mid-way through invalidating).  The wrapped function
+    itself runs outside the lock — it is pure, so a racing duplicate
+    computation is harmless while holding the lock across it would serialize
+    every policy check.
     """
 
-    __slots__ = ("func", "maxsize", "_cache")
+    __slots__ = ("func", "maxsize", "_cache", "_lock")
 
     def __init__(self, func: Callable[..., object], maxsize: int = 4096):
         self.func = func
         self.maxsize = maxsize
         self._cache: dict[tuple, object] = {}
+        self._lock = threading.Lock()
 
     def __call__(self, *args: object) -> object:
         try:
-            return self._cache[args]
+            with self._lock:
+                return self._cache[args]
         except KeyError:
             pass
         except TypeError:
             return self.func(*args)
         result = self.func(*args)
-        if len(self._cache) >= self.maxsize:
-            self._cache.clear()
-        self._cache[args] = result
+        with self._lock:
+            if len(self._cache) >= self.maxsize:
+                self._cache.clear()
+            self._cache[args] = result
         return result
 
     def clear(self) -> None:
         """Drop every memoized result (call when the inputs' meaning shifts)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def cached_results(self) -> int:
         """Number of argument tuples currently memoized."""
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
 
 class FunctionRegistry:
@@ -114,7 +132,8 @@ class FunctionRegistry:
         registered = self.get(name)
         if registered.strict and any(arg is None for arg in args):
             return None
-        registered.calls += 1
+        with registered.lock:
+            registered.calls += 1
         return registered.func(*args)
 
     # -- instrumentation ---------------------------------------------------------
@@ -129,7 +148,8 @@ class FunctionRegistry:
     def reset_counters(self) -> None:
         """Zero every function's invocation counter."""
         for registered in self._functions.values():
-            registered.calls = 0
+            with registered.lock:
+                registered.calls = 0
 
 
 # ---------------------------------------------------------------------------

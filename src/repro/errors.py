@@ -109,3 +109,35 @@ class UnauthorizedPurposeError(AccessControlError):
         )
         self.user_id = user_id
         self.purpose_id = purpose_id
+
+
+# --------------------------------------------------------------------------
+# Query service (repro.server)
+# --------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for failures of the concurrent query service."""
+
+
+class WireProtocolError(ServerError):
+    """A frame on the wire is malformed, oversized or truncated."""
+
+
+class ServerBusyError(ServerError):
+    """Admission control rejected the request: the work queue is full."""
+
+
+class RemoteError(ServerError):
+    """An error response received by a client, carrying the server's code.
+
+    ``code`` is one of the protocol's error codes (``policy_denied``,
+    ``unauthorized_purpose``, ``parse_error``, ``engine_error``,
+    ``server_busy``, ``protocol_error``, ``internal_error``), so client code
+    can tell a policy denial from an engine fault without string matching.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message

@@ -1,0 +1,61 @@
+"""Concurrent enforced-query service (DESIGN.md §8).
+
+The paper's monitor is evaluated one query at a time on one connection; this
+package is the subsystem that serves the same enforcement pipeline to many
+clients at once:
+
+* :class:`QueryServer` — TCP service: length-prefixed JSON protocol, a
+  worker pool behind a bounded admission queue, and a readers–writer lock
+  giving parallel SELECTs / exclusive DML+policy writes;
+* :class:`SessionManager` / :class:`ServerSession` — per-connection
+  authenticated state (user, purpose, open prepared statements);
+* :class:`Client` — the matching synchronous client;
+* :class:`ReadWriteLock`, :class:`WorkerPool` — the concurrency primitives,
+  importable on their own.
+
+``python -m repro.server --port 7878`` serves the patients scenario.
+"""
+
+from .admission import WorkerPool
+from .client import Client, QueryResult
+from .locks import ReadWriteLock
+from .protocol import (
+    DENIAL_CODES,
+    E_BUSY,
+    E_ENGINE,
+    E_INTERNAL,
+    E_NO_SESSION,
+    E_PARSE,
+    E_POLICY,
+    E_PROTOCOL,
+    E_UNAUTHORIZED,
+    MAX_FRAME,
+    error_code_for,
+    recv_message,
+    send_message,
+)
+from .server import QueryServer
+from .sessions import ServerSession, SessionManager
+
+__all__ = [
+    "Client",
+    "QueryResult",
+    "QueryServer",
+    "ReadWriteLock",
+    "ServerSession",
+    "SessionManager",
+    "WorkerPool",
+    "DENIAL_CODES",
+    "E_BUSY",
+    "E_ENGINE",
+    "E_INTERNAL",
+    "E_NO_SESSION",
+    "E_PARSE",
+    "E_POLICY",
+    "E_PROTOCOL",
+    "E_UNAUTHORIZED",
+    "MAX_FRAME",
+    "error_code_for",
+    "recv_message",
+    "send_message",
+]

@@ -1,0 +1,109 @@
+"""Admission control: a bounded work queue in front of a thread pool.
+
+Every statement a connection submits runs on one of ``workers`` pool
+threads; at most ``max_pending`` submissions may wait in the queue.  A
+submission that finds the queue full is rejected *immediately* with
+:class:`~repro.errors.ServerBusyError` — the connection thread turns that
+into a ``server_busy`` response, so overload degrades into fast, explicit
+backpressure instead of unbounded thread/queue growth or client hangs.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+
+from ..errors import ServerBusyError
+
+#: Queue sentinel that tells a worker thread to exit.
+_STOP = object()
+
+
+class WorkerPool:
+    """Fixed worker threads draining a bounded submission queue."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_pending: int = 32,
+        name: str = "repro-server",
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.workers = workers
+        self.max_pending = max_pending
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_pending)
+        self._accepting = True
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"{name}-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, fn, *args) -> "Future":
+        """Queue ``fn(*args)``; raises :class:`ServerBusyError` when full."""
+        if not self._accepting:
+            raise ServerBusyError("worker pool is shut down")
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((future, fn, args))
+        except queue.Full:
+            with self._stats_lock:
+                self._rejected += 1
+            raise ServerBusyError(
+                f"admission queue full ({self.max_pending} pending)"
+            ) from None
+        with self._stats_lock:
+            self._submitted += 1
+        return future
+
+    def run(self, fn, *args):
+        """Submit and wait: the connection thread's synchronous entry point."""
+        return self.submit(fn, *args).result()
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            future, fn, args = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # delivered to the submitter
+                future.set_exception(exc)
+            finally:
+                with self._stats_lock:
+                    self._completed += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, let queued work drain, stop the workers."""
+        self._accepting = False
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def stats(self) -> dict:
+        """Submission/rejection/completion counters and queue occupancy."""
+        with self._stats_lock:
+            return {
+                "workers": self.workers,
+                "max_pending": self.max_pending,
+                "pending": self._queue.qsize(),
+                "submitted": self._submitted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+            }

@@ -1,0 +1,146 @@
+"""Client for the enforced-query service.
+
+:class:`Client` speaks the wire protocol of :mod:`repro.server.protocol`
+synchronously over one TCP connection: every call sends a frame and blocks
+for its response.  Error responses are raised as
+:class:`~repro.errors.RemoteError` carrying the protocol code, so callers
+can distinguish a policy denial from a parse or engine failure::
+
+    with Client(*server.address) as client:
+        client.hello("alice", "p6")
+        result = client.query("select avg(beats) from sensed_data")
+        try:
+            client.query("select * from users")
+        except RemoteError as exc:
+            if exc.code == "server_busy":
+                ...  # back off and retry
+
+Used by the test suite, the ``concurrency`` benchmark and
+``examples/server_demo.py``; it is deliberately the only supported way to
+talk to the server in-process or across machines.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from ..errors import RemoteError, WireProtocolError
+from .protocol import recv_message, rows_from_wire, send_message
+
+
+@dataclass
+class QueryResult:
+    """One SELECT's answer: columns, row tuples, cache/check metadata."""
+
+    columns: list[str]
+    rows: list[tuple]
+    cache_hit: bool
+    checks: int
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Client:
+    """A synchronous connection to a :class:`~repro.server.QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.session_id: str | None = None
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _call(self, request: dict) -> dict:
+        send_message(self._sock, request)
+        response = recv_message(self._sock)
+        if response is None:
+            raise WireProtocolError("server closed the connection")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(
+                str(error.get("code", "internal_error")),
+                str(error.get("message", "")),
+            )
+        return response
+
+    @staticmethod
+    def _result(response: dict) -> QueryResult:
+        payload = response["result"]
+        return QueryResult(
+            columns=list(payload["columns"]),
+            rows=rows_from_wire(payload),
+            cache_hit=bool(response.get("cache_hit", False)),
+            checks=int(response.get("checks", 0)),
+        )
+
+    # -- session ------------------------------------------------------------------
+
+    def hello(self, user: str, purpose: str) -> str:
+        """Authenticate the connection; returns the server session id."""
+        response = self._call({"op": "hello", "user": user, "purpose": purpose})
+        self.session_id = str(response["session"])
+        return self.session_id
+
+    def set_purpose(self, purpose: str) -> None:
+        """Switch the session's access purpose for subsequent statements."""
+        self._call({"op": "set_purpose", "purpose": purpose})
+
+    def bye(self) -> None:
+        """Close the session server-side (the socket stays usable to close)."""
+        try:
+            self._call({"op": "bye"})
+        finally:
+            self.session_id = None
+
+    def close(self) -> None:
+        """Drop the TCP connection (the server reaps the session)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- statements ---------------------------------------------------------------
+
+    def query(self, sql: str, params=None) -> QueryResult:
+        """Run an enforced SELECT (or set-operation chain)."""
+        request: dict = {"op": "query", "sql": sql}
+        if params is not None:
+            request["params"] = params
+        return self._result(self._call(request))
+
+    def execute(self, sql: str) -> "QueryResult | int":
+        """Run any SELECT/DML statement; DML returns the affected-row count."""
+        response = self._call({"op": "execute", "sql": sql})
+        if "rowcount" in response:
+            return int(response["rowcount"])
+        return self._result(response)
+
+    def prepare(self, sql: str) -> str:
+        """Prepare a statement under the current purpose; returns its id."""
+        response = self._call({"op": "prepare", "sql": sql})
+        return str(response["statement"])
+
+    def execute_prepared(self, statement_id: str, params=None) -> QueryResult:
+        """Execute a previously prepared statement under ``params``."""
+        request: dict = {"op": "execute_prepared", "statement": statement_id}
+        if params is not None:
+            request["params"] = params
+        return self._result(self._call(request))
+
+    def close_prepared(self, statement_id: str) -> None:
+        """Release a prepared statement server-side."""
+        self._call({"op": "close_prepared", "statement": statement_id})
+
+    # -- observability ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The server's stats object (sessions, admission, plan cache)."""
+        return self._call({"op": "stats"})["stats"]

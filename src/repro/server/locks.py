@@ -1,0 +1,98 @@
+"""A writer-preferring readers–writer lock.
+
+The server's concurrency discipline in one object: enforced SELECT traffic
+holds the lock in *read* mode and runs in parallel, while DML and policy
+mutations (anything that bumps the policy epoch or rewrites table contents)
+hold it in *write* mode and run alone.  Writer preference — arriving readers
+queue behind a waiting writer — keeps a steady SELECT stream from starving
+policy changes indefinitely.
+
+The lock is not reentrant in either mode, and upgrades (read → write while
+holding read) deadlock by construction; the server never nests acquisitions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Shared/exclusive lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_ok = threading.Condition(self._mutex)
+        self._writer_ok = threading.Condition(self._mutex)
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer_active = False
+
+    # -- read side ---------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter shared."""
+        with self._mutex:
+            while self._writer_active or self._waiting_writers:
+                self._readers_ok.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Leave shared mode, waking a waiting writer when last out."""
+        with self._mutex:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._writer_ok.notify()
+
+    # -- write side --------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Block until the lock is free, then enter exclusive mode."""
+        with self._mutex:
+            self._waiting_writers += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._writer_ok.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Leave exclusive mode, preferring a queued writer over readers."""
+        with self._mutex:
+            self._writer_active = False
+            if self._waiting_writers:
+                self._writer_ok.notify()
+            else:
+                self._readers_ok.notify_all()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked(): ...`` — shared section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked(): ...`` — exclusive section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (for stats/tests) ----------------------------------------
+
+    def state(self) -> dict:
+        """A point-in-time snapshot of the lock's occupancy."""
+        with self._mutex:
+            return {
+                "active_readers": self._active_readers,
+                "waiting_writers": self._waiting_writers,
+                "writer_active": self._writer_active,
+            }

@@ -1,5 +1,7 @@
 """CLI tests: ``python -m repro.bench`` argument handling and output."""
 
+import json
+
 import pytest
 
 from repro.bench.cli import main
@@ -43,13 +45,31 @@ class TestCli:
         assert "cub" in out
         assert "measured/cub" in out
 
-    def test_all_prints_everything(self, capsys):
+    def test_all_prints_everything(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_concurrency.json"
         out = run_cli(
             capsys, "all", "--patients", "10", "--samples", "3",
             "--no-random", "--selectivities", "0",
+            "--threads", "1", "--queries-per-session", "1",
+            "--json-out", str(json_path),
         )
-        for marker in ("Figure 6", "Figure 7", "Figure 8", "cub"):
+        for marker in (
+            "Figure 6", "Figure 7", "Figure 8", "cub", "Concurrency"
+        ):
             assert marker in out
+        assert json_path.exists()
+
+    def test_concurrency_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_concurrency.json"
+        out = run_cli(
+            capsys, "concurrency", "--patients", "10", "--samples", "3",
+            "--threads", "1", "2", "--queries-per-session", "1",
+            "--json-out", str(json_path),
+        )
+        assert "Concurrency" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "concurrency"
+        assert [point["threads"] for point in payload["sweep"]] == [1, 2]
 
     def test_random_queries_included_by_default(self, capsys):
         out = run_cli(

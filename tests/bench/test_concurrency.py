@@ -1,0 +1,54 @@
+"""The concurrency experiment: sweep structure, JSON payload, table."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    ExperimentConfig,
+    concurrency_table,
+    run_concurrency,
+)
+
+TINY = ExperimentConfig(patients=12, samples_per_patient=3)
+
+
+def test_sweep_counts_and_metrics():
+    run = run_concurrency(
+        TINY, thread_counts=(1, 2), queries_per_session=2
+    )
+    assert [sample.threads for sample in run.samples] == [1, 2]
+    for sample in run.samples:
+        # 2 iterations x (2 plain queries + 1 prepared execution) per session.
+        assert sample.queries + sample.busy_responses == sample.threads * 6
+        assert sample.elapsed > 0
+        assert sample.throughput > 0
+        assert 0 <= sample.percentile(0.50) <= sample.percentile(0.95)
+        assert 0.0 <= sample.hit_rate <= 1.0
+    # Sessions repeat the same statements, so the cache must get hits.
+    assert any(sample.cache_hits > 0 for sample in run.samples)
+
+
+def test_json_payload_shape():
+    run = run_concurrency(TINY, thread_counts=(2,), queries_per_session=1)
+    payload = run.to_dict()
+    assert payload["experiment"] == "concurrency"
+    assert payload["patients"] == TINY.patients
+    assert len(payload["sweep"]) == 1
+    point = payload["sweep"][0]
+    assert set(point) == {
+        "threads",
+        "queries",
+        "elapsed_s",
+        "throughput_qps",
+        "p50_ms",
+        "p95_ms",
+        "hit_rate",
+        "busy_responses",
+    }
+
+
+def test_table_renders_one_row_per_sweep_point():
+    run = run_concurrency(TINY, thread_counts=(1, 2), queries_per_session=1)
+    table = concurrency_table(run)
+    lines = table.splitlines()
+    assert "threads" in lines[1]
+    assert len(lines) == 3 + len(run.samples)  # title, header, rule, rows

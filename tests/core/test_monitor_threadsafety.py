@@ -1,0 +1,132 @@
+"""Monitor thread-safety: concurrent prepare/execute with consistent stats.
+
+Regression tests for the locked plan cache and compliance counters: many
+threads hammering the same monitor must neither corrupt
+``plan_cache_info()`` bookkeeping (every lookup counted exactly once, size
+bounded) nor lose ``complieswith`` invocations, and every concurrent result
+must equal the serial one.  Before the cache/counter locks and the
+per-execution subquery cache, this kind of load corrupted shared state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.admin import COMPLIES_WITH
+
+THREADS = 8
+ITERATIONS = 12
+
+QUERIES = (
+    "select avg(beats) from sensed_data",
+    "select user_id, watch_id from users",
+    (
+        "select watch_id from sensed_data "
+        "where beats > (select avg(beats) from sensed_data)"
+    ),
+)
+
+
+def _hammer(monitor, errors, iterations=ITERATIONS):
+    try:
+        for index in range(iterations):
+            sql = QUERIES[index % len(QUERIES)]
+            if index % 2:
+                monitor.prepare(sql, "p6").execute()
+            else:
+                monitor.execute(sql, "p6")
+    except BaseException as exc:
+        errors.append(exc)
+
+
+def test_concurrent_prepare_execute_keeps_cache_stats_consistent(
+    policy_scenario,
+):
+    monitor = policy_scenario.monitor
+    monitor.clear_plan_cache()
+    before = monitor.plan_cache_info()
+    assert before["hits"] == 0 and before["misses"] == 0
+
+    errors: list[BaseException] = []
+    threads = [
+        threading.Thread(target=_hammer, args=(monitor, errors))
+        for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not errors, errors
+
+    info = monitor.plan_cache_info()
+    # Every lookup is counted exactly once: a prepare resolves the plan and
+    # its execute resolves it again, a plain execute resolves it once.
+    lookups_per_thread = ITERATIONS + (ITERATIONS + 1) // 2
+    assert info["hits"] + info["misses"] == THREADS * lookups_per_thread
+    assert len(QUERIES) <= info["misses"] <= info["size"] * THREADS
+    assert info["size"] == len(QUERIES)
+    assert info["size"] <= info["maxsize"]
+
+
+def test_concurrent_results_match_serial(policy_scenario):
+    monitor = policy_scenario.monitor
+    serial = {
+        sql: sorted(monitor.execute(sql, "p6").rows) for sql in QUERIES
+    }
+
+    mismatches: list = []
+    errors: list[BaseException] = []
+
+    def worker() -> None:
+        try:
+            for index in range(ITERATIONS):
+                sql = QUERIES[index % len(QUERIES)]
+                rows = sorted(monitor.execute(sql, "p6").rows)
+                if rows != serial[sql]:
+                    mismatches.append((sql, rows))
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not errors, errors
+    assert not mismatches, mismatches[:2]
+
+
+def test_complieswith_counter_loses_no_invocations(policy_scenario):
+    monitor = policy_scenario.monitor
+    database = policy_scenario.database
+    sql = QUERIES[0]
+
+    database.reset_function_counters()
+    monitor.execute(sql, "p6")
+    per_execution = database.function_calls(COMPLIES_WITH)
+    assert per_execution > 0
+
+    database.reset_function_counters()
+    errors: list[BaseException] = []
+    runs_per_thread = 10
+
+    def worker() -> None:
+        try:
+            for _ in range(runs_per_thread):
+                monitor.execute(sql, "p6")
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not errors, errors
+    # An unlocked `calls += 1` under this load drops increments; the locked
+    # counter must account for every single invocation.
+    expected = per_execution * THREADS * runs_per_thread
+    assert database.function_calls(COMPLIES_WITH) == expected

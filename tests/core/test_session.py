@@ -56,7 +56,30 @@ class TestSession:
         assert "SeqScan users" in plan
         assert "complieswith" in plan
 
-    def test_unknown_user_denied(self, ready):
-        session = Session(ready.monitor, user="mallory", purpose="p1")
+    def test_unknown_user_rejected_at_construction(self, ready):
+        with pytest.raises(PolicyError):
+            Session(ready.monitor, user="mallory", purpose="p1")
+
+    def test_revoked_user_denied_at_execution(self, ready):
+        session = Session(ready.monitor, user="alice", purpose="p1")
+        ready.admin.revoke_purpose("alice", "p1")
         with pytest.raises(UnauthorizedPurposeError):
             session.query("select user_id from users")
+
+    def test_purpose_switch_is_audited(self, ready):
+        from repro.core import AuditLog
+
+        audit = AuditLog(ready.database)
+        ready.monitor.attach_audit(audit)
+        session = Session(ready.monitor, user="alice", purpose="p1")
+        session.set_purpose("p6")
+        session.set_purpose("p1")
+        switches = audit.purpose_switches()
+        assert [record.purpose for record in switches] == ["p6", "p1"]
+        assert switches[0].user == "alice"
+        assert "p1 -> p6" in switches[0].statement
+
+    def test_purpose_switch_without_audit_log_is_silent(self, ready):
+        session = Session(ready.monitor, user="alice", purpose="p1")
+        session.set_purpose("p6")  # no audit attached: must not raise
+        assert session.purpose == "p6"

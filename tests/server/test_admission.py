@@ -1,0 +1,71 @@
+"""WorkerPool admission control: bounded queue, backpressure, drain-back."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerBusyError
+from repro.server import WorkerPool
+
+
+def test_run_executes_and_returns():
+    pool = WorkerPool(workers=2, max_pending=4)
+    try:
+        assert pool.run(lambda: 41 + 1) == 42
+        assert pool.run(lambda left, right: left * right, 6, 7) == 42
+    finally:
+        pool.shutdown()
+
+
+def test_worker_exceptions_propagate_to_caller():
+    pool = WorkerPool(workers=1, max_pending=2)
+    try:
+        with pytest.raises(ZeroDivisionError):
+            pool.run(lambda: 1 // 0)
+        # The pool survives a failing task.
+        assert pool.run(lambda: "still alive") == "still alive"
+    finally:
+        pool.shutdown()
+
+
+def test_saturation_raises_server_busy_then_drains():
+    pool = WorkerPool(workers=1, max_pending=1)
+    gate = threading.Event()
+    try:
+        blocked = pool.submit(gate.wait, 10)  # occupies the only worker
+        deadline = time.monotonic() + 5
+        while pool.stats()["pending"]:  # wait until the worker picked it up
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        queued = pool.submit(lambda: "queued")  # fills the only slot
+        with pytest.raises(ServerBusyError):
+            pool.submit(lambda: "rejected")
+        stats = pool.stats()
+        assert stats["rejected"] == 1
+        assert stats["pending"] == 1
+
+        gate.set()
+        assert blocked.result(timeout=5) is True
+        assert queued.result(timeout=5) == "queued"
+
+        # Back to healthy: new work is admitted and completes.
+        assert pool.run(lambda: "drained") == "drained"
+        stats = pool.stats()
+        assert stats["pending"] == 0
+        assert stats["completed"] == 3
+        assert stats["submitted"] == 3
+        assert stats["rejected"] == 1
+    finally:
+        gate.set()
+        pool.shutdown()
+
+
+def test_shutdown_stops_workers():
+    pool = WorkerPool(workers=3, max_pending=8)
+    assert pool.run(lambda: 1) == 1
+    pool.shutdown()
+    with pytest.raises(ServerBusyError):
+        pool.submit(lambda: "after shutdown")

@@ -1,0 +1,114 @@
+"""ReadWriteLock: reader parallelism, writer exclusivity, writer preference."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.server import ReadWriteLock
+
+
+def test_readers_run_in_parallel():
+    lock = ReadWriteLock()
+    barrier = threading.Barrier(4, timeout=5)
+
+    def reader() -> None:
+        with lock.read_locked():
+            # All four readers must be inside the lock at once to pass
+            # the barrier; a serializing lock would deadlock here.
+            barrier.wait()
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = ReadWriteLock()
+    active = []
+    stop = threading.Event()
+
+    def writer() -> None:
+        with lock.write_locked():
+            active.append("writer")
+            stop.wait(0.05)
+            active.remove("writer")
+
+    def reader(entered: threading.Event) -> None:
+        with lock.read_locked():
+            assert "writer" not in active
+            entered.set()
+
+    write_thread = threading.Thread(target=writer)
+    with lock.read_locked():
+        write_thread.start()
+        time.sleep(0.02)  # writer is now waiting on the read lock
+        assert lock.state()["waiting_writers"] == 1
+    entered = threading.Event()
+    read_thread = threading.Thread(target=reader, args=(entered,))
+    read_thread.start()
+    write_thread.join(timeout=5)
+    read_thread.join(timeout=5)
+    assert entered.is_set()
+    assert not write_thread.is_alive() and not read_thread.is_alive()
+
+
+def test_waiting_writer_blocks_new_readers():
+    lock = ReadWriteLock()
+    order = []
+    release_first_reader = threading.Event()
+    writer_waiting = threading.Event()
+
+    def first_reader() -> None:
+        with lock.read_locked():
+            writer_waiting.wait(5)
+            release_first_reader.wait(5)
+        order.append("reader1-out")
+
+    def writer() -> None:
+        with lock.write_locked():
+            order.append("writer")
+
+    def second_reader() -> None:
+        with lock.read_locked():
+            order.append("reader2")
+
+    reader1 = threading.Thread(target=first_reader)
+    reader1.start()
+    time.sleep(0.02)
+    write_thread = threading.Thread(target=writer)
+    write_thread.start()
+    # Wait until the writer is queued, then start a reader: preference
+    # means the reader must not overtake the waiting writer.
+    deadline = time.monotonic() + 5
+    while lock.state()["waiting_writers"] == 0:
+        assert time.monotonic() < deadline
+        time.sleep(0.001)
+    writer_waiting.set()
+    reader2 = threading.Thread(target=second_reader)
+    reader2.start()
+    time.sleep(0.02)
+    release_first_reader.set()
+    for thread in (reader1, write_thread, reader2):
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+    assert order.index("writer") < order.index("reader2")
+
+
+def test_state_snapshot_quiesces():
+    lock = ReadWriteLock()
+    with lock.read_locked():
+        state = lock.state()
+        assert state["active_readers"] == 1
+        assert state["writer_active"] is False
+    with lock.write_locked():
+        assert lock.state()["writer_active"] is True
+    state = lock.state()
+    assert state == {
+        "active_readers": 0,
+        "waiting_writers": 0,
+        "writer_active": False,
+    }
