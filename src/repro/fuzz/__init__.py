@@ -1,0 +1,48 @@
+"""Differential enforcement oracle and query fuzzer.
+
+The package falsification-tests the whole enforcement stack: a seeded
+generator (:mod:`.generator`) produces SQL + submission contexts beyond the
+paper's fixed workloads, an independent oracle (:mod:`.oracle`) computes the
+result enforcement *should* produce by policy pre-filtering instead of
+query rewriting, and a differential runner (:mod:`.runner`) executes each
+case through every production path — ad-hoc, prepared (cold and cached) and
+the wire protocol — checking path agreement, oracle agreement, audit and
+check-counter consistency, and metamorphic invariants.  Failures are
+minimized (:mod:`.shrinker`) into replayable repro files
+(:mod:`.repro_file`); ``python -m repro.fuzz`` drives campaigns and
+replays.
+"""
+
+from .generator import FUZZ_KINDS, FuzzCase, FuzzQueryGenerator
+from .inject import BUGS, inject_bug
+from .oracle import EnforcementOracle
+from .repro_file import FORMAT, load_repro, replay, save_repro
+from .runner import CaseReport, DifferentialRunner, PathResult
+from .scenario import (
+    POLICY_MODES,
+    FuzzScenario,
+    ScenarioSpec,
+    build_fuzz_scenario,
+)
+from .shrinker import shrink
+
+__all__ = [
+    "FUZZ_KINDS",
+    "FuzzCase",
+    "FuzzQueryGenerator",
+    "BUGS",
+    "inject_bug",
+    "EnforcementOracle",
+    "FORMAT",
+    "load_repro",
+    "replay",
+    "save_repro",
+    "CaseReport",
+    "DifferentialRunner",
+    "PathResult",
+    "POLICY_MODES",
+    "FuzzScenario",
+    "ScenarioSpec",
+    "build_fuzz_scenario",
+    "shrink",
+]

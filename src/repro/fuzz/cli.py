@@ -1,0 +1,180 @@
+"""``python -m repro.fuzz`` — the differential fuzzing campaign driver.
+
+Runs generated cases through every production enforcement path against the
+rewriter-independent oracle until the case budget or the time budget runs
+out.  On a disagreement the failing case is minimized with the shrinker,
+written to a replayable repro file, and the exact replay command is
+printed.  Exit status is 0 for a clean campaign, 1 if any case failed,
+2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .generator import FuzzQueryGenerator
+from .inject import BUGS, inject_bug
+from .repro_file import replay, save_repro
+from .runner import DifferentialRunner
+from .scenario import POLICY_MODES, ScenarioSpec, build_fuzz_scenario
+from .shrinker import shrink
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing of the enforcement pipeline.",
+    )
+    parser.add_argument("--seed", default="2015", help="campaign seed (default: 2015)")
+    parser.add_argument(
+        "--cases", type=int, default=200, help="case budget (default: 200)"
+    )
+    parser.add_argument(
+        "--start", type=int, default=0, help="first case index (default: 0)"
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop starting new cases after this many seconds",
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE", help="replay a saved repro file and exit"
+    )
+    parser.add_argument(
+        "--inject-bug",
+        choices=BUGS,
+        help="run with a deliberate enforcement defect (oracle self-test)",
+    )
+    parser.add_argument(
+        "--out",
+        default="fuzz-repros",
+        metavar="DIR",
+        help="directory for minimized repro files (default: fuzz-repros)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="stop after this many failing cases (default: 5)",
+    )
+    parser.add_argument(
+        "--no-server",
+        action="store_true",
+        help="skip the wire-protocol paths (in-process paths only)",
+    )
+    parser.add_argument("--patients", type=int, default=None)
+    parser.add_argument("--samples", type=int, default=None)
+    parser.add_argument("--policy-mode", choices=POLICY_MODES, default=None)
+    parser.add_argument("--policy-seed", type=int, default=None)
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    overrides = {
+        key: value
+        for key, value in (
+            ("patients", args.patients),
+            ("samples", args.samples),
+            ("policy_mode", args.policy_mode),
+            ("policy_seed", args.policy_seed),
+        )
+        if value is not None
+    }
+    return ScenarioSpec(**overrides)
+
+
+def _coerce_seed(raw: str) -> "int | str":
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _replay_command(path: Path) -> str:
+    return f"PYTHONPATH=src python -m repro.fuzz --replay {path}"
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    report, recorded = replay(args.replay, use_server=not args.no_server)
+    print(f"replaying {args.replay}")
+    if recorded:
+        print("recorded failures:")
+        for failure in recorded:
+            print(f"  - {failure}")
+    if report.ok:
+        print("replay PASSED: the disagreement no longer reproduces")
+        return 0
+    print("replay FAILED (disagreement still present):")
+    print(report.describe())
+    return 1
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    seed = _coerce_seed(args.seed)
+    spec = _spec_from_args(args)
+    world = build_fuzz_scenario(spec)
+    generator = FuzzQueryGenerator.for_world(world, seed=seed)
+    deadline = (
+        time.monotonic() + args.time_budget if args.time_budget is not None else None
+    )
+    out_dir = Path(args.out)
+
+    executed = 0
+    failures = 0
+    started = time.monotonic()
+    with DifferentialRunner(world=world, use_server=not args.no_server) as runner:
+        for index in range(args.start, args.start + args.cases):
+            if deadline is not None and time.monotonic() >= deadline:
+                print(f"time budget reached after {executed} cases")
+                break
+            case = generator.case(index)
+            report = runner.run_case(case)
+            executed += 1
+            if report.ok:
+                continue
+            failures += 1
+            print(f"FAILURE at case {case.replay_token} [{case.kind}]")
+            for line in report.failures:
+                print(f"  - {line}")
+            minimized = shrink(runner, case)
+            final = runner.run_case(minimized)
+            path = out_dir / f"repro-{_slug(seed)}-{case.index}.json"
+            save_repro(path, spec, minimized, final.failures or report.failures)
+            print(f"  minimized sql: {minimized.sql}")
+            if minimized.params:
+                print(f"  params: {minimized.params}")
+            print(f"  repro file: {path}")
+            print(f"  replay with: {_replay_command(path)}")
+            if failures >= args.max_failures:
+                print(f"stopping after {failures} failures")
+                break
+    elapsed = time.monotonic() - started
+    print(
+        f"{executed} cases, {failures} failing, seed={seed}, "
+        f"{elapsed:.1f}s ({executed / elapsed:.1f} cases/s)"
+        if elapsed > 0
+        else f"{executed} cases, {failures} failing, seed={seed}"
+    )
+    return 1 if failures else 0
+
+
+def _slug(seed: "int | str") -> str:
+    return "".join(c if c.isalnum() else "_" for c in str(seed))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    run = _run_replay if args.replay else _run_campaign
+    if args.inject_bug:
+        with inject_bug(args.inject_bug):
+            return run(args)
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Builds the seed regression corpus under ``tests/corpus/``.
+
+The corpus is a set of repro-format files covering the paper's fixed
+workloads (q1–q8 and the r1–r20 batch, each oracle-checked at corpus-build
+time) plus hand-picked edge cases for every generator shape family — a
+denial, a parameterized query, a set-operation chain, a correlated EXISTS,
+a derived table and a ``SELECT *``.  ``tests/fuzz/test_corpus_replay.py``
+replays every file through all production paths on each test run, so any
+regression the fuzzer once caught (or could catch) stays caught.
+
+Regenerate with ``PYTHONPATH=src python -m repro.fuzz.corpus [DIR]`` —
+the build refuses to write a case that does not pass the differential
+runner, so a broken pipeline cannot silently poison the corpus.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from ..workload import AD_HOC_QUERIES, random_queries
+from .generator import EXTRA_KINDS, FuzzCase, FuzzQueryGenerator
+from .repro_file import save_repro
+from .runner import DifferentialRunner
+from .scenario import ScenarioSpec, build_fuzz_scenario
+
+#: How far into the seed-2015 stream to look for one case of each shape.
+_SCAN_LIMIT = 500
+
+
+def _fixed_workload_cases(world) -> list[FuzzCase]:
+    """q1–q8 and r1–r20 as corpus cases, purposes cycled deterministically."""
+    purposes = world.purposes
+    cases = []
+    batch = list(AD_HOC_QUERIES) + list(
+        random_queries(
+            seed=2015, patients=world.spec.patients, samples=world.spec.samples
+        )
+    )
+    for offset, query in enumerate(batch):
+        cases.append(
+            FuzzCase(
+                seed="corpus",
+                index=offset,
+                kind=query.name,
+                sql=query.sql,
+                purpose=purposes[offset % len(purposes)],
+                user=world.users[0],  # u0 holds every purpose
+            )
+        )
+    return cases
+
+
+def _edge_cases(world, generator: FuzzQueryGenerator) -> list[FuzzCase]:
+    """The first seed-2015 case of every extra shape, plus a denial."""
+    wanted = set(EXTRA_KINDS)
+    cases = []
+    for index in range(_SCAN_LIMIT):
+        if not wanted:
+            break
+        case = generator.case(index)
+        if case.kind in wanted:
+            wanted.discard(case.kind)
+            cases.append(case)
+    denied = _denied_pair(world)
+    if denied is not None:
+        user, purpose = denied
+        cases.append(
+            FuzzCase(
+                seed="corpus",
+                index=1000,
+                kind="denial",
+                sql="select user_id from users",
+                purpose=purpose,
+                user=user,
+            )
+        )
+    return cases
+
+
+def _denied_pair(world) -> tuple[str, str] | None:
+    for user in world.users:
+        for purpose in world.purposes:
+            if not world.is_authorized(user, purpose):
+                return user, purpose
+    return None
+
+
+def build_corpus(directory: "str | Path", use_server: bool = True) -> list[Path]:
+    """Write the corpus into ``directory``; every case must pass first."""
+    directory = Path(directory)
+    spec = ScenarioSpec()
+    world = build_fuzz_scenario(spec)
+    generator = FuzzQueryGenerator.for_world(world, seed=2015)
+    written: list[Path] = []
+    with DifferentialRunner(world=world, use_server=use_server) as runner:
+        for case in _fixed_workload_cases(world) + _edge_cases(world, generator):
+            report = runner.run_case(case)
+            if not report.ok:
+                raise AssertionError(
+                    "refusing to write a failing corpus case:\n"
+                    + report.describe()
+                )
+            path = directory / f"{case.kind}-{case.seed}-{case.index}.json"
+            save_repro(path, spec, case)
+            written.append(path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    directory = Path(argv[0]) if argv else Path("tests/corpus")
+    written = build_corpus(directory)
+    print(f"wrote {len(written)} corpus files to {directory}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Replayable repro files: a failing case plus the world that produced it.
+
+A repro file is a small JSON document holding the :class:`ScenarioSpec`
+(which rebuilds the database, policies and user grants deterministically),
+the minimized :class:`FuzzCase`, and the failure messages observed when the
+file was written.  ``python -m repro.fuzz --replay <file>`` — or
+:func:`replay` programmatically — reconstructs the world and re-runs the
+case through every path, reporting whether the disagreement still occurs.
+The same format seeds the regression corpus under ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .generator import FuzzCase
+from .runner import CaseReport, DifferentialRunner
+from .scenario import ScenarioSpec
+
+#: Format tag written into (and required from) every repro file.
+FORMAT = "repro.fuzz/1"
+
+
+def save_repro(
+    path: "str | Path",
+    spec: ScenarioSpec,
+    case: FuzzCase,
+    failures: list[str] | None = None,
+) -> Path:
+    """Write ⟨spec, case, failures⟩ as a repro file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": FORMAT,
+        "spec": spec.to_dict(),
+        "case": case.to_dict(),
+        "failures": list(failures or []),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(path: "str | Path") -> tuple[ScenarioSpec, FuzzCase, list[str]]:
+    """Parse a repro file back into its spec, case and recorded failures."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: not a {FORMAT} file (format={payload.get('format')!r})"
+        )
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    case = FuzzCase.from_dict(payload["case"])
+    return spec, case, list(payload.get("failures", []))
+
+
+def replay(
+    path: "str | Path", use_server: bool = True
+) -> tuple[CaseReport, list[str]]:
+    """Rebuild the recorded world and re-run the recorded case.
+
+    Returns the fresh :class:`CaseReport` and the failures recorded at
+    save time (for comparison).  A report with ``ok=True`` means the
+    disagreement no longer reproduces — i.e. the bug is fixed.
+    """
+    spec, case, recorded = load_repro(path)
+    with DifferentialRunner(spec=spec, use_server=use_server) as runner:
+        report = runner.run_case(case)
+    return report, recorded

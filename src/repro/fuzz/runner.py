@@ -1,0 +1,524 @@
+"""The differential runner: every production path against the oracle.
+
+For each :class:`~.generator.FuzzCase` the runner executes the same
+⟨query, purpose, user, params⟩ submission through every path a client can
+reach enforcement by:
+
+``ad-hoc``
+    :meth:`EnforcementMonitor.execute_with_report` on a cold plan cache.
+``prepared-cold``
+    :meth:`EnforcementMonitor.prepare` (compiles eagerly) followed by one
+    execution of the handle.
+``cached``
+    A second ad-hoc execution, which must hit the plan cache.
+``server-query`` / ``server-prepared``
+    The same statement over the :mod:`repro.server` wire protocol, ad-hoc
+    and via remote prepare/execute.
+
+All row-returning paths must agree with the oracle on columns and row
+multiset, report the same ``complieswith`` invocation count, and match the
+expected cache-hit flag; denials must agree across paths (in-process
+:class:`UnauthorizedPurposeError` ↔ wire ``unauthorized_purpose``) and with
+the Pa grants the scenario recorded; every in-process execution must leave
+exactly one audit record with matching outcome, row count and check count.
+
+On top of path agreement the runner checks three metamorphic invariants:
+
+* **subset** — for subquery-free plain selects, enforced rows form a
+  sub-multiset of the unenforced rows;
+* **broadening** — appending a pass-all rule to every stored policy makes
+  the enforced result equal the unenforced result exactly (any query
+  shape: every conjunct becomes true);
+* **epoch invalidation** — the policy writes of the broadening check bump
+  the policy epoch, so the immediately following executions must recompile
+  (``cache_hit == False``) and, once policies are restored, reproduce the
+  original result.
+
+A case where the oracle and *every* path raise an enforcement-stack error
+is treated as consistently-erroring and passes — this keeps the shrinker
+sound (candidates that break the query's validity do not masquerade as
+failures) without masking real disagreements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..core.admin import POLICY_COLUMN
+from ..core.audit import AuditLog
+from ..engine.types import BitString
+from ..errors import RemoteError, ReproError, UnauthorizedPurposeError
+from ..server import Client, QueryServer
+from ..sql import parse_statement
+from .generator import FuzzCase
+from .oracle import EnforcementOracle
+from .scenario import FuzzScenario, ScenarioSpec, build_fuzz_scenario
+
+#: Paths that must report ``cache_hit=True`` (the plan was compiled by an
+#: earlier path of the same case, under an unchanged policy epoch).
+_WARM_PATHS = ("prepared-cold", "cached", "server-query", "server-prepared")
+
+
+def normalize_value(value):
+    """Make a cell comparable across in-process and wire representations.
+
+    The wire protocol degrades non-JSON values (policy-mask
+    :class:`BitString`\\ s from ``SELECT *``) to text, so both sides are
+    normalized to that; floats survive JSON round-trips exactly, so they
+    are kept as-is.
+    """
+    if isinstance(value, BitString):
+        return value.bits()
+    return value
+
+
+def _row_key(row: tuple):
+    return tuple((v is None, type(v).__name__, str(v)) for v in row)
+
+
+def normalize_rows(rows) -> list[tuple]:
+    """Type-stable sorted multiset of rows for order-insensitive equality."""
+    return sorted(
+        (tuple(normalize_value(v) for v in row) for row in rows), key=_row_key
+    )
+
+
+def is_sub_multiset(smaller: list[tuple], larger: list[tuple]) -> bool:
+    """Whether ``smaller`` (normalized) is contained in ``larger`` with
+    multiplicities."""
+    from collections import Counter
+
+    budget = Counter(larger)
+    for row in smaller:
+        if budget[row] <= 0:
+            return False
+        budget[row] -= 1
+    return True
+
+
+@dataclass
+class PathResult:
+    """One execution path's observation for a case."""
+
+    path: str
+    outcome: str  # "rows" | "denied" | "error"
+    columns: list[str] | None = None
+    rows: list[tuple] | None = None
+    checks: int | None = None
+    cache_hit: bool | None = None
+    error: str | None = None
+
+
+@dataclass
+class CaseReport:
+    """Everything the runner concluded about one case."""
+
+    case: FuzzCase
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    paths: list[PathResult] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"case {self.case.replay_token} [{self.case.kind}] "
+            f"purpose={self.case.purpose} user={self.case.user}",
+            f"  sql: {self.case.sql}",
+        ]
+        if self.case.params:
+            lines.append(f"  params: {self.case.params}")
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+class DifferentialRunner:
+    """Owns a fuzzing world, its oracle, audit log and query server."""
+
+    def __init__(
+        self,
+        world: FuzzScenario | None = None,
+        spec: ScenarioSpec | None = None,
+        use_server: bool = True,
+    ):
+        self.world = world or build_fuzz_scenario(spec)
+        self.oracle = EnforcementOracle(self.world.admin)
+        self.audit = AuditLog(self.world.database)
+        self.world.monitor.attach_audit(self.audit)
+        self.use_server = use_server
+        self._server: QueryServer | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def server(self) -> QueryServer:
+        if self._server is None:
+            self._server = QueryServer(self.world.monitor).start()
+        return self._server
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    def __enter__(self) -> "DifferentialRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- one case --------------------------------------------------------------
+
+    def run_case(self, case: FuzzCase) -> CaseReport:
+        """Run one case through every path and the invariants."""
+        failures: list[str] = []
+        params = case.params or None
+        denial_expected = case.user is not None and not self.world.is_authorized(
+            case.user, case.purpose
+        )
+
+        try:
+            expected = self.oracle.expected(case.sql, case.purpose, params)
+            expected_rows = normalize_rows(expected.rows)
+            expected_columns = [c.lower() for c in expected.columns]
+            oracle_error: str | None = None
+        except ReproError as exc:
+            expected, expected_rows, expected_columns = None, None, None
+            oracle_error = f"{type(exc).__name__}: {exc}"
+
+        paths = [
+            self._adhoc_path("ad-hoc", case, clear_cache=True),
+            self._prepared_path(case),
+            self._adhoc_path("cached", case, clear_cache=False),
+        ]
+        if self.use_server:
+            paths.append(self._server_path(case, prepared=False))
+            paths.append(self._server_path(case, prepared=True))
+
+        self._check_paths(
+            case,
+            paths,
+            failures,
+            denial_expected,
+            oracle_error,
+            expected_rows,
+            expected_columns,
+        )
+
+        if (
+            not failures
+            and not denial_expected
+            and oracle_error is None
+            and expected_rows is not None
+        ):
+            self._check_invariants(case, expected_rows, failures)
+
+        return CaseReport(case=case, ok=not failures, failures=failures, paths=paths)
+
+    # -- execution paths -------------------------------------------------------
+
+    def _adhoc_path(self, name: str, case: FuzzCase, clear_cache: bool) -> PathResult:
+        monitor = self.world.monitor
+        if clear_cache:
+            monitor.clear_plan_cache()
+        audit_before = len(self.audit)
+        try:
+            report = monitor.execute_with_report(
+                case.sql, case.purpose, user=case.user, params=case.params or None
+            )
+        except UnauthorizedPurposeError:
+            result = PathResult(name, "denied")
+            self._check_audit(name, result, audit_before, None)
+            return result
+        except ReproError as exc:
+            return PathResult(name, "error", error=f"{type(exc).__name__}: {exc}")
+        result = PathResult(
+            name,
+            "rows",
+            columns=[c.lower() for c in report.result.columns],
+            rows=normalize_rows(report.result.rows),
+            checks=report.compliance_checks,
+            cache_hit=report.cache_hit,
+        )
+        self._check_audit(name, result, audit_before, report)
+        return result
+
+    def _prepared_path(self, case: FuzzCase) -> PathResult:
+        name = "prepared-cold"
+        monitor = self.world.monitor
+        monitor.clear_plan_cache()
+        audit_before = len(self.audit)
+        try:
+            prepared = monitor.prepare(case.sql, case.purpose)
+            report = prepared.execute_with_report(
+                params=case.params or None, user=case.user
+            )
+        except UnauthorizedPurposeError:
+            result = PathResult(name, "denied")
+            self._check_audit(name, result, audit_before, None)
+            return result
+        except ReproError as exc:
+            return PathResult(name, "error", error=f"{type(exc).__name__}: {exc}")
+        result = PathResult(
+            name,
+            "rows",
+            columns=[c.lower() for c in report.result.columns],
+            rows=normalize_rows(report.result.rows),
+            checks=report.compliance_checks,
+            cache_hit=report.cache_hit,
+        )
+        self._check_audit(name, result, audit_before, report)
+        return result
+
+    def _server_path(self, case: FuzzCase, prepared: bool) -> PathResult:
+        name = "server-prepared" if prepared else "server-query"
+        # The wire protocol has no anonymous sessions; user-less cases ride
+        # on u0, which holds every purpose, so the row comparison is
+        # unaffected and denials still come from the case's own user.
+        user = case.user if case.user is not None else self.world.users[0]
+        params = case.params or None
+        try:
+            with Client(*self.server.address) as client:
+                client.hello(user, case.purpose)
+                if prepared:
+                    statement = client.prepare(case.sql)
+                    answer = client.execute_prepared(statement, params)
+                else:
+                    answer = client.query(case.sql, params)
+        except RemoteError as exc:
+            # Only the Pa denial counts as "denied": the in-process paths
+            # see other AccessControlErrors (e.g. SignatureError on an
+            # invalid column) as plain errors, and ``policy_denied`` is the
+            # wire form of exactly those.
+            if exc.code == "unauthorized_purpose":
+                return PathResult(name, "denied")
+            return PathResult(name, "error", error=f"RemoteError[{exc.code}]: {exc.message}")
+        return PathResult(
+            name,
+            "rows",
+            columns=[c.lower() for c in answer.columns],
+            rows=normalize_rows(answer.rows),
+            checks=answer.checks,
+            cache_hit=answer.cache_hit,
+        )
+
+    # -- assertions ------------------------------------------------------------
+
+    def _check_audit(
+        self, name: str, result: PathResult, audit_before: int, report
+    ) -> None:
+        """Every in-process execution leaves exactly one matching record."""
+        delta = self.audit.records[audit_before:]
+        if len(delta) != 1:
+            result.error = f"{len(delta)} audit records written (expected 1)"
+            result.outcome = "error"
+            return
+        record = delta[0]
+        expected_outcome = "denied" if result.outcome == "denied" else "allowed"
+        if record.outcome != expected_outcome:
+            result.error = (
+                f"audit outcome {record.outcome!r} != {expected_outcome!r}"
+            )
+            result.outcome = "error"
+            return
+        if report is not None and (
+            record.rows != len(report.result)
+            or record.compliance_checks != report.compliance_checks
+        ):
+            result.error = (
+                f"audit rows/checks ({record.rows}/{record.compliance_checks}) "
+                f"disagree with report "
+                f"({len(report.result)}/{report.compliance_checks})"
+            )
+            result.outcome = "error"
+
+    def _check_paths(
+        self,
+        case: FuzzCase,
+        paths: list[PathResult],
+        failures: list[str],
+        denial_expected: bool,
+        oracle_error: str | None,
+        expected_rows,
+        expected_columns,
+    ) -> None:
+        if denial_expected:
+            for path in paths:
+                if path.outcome != "denied":
+                    failures.append(
+                        f"{path.path}: expected denial for user {case.user!r} "
+                        f"purpose {case.purpose!r}, got {path.outcome}"
+                        + (f" ({path.error})" if path.error else "")
+                    )
+            return
+
+        if oracle_error is not None:
+            # Consistent-error rule: acceptable only if every path errored.
+            for path in paths:
+                if path.outcome != "error":
+                    failures.append(
+                        f"{path.path}: oracle raised ({oracle_error}) but the "
+                        f"path returned {path.outcome}"
+                    )
+            return
+
+        baseline_checks: int | None = None
+        for path in paths:
+            if path.outcome == "denied":
+                failures.append(
+                    f"{path.path}: unexpected denial (user {case.user!r} holds "
+                    f"purpose {case.purpose!r})"
+                )
+                continue
+            if path.outcome == "error":
+                failures.append(f"{path.path}: unexpected error: {path.error}")
+                continue
+            if path.columns != expected_columns:
+                failures.append(
+                    f"{path.path}: columns {path.columns} != oracle "
+                    f"{expected_columns}"
+                )
+            if path.rows != expected_rows:
+                failures.append(
+                    f"{path.path}: {len(path.rows)} rows disagree with oracle's "
+                    f"{len(expected_rows)} "
+                    f"(first diff: {_first_difference(path.rows, expected_rows)})"
+                )
+            if baseline_checks is None:
+                baseline_checks = path.checks
+            elif path.checks != baseline_checks:
+                failures.append(
+                    f"{path.path}: {path.checks} compliance checks != "
+                    f"{baseline_checks} on the first path"
+                )
+            expected_hit = path.path in _WARM_PATHS
+            if path.cache_hit is not expected_hit:
+                failures.append(
+                    f"{path.path}: cache_hit={path.cache_hit}, expected "
+                    f"{expected_hit}"
+                )
+
+    # -- metamorphic invariants --------------------------------------------------
+
+    def _unenforced_rows(self, case: FuzzCase) -> list[tuple]:
+        statement = parse_statement(case.sql)
+        result = self.world.database.prepare(statement).execute(
+            case.params or None
+        )
+        return normalize_rows(result.rows)
+
+    def _check_invariants(
+        self, case: FuzzCase, expected_rows: list[tuple], failures: list[str]
+    ) -> None:
+        monitor = self.world.monitor
+        admin = self.world.admin
+        unenforced = self._unenforced_rows(case)
+
+        if case.subset_invariant and not is_sub_multiset(expected_rows, unenforced):
+            failures.append(
+                "subset invariant: enforced rows are not a sub-multiset of "
+                "the unenforced rows"
+            )
+
+        # Broadening: append a pass-all rule to every stored policy (NULL
+        # policies become a single pass-all rule), which makes every
+        # compliance conjunct true — the enforced result must then equal
+        # the unenforced result exactly, for any query shape.
+        snapshots: dict[str, list[tuple]] = {}
+        for table_name in admin.target_tables():
+            storage = admin.database.table(table_name)
+            snapshots[table_name] = list(storage.rows)
+            policy_index = storage.schema.column_index(POLICY_COLUMN)
+            pass_all = BitString.ones(admin.layout(table_name).rule_length)
+            storage.rows = [
+                (
+                    *row[:policy_index],
+                    pass_all if row[policy_index] is None else row[policy_index] + pass_all,
+                    *row[policy_index + 1 :],
+                )
+                for row in storage.rows
+            ]
+        admin.bump_policy_epoch()
+        try:
+            report = monitor.execute_with_report(
+                case.sql, case.purpose, user=case.user, params=case.params or None
+            )
+            if report.cache_hit:
+                failures.append(
+                    "epoch invariant: cache hit right after a policy write "
+                    "(the epoch bump did not invalidate the plan)"
+                )
+            broadened = normalize_rows(report.result.rows)
+            # SELECT * projects the policy column, whose cells the
+            # broadening just rewrote — so the unenforced reference must be
+            # recomputed under the mutated policies, not reused from above.
+            broadened_unenforced = self._unenforced_rows(case)
+            if broadened != broadened_unenforced:
+                failures.append(
+                    f"broadening invariant: with pass-all rules appended the "
+                    f"enforced result has {len(broadened)} rows, unenforced "
+                    f"has {len(broadened_unenforced)}"
+                )
+            if case.subset_invariant and len(broadened) < len(expected_rows):
+                failures.append(
+                    f"broadening invariant: broadening the policies shrank "
+                    f"the result ({len(expected_rows)} -> {len(broadened)} rows)"
+                )
+        except ReproError as exc:
+            failures.append(
+                f"broadening invariant: execution failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            for table_name, rows in snapshots.items():
+                admin.database.table(table_name).rows = rows
+            admin.bump_policy_epoch()
+
+        # Epoch invalidation after restore: a fresh compile, and the original
+        # result again.
+        try:
+            report = monitor.execute_with_report(
+                case.sql, case.purpose, user=case.user, params=case.params or None
+            )
+        except ReproError as exc:
+            failures.append(
+                f"epoch invariant: re-execution after restore failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return
+        if report.cache_hit:
+            failures.append(
+                "epoch invariant: cache hit right after restoring policies"
+            )
+        if normalize_rows(report.result.rows) != expected_rows:
+            failures.append(
+                "epoch invariant: result after policy restore differs from "
+                "the original enforced result"
+            )
+
+    # -- batches ---------------------------------------------------------------
+
+    def run_cases(self, cases, stop_after: int | None = None):
+        """Run an iterable of cases, yielding each :class:`CaseReport`."""
+        seen_failures = 0
+        for case in cases:
+            report = self.run_case(case)
+            yield report
+            if not report.ok:
+                seen_failures += 1
+                if stop_after is not None and seen_failures >= stop_after:
+                    return
+
+
+def _first_difference(actual: list[tuple], expected: list[tuple]) -> str:
+    from collections import Counter
+
+    actual_counts = Counter(actual)
+    expected_counts = Counter(expected)
+    extra = actual_counts - expected_counts
+    missing = expected_counts - actual_counts
+    if extra:
+        return f"extra row {next(iter(extra))!r}"
+    if missing:
+        return f"missing row {next(iter(missing))!r}"
+    return "multisets equal (ordering artifact?)"

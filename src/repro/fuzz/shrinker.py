@@ -1,0 +1,181 @@
+"""Greedy failure minimization for differential-testing cases.
+
+Given a failing :class:`~.generator.FuzzCase`, the shrinker repeatedly
+applies structural simplifications to the parsed statement — dropping a
+set-operation down to one branch, clearing ORDER BY / HAVING / GROUP BY /
+DISTINCT, removing individual top-level AND conjuncts, narrowing the select
+list, isolating one side of a join, inlining parameters as literals — and
+keeps any variant that *still fails* the differential runner.  The loop
+restarts from the first successful reduction until a full pass produces no
+smaller failing case (a greedy fixed point).
+
+Soundness relies on the runner's consistent-error rule: a candidate that is
+no longer a valid query makes the oracle *and* every path error out, which
+the runner reports as ``ok`` — so broken candidates are rejected, never
+mistaken for smaller reproductions of the disagreement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from ..errors import ReproError
+from ..sql import ast, parse_statement, to_sql
+from .generator import FuzzCase
+from .runner import DifferentialRunner
+
+
+def shrink(
+    runner: DifferentialRunner, case: FuzzCase, max_steps: int = 200
+) -> FuzzCase:
+    """The smallest failing variant of ``case`` the greedy pass finds.
+
+    ``case`` itself must fail under ``runner``; the return value is ``case``
+    unchanged if no simplification preserves the failure.  ``max_steps``
+    bounds the total number of candidate executions.
+    """
+    current = case
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in candidates(current):
+            steps += 1
+            if steps > max_steps:
+                break
+            if not runner.run_case(candidate).ok:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Simplified variants of ``case``, most aggressive first."""
+    try:
+        statement = parse_statement(case.sql)
+    except ReproError:
+        return
+    seen = {case.sql}
+
+    def emit(variant, params: dict | None = None) -> Iterator[FuzzCase]:
+        sql = to_sql(variant)
+        if sql not in seen:
+            seen.add(sql)
+            yield case.with_sql(sql, params=params)
+
+    if isinstance(statement, ast.SetOperation):
+        for branch in statement.branches():
+            yield from emit(branch)
+        return
+
+    if not isinstance(statement, ast.Select):
+        return
+
+    for variant in _select_reductions(statement):
+        yield from emit(variant)
+
+    if case.params:
+        inlined = _inline_parameters(statement, case.params)
+        if inlined is not None:
+            yield from emit(inlined, params={})
+
+
+def _select_reductions(select: ast.Select) -> Iterator[ast.Select]:
+    """Single-step reductions of one SELECT block, big cuts first."""
+    if select.where is not None:
+        yield dataclasses.replace(select, where=None)
+        conjuncts = _conjuncts(select.where)
+        if len(conjuncts) > 1:
+            for index in range(len(conjuncts)):
+                kept = conjuncts[:index] + conjuncts[index + 1 :]
+                yield dataclasses.replace(select, where=_conjoin(kept))
+
+    if select.order_by:
+        yield dataclasses.replace(select, order_by=())
+    if select.having is not None:
+        yield dataclasses.replace(select, having=None)
+    if select.group_by:
+        yield dataclasses.replace(select, group_by=(), having=None)
+    if select.distinct:
+        yield dataclasses.replace(select, distinct=False)
+    if select.limit is not None or select.offset is not None:
+        yield dataclasses.replace(select, limit=None, offset=None)
+
+    if len(select.items) > 1:
+        for index in range(len(select.items)):
+            kept = select.items[:index] + select.items[index + 1 :]
+            yield dataclasses.replace(select, items=kept)
+
+    # A join collapses to each of its base-table leaves alone; column
+    # references into the dropped side invalidate the candidate, which the
+    # consistent-error rule then rejects.
+    if len(select.sources) == 1 and isinstance(select.sources[0], ast.Join):
+        for leaf in _join_leaves(select.sources[0]):
+            yield dataclasses.replace(select, sources=(leaf,))
+
+
+def _conjuncts(expression: ast.Expression) -> list[ast.Expression]:
+    if isinstance(expression, ast.BinaryOp) and expression.op.lower() == "and":
+        return _conjuncts(expression.left) + _conjuncts(expression.right)
+    return [expression]
+
+
+def _conjoin(parts: list[ast.Expression]) -> ast.Expression | None:
+    if not parts:
+        return None
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = ast.BinaryOp("AND", combined, part)
+    return combined
+
+
+def _join_leaves(source: ast.TableSource) -> Iterator[ast.TableSource]:
+    if isinstance(source, ast.Join):
+        yield from _join_leaves(source.left)
+        yield from _join_leaves(source.right)
+    elif isinstance(source, (ast.TableName, ast.SubquerySource)):
+        yield source
+
+
+def _inline_parameters(select: ast.Select, params: dict) -> ast.Select | None:
+    """All parameter placeholders replaced with their literal values."""
+
+    lowered = {str(k).lower(): v for k, v in params.items()}
+
+    class _Missing(Exception):
+        pass
+
+    def rebuild(value):
+        if isinstance(value, ast.Parameter):
+            key = (value.name or str(value.index)).lower()
+            if key not in lowered:
+                raise _Missing()
+            return ast.Literal(lowered[key])
+        if isinstance(value, ast.Expression):
+            changes = {}
+            for field_info in dataclasses.fields(value):
+                member = getattr(value, field_info.name)
+                rebuilt = rebuild(member)
+                if rebuilt is not member:
+                    changes[field_info.name] = rebuilt
+            return dataclasses.replace(value, **changes) if changes else value
+        if isinstance(value, tuple):
+            rebuilt = tuple(rebuild(item) for item in value)
+            return rebuilt if rebuilt != value else value
+        if isinstance(value, (ast.Select, ast.SetOperation)):
+            changes = {}
+            for field_info in dataclasses.fields(value):
+                member = getattr(value, field_info.name)
+                rebuilt = rebuild(member)
+                if rebuilt is not member:
+                    changes[field_info.name] = rebuilt
+            return dataclasses.replace(value, **changes) if changes else value
+        return value
+
+    try:
+        inlined = rebuild(select)
+    except _Missing:
+        return None
+    return inlined if inlined is not select else None

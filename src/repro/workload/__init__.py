@@ -10,12 +10,21 @@ from .patients import (
 from .policies import (
     ScatteredPolicySpec,
     apply_experiment_policies,
+    apply_random_policies,
     apply_scattered_policies,
     compliance_flags,
+    random_policy,
+    random_rule,
     scattered_policy,
 )
 from .queries import AD_HOC_QUERIES, BenchmarkQuery, get_query
-from .randgen import RANDOM_QUERY_CLASSES, RandomQueryGenerator, random_queries
+from .randgen import (
+    QUERY_CLASSES,
+    RANDOM_QUERY_CLASSES,
+    RandomQueryGenerator,
+    case_rng,
+    random_queries,
+)
 
 __all__ = [
     "CATEGORIZATION",
@@ -25,13 +34,18 @@ __all__ = [
     "populate_patients",
     "ScatteredPolicySpec",
     "apply_experiment_policies",
+    "apply_random_policies",
     "apply_scattered_policies",
     "compliance_flags",
+    "random_policy",
+    "random_rule",
     "scattered_policy",
     "AD_HOC_QUERIES",
     "BenchmarkQuery",
     "get_query",
+    "QUERY_CLASSES",
     "RANDOM_QUERY_CLASSES",
     "RandomQueryGenerator",
+    "case_rng",
     "random_queries",
 ]

@@ -20,6 +20,12 @@ import random
 from dataclasses import dataclass
 
 from ..core import Policy, PolicyRule
+from ..core.actions import (
+    ActionType,
+    Aggregation,
+    JointAccess,
+    Multiplicity,
+)
 from ..core.admin import AccessControlManager, POLICY_COLUMN
 from ..engine.types import BitString
 
@@ -125,6 +131,113 @@ def apply_scattered_policies(
     ]
     admin.bump_policy_epoch()
     return assignment
+
+
+def random_rule(
+    columns: tuple[str, ...],
+    purpose_ids: tuple[str, ...],
+    category_codes: tuple[str, ...],
+    rng: random.Random,
+) -> PolicyRule:
+    """One randomized rule: pass-all, pass-none or a structured ⟨Cl, Pu, At⟩.
+
+    Structured rules draw a non-empty column subset, a non-empty purpose
+    subset, a random indirection (direct rules get random multiplicity and
+    aggregation) and a random joint-access category set — so generated
+    policies exercise every dimension of the Def. 5/6 compliance relation,
+    not just the scattered all-ones/all-zeros masks of Section 6.1.
+    """
+    roll = rng.random()
+    if roll < 0.2:
+        return PolicyRule.pass_all()
+    if roll < 0.4:
+        return PolicyRule.pass_none()
+    rule_columns = rng.sample(list(columns), k=rng.randint(1, len(columns)))
+    rule_purposes = rng.sample(list(purpose_ids), k=rng.randint(1, len(purpose_ids)))
+    joint = JointAccess(
+        frozenset(code for code in category_codes if rng.random() < 0.5)
+    )
+    if rng.random() < 0.3:
+        action = ActionType.indirect(joint)
+    else:
+        action = ActionType.direct(
+            rng.choice((Multiplicity.SINGLE, Multiplicity.MULTIPLE)),
+            rng.choice((Aggregation.AGGREGATION, Aggregation.NO_AGGREGATION)),
+            joint,
+        )
+    return PolicyRule.of(rule_columns, rule_purposes, action)
+
+
+def random_policy(
+    table: str,
+    columns: tuple[str, ...],
+    purpose_ids: tuple[str, ...],
+    category_codes: tuple[str, ...],
+    rng: random.Random,
+    min_rules: int = 1,
+    max_rules: int = 3,
+) -> Policy:
+    """A policy of 1–3 independently randomized rules (see :func:`random_rule`)."""
+    count = rng.randint(min_rules, max_rules)
+    return Policy(
+        table=table,
+        rules=tuple(
+            random_rule(columns, purpose_ids, category_codes, rng)
+            for _ in range(count)
+        ),
+    )
+
+
+def apply_random_policies(
+    admin: AccessControlManager,
+    table: str,
+    rng: random.Random,
+    entity_column: str | None = None,
+    min_rules: int = 1,
+    max_rules: int = 3,
+) -> int:
+    """Store an independently randomized policy on every entity of ``table``.
+
+    Unlike :func:`apply_scattered_policies` there is no target selectivity:
+    every entity (row, or group of rows sharing ``entity_column``) draws its
+    own structured policy, which is what the differential fuzzer uses to
+    exercise mask compliance beyond the pass-all/pass-none extremes.
+    Returns the number of entities assigned.
+    """
+    admin.require_configured()
+    layout = admin.layout(table)
+    storage = admin.database.table(table)
+    policy_index = storage.schema.column_index(POLICY_COLUMN)
+    purpose_ids = layout.purpose_ids
+    category_codes = tuple(category.code for category in admin.categories)
+
+    def make_mask() -> BitString:
+        policy = random_policy(
+            table, layout.columns, purpose_ids, category_codes, rng,
+            min_rules, max_rules,
+        )
+        return layout.policy_mask(policy)
+
+    if entity_column is None:
+        storage.rows = [
+            (*row[:policy_index], make_mask(), *row[policy_index + 1 :])
+            for row in storage.rows
+        ]
+        admin.bump_policy_epoch()
+        return len(storage.rows)
+
+    entity_index = storage.schema.column_index(entity_column)
+    masks: dict[object, BitString] = {}
+    for row in storage.rows:
+        value = row[entity_index]
+        if value not in masks:
+            masks[value] = make_mask()
+    storage.rows = [
+        (*row[:policy_index], masks[row[entity_index]], *row[policy_index + 1 :])
+        for row in storage.rows
+    ]
+    admin.bump_policy_epoch()
+    return len(masks)
 
 
 def apply_experiment_policies(

@@ -26,6 +26,15 @@ from dataclasses import dataclass
 from .patients import DIET_TYPES, FOOD_INTOLERANCES, FOOD_PREFERENCES, POSITIONS
 from .queries import BenchmarkQuery
 
+#: The query classes of Figure 5, also the method names implementing them.
+QUERY_CLASSES: tuple[str, ...] = (
+    "single",
+    "single_aggregate",
+    "join",
+    "join_aggregate",
+    "join_aggregate_having",
+)
+
 #: Figure 5's class of each random query.
 RANDOM_QUERY_CLASSES: dict[str, str] = {
     **{name: "single_aggregate" for name in ("r1", "r12", "r20")},
@@ -99,15 +108,32 @@ def _qualified(column: _ColumnInfo, multi_table: bool) -> str:
     return f"{column.table}.{column.name}" if multi_table else column.name
 
 
+def case_rng(seed: int | str, index: int) -> random.Random:
+    """An independent RNG for case ``(seed, index)``.
+
+    Deriving each case's randomness from the pair — rather than advancing
+    one stream across cases — makes any single case replayable verbatim
+    without regenerating its predecessors, which is what lets a fuzzing
+    failure line be re-run in isolation.
+    """
+    return random.Random(f"{seed}:{index}")
+
+
 class RandomQueryGenerator:
     """Seeded generator of the Figure 5 query classes.
 
     ``patients``/``samples`` scale the literal value domains (id ranges,
     timestamps) so that generated predicates stay meaningful at any dataset
     size.
+
+    All randomness comes from the private :class:`random.Random` instance
+    seeded in the constructor; the module-level ``random`` state is never
+    read or advanced, so interleaving other random consumers can not change
+    what a seed produces.
     """
 
     def __init__(self, seed: int = 2015, patients: int = 1000, samples: int = 1000):
+        self.seed = seed
         self.rng = random.Random(seed)
         self.patients = patients
         self.columns = _schema_columns(patients, samples)
@@ -258,6 +284,12 @@ class RandomQueryGenerator:
         return sql
 
     # -- batch API -----------------------------------------------------------------
+
+    def query_of_class(self, kind: str) -> str:
+        """Generate one query of a Figure 5 class (``kind`` ∈ QUERY_CLASSES)."""
+        if kind not in QUERY_CLASSES:
+            raise ValueError(f"unknown query class {kind!r}")
+        return getattr(self, kind)()
 
     def generate(self) -> tuple[BenchmarkQuery, ...]:
         """Produce r1-r20 with the class assignment of Figure 5."""
