@@ -93,8 +93,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help=(
-            "where the concurrency experiment writes its JSON summary "
-            "(default: BENCH_concurrency.json)"
+            "where the concurrency/hotpath experiments write their JSON "
+            "summaries (defaults: BENCH_concurrency.json / BENCH_hotpath.json)"
         ),
     )
     args = parser.parse_args(argv)
@@ -118,7 +118,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.figure == "all":
             print()
     if args.figure in ("hotpath", "all"):
-        print(hotpath_table(run_hotpath(config)))
+        run = run_hotpath(config)
+        print(hotpath_table(run))
+        json_path = (
+            args.json_out if args.figure == "hotpath" and args.json_out else None
+        ) or "BENCH_hotpath.json"
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(run.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {json_path}")
         if args.figure == "all":
             print()
     if args.figure in ("concurrency", "all"):

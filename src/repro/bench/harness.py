@@ -208,6 +208,7 @@ class HotPathMeasurement:
     cached_time: float
     cache_hits: int
     cache_lookups: int
+    stages: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -222,6 +223,21 @@ class HotPathMeasurement:
         if self.cache_lookups == 0:
             return 1.0
         return self.cache_hits / self.cache_lookups
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of this cell (for ``BENCH_hotpath.json``)."""
+        return {
+            "query": self.query,
+            "selectivity": self.selectivity,
+            "cold_time_s": self.cold_time,
+            "prepare_time_s": self.prepare_time,
+            "cached_time_s": self.cached_time,
+            "speedup": self.speedup,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
+            "hit_rate": self.hit_rate,
+            "stages_s": dict(self.stages),
+        }
 
 
 @dataclass
@@ -264,6 +280,19 @@ class HotPathRun:
             return 1.0
         return sum(m.cache_hits for m in self.measurements) / lookups
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the whole run (for ``BENCH_hotpath.json``)."""
+        return {
+            "config": {
+                "patients": self.config.patients,
+                "samples_per_patient": self.config.samples_per_patient,
+                "selectivities": list(self.config.selectivities),
+                "repeat": self.config.repeat,
+            },
+            "hit_rate": self.hit_rate(),
+            "measurements": [m.to_dict() for m in self.measurements],
+        }
+
 
 def measure_hotpath(
     scenario: PatientsScenario,
@@ -294,6 +323,17 @@ def measure_hotpath(
     hits = after["hits"] - before["hits"]
     lookups = hits + (after["misses"] - before["misses"])
 
+    # One traced execution for the per-stage (parse/plan/execute) breakdown.
+    # Run outside the timed loops so the instrumentation cannot skew the
+    # cold/cached numbers; tracing is restored to its previous state after.
+    previous_tracing = monitor.tracing_enabled
+    monitor.set_tracing(True)
+    try:
+        traced = monitor.execute_with_report(query.sql, BENCH_PURPOSE)
+        stages = traced.trace.stage_seconds() if traced.trace is not None else {}
+    finally:
+        monitor.set_tracing(previous_tracing)
+
     return HotPathMeasurement(
         query=query.name,
         selectivity=selectivity,
@@ -302,6 +342,7 @@ def measure_hotpath(
         cached_time=cached_time,
         cache_hits=hits,
         cache_lookups=lookups,
+        stages=stages,
     )
 
 

@@ -74,6 +74,20 @@ class AccessControlManager:
         self._policy_epoch += 1
         self._compliance_memo.clear()
 
+    def compliance_memo_info(self) -> dict[str, int]:
+        """Observability snapshot of the ``complieswith`` memo.
+
+        ``hits``/``misses`` are monotonic invocation counters (they survive
+        epoch clears); ``cached`` is the current number of memoized
+        argument tuples.
+        """
+        memo = self._compliance_memo
+        return {
+            "hits": memo.hit_count(),
+            "misses": memo.miss_count(),
+            "cached": memo.cached_results(),
+        }
+
     # -- configuration (Section 5.1) ---------------------------------------------
 
     @classmethod

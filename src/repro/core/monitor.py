@@ -20,12 +20,14 @@ that no longer hold.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..engine import Database, ResultSet
 from ..engine.database import PreparedQuery
 from ..errors import ParseError, UnauthorizedPurposeError
+from ..obs.tracing import NULL_TRACE, Trace
 from ..sql import ast, parse_select, parse_statement
 from ..sql.printer import print_select, to_sql
 from .admin import AccessControlManager, COMPLIES_WITH
@@ -36,7 +38,13 @@ from .signatures import QuerySignature, SignatureDeriver
 
 @dataclass
 class EnforcementReport:
-    """Everything observable about one monitored execution."""
+    """Everything observable about one monitored execution.
+
+    ``memo_hits`` is how many of the ``compliance_checks`` were answered
+    from the ``complieswith`` memo; ``trace`` is the execution's recorded
+    :class:`~repro.obs.tracing.Trace` when the monitor has tracing enabled
+    (``None`` otherwise — disabled tracing records nothing).
+    """
 
     original_sql: str
     rewritten_sql: str
@@ -45,6 +53,8 @@ class EnforcementReport:
     result: ResultSet
     compliance_checks: int
     cache_hit: bool = False
+    memo_hits: int = 0
+    trace: "object | None" = None
 
 
 @dataclass(frozen=True)
@@ -168,6 +178,8 @@ class EnforcementMonitor:
         self.authorizer = authorizer if authorizer is not None else admin
         self.deriver = SignatureDeriver(admin, admin)
         self.audit = None
+        self.metrics = None
+        self.tracing_enabled = False
         self.plan_cache_size = plan_cache_size
         self.parse_cache_size = parse_cache_size
         self._plan_cache: "OrderedDict[tuple[str, str, int], CompiledEnforcedPlan]" = (
@@ -189,6 +201,63 @@ class EnforcementMonitor:
         """Record every execution/denial into an :class:`AuditLog`."""
         self.audit = audit
 
+    def attach_metrics(self, registry) -> None:
+        """Aggregate this monitor's activity into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Families are pre-registered so a scrape taken before any traffic
+        still exposes every metric name at zero.
+        """
+        registry.counter(
+            "repro_queries_total", "Enforced data-access statements by outcome"
+        )
+        registry.counter(
+            "repro_complieswith_total",
+            "complieswith invocations performed by enforced statements",
+        )
+        registry.counter(
+            "repro_complieswith_memo_hits_total",
+            "complieswith invocations answered from the compliance memo",
+        )
+        registry.counter(
+            "repro_plan_cache_total", "Compiled-plan cache lookups by result"
+        )
+        registry.counter(
+            "repro_epoch_invalidations_total",
+            "Cached plans purged because the policy epoch moved",
+        )
+        registry.counter(
+            "repro_audit_records_total", "Records written to the audit log"
+        )
+        registry.counter(
+            "repro_explain_total",
+            "EXPLAIN requests (never counted as data access)",
+        )
+        registry.histogram(
+            "repro_query_seconds", "End-to-end enforced execution latency"
+        )
+        registry.histogram(
+            "repro_stage_seconds",
+            "Per-stage pipeline latency (tracing-enabled executions only)",
+        )
+        self.metrics = registry
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Turn per-execution span recording on or off.
+
+        Off (the default) is the fast path: executions carry no trace, the
+        engine skips its row-counting hooks entirely, and results are
+        byte-identical to an instrumented run.
+        """
+        self.tracing_enabled = bool(enabled)
+
+    def _begin_trace(self) -> Trace:
+        return Trace() if self.tracing_enabled else NULL_TRACE
+
+    def _count_query(self, outcome: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("repro_queries_total").inc(outcome=outcome)
+
     def _audit(
         self,
         user: str | None,
@@ -203,6 +272,8 @@ class EnforcementMonitor:
             self.audit.record(
                 user, purpose, query_id, statement, outcome, rows, checks
             )
+            if self.metrics is not None:
+                self.metrics.counter("repro_audit_records_total").inc()
 
     @property
     def database(self) -> Database:
@@ -312,8 +383,13 @@ class EnforcementMonitor:
             # Keys embed the current epoch, so entries compiled under earlier
             # epochs can never be hit again — drop them before LRU eviction
             # starts pushing out live plans.
-            for stale in [k for k in self._plan_cache if k[2] != epoch]:
+            stale_keys = [k for k in self._plan_cache if k[2] != epoch]
+            for stale in stale_keys:
                 del self._plan_cache[stale]
+            if stale_keys and self.metrics is not None:
+                self.metrics.counter("repro_epoch_invalidations_total").inc(
+                    len(stale_keys)
+                )
             self._plan_cache[key] = plan
             while len(self._plan_cache) > self.plan_cache_size:
                 self._plan_cache.popitem(last=False)
@@ -361,10 +437,20 @@ class EnforcementMonitor:
         user: str | None,
         params,
         text: str | None = None,
+        trace: "Trace | None" = None,
     ) -> EnforcementReport:
         """Authorize, fetch the compiled plan, execute, audit — the one
-        execution path shared by plain/prepared/set-operation entry points."""
+        execution path shared by plain/prepared/set-operation entry points.
+
+        ``trace`` lets :meth:`execute_with_report` (which already opened a
+        ``parse`` span) and :meth:`explain` thread their trace through;
+        other callers get a fresh one (the no-op trace when tracing is
+        disabled, so the span bookkeeping below costs nothing).
+        """
         self.admin.require_configured()
+        started = time.perf_counter() if self.metrics is not None else 0.0
+        if trace is None:
+            trace = self._begin_trace()
         if user is not None and not self.authorizer.is_authorized(user, purpose):
             self._audit(
                 user,
@@ -373,19 +459,49 @@ class EnforcementMonitor:
                 text if text is not None else to_sql(statement),
                 "denied",
             )
+            self._count_query("denied")
             raise UnauthorizedPurposeError(user, purpose)
-        plan, hit = self._compiled_plan(statement, qid, purpose)
+        with trace.span("plan") as plan_span:
+            plan, hit = self._compiled_plan(statement, qid, purpose)
+            plan_span.annotate(cache_hit=hit, nodes=plan.plan.plan_summary())
         original_sql = text if text is not None else plan.original_sql
 
         database = self.admin.database
+        memo_before = self.admin.compliance_memo_info()["hits"]
         checks_before = database.function_calls(COMPLIES_WITH)
-        result = database.execute_prepared(plan.plan, params)
+        with trace.span("execute") as execute_span:
+            try:
+                result = database.execute_prepared(
+                    plan.plan, params, trace=trace if trace.enabled else None
+                )
+            except Exception:
+                self._count_query("error")
+                raise
         checks = database.function_calls(COMPLIES_WITH) - checks_before
+        memo_hits = self.admin.compliance_memo_info()["hits"] - memo_before
+        execute_span.annotate(
+            rows=len(result), checks=checks, memo_hits=memo_hits
+        )
 
         self._audit(
             user, purpose, qid, original_sql, "allowed",
             rows=len(result), checks=checks,
         )
+        self._count_query("ok")
+        if self.metrics is not None:
+            metrics = self.metrics
+            metrics.counter("repro_complieswith_total").inc(checks)
+            metrics.counter("repro_complieswith_memo_hits_total").inc(memo_hits)
+            metrics.counter("repro_plan_cache_total").inc(
+                result="hit" if hit else "miss"
+            )
+            metrics.histogram("repro_query_seconds").observe(
+                time.perf_counter() - started
+            )
+            if trace.enabled:
+                stage_histogram = metrics.histogram("repro_stage_seconds")
+                for stage, seconds in trace.stage_seconds().items():
+                    stage_histogram.observe(seconds, stage=stage)
         return EnforcementReport(
             original_sql=original_sql,
             rewritten_sql=plan.rewritten_sql,
@@ -394,6 +510,8 @@ class EnforcementMonitor:
             result=result,
             compliance_checks=checks,
             cache_hit=hit,
+            memo_hits=memo_hits,
+            trace=trace if trace.enabled else None,
         )
 
     # -- cache instrumentation ---------------------------------------------------------
@@ -443,8 +561,73 @@ class EnforcementMonitor:
         enforced with its own signature.
         """
         self.admin.require_configured()
+        trace = self._begin_trace()
+        with trace.span("parse"):
+            statement, qid, text = self._resolve(query, allow_set_ops=True)
+        return self._run_cached(
+            statement, qid, purpose, user, params, text, trace=trace
+        )
+
+    def explain(
+        self,
+        query: "str | ast.Select | ast.SetOperation",
+        purpose: str,
+        user: str | None = None,
+        params=None,
+        analyze: bool = False,
+    ) -> ResultSet:
+        """EXPLAIN [ANALYZE] an enforced query: one ``plan`` column of text.
+
+        Plain EXPLAIN compiles (or fetches) the enforced plan without
+        executing anything; ANALYZE executes under a forced trace and
+        annotates every plan node with the rows it produced, plus execution
+        and per-stage timing summary lines.  Either way the request is
+        audited with outcome ``explain`` and counted under
+        ``repro_explain_total`` — never as data access, so plan inspection
+        cannot skew the Figure-6 accounting (``repro_queries_total``,
+        ``repro_complieswith_total``) the tests pin down.
+        """
+        self.admin.require_configured()
         statement, qid, text = self._resolve(query, allow_set_ops=True)
-        return self._run_cached(statement, qid, purpose, user, params, text)
+        original_sql = text if text is not None else to_sql(statement)
+        if user is not None and not self.authorizer.is_authorized(user, purpose):
+            self._audit(user, purpose, qid, original_sql, "denied")
+            raise UnauthorizedPurposeError(user, purpose)
+        plan, hit = self._compiled_plan(statement, qid, purpose)
+
+        lines = [f"rewritten: {plan.rewritten_sql}"]
+        rows = checks = memo_hits = 0
+        if analyze:
+            trace = Trace()
+            database = self.admin.database
+            memo_before = self.admin.compliance_memo_info()["hits"]
+            checks_before = database.function_calls(COMPLIES_WITH)
+            with trace.span("execute"):
+                result = database.execute_prepared(plan.plan, params, trace=trace)
+            checks = database.function_calls(COMPLIES_WITH) - checks_before
+            memo_hits = self.admin.compliance_memo_info()["hits"] - memo_before
+            rows = len(result)
+            lines.extend(plan.plan.describe(annotate=trace.annotation))
+            lines.append(
+                f"Execution: rows={rows} checks={checks} "
+                f"memo_hits={memo_hits} cache_hit={str(hit).lower()}"
+            )
+            stages = " ".join(
+                f"{stage}={seconds * 1000:.3f}ms"
+                for stage, seconds in trace.stage_seconds().items()
+            )
+            lines.append(f"Timing: {stages}")
+        else:
+            lines.extend(plan.plan.describe())
+
+        self._audit(
+            user, purpose, qid, original_sql, "explain", rows=rows, checks=checks
+        )
+        if self.metrics is not None:
+            self.metrics.counter("repro_explain_total").inc(
+                analyze="true" if analyze else "false"
+            )
+        return ResultSet(("plan",), [(line,) for line in lines])
 
     def execute_statement(
         self,
@@ -465,6 +648,10 @@ class EnforcementMonitor:
 
         statement = parse_statement(sql) if isinstance(sql, str) else sql
         text = sql if isinstance(sql, str) else None
+        if isinstance(statement, ast.Explain):
+            return self.explain(
+                statement.statement, purpose, user=user, analyze=statement.analyze
+            )
         if isinstance(statement, ast.Select):
             return self.execute(statement if text is None else text, purpose, user)
         if isinstance(statement, ast.SetOperation):
@@ -478,6 +665,7 @@ class EnforcementMonitor:
         statement_id = compute_query_id(original_sql)
         if user is not None and not self.authorizer.is_authorized(user, purpose):
             self._audit(user, purpose, statement_id, original_sql, "denied")
+            self._count_query("denied")
             raise UnauthorizedPurposeError(user, purpose)
         self.admin.purposes.get(purpose)
         rewritten = rewrite_statement(statement, purpose, self.deriver, self.admin)
@@ -489,6 +677,9 @@ class EnforcementMonitor:
             user, purpose, statement_id, original_sql, "allowed",
             rows=affected, checks=checks,
         )
+        self._count_query("ok")
+        if self.metrics is not None:
+            self.metrics.counter("repro_complieswith_total").inc(checks)
         return affected
 
     def _execute_set_operation(

@@ -47,18 +47,23 @@ class PreparedQuery:
             )
         return PreparedSelect(self.executor, node, parent_scope=None)
 
-    def execute(self, params=None) -> ResultSet:
+    def execute(self, params=None, trace=None) -> ResultSet:
         """Run the prepared pipeline under the given parameter bindings.
 
         ``params`` is a sequence (bound to ``$1``, ``$2``, ... in order) or
         a mapping keyed by parameter index/name; missing bindings raise
-        :class:`ExecutionError` before execution starts.
+        :class:`ExecutionError` before execution starts.  ``trace`` (a
+        :class:`~repro.obs.tracing.Trace`) makes plan nodes record per-node
+        row counts for this execution only; ``None`` is the untraced fast
+        path.
         """
         bound = bind_parameters(params, self.parameters)
         # A fresh subquery-result cache per execution: the compiled plan is
         # immutable and may be running on several threads at once, so all
         # per-run state lives in the environment.
-        return self._execute_node(self._plan, Env(params=bound, subq={}))
+        return self._execute_node(
+            self._plan, Env(params=bound, subq={}, trace=trace)
+        )
 
     def _execute_node(self, plan, env: Env) -> ResultSet:
         if isinstance(plan, PreparedSelect):
@@ -73,13 +78,18 @@ class PreparedQuery:
             node.all,
         )
 
-    def describe(self) -> list[str]:
-        """EXPLAIN-style plan lines (set-operation branches concatenated)."""
+    def describe(self, annotate=None) -> list[str]:
+        """EXPLAIN-style plan lines (set-operation branches concatenated).
+
+        ``annotate`` threads through to every block's
+        :meth:`~repro.engine.executor.PreparedSelect.describe` for EXPLAIN
+        ANALYZE row-count suffixes.
+        """
         lines: list[str] = []
 
         def walk(plan) -> None:
             if isinstance(plan, PreparedSelect):
-                lines.extend(plan.describe())
+                lines.extend(plan.describe(annotate=annotate))
                 return
             node, left, right = plan
             walk(left)
@@ -88,6 +98,30 @@ class PreparedQuery:
 
         walk(self._plan)
         return lines
+
+    def plan_summary(self) -> dict[str, int]:
+        """Count of plan nodes by kind (``{"HashJoin": 1, "SeqScan": 2}``).
+
+        A cheap structural fingerprint for trace/span attributes — join
+        strategy and scan count without shipping the whole plan text.
+        """
+        counts: dict[str, int] = {}
+
+        def visit(node) -> None:
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+            for child in node.children:
+                visit(child)
+
+        def walk(plan) -> None:
+            if isinstance(plan, PreparedSelect):
+                visit(plan.source_plan)
+                return
+            _node, left, right = plan
+            walk(left)
+            walk(right)
+
+        walk(self._plan)
+        return counts
 
 
 def bind_parameters(params, declared) -> dict | None:
@@ -225,11 +259,13 @@ class Database:
             raise ExecutionError("prepare() requires a SELECT statement")
         return PreparedQuery(self, statement)
 
-    def execute_prepared(self, prepared: PreparedQuery, params=None) -> ResultSet:
+    def execute_prepared(
+        self, prepared: PreparedQuery, params=None, trace=None
+    ) -> ResultSet:
         """Run a prepared query under parameter bindings (see :meth:`prepare`)."""
         if prepared.database is not self:
             raise ExecutionError("prepared query belongs to a different database")
-        return prepared.execute(params)
+        return prepared.execute(params, trace=trace)
 
     def explain(self, sql: "str | ast.Select | ast.SetOperation") -> str:
         """An EXPLAIN-style plan description for a query.

@@ -163,14 +163,24 @@ class SourcePlan:
 
     def rows(self, env: Env) -> Iterable[tuple]:
         """Produce this node's rows for the given environment."""
+        if env.trace is not None:
+            return env.trace.count_rows(self, self.producer(env))
         return self.producer(env)
 
-    def describe(self, indent: int = 0) -> list[str]:
-        """Render this node and its children as EXPLAIN lines."""
+    def describe(self, indent: int = 0, annotate=None) -> list[str]:
+        """Render this node and its children as EXPLAIN lines.
+
+        ``annotate`` (a ``node -> str`` callable, typically
+        :meth:`repro.obs.tracing.Trace.annotation`) appends per-node suffixes
+        such as ``" (rows=N)"`` for EXPLAIN ANALYZE; ``None`` renders the
+        bare plan.
+        """
         label = self.kind if not self.detail else f"{self.kind} {self.detail}"
+        if annotate is not None:
+            label += annotate(self)
         lines = ["  " * indent + label]
         for child in self.children:
-            lines.extend(child.describe(indent + 1))
+            lines.extend(child.describe(indent + 1, annotate))
         return lines
 
 
@@ -360,8 +370,14 @@ class PreparedSelect:
 
     # -- EXPLAIN ---------------------------------------------------------------------
 
-    def describe(self) -> list[str]:
-        """EXPLAIN-style plan lines for this SELECT."""
+    def describe(self, annotate=None) -> list[str]:
+        """EXPLAIN-style plan lines for this SELECT.
+
+        ``annotate`` (see :meth:`SourcePlan.describe`) adds EXPLAIN
+        ANALYZE's per-node row-count suffixes; the block header itself is
+        annotated with the rows this SELECT emitted after filtering,
+        grouping and limiting.
+        """
         from ..sql.printer import print_expression
 
         lines = []
@@ -374,12 +390,14 @@ class PreparedSelect:
             header += " [sort]"
         if self.select.limit is not None:
             header += f" [limit {self.select.limit}]"
+        if annotate is not None:
+            header += annotate(self)
         lines.append(header)
         if self.residual_where_ast is not None:
             lines.append(f"  Where [{print_expression(self.residual_where_ast)}]")
         if self.select.having is not None:
             lines.append(f"  Having [{print_expression(self.select.having)}]")
-        lines.extend(self.source_plan.describe(indent=1))
+        lines.extend(self.source_plan.describe(indent=1, annotate=annotate))
         return lines
 
     # -- execution ------------------------------------------------------------------
@@ -438,6 +456,8 @@ class PreparedSelect:
             rows = rows[self.select.offset :]
         if self.select.limit is not None:
             rows = rows[: self.select.limit]
+        if env.trace is not None:
+            env.trace.add_rows(self, len(rows))
         return rows
 
     def _order_key(self, row: tuple, env: Env) -> tuple:
@@ -501,6 +521,7 @@ class PreparedSelect:
             group_env = Env(
                 agg=agg_values, outer_row=env.outer_row,
                 outer_env=env.outer_env, params=env.params,
+                trace=env.trace,
             )
             if self.having is not None and self.having(representative, group_env) is not True:
                 continue
@@ -605,10 +626,11 @@ class SelectExecutor:
             return plan
         scope = TrackingScope(plan.shape, parent=None)
         predicates = [self.compiler(scope).compile(expr) for expr in claimed]
-        inner = plan.producer
 
         def produce(env: Env) -> Iterable[tuple]:
-            for row in inner(env):
+            # Pull through the child's rows() (not its raw producer) so a
+            # traced execution counts the scanned rows against the child.
+            for row in plan.rows(env):
                 if all(predicate(row, env) is True for predicate in predicates):
                     yield row
 

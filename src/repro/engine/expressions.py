@@ -35,9 +35,15 @@ class Env:
     keyed by plan identity.  It lives on the environment — not on the plan —
     so a single prepared plan can run on many threads at once without the
     executions seeing (or clobbering) each other's cached results.
+
+    ``trace`` is the execution's :class:`~repro.obs.tracing.Trace` (or
+    ``None``, the default and the fast path): when present, plan nodes
+    report per-node row counts into it for EXPLAIN ANALYZE.  Like ``params``
+    it is owned by one execution on one thread, so threading it into
+    subquery environments shares no state across executions.
     """
 
-    __slots__ = ("agg", "outer_row", "outer_env", "params", "subq")
+    __slots__ = ("agg", "outer_row", "outer_env", "params", "subq", "trace")
 
     def __init__(
         self,
@@ -46,12 +52,14 @@ class Env:
         outer_env: "Env | None" = None,
         params: "dict[int | str, object] | None" = None,
         subq: "dict[int, list[tuple]] | None" = None,
+        trace=None,
     ):
         self.agg = agg
         self.outer_row = outer_row
         self.outer_env = outer_env
         self.params = params
         self.subq = subq
+        self.trace = trace
 
 
 EMPTY_ENV = Env()
@@ -380,7 +388,13 @@ class ExpressionCompiler:
             value = operand(row, env)
             if value is None:
                 return None
-            inner_env = Env(outer_row=row, outer_env=env, params=env.params, subq=env.subq)
+            inner_env = Env(
+                outer_row=row,
+                outer_env=env,
+                params=env.params,
+                subq=env.subq,
+                trace=env.trace,
+            )
             saw_null = False
             matched = False
             for result_row in prepared.rows(inner_env):
@@ -403,7 +417,13 @@ class ExpressionCompiler:
         negated = expr.negated
 
         def exists(row: tuple, env: Env) -> bool:
-            inner_env = Env(outer_row=row, outer_env=env, params=env.params, subq=env.subq)
+            inner_env = Env(
+                outer_row=row,
+                outer_env=env,
+                params=env.params,
+                subq=env.subq,
+                trace=env.trace,
+            )
             found = bool(prepared.rows(inner_env))
             return (not found) if negated else found
 
@@ -413,7 +433,13 @@ class ExpressionCompiler:
         prepared = self._plan_subquery(expr.subquery)
 
         def scalar(row: tuple, env: Env) -> object:
-            inner_env = Env(outer_row=row, outer_env=env, params=env.params, subq=env.subq)
+            inner_env = Env(
+                outer_row=row,
+                outer_env=env,
+                params=env.params,
+                subq=env.subq,
+                trace=env.trace,
+            )
             result = prepared.rows(inner_env)
             if not result:
                 return None

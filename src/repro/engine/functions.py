@@ -65,31 +65,40 @@ class MemoizedFunction:
     every policy check.
     """
 
-    __slots__ = ("func", "maxsize", "_cache", "_lock")
+    __slots__ = ("func", "maxsize", "_cache", "_lock", "_hits", "_misses")
 
     def __init__(self, func: Callable[..., object], maxsize: int = 4096):
         self.func = func
         self.maxsize = maxsize
         self._cache: dict[tuple, object] = {}
         self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
 
     def __call__(self, *args: object) -> object:
         try:
             with self._lock:
-                return self._cache[args]
+                result = self._cache[args]
+                self._hits += 1
+                return result
         except KeyError:
             pass
         except TypeError:
             return self.func(*args)
         result = self.func(*args)
         with self._lock:
+            self._misses += 1
             if len(self._cache) >= self.maxsize:
                 self._cache.clear()
             self._cache[args] = result
         return result
 
     def clear(self) -> None:
-        """Drop every memoized result (call when the inputs' meaning shifts)."""
+        """Drop every memoized result (call when the inputs' meaning shifts).
+
+        Hit/miss counters survive the clear — they account invocations, not
+        cache contents, and the observability layer reads them as monotonic.
+        """
         with self._lock:
             self._cache.clear()
 
@@ -97,6 +106,16 @@ class MemoizedFunction:
         """Number of argument tuples currently memoized."""
         with self._lock:
             return len(self._cache)
+
+    def hit_count(self) -> int:
+        """Invocations answered from the memo (monotonic, survives clears)."""
+        with self._lock:
+            return self._hits
+
+    def miss_count(self) -> int:
+        """Invocations that ran the wrapped function and stored the result."""
+        with self._lock:
+            return self._misses
 
 
 class FunctionRegistry:

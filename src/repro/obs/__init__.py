@@ -1,0 +1,36 @@
+"""Observability for the enforcement pipeline: tracing + metrics.
+
+Two complementary views of the service:
+
+* :mod:`repro.obs.tracing` — per-execution :class:`Trace` spans (parse →
+  plan → execute) with per-plan-node row counts; feeds ``EXPLAIN ANALYZE``
+  and the bench per-stage breakdowns.  Disabled tracing is off-path:
+  ``Env.trace is None`` and results are byte-identical.
+* :mod:`repro.obs.metrics` — a process-wide, thread-safe
+  :class:`MetricsRegistry` (counters/gauges/histograms) rendered as a
+  Prometheus-style text exposition by the server's ``stats`` verb and the
+  ``python -m repro.obs`` snapshot CLI.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+from .tracing import NULL_TRACE, NullTrace, Span, Trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACE",
+    "NullTrace",
+    "Span",
+    "Trace",
+    "parse_exposition",
+]

@@ -1,0 +1,78 @@
+"""Metrics snapshot CLI: ``python -m repro.obs``.
+
+Two modes:
+
+* ``python -m repro.obs --host 127.0.0.1 --port 7654`` — connect to a
+  running :mod:`repro.server` instance and print its Prometheus-style
+  metrics exposition (the same text the ``stats`` wire verb returns).
+* ``python -m repro.obs --demo`` — build a tiny in-process scenario, run
+  the q1–q8 workload with tracing enabled and print the resulting
+  exposition; useful to see every metric name populated without standing
+  up a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _demo_snapshot(patients: int, samples: int) -> str:
+    # Imports are local so `--help` stays instant and the module has no
+    # import-time dependency on the workload layer.
+    from ..workload import apply_experiment_policies, build_patients_scenario
+    from ..workload.queries import AD_HOC_QUERIES
+    from .metrics import MetricsRegistry
+
+    instance = build_patients_scenario(
+        patients=patients, samples_per_patient=samples
+    )
+    apply_experiment_policies(instance, selectivity=0.4, seed=99)
+    monitor = instance.monitor
+    registry = MetricsRegistry()
+    monitor.attach_metrics(registry)
+    monitor.set_tracing(True)
+    for query in AD_HOC_QUERIES:
+        monitor.execute_with_report(query.sql, "p6")
+        monitor.explain(query.sql, "p6", analyze=True)
+    return registry.render()
+
+
+def _remote_snapshot(host: str, port: int) -> str:
+    from ..server.client import Client
+
+    with Client(host, port) as client:
+        return client.metrics()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Print a Prometheus-style metrics snapshot.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server host")
+    parser.add_argument(
+        "--port", type=int, default=None, help="server port (enables remote mode)"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a tiny traced in-process workload instead of connecting",
+    )
+    parser.add_argument("--patients", type=int, default=10)
+    parser.add_argument("--samples", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        text = _demo_snapshot(args.patients, args.samples)
+    elif args.port is not None:
+        text = _remote_snapshot(args.host, args.port)
+    else:
+        parser.error("pass --port to scrape a server, or --demo")
+        return 2  # unreachable; parser.error exits
+    sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,341 @@
+"""Process-wide metrics: thread-safe counters, gauges and histograms.
+
+A :class:`MetricsRegistry` aggregates what the per-execution traces cannot:
+totals across every thread of the service — queries by outcome, plan-cache
+hits, ``complieswith`` invocations, admission rejections, audit records.
+Families support Prometheus-style labels, histograms use fixed buckets (so
+p50/p95 estimates need no per-observation storage), and :meth:`MetricsRegistry.
+render` emits the text exposition format scraped off the server's ``stats``
+verb.
+
+Zero dependencies outside the standard library; every mutation takes the
+family's lock, so concurrent query threads never lose increments (the
+thread-safety suite stresses exactly this).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+#: Default latency buckets (seconds): 100µs .. 10s, roughly log-spaced.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    """Canonical (sorted, stringified) form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Family:
+    """Common machinery: name, help text, label-keyed series, a lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Family):
+    """A monotonically increasing counter family."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one labelled series (0 when never incremented)."""
+        with self._lock:
+            return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every labelled series."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def series(self) -> dict[LabelKey, float]:
+        """Snapshot of all labelled series."""
+        with self._lock:
+            return dict(self._series)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            if not self._series:
+                lines.append(f"{self.name} 0")
+            for key in sorted(self._series):
+                lines.append(
+                    f"{self.name}{_render_labels(key)} "
+                    f"{_format_value(self._series[key])}"
+                )
+        return lines
+
+
+class Gauge(_Family):
+    """A value that can go up and down (connections, epoch, cache size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            if not self._series:
+                lines.append(f"{self.name} 0")
+            for key in sorted(self._series):
+                lines.append(
+                    f"{self.name}{_render_labels(key)} "
+                    f"{_format_value(self._series[key])}"
+                )
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "total")
+
+    def __init__(self, buckets: int):
+        self.bucket_counts = [0] * buckets  # per-bucket (non-cumulative)
+        self.count = 0
+        self.total = 0.0
+
+
+class Histogram(_Family):
+    """Fixed-bucket histogram; quantiles estimated from bucket bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def _slot(self, key: LabelKey) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labelled series."""
+        index = len(self.buckets)  # +Inf overflow bucket
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            series = self._slot(_label_key(labels))
+            series.bucket_counts[index] += 1
+            series.count += 1
+            series.total += value
+
+    def count(self, **labels: object) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def sum(self, **labels: object) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.total if series else 0.0
+
+    def quantile(self, fraction: float, **labels: object) -> float:
+        """Upper bound of the bucket containing the requested quantile.
+
+        Returns 0.0 for an empty series and the largest finite bound for
+        observations that landed in the overflow bucket — the standard
+        fixed-bucket estimate (precise to one bucket width).
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return 0.0
+            target = fraction * series.count
+            cumulative = 0
+            for index, bucket_count in enumerate(series.bucket_counts):
+                cumulative += bucket_count
+                if cumulative >= target:
+                    if index < len(self.buckets):
+                        return self.buckets[index]
+                    return self.buckets[-1]
+        return self.buckets[-1]
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            for key in sorted(self._series):
+                series = self._series[key]
+                cumulative = 0
+                for index, bound in enumerate(self.buckets):
+                    cumulative += series.bucket_counts[index]
+                    labels = _render_labels(key, (("le", _format_value(bound)),))
+                    lines.append(f"{self.name}_bucket{labels} {cumulative}")
+                labels = _render_labels(key, (("le", "+Inf"),))
+                lines.append(f"{self.name}_bucket{labels} {series.count}")
+                lines.append(
+                    f"{self.name}_sum{_render_labels(key)} "
+                    f"{_format_value(series.total)}"
+                )
+                lines.append(f"{self.name}_count{_render_labels(key)} {series.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Name → metric-family mapping shared by every layer of the service.
+
+    Families are created on first use; re-requesting a name returns the
+    existing family (a different type under the same name is an error, which
+    catches accidental metric-name collisions early).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, cls, name: str, help_text: str, **kwargs) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = cls(name, help_text, **kwargs)
+            elif not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} is a {family.kind}, not a {cls.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._family(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._family(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._family(Histogram, name, help_text, buckets=buckets)
+
+    def families(self) -> list[_Family]:
+        """All registered families, in registration order."""
+        with self._lock:
+            return list(self._families.values())
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered family."""
+        lines: list[str] = []
+        for family in self.families():
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """A JSON-ready snapshot (counters/gauges only; histograms as p50/p95)."""
+        out: dict = {}
+        for family in self.families():
+            if isinstance(family, (Counter, Gauge)):
+                out[family.name] = {
+                    _render_labels(key) or "": value
+                    for key, value in family.series().items()
+                } if isinstance(family, Counter) else {
+                    _render_labels(key) or "": value
+                    for key, value in family._series.items()
+                }
+            elif isinstance(family, Histogram):
+                out[family.name] = {
+                    "count": sum(s.count for s in family._series.values()),
+                    "p50_s": family.quantile(0.5) if family._series else 0.0,
+                    "p95_s": family.quantile(0.95) if family._series else 0.0,
+                }
+        return out
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """Parse a Prometheus text exposition back into ``{sample: value}``.
+
+    Keys are the full sample lines' left-hand sides (metric name plus the
+    rendered label set, exactly as emitted), so tests can assert individual
+    series without a real Prometheus client.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        left, _, right = line.rpartition(" ")
+        if not left:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        value = float("inf") if right == "+Inf" else float(right)
+        samples[left] = value
+    return samples

@@ -144,3 +144,13 @@ class Client:
     def stats(self) -> dict:
         """The server's stats object (sessions, admission, plan cache)."""
         return self._call({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The server's Prometheus-style metrics text exposition."""
+        return str(self._call({"op": "stats"})["metrics"])
+
+    def explain(self, sql: str, analyze: bool = False) -> list[str]:
+        """EXPLAIN [ANALYZE] an enforced query; returns the plan lines."""
+        prefix = "explain analyze" if analyze else "explain"
+        result = self._result(self._call({"op": "execute", "sql": f"{prefix} {sql}"}))
+        return [row[0] for row in result.rows]

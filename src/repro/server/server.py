@@ -36,6 +36,7 @@ from ..errors import (
     ServerBusyError,
     WireProtocolError,
 )
+from ..obs.metrics import MetricsRegistry
 from ..sql import ast, parse_statement
 from .admission import WorkerPool
 from .locks import ReadWriteLock
@@ -84,12 +85,31 @@ class QueryServer:
         port: int = 0,
         workers: int = 4,
         max_pending: int = 32,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.monitor = monitor
         self.host = host
         self.port = port
         self.workers = workers
         self.max_pending = max_pending
+        # One process-wide registry: explicit > already-attached > fresh.
+        # The monitor aggregates into the same registry, so a `stats` scrape
+        # sees enforcement and wire-level counters side by side.
+        self.metrics = metrics or monitor.metrics or MetricsRegistry()
+        monitor.attach_metrics(self.metrics)
+        self.metrics.counter(
+            "repro_requests_total", "Wire-protocol requests by verb"
+        )
+        self.metrics.counter(
+            "repro_admission_rejections_total",
+            "Statements rejected with server_busy by admission control",
+        )
+        self.metrics.counter(
+            "repro_denials_total", "Requests denied by access control"
+        )
+        self.metrics.gauge(
+            "repro_connections", "Currently open client connections"
+        )
         self.sessions = SessionManager(monitor)
         self.rwlock = ReadWriteLock()
         self._pool: WorkerPool | None = None
@@ -236,7 +256,9 @@ class QueryServer:
         """One request → ``(response, session, keep_connection_open)``."""
         with self._state_lock:
             self._requests += 1
+            connections = len(self._connections)
         op = request.get("op")
+        self.metrics.counter("repro_requests_total").inc(verb=str(op))
         try:
             if op == "hello":
                 return self._op_hello(session, request)
@@ -245,7 +267,12 @@ class QueryServer:
                     self.sessions.close(session.id)
                 return ok_response(goodbye=True), None, False
             if op == "stats":
-                return ok_response(stats=self.stats()), session, True
+                self.metrics.gauge("repro_connections").set(connections)
+                return (
+                    ok_response(stats=self.stats(), metrics=self.metrics.render()),
+                    session,
+                    True,
+                )
             if not isinstance(op, str):
                 return (
                     error_response(E_PROTOCOL, "request has no 'op' field"),
@@ -278,6 +305,7 @@ class QueryServer:
         except ServerBusyError as exc:
             with self._state_lock:
                 self._busy_responses += 1
+            self.metrics.counter("repro_admission_rejections_total").inc()
             return error_response(E_BUSY, str(exc)), session, True
         except WireProtocolError as exc:
             return error_response(E_PROTOCOL, str(exc)), session, True
@@ -288,6 +316,7 @@ class QueryServer:
                     self._denials += 1
                 if session is not None:
                     session.denials += 1
+                self.metrics.counter("repro_denials_total").inc()
             return error_response(code, str(exc)), session, True
         except Exception as exc:  # keep the connection alive on server bugs
             return error_response(E_INTERNAL, f"{type(exc).__name__}: {exc}"), (
@@ -347,6 +376,8 @@ class QueryServer:
         sql = str(self._required(request, "sql"))
         statement = parse_statement(sql)  # parse errors answered inline
         assert self._pool is not None
+        if isinstance(statement, ast.Explain):
+            return self._pool.run(self._run_explain, session, statement)
         if isinstance(statement, (ast.Select, ast.SetOperation)):
             return self._pool.run(self._run_select, session, sql, None)
         return self._pool.run(self._run_dml, session, sql)
@@ -380,6 +411,18 @@ class QueryServer:
             cache_hit=report.cache_hit,
             checks=report.compliance_checks,
         )
+
+    def _run_explain(self, session: ServerSession, statement: ast.Explain) -> dict:
+        with self.rwlock.read_locked():
+            result = self.monitor.explain(
+                statement.statement,
+                session.purpose,
+                user=session.user,
+                analyze=statement.analyze,
+            )
+        # Deliberately not counted in session.statements: EXPLAIN is plan
+        # inspection, not data access, and must not skew per-session stats.
+        return ok_response(result=result_to_wire(result), explain=True)
 
     def _run_dml(self, session: ServerSession, sql: str) -> dict:
         with self.rwlock.write_locked():

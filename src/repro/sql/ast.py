@@ -423,6 +423,21 @@ class AlterTableDropColumn(Statement):
     column_name: str
 
 
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN [ANALYZE] <select or set-operation>``.
+
+    ``EXPLAIN`` shows the enforced (rewritten) plan without executing it;
+    ``EXPLAIN ANALYZE`` executes the statement under a trace and annotates
+    the plan with per-node row counts and stage timings.  ``EXPLAIN`` and
+    ``ANALYZE`` are soft keywords — they stay usable as identifiers
+    everywhere except at the very start of a statement.
+    """
+
+    statement: Statement
+    analyze: bool = False
+
+
 # ---------------------------------------------------------------------------
 # Traversal helpers
 # ---------------------------------------------------------------------------

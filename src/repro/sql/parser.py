@@ -136,6 +136,17 @@ class Parser:
 
     def statement(self) -> ast.Statement:
         """Parse one statement."""
+        # EXPLAIN is a soft keyword: no statement starts with a bare
+        # identifier, so matching it here never shadows a real identifier
+        # use (and `select explain from t` keeps working).
+        if self._match_word("EXPLAIN"):
+            analyze = self._match_word("ANALYZE")
+            token = self._peek()
+            if token.type is TokenType.IDENTIFIER and token.value.upper() == "EXPLAIN":
+                raise self._error("EXPLAIN cannot be nested")
+            if not self._check_keyword("SELECT"):
+                raise self._error("EXPLAIN requires a SELECT statement")
+            return ast.Explain(self._query_expression(), analyze=analyze)
         if self._check_keyword("SELECT"):
             return self._query_expression()
         if self._check_keyword("INSERT"):

@@ -44,6 +44,9 @@ def to_sql(node: ast.Statement | ast.Expression) -> str:
         return f"alter table {node.table} add column {_print_column_def(node.column)}"
     if isinstance(node, ast.AlterTableDropColumn):
         return f"alter table {node.table} drop column {node.column_name}"
+    if isinstance(node, ast.Explain):
+        prefix = "explain analyze" if node.analyze else "explain"
+        return f"{prefix} {to_sql(node.statement)}"
     raise TypeError(f"cannot print {type(node).__name__}")
 
 

@@ -29,3 +29,18 @@ def policy_scenario():
     instance = build_patients_scenario(patients=25, samples_per_patient=8)
     apply_experiment_policies(instance, selectivity=0.4, seed=99)
     return instance
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden files under tests/golden/ instead of comparing",
+    )
+
+
+@pytest.fixture()
+def update_golden(request):
+    """True when the run should rewrite golden files instead of asserting."""
+    return bool(request.config.getoption("--update-golden"))

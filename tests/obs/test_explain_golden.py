@@ -1,0 +1,124 @@
+"""Golden-plan regression tests: EXPLAIN output pinned for q1–q8.
+
+Every ad-hoc workload query is explained under two purposes (p1 =
+treatment, the running example's primary purpose, and p6 = research, the
+benchmark purpose) against the deterministic scenario below, and the full
+output — rewritten SQL plus the plan tree — is compared line-for-line
+against committed golden files under ``tests/golden/``.  Any drift in the
+signature derivation, the rewriter, the printer or the planner now fails
+loudly with a diff.
+
+To intentionally accept new plans::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_explain_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workload import apply_experiment_policies, build_patients_scenario
+from repro.workload.queries import AD_HOC_QUERIES
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: Both purposes the EXPERIMENTS scenarios exercise: the running example's
+#: treatment purpose and the benchmark harness's research purpose.
+PURPOSES = ("p1", "p6")
+
+
+@pytest.fixture(scope="module")
+def golden_monitor():
+    """The deterministic world all golden plans are produced against."""
+    instance = build_patients_scenario(patients=25, samples_per_patient=8)
+    apply_experiment_policies(instance, selectivity=0.4, seed=99)
+    return instance.monitor
+
+
+def explain_text(monitor, sql: str, purpose: str) -> str:
+    result = monitor.explain(sql, purpose)
+    assert list(result.columns) == ["plan"]
+    return "\n".join(row[0] for row in result.rows) + "\n"
+
+
+@pytest.mark.parametrize("purpose", PURPOSES)
+@pytest.mark.parametrize("query", AD_HOC_QUERIES, ids=lambda q: q.name)
+def test_explain_matches_golden(golden_monitor, query, purpose, update_golden):
+    text = explain_text(golden_monitor, query.sql, purpose)
+    path = GOLDEN_DIR / f"explain_{query.name}_{purpose}.txt"
+    if update_golden:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    assert path.exists(), (
+        f"missing golden file {path.name}; regenerate with --update-golden"
+    )
+    assert text == path.read_text(encoding="utf-8"), (
+        f"EXPLAIN drift for {query.name}/{purpose}; if intentional, rerun "
+        "with --update-golden and commit the diff"
+    )
+
+
+def test_golden_directory_has_exactly_the_expected_files() -> None:
+    expected = {
+        f"explain_{query.name}_{purpose}.txt"
+        for query in AD_HOC_QUERIES
+        for purpose in PURPOSES
+    }
+    present = {path.name for path in GOLDEN_DIR.glob("*.txt")}
+    assert present == expected
+
+
+def test_golden_files_show_enforcement() -> None:
+    """Every golden plan must carry the rewritten, policy-guarded query."""
+    for path in sorted(GOLDEN_DIR.glob("*.txt")):
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith("rewritten: "), path.name
+        assert "complieswith" in text, f"{path.name} shows no enforcement"
+
+
+class TestExplainAnalyze:
+    """EXPLAIN ANALYZE adds per-node rows and timings on top of the plan."""
+
+    @pytest.mark.parametrize("query", AD_HOC_QUERIES, ids=lambda q: q.name)
+    def test_analyze_reports_rows_and_timings(self, golden_monitor, query):
+        result = golden_monitor.explain(query.sql, "p6", analyze=True)
+        lines = [row[0] for row in result.rows]
+        assert lines[0].startswith("rewritten: ")
+        assert any("(rows=" in line for line in lines), lines
+        execution = [l for l in lines if l.startswith("Execution: ")]
+        assert len(execution) == 1
+        assert "checks=" in execution[0] and "memo_hits=" in execution[0]
+        timing = [l for l in lines if l.startswith("Timing: ")]
+        assert len(timing) == 1
+        assert "execute=" in timing[0] and "ms" in timing[0]
+
+    def test_analyze_plan_extends_the_plain_plan(self, golden_monitor):
+        query = AD_HOC_QUERIES[0]
+        plain = [row[0] for row in golden_monitor.explain(query.sql, "p6").rows]
+        analyzed = [
+            row[0]
+            for row in golden_monitor.explain(query.sql, "p6", analyze=True).rows
+        ]
+        # Stripping the (rows=N) suffixes and the two summary lines yields
+        # exactly the plain EXPLAIN output.
+        import re
+
+        stripped = [
+            re.sub(r" \(rows=\d+\)", "", line)
+            for line in analyzed
+            if not line.startswith(("Execution: ", "Timing: "))
+        ]
+        assert stripped == plain
+
+    def test_analyze_row_counts_are_real(self, golden_monitor):
+        query = AD_HOC_QUERIES[0]  # q1: distinct watch_id over sensed_data
+        report = golden_monitor.execute_with_report(query.sql, "p6")
+        lines = [
+            row[0]
+            for row in golden_monitor.explain(query.sql, "p6", analyze=True).rows
+        ]
+        (execution,) = [l for l in lines if l.startswith("Execution: ")]
+        assert f"rows={len(report.result)}" in execution
+        assert f"checks={report.compliance_checks}" in execution

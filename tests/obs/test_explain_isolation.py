@@ -1,0 +1,124 @@
+"""Regression: EXPLAIN must not pollute the query-accounting metrics.
+
+Plan inspection is a metadata operation.  It is audited (with its own
+``explain`` outcome) and counted under ``repro_explain_total``, but it
+must never leak into the counters the paper's measurements rest on:
+``repro_queries_total`` and ``repro_complieswith_total`` — even though
+EXPLAIN ANALYZE really executes the plan, really invoking
+``complieswith``, to collect its row counts.  The same isolation holds
+over the wire: an ``explain`` statement does not advance the session's
+statement counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AuditLog
+from repro.obs import MetricsRegistry, parse_exposition
+from repro.server import Client, QueryServer
+from repro.workload import apply_experiment_policies, build_patients_scenario
+
+QUERY = "select distinct watch_id from sensed_data"
+
+
+@pytest.fixture()
+def instrumented():
+    instance = build_patients_scenario(patients=10, samples_per_patient=4)
+    apply_experiment_policies(instance, selectivity=0.4, seed=99)
+    instance.monitor.attach_metrics(MetricsRegistry())
+    instance.monitor.attach_audit(AuditLog(instance.database))
+    return instance
+
+
+def _samples(monitor) -> dict:
+    parsed = parse_exposition(monitor.metrics.render())
+
+    class _Defaulting(dict):
+        # A labelled series that has never been incremented is not rendered
+        # as its own sample line — absent means zero.
+        def __missing__(self, key):
+            return 0.0
+
+    return _Defaulting(parsed)
+
+
+class TestMonitorLevelIsolation:
+    @pytest.mark.parametrize("analyze", [False, True], ids=["plain", "analyze"])
+    def test_explain_leaves_query_metrics_untouched(self, instrumented, analyze):
+        monitor = instrumented.monitor
+        before = _samples(monitor)
+        monitor.explain(QUERY, "p6", analyze=analyze)
+        after = _samples(monitor)
+        assert after['repro_queries_total{outcome="ok"}'] == before[
+            'repro_queries_total{outcome="ok"}'
+        ]
+        assert (
+            after["repro_complieswith_total"]
+            == before["repro_complieswith_total"]
+        )
+        assert after["repro_query_seconds_count"] == before[
+            "repro_query_seconds_count"
+        ]
+        label = "true" if analyze else "false"
+        assert after[f'repro_explain_total{{analyze="{label}"}}'] == 1
+
+    def test_analyze_really_ran_checks_yet_none_were_counted(self, instrumented):
+        """The strongest form: ANALYZE executes, the engine sees the
+        complieswith invocations, the metrics layer must not."""
+        monitor = instrumented.monitor
+        database = instrumented.database
+        from repro.core import COMPLIES_WITH
+
+        engine_before = database.function_calls(COMPLIES_WITH)
+        result = monitor.explain(QUERY, "p6", analyze=True)
+        engine_delta = database.function_calls(COMPLIES_WITH) - engine_before
+        assert engine_delta > 0, "ANALYZE should have executed the plan"
+        samples = _samples(monitor)
+        assert samples["repro_complieswith_total"] == 0
+        assert samples['repro_queries_total{outcome="ok"}'] == 0
+        # ...and the checks it ran are reported in the plan text instead.
+        (execution,) = [
+            row[0] for row in result.rows if row[0].startswith("Execution: ")
+        ]
+        assert f"checks={engine_delta}" in execution
+
+    @pytest.mark.parametrize("analyze", [False, True], ids=["plain", "analyze"])
+    def test_explain_is_audited_with_its_own_outcome(self, instrumented, analyze):
+        monitor = instrumented.monitor
+        monitor.explain(QUERY, "p6", analyze=analyze)
+        record = monitor.audit.records[-1]
+        assert record.outcome == "explain"
+        assert record.purpose == "p6"
+        samples = _samples(monitor)
+        assert samples["repro_audit_records_total"] == 1
+
+    def test_interleaved_explains_do_not_skew_real_accounting(self, instrumented):
+        monitor = instrumented.monitor
+        report = monitor.execute_with_report(QUERY, "p6")
+        monitor.explain(QUERY, "p6", analyze=True)
+        monitor.execute_with_report(QUERY, "p6")
+        samples = _samples(monitor)
+        assert samples['repro_queries_total{outcome="ok"}'] == 2
+        assert (
+            samples["repro_complieswith_total"] == 2 * report.compliance_checks
+        )
+
+
+class TestWireLevelIsolation:
+    def test_server_explain_does_not_count_as_a_session_statement(self):
+        instance = build_patients_scenario(patients=10, samples_per_patient=4)
+        apply_experiment_policies(instance, selectivity=0.4, seed=99)
+        instance.admin.grant_purpose("user0", "p6")
+        with QueryServer(instance.monitor) as server:
+            with Client(*server.address) as client:
+                client.hello("user0", "p6")
+                client.query(QUERY)
+                plan = client.explain(QUERY, analyze=True)
+                stats = client.stats()
+                metrics = parse_exposition(client.metrics())
+        assert any(line.startswith("rewritten: ") for line in plan)
+        (session,) = stats["sessions"]["sessions"].values()
+        assert session["statements"] == 1  # the query, not the explain
+        assert metrics['repro_queries_total{outcome="ok"}'] == 1
+        assert metrics['repro_explain_total{analyze="true"}'] == 1

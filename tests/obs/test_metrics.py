@@ -1,0 +1,167 @@
+"""Unit tests for the metrics registry and its text exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, parse_exposition
+
+
+class TestCounter:
+    def test_inc_and_value(self) -> None:
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+        assert counter.total() == 5
+
+    def test_labelled_series_are_independent(self) -> None:
+        counter = MetricsRegistry().counter("queries_total")
+        counter.inc(outcome="ok")
+        counter.inc(outcome="ok")
+        counter.inc(outcome="denied")
+        assert counter.value(outcome="ok") == 2
+        assert counter.value(outcome="denied") == 1
+        assert counter.value(outcome="error") == 0
+        assert counter.total() == 3
+
+    def test_counters_cannot_decrease(self) -> None:
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self) -> None:
+        gauge = MetricsRegistry().gauge("connections")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self) -> None:
+        histogram = MetricsRegistry().histogram("latency", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # overflow bucket
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+
+    def test_quantile_estimates_bucket_upper_bound(self) -> None:
+        histogram = MetricsRegistry().histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for _ in range(90):
+            histogram.observe(0.05)
+        for _ in range(10):
+            histogram.observe(5.0)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(0.95) == 10.0
+
+    def test_quantile_of_empty_series_is_zero(self) -> None:
+        histogram = MetricsRegistry().histogram("latency")
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_quantile_fraction_validated(self) -> None:
+        histogram = MetricsRegistry().histogram("latency")
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+
+    def test_default_buckets_are_sorted_and_subsecond_heavy(self) -> None:
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 1.0
+
+
+class TestRegistry:
+    def test_same_name_returns_same_family(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_collision_is_an_error(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_is_json_ready(self) -> None:
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(outcome="ok")
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(0.01)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["h"]["count"] == 1
+
+
+class TestExposition:
+    def test_render_and_parse_round_trip(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("queries_total", "Queries by outcome").inc(
+            3, outcome="ok"
+        )
+        registry.gauge("connections").set(2)
+        registry.histogram("latency_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render()
+        assert "# HELP queries_total Queries by outcome" in text
+        assert "# TYPE queries_total counter" in text
+        assert "# TYPE latency_seconds histogram" in text
+        samples = parse_exposition(text)
+        assert samples['queries_total{outcome="ok"}'] == 3
+        assert samples["connections"] == 2
+        assert samples['latency_seconds_bucket{le="0.1"}'] == 1
+        assert samples['latency_seconds_bucket{le="+Inf"}'] == 1
+        assert samples["latency_seconds_count"] == 1
+
+    def test_histogram_buckets_are_cumulative(self) -> None:
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        samples = parse_exposition(registry.render())
+        assert samples['h_bucket{le="1"}'] == 1
+        assert samples['h_bucket{le="2"}'] == 2
+        assert samples['h_bucket{le="+Inf"}'] == 2
+
+    def test_unlabelled_counter_renders_zero_before_first_inc(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("never_incremented_total", "pre-registered")
+        samples = parse_exposition(registry.render())
+        assert samples["never_incremented_total"] == 0
+
+    def test_label_values_are_escaped(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("c").inc(verb='we"ird\nvalue')
+        text = registry.render()
+        assert '\\"' in text and "\\n" in text
+        # The escaped line still parses as one sample.
+        assert parse_exposition(text)['c{verb="we\\"ird\\nvalue"}'] == 1
+
+    def test_malformed_line_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            parse_exposition("justonetoken")
+
+
+class TestThreadSafetyUnit:
+    def test_concurrent_increments_are_not_lost(self) -> None:
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+
+        def work() -> None:
+            for _ in range(1000):
+                counter.inc(outcome="ok")
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(outcome="ok") == 8000
+        assert histogram.count() == 8000
