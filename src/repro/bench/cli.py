@@ -5,6 +5,7 @@ Regenerates the paper's figures as plain-text tables::
     python -m repro.bench fig6              # compliance checks per query
     python -m repro.bench fig7              # time vs policy selectivity
     python -m repro.bench fig8              # time vs dataset size
+    python -m repro.bench optimizer         # per-row checks vs policy bitmaps
     python -m repro.bench concurrency       # threads vs enforced throughput
     python -m repro.bench all               # everything
     python -m repro.bench fig7 --patients 1000 --samples 1000   # paper scale
@@ -19,7 +20,7 @@ import argparse
 import json
 
 from .concurrency import run_concurrency
-from .experiments import run_experiment1, run_experiment2, run_hotpath
+from .experiments import run_experiment1, run_experiment2, run_hotpath, run_optimizer
 from .harness import ExperimentConfig, PAPER_SELECTIVITIES
 from .reporting import (
     concurrency_table,
@@ -27,6 +28,7 @@ from .reporting import (
     figure7_table,
     figure8_table,
     hotpath_table,
+    optimizer_table,
 )
 
 
@@ -51,10 +53,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=("fig6", "fig7", "fig8", "cub", "hotpath", "concurrency", "all"),
+        choices=(
+            "fig6",
+            "fig7",
+            "fig8",
+            "cub",
+            "hotpath",
+            "optimizer",
+            "concurrency",
+            "all",
+        ),
         help=(
             "which figure to regenerate (cub = §5.6 bound vs measured, "
             "hotpath = cold vs cached prepared-pipeline latency, "
+            "optimizer = per-row checks vs policy-bitmap pre-filtering, "
             "concurrency = enforced throughput vs parallel sessions)"
         ),
     )
@@ -123,6 +135,18 @@ def main(argv: list[str] | None = None) -> int:
         json_path = (
             args.json_out if args.figure == "hotpath" and args.json_out else None
         ) or "BENCH_hotpath.json"
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(run.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {json_path}")
+        if args.figure == "all":
+            print()
+    if args.figure in ("optimizer", "all"):
+        run = run_optimizer(config)
+        print(optimizer_table(run))
+        json_path = (
+            args.json_out if args.figure == "optimizer" and args.json_out else None
+        ) or "BENCH_optimizer.json"
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(run.to_dict(), handle, indent=2)
             handle.write("\n")

@@ -16,9 +16,11 @@ from .harness import (
     ExperimentConfig,
     ExperimentRun,
     HotPathRun,
+    OptimizerRun,
     build_scenario,
     experiment_queries,
     measure_hotpath,
+    measure_optimizer,
     measure_query,
     set_selectivity,
 )
@@ -65,6 +67,34 @@ def run_hotpath(
         for query in queries:
             run.measurements.append(
                 measure_hotpath(
+                    scenario, query, selectivity, config.repeat, executions
+                )
+            )
+    return run
+
+
+def run_optimizer(
+    config: ExperimentConfig | None = None, executions: int = 3
+) -> OptimizerRun:
+    """Optimizer experiment: bitmap pre-filtering vs per-row enforcement.
+
+    For every (query, selectivity) sweep point this executes the query once
+    with the pass pipeline off (the per-row evaluation model of Figure 6)
+    and once with it on (policy guards answered by cached bitmaps), from a
+    cold plan cache and cold bitmaps each time.  It records both check
+    counts, the static distinct-policy-value bound the optimized plan must
+    respect, whether the two modes returned identical rows, and the cached
+    (hot plan) execution latency under each mode.
+    """
+    config = config or ExperimentConfig.scaled()
+    scenario = build_scenario(config)
+    queries = experiment_queries(config)
+    run = OptimizerRun(config)
+    for selectivity in config.selectivities:
+        set_selectivity(scenario, selectivity, config.policy_seed)
+        for query in queries:
+            run.measurements.append(
+                measure_optimizer(
                     scenario, query, selectivity, config.repeat, executions
                 )
             )

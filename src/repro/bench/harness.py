@@ -162,22 +162,36 @@ def measure_query(
     selectivity: float,
     repeat: int = 1,
 ) -> QueryMeasurement:
-    """Measure one query under the currently installed policies."""
+    """Measure one query under the currently installed policies.
+
+    Figure 6 counts per-row ``compliesWith`` evaluations, so the measurement
+    pins the optimizer off for its duration: bitmap pre-filtering would turn
+    the metric into a distinct-policy-value count and break the figure's
+    selectivity/dataset-size relationships.  The optimizer's own experiment
+    (:func:`run_optimizer`) measures both modes side by side instead.
+    """
     monitor = scenario.monitor
     database = scenario.database
 
-    original_rows = len(monitor.execute_unprotected(query.sql))
-    original_time = time_query(
-        lambda: monitor.execute_unprotected(query.sql), repeat
-    )
+    previous_mode = monitor.optimizer_mode
+    monitor.set_optimizer("off")
+    try:
+        original_rows = len(monitor.execute_unprotected(query.sql))
+        original_time = time_query(
+            lambda: monitor.execute_unprotected(query.sql), repeat
+        )
 
-    report = monitor.execute_with_report(query.sql, BENCH_PURPOSE)
-    rewritten_rows = len(report.result)
-    checks = report.compliance_checks
-    # Time the rewritten statement itself (rewriting cost excluded, like the
-    # paper, which compares query execution times).
-    rewritten_select = monitor.rewrite(query.sql, BENCH_PURPOSE)
-    rewritten_time = time_query(lambda: database.query(rewritten_select), repeat)
+        report = monitor.execute_with_report(query.sql, BENCH_PURPOSE)
+        rewritten_rows = len(report.result)
+        checks = report.compliance_checks
+        # Time the rewritten statement itself (rewriting cost excluded, like
+        # the paper, which compares query execution times).
+        rewritten_select = monitor.rewrite(query.sql, BENCH_PURPOSE)
+        rewritten_time = time_query(
+            lambda: database.query(rewritten_select, optimizer="off"), repeat
+        )
+    finally:
+        monitor.set_optimizer(previous_mode)
 
     return QueryMeasurement(
         query=query.name,
@@ -346,9 +360,238 @@ def measure_hotpath(
     )
 
 
-def count_checks(scenario: PatientsScenario, sql: str, purpose: str = BENCH_PURPOSE) -> int:
-    """The number of ``complieswith`` invocations one execution performs."""
+def bitmap_build_bound(
+    scenario: PatientsScenario, sql: str, purpose: str = BENCH_PURPOSE
+) -> int:
+    """Worst-case ``compliesWith`` cost of the bitmap pre-filtered plan.
+
+    The optimizer hoists policy conjuncts into ``PolicyGuard`` nodes whose
+    bitmaps are built once per distinct non-NULL policy value per
+    ``(table, mask)`` pair.  Collecting every ``complieswith(mask,
+    binding.policy)`` conjunct the rewriter injected — including inside
+    IN/EXISTS/scalar subqueries and derived tables — therefore gives a
+    static bound: an execution from a cold bitmap cache never invokes
+    ``compliesWith`` more than Σ distinct policy values over the distinct
+    ``(table, mask)`` pairs.  (Conjuncts the optimizer leaves in residual
+    filters, e.g. under outer joins, fall back to per-row evaluation and may
+    exceed this figure by design.)
+    """
+    import dataclasses as dc
+
+    from ..sql import ast
+
     database = scenario.database
-    before = database.function_calls(COMPLIES_WITH)
-    scenario.monitor.execute(sql, purpose)
-    return database.function_calls(COMPLIES_WITH) - before
+    function_name = (database.policy_function or "complieswith").lower()
+    statement = scenario.monitor.rewrite(sql, purpose)
+    pairs: set[tuple[str, str]] = set()
+
+    def visit_value(value, bindings: dict[str, str]) -> None:
+        if isinstance(value, ast.Select):
+            visit_select(value)
+            return
+        if (
+            isinstance(value, ast.FunctionCall)
+            and value.name.lower() == function_name
+            and len(value.args) == 2
+            and isinstance(value.args[0], ast.BitStringLiteral)
+            and isinstance(value.args[1], ast.ColumnRef)
+            and value.args[1].table
+        ):
+            table = bindings.get(value.args[1].table.lower())
+            if table is not None:
+                pairs.add((table, value.args[0].bits))
+        if dc.is_dataclass(value):
+            for field_info in dc.fields(value):
+                visit_value(getattr(value, field_info.name), bindings)
+        elif isinstance(value, (tuple, list)):
+            for item in value:
+                visit_value(item, bindings)
+
+    def add_bindings(source, bindings: dict[str, str]) -> None:
+        if isinstance(source, ast.TableName):
+            bindings[source.binding.lower()] = source.name.lower()
+        elif isinstance(source, ast.Join):
+            add_bindings(source.left, bindings)
+            add_bindings(source.right, bindings)
+
+    def visit_select(select: ast.Select) -> None:
+        bindings: dict[str, str] = {}
+        for source in select.sources:
+            add_bindings(source, bindings)
+        for field_info in dc.fields(select):
+            visit_value(getattr(select, field_info.name), bindings)
+
+    def visit_statement(node) -> None:
+        if isinstance(node, ast.SetOperation):
+            visit_statement(node.left)
+            visit_statement(node.right)
+        else:
+            visit_select(node)
+
+    visit_statement(statement)
+    bound = 0
+    for table_name, _mask in pairs:
+        table = database.table(table_name)
+        index = table.schema.column_index(database.policy_column)
+        bound += len({row[index] for row in table.rows if row[index] is not None})
+    return bound
+
+
+@dataclass
+class OptimizerMeasurement:
+    """One (query, selectivity) cell of the optimizer on/off comparison."""
+
+    query: str
+    selectivity: float
+    checks_off: int
+    checks_on_cold: int
+    checks_on_warm: int
+    bitmap_bound: int
+    rows_match: bool
+    cached_time_off: float
+    cached_time_on: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Cold optimized checks never exceed the distinct-value bound.
+
+        Only meaningful when every policy conjunct was hoisted (bound > 0 or
+        the query touches no policies at all); residual guards under outer
+        joins fall back to per-row evaluation by design.
+        """
+        return self.checks_on_cold <= max(self.bitmap_bound, self.checks_off)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of this cell (for ``BENCH_optimizer.json``)."""
+        return {
+            "query": self.query,
+            "selectivity": self.selectivity,
+            "checks_off": self.checks_off,
+            "checks_on_cold": self.checks_on_cold,
+            "checks_on_warm": self.checks_on_warm,
+            "bitmap_bound": self.bitmap_bound,
+            "within_bound": self.within_bound,
+            "rows_match": self.rows_match,
+            "cached_time_off_s": self.cached_time_off,
+            "cached_time_on_s": self.cached_time_on,
+        }
+
+
+@dataclass
+class OptimizerRun:
+    """All optimizer-comparison measurements of one configuration."""
+
+    config: ExperimentConfig
+    measurements: list[OptimizerMeasurement] = field(default_factory=list)
+
+    def cell(self, query: str, selectivity: float) -> OptimizerMeasurement:
+        """Look up a single measurement."""
+        for measurement in self.measurements:
+            if (
+                measurement.query == query
+                and abs(measurement.selectivity - selectivity) < 1e-9
+            ):
+                return measurement
+        raise KeyError((query, selectivity))
+
+    def queries(self) -> list[str]:
+        """Distinct query names, in first-seen order."""
+        seen: list[str] = []
+        for measurement in self.measurements:
+            if measurement.query not in seen:
+                seen.append(measurement.query)
+        return seen
+
+    def selectivities(self) -> list[float]:
+        """Distinct selectivity values, in first-seen order."""
+        seen: list[float] = []
+        for measurement in self.measurements:
+            if measurement.selectivity not in seen:
+                seen.append(measurement.selectivity)
+        return seen
+
+    def violations(self) -> list[OptimizerMeasurement]:
+        """Cells whose cold optimized checks exceeded the bound."""
+        return [m for m in self.measurements if not m.within_bound]
+
+    def mismatches(self) -> list[OptimizerMeasurement]:
+        """Cells where the two modes disagreed on the result rows."""
+        return [m for m in self.measurements if not m.rows_match]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the whole run (for ``BENCH_optimizer.json``)."""
+        return {
+            "config": {
+                "patients": self.config.patients,
+                "samples_per_patient": self.config.samples_per_patient,
+                "selectivities": list(self.config.selectivities),
+                "repeat": self.config.repeat,
+            },
+            "violations": [m.query for m in self.violations()],
+            "mismatches": [m.query for m in self.mismatches()],
+            "measurements": [m.to_dict() for m in self.measurements],
+        }
+
+
+def measure_optimizer(
+    scenario: PatientsScenario,
+    query: BenchmarkQuery,
+    selectivity: float,
+    repeat: int = 1,
+    executions: int = 3,
+) -> OptimizerMeasurement:
+    """Compare one query's enforcement cost with the optimizer on vs off."""
+    monitor = scenario.monitor
+    database = scenario.database
+    previous_mode = monitor.optimizer_mode
+
+    def run_mode(mode: str):
+        monitor.set_optimizer(mode)
+        monitor.clear_plan_cache()
+        monitor.clear_policy_bitmaps()
+        before = database.function_calls(COMPLIES_WITH)
+        report = monitor.execute_with_report(query.sql, BENCH_PURPOSE)
+        cold = database.function_calls(COMPLIES_WITH) - before
+        before = database.function_calls(COMPLIES_WITH)
+        monitor.execute(query.sql, BENCH_PURPOSE)
+        warm = database.function_calls(COMPLIES_WITH) - before
+        prepared = monitor.prepare(query.sql, BENCH_PURPOSE)
+        cached_time = time_query(prepared.execute, max(repeat, executions))
+        return report, cold, warm, cached_time
+
+    try:
+        off_report, off_cold, _off_warm, off_time = run_mode("off")
+        on_report, on_cold, on_warm, on_time = run_mode("on")
+    finally:
+        monitor.set_optimizer(previous_mode)
+
+    bound = bitmap_build_bound(scenario, query.sql)
+    return OptimizerMeasurement(
+        query=query.name,
+        selectivity=selectivity,
+        checks_off=off_cold,
+        checks_on_cold=on_cold,
+        checks_on_warm=on_warm,
+        bitmap_bound=bound,
+        rows_match=list(off_report.result) == list(on_report.result),
+        cached_time_off=off_time,
+        cached_time_on=on_time,
+    )
+
+
+def count_checks(scenario: PatientsScenario, sql: str, purpose: str = BENCH_PURPOSE) -> int:
+    """The number of ``complieswith`` invocations one execution performs.
+
+    Counted under the per-row evaluation model (optimizer off), matching the
+    complexity analysis of Section 5 and Figure 6.
+    """
+    database = scenario.database
+    monitor = scenario.monitor
+    previous_mode = monitor.optimizer_mode
+    monitor.set_optimizer("off")
+    try:
+        before = database.function_calls(COMPLIES_WITH)
+        monitor.execute(sql, purpose)
+        return database.function_calls(COMPLIES_WITH) - before
+    finally:
+        monitor.set_optimizer(previous_mode)

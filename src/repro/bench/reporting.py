@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from .concurrency import ConcurrencyRun
 from .experiments import Experiment2Result
-from .harness import ExperimentRun, HotPathRun
+from .harness import ExperimentRun, HotPathRun, OptimizerRun
 
 
 def _format_table(header: list[str], rows: list[list[str]]) -> str:
@@ -101,6 +101,53 @@ def hotpath_table(run: HotPathRun) -> str:
         f"plan-cache hit rate over cached executions: {run.hit_rate():.0%}"
     )
     return f"{title}\n{_format_table(header, rows)}\n{hit_line}"
+
+
+def optimizer_table(run: OptimizerRun) -> str:
+    """Optimizer comparison: per-row checks vs bitmap builds, per query.
+
+    ``off`` is the per-row evaluation count (the Figure 6 metric), ``on``
+    the ``compliesWith`` invocations the bitmap-pre-filtered plan performs
+    from a cold bitmap cache, ``warm`` a repeat execution with the bitmaps
+    already built, and ``bound`` the static distinct-policy-value ceiling
+    the optimized plan must respect.  ``hot off``/``hot on`` are cached-plan
+    execution latencies (ms) averaged across the selectivity sweep.
+    """
+    selectivities = run.selectivities()
+    header = ["query"]
+    for s in selectivities:
+        header.extend([f"s={s:g} off", "on", "warm", "bound"])
+    header.extend(["hot off", "hot on"])
+    rows = []
+    for query in run.queries():
+        row = [query]
+        off_times: list[float] = []
+        on_times: list[float] = []
+        for s in selectivities:
+            cell = run.cell(query, s)
+            row.extend(
+                [
+                    str(cell.checks_off),
+                    str(cell.checks_on_cold),
+                    str(cell.checks_on_warm),
+                    str(cell.bitmap_bound),
+                ]
+            )
+            off_times.append(cell.cached_time_off)
+            on_times.append(cell.cached_time_on)
+        row.append(_ms(sum(off_times) / len(off_times)) if off_times else "-")
+        row.append(_ms(sum(on_times) / len(on_times)) if on_times else "-")
+        rows.append(row)
+    title = (
+        f"Optimizer — compliesWith cost, per-row vs policy bitmaps "
+        f"(patients={run.config.patients}, "
+        f"samples={run.config.samples_per_patient})"
+    )
+    summary = (
+        f"bound violations: {len(run.violations())}; "
+        f"result mismatches: {len(run.mismatches())}"
+    )
+    return f"{title}\n{_format_table(header, rows)}\n{summary}"
 
 
 def concurrency_table(run: ConcurrencyRun) -> str:

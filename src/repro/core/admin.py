@@ -37,6 +37,39 @@ POLICY_COLUMN = "policy"
 COMPLIES_WITH = "complieswith"
 
 
+class EpochScoped:
+    """Caches whose contents are only valid within one policy epoch.
+
+    Several layers memoize work derived from policy state — the
+    ``complieswith`` argument memo, the engine's policy-bitmap cache, and
+    anything an extension registers.  They all share one invalidation rule
+    ("discard on policy-epoch bump"), so they register here once and
+    :meth:`AccessControlManager.bump_policy_epoch` clears them together
+    instead of each call site remembering every cache.
+    """
+
+    def __init__(self) -> None:
+        self._caches: list = []
+
+    def register(self, cache) -> None:
+        """Track a cache exposing ``clear()``; duplicates are ignored."""
+        if not hasattr(cache, "clear"):
+            raise TypeError(
+                f"{type(cache).__name__} has no clear() method"
+            )
+        if any(existing is cache for existing in self._caches):
+            return
+        self._caches.append(cache)
+
+    def clear_all(self) -> None:
+        """Invalidate every registered cache (the epoch just bumped)."""
+        for cache in self._caches:
+            cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._caches)
+
+
 class AccessControlManager:
     """Configures and serves access-control meta-data for one target DB."""
 
@@ -53,6 +86,9 @@ class AccessControlManager:
         self._configured = False
         self._policy_epoch = 0
         self._compliance_memo = MemoizedFunction(complies_with)
+        self.epoch_scoped = EpochScoped()
+        self.epoch_scoped.register(self._compliance_memo)
+        self.epoch_scoped.register(database.policy_bitmaps)
 
     # -- policy epoch -------------------------------------------------------------
 
@@ -72,7 +108,7 @@ class AccessControlManager:
     def bump_policy_epoch(self) -> None:
         """Invalidate derived enforcement state after a policy-relevant write."""
         self._policy_epoch += 1
-        self._compliance_memo.clear()
+        self.epoch_scoped.clear_all()
 
     def compliance_memo_info(self) -> dict[str, int]:
         """Observability snapshot of the ``complieswith`` memo.
@@ -120,6 +156,8 @@ class AccessControlManager:
         database.register_function(
             COMPLIES_WITH, manager._compliance_memo, strict=True
         )
+        database.policy_function = COMPLIES_WITH
+        database.policy_column = POLICY_COLUMN
         return manager
 
     def configure(self, purposes: PurposeSet | None = None) -> None:
@@ -159,6 +197,10 @@ class AccessControlManager:
         self.database.register_function(
             COMPLIES_WITH, self._compliance_memo, strict=True
         )
+        # Tell the engine's optimizer what a rewriter-injected guard looks
+        # like, so the policy_guard_hoist pass can recognize and hoist it.
+        self.database.policy_function = COMPLIES_WITH
+        self.database.policy_column = POLICY_COLUMN
         self._configured = True
         if purposes is not None:
             for purpose in purposes.ordered():

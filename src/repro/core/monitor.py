@@ -24,7 +24,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..engine import Database, ResultSet
+from ..engine import Database, ResultSet, resolve_optimizer_mode
 from ..engine.database import PreparedQuery
 from ..errors import ParseError, UnauthorizedPurposeError
 from ..obs.tracing import NULL_TRACE, Trace
@@ -54,6 +54,10 @@ class EnforcementReport:
     compliance_checks: int
     cache_hit: bool = False
     memo_hits: int = 0
+    #: Policy bitmaps built / reused by hoisted guards during this execution
+    #: (both stay 0 with the optimizer off or no guards hoisted).
+    bitmap_built: int = 0
+    bitmap_hits: int = 0
     trace: "object | None" = None
 
 
@@ -72,6 +76,7 @@ class CompiledEnforcedPlan:
     query_id: str
     purpose: str
     epoch: int
+    optimizer: str
     original_sql: str
     statement: "ast.Select | ast.SetOperation"
     rewritten: "ast.Select | ast.SetOperation"
@@ -173,6 +178,7 @@ class EnforcementMonitor:
         authorizer=None,
         plan_cache_size: int = 128,
         parse_cache_size: int = 256,
+        optimizer: str | None = None,
     ):
         self.admin = admin
         self.authorizer = authorizer if authorizer is not None else admin
@@ -180,9 +186,10 @@ class EnforcementMonitor:
         self.audit = None
         self.metrics = None
         self.tracing_enabled = False
+        self.optimizer_mode = resolve_optimizer_mode(optimizer)
         self.plan_cache_size = plan_cache_size
         self.parse_cache_size = parse_cache_size
-        self._plan_cache: "OrderedDict[tuple[str, str, int], CompiledEnforcedPlan]" = (
+        self._plan_cache: "OrderedDict[tuple[str, str, int, str], CompiledEnforcedPlan]" = (
             OrderedDict()
         )
         self._parse_memo: "OrderedDict[str, tuple[ast.Select | ast.SetOperation, str]]" = (
@@ -223,6 +230,11 @@ class EnforcementMonitor:
             "repro_plan_cache_total", "Compiled-plan cache lookups by result"
         )
         registry.counter(
+            "repro_policy_bitmap_total",
+            "Policy bitmaps reused (event=hit) or built (event=built) by "
+            "hoisted guards",
+        )
+        registry.counter(
             "repro_epoch_invalidations_total",
             "Cached plans purged because the policy epoch moved",
         )
@@ -250,6 +262,21 @@ class EnforcementMonitor:
         byte-identical to an instrumented run.
         """
         self.tracing_enabled = bool(enabled)
+
+    def set_optimizer(self, mode: str | None) -> None:
+        """Switch the plan-rewrite mode for *future* compilations.
+
+        ``"on"`` runs the full pass pipeline (guard hoisting, pruning,
+        folding); ``"off"`` replays the legacy executor's plans exactly;
+        ``None`` re-resolves from ``$REPRO_OPTIMIZER``.  Plan-cache keys
+        embed the mode, so already-compiled plans of the other mode stay
+        cached and are simply not hit while this mode is active.
+        """
+        self.optimizer_mode = resolve_optimizer_mode(mode)
+
+    def clear_policy_bitmaps(self) -> None:
+        """Drop the engine's cached policy bitmaps (counters are kept)."""
+        self.database.policy_bitmaps.clear()
 
     def _begin_trace(self) -> Trace:
         return Trace() if self.tracing_enabled else NULL_TRACE
@@ -353,7 +380,8 @@ class EnforcementMonitor:
         """
         with self._cache_lock:
             epoch = self.admin.policy_epoch
-            key = (qid, purpose, epoch)
+            mode = self.optimizer_mode
+            key = (qid, purpose, epoch, mode)
             plan = self._plan_cache.get(key)
             if plan is not None:
                 self._plan_cache.move_to_end(key)
@@ -373,12 +401,13 @@ class EnforcementMonitor:
                 query_id=qid,
                 purpose=purpose,
                 epoch=epoch,
+                optimizer=mode,
                 original_sql=to_sql(statement),
                 statement=statement,
                 rewritten=rewritten,
                 rewritten_sql=to_sql(rewritten),
                 signature=signature,
-                plan=self.database.prepare(rewritten),
+                plan=self.database.prepare(rewritten, optimizer=mode),
             )
             # Keys embed the current epoch, so entries compiled under earlier
             # epochs can never be hit again — drop them before LRU eviction
@@ -469,6 +498,7 @@ class EnforcementMonitor:
         database = self.admin.database
         memo_before = self.admin.compliance_memo_info()["hits"]
         checks_before = database.function_calls(COMPLIES_WITH)
+        bitmap_before = database.policy_bitmaps.stats()
         with trace.span("execute") as execute_span:
             try:
                 result = database.execute_prepared(
@@ -479,6 +509,9 @@ class EnforcementMonitor:
                 raise
         checks = database.function_calls(COMPLIES_WITH) - checks_before
         memo_hits = self.admin.compliance_memo_info()["hits"] - memo_before
+        bitmap_after = database.policy_bitmaps.stats()
+        bitmap_built = bitmap_after["built"] - bitmap_before["built"]
+        bitmap_hits = bitmap_after["hits"] - bitmap_before["hits"]
         execute_span.annotate(
             rows=len(result), checks=checks, memo_hits=memo_hits
         )
@@ -492,6 +525,14 @@ class EnforcementMonitor:
             metrics = self.metrics
             metrics.counter("repro_complieswith_total").inc(checks)
             metrics.counter("repro_complieswith_memo_hits_total").inc(memo_hits)
+            if bitmap_hits:
+                metrics.counter("repro_policy_bitmap_total").inc(
+                    bitmap_hits, event="hit"
+                )
+            if bitmap_built:
+                metrics.counter("repro_policy_bitmap_total").inc(
+                    bitmap_built, event="built"
+                )
             metrics.counter("repro_plan_cache_total").inc(
                 result="hit" if hit else "miss"
             )
@@ -511,6 +552,8 @@ class EnforcementMonitor:
             compliance_checks=checks,
             cache_hit=hit,
             memo_hits=memo_hits,
+            bitmap_built=bitmap_built,
+            bitmap_hits=bitmap_hits,
             trace=trace if trace.enabled else None,
         )
 
@@ -525,6 +568,7 @@ class EnforcementMonitor:
                 "size": len(self._plan_cache),
                 "maxsize": self.plan_cache_size,
                 "epoch": self.admin.policy_epoch,
+                "optimizer": self.optimizer_mode,
             }
 
     def clear_plan_cache(self) -> None:
@@ -596,21 +640,29 @@ class EnforcementMonitor:
         plan, hit = self._compiled_plan(statement, qid, purpose)
 
         lines = [f"rewritten: {plan.rewritten_sql}"]
+        lines.append(f"Optimizer: mode={plan.optimizer}")
+        lines.extend(f"  {note}" for note in plan.plan.optimizer_notes())
+        lines.append("Logical:")
+        lines.extend(f"  {line}" for line in plan.plan.logical_lines())
         rows = checks = memo_hits = 0
         if analyze:
             trace = Trace()
             database = self.admin.database
             memo_before = self.admin.compliance_memo_info()["hits"]
             checks_before = database.function_calls(COMPLIES_WITH)
+            bitmap_before = database.policy_bitmaps.stats()
             with trace.span("execute"):
                 result = database.execute_prepared(plan.plan, params, trace=trace)
             checks = database.function_calls(COMPLIES_WITH) - checks_before
             memo_hits = self.admin.compliance_memo_info()["hits"] - memo_before
+            bitmap_after = database.policy_bitmaps.stats()
             rows = len(result)
-            lines.extend(plan.plan.describe(annotate=trace.annotation))
+            lines.extend(plan.plan.describe_arms(annotate=trace.annotation))
             lines.append(
                 f"Execution: rows={rows} checks={checks} "
-                f"memo_hits={memo_hits} cache_hit={str(hit).lower()}"
+                f"memo_hits={memo_hits} cache_hit={str(hit).lower()} "
+                f"bitmap_built={bitmap_after['built'] - bitmap_before['built']} "
+                f"bitmap_hits={bitmap_after['hits'] - bitmap_before['hits']}"
             )
             stages = " ".join(
                 f"{stage}={seconds * 1000:.3f}ms"
@@ -618,7 +670,7 @@ class EnforcementMonitor:
             )
             lines.append(f"Timing: {stages}")
         else:
-            lines.extend(plan.plan.describe())
+            lines.extend(plan.plan.describe_arms())
 
         self._audit(
             user, purpose, qid, original_sql, "explain", rows=rows, checks=checks

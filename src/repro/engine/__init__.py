@@ -10,6 +10,13 @@ value type for policy masks, and a UDF registry with invocation counters
 from . import persist
 from .database import Database, PreparedQuery, bind_parameters
 from .functions import FunctionRegistry, MemoizedFunction
+from .plan import (
+    BASELINE_PASSES,
+    FULL_PASSES,
+    OPTIMIZER_ENV,
+    PolicyBitmapCache,
+    resolve_optimizer_mode,
+)
 from .result import ResultSet
 from .schema import Column, TableSchema
 from .table import Table
@@ -22,6 +29,11 @@ __all__ = [
     "persist",
     "FunctionRegistry",
     "MemoizedFunction",
+    "BASELINE_PASSES",
+    "FULL_PASSES",
+    "OPTIMIZER_ENV",
+    "PolicyBitmapCache",
+    "resolve_optimizer_mode",
     "ResultSet",
     "Column",
     "TableSchema",

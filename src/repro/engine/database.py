@@ -14,6 +14,7 @@ from ..sql import ast, parse_statement
 from .executor import PreparedSelect, SelectExecutor
 from .expressions import Env, ExpressionCompiler, Scope
 from .functions import FunctionRegistry
+from .plan import PolicyBitmapCache
 from .result import ResultSet
 from .schema import Column, ColumnBinding, RowShape, TableSchema
 from .table import Table
@@ -31,10 +32,16 @@ class PreparedQuery:
     discipline the enforcement monitor builds its plan cache on.
     """
 
-    def __init__(self, database: "Database", statement: "ast.Select | ast.SetOperation"):
+    def __init__(
+        self,
+        database: "Database",
+        statement: "ast.Select | ast.SetOperation",
+        optimizer: str | None = None,
+    ):
         self.database = database
         self.statement = statement
-        self.executor = SelectExecutor(database)
+        self.executor = SelectExecutor(database, optimizer=optimizer)
+        self.optimizer_mode = self.executor.optimizer_mode
         self.parameters = ast.collect_parameters(statement)
         self._plan = self._prepare_node(statement)
 
@@ -99,6 +106,67 @@ class PreparedQuery:
         walk(self._plan)
         return lines
 
+    # -- optimizer surface ----------------------------------------------------------
+
+    def _arms(self) -> "tuple[list[str], list[PreparedSelect]]":
+        """Flatten the (possibly set-operation) plan into ordered arms."""
+        ops: list[str] = []
+        arms: list[PreparedSelect] = []
+
+        def walk(plan) -> None:
+            if isinstance(plan, PreparedSelect):
+                arms.append(plan)
+                return
+            node, left, right = plan
+            walk(left)
+            ops.append(node.op)
+            walk(right)
+
+        walk(self._plan)
+        return ops, arms
+
+    def describe_arms(self, annotate=None) -> list[str]:
+        """Physical plan lines with set-operation arms labeled explicitly.
+
+        A single SELECT renders exactly like :meth:`describe`; a
+        set-operation chain labels each branch (``Union arm 1/2`` ...) and
+        indents its plan beneath the label, so EXPLAIN output attributes
+        every operator to its branch.
+        """
+        ops, arms = self._arms()
+        if len(arms) == 1:
+            return arms[0].describe(annotate=annotate)
+        lines: list[str] = []
+        for index, arm in enumerate(arms):
+            op = ops[index - 1] if index else ops[0]
+            lines.append(f"{op.title()} arm {index + 1}/{len(arms)}")
+            lines.extend(
+                "  " + line for line in arm.describe(annotate=annotate)
+            )
+        return lines
+
+    def optimizer_notes(self) -> list[str]:
+        """Per-pass optimizer annotations, prefixed per set-operation arm."""
+        _, arms = self._arms()
+        if len(arms) == 1:
+            return list(arms[0].optimizer_notes)
+        notes: list[str] = []
+        for index, arm in enumerate(arms):
+            notes.extend(
+                f"arm {index + 1}: {note}" for note in arm.optimizer_notes
+            )
+        return notes
+
+    def logical_lines(self) -> list[str]:
+        """The optimized logical plan(s) as indented EXPLAIN lines."""
+        ops, arms = self._arms()
+        if len(arms) == 1:
+            return arms[0].logical_lines()
+        lines = [f"SetOp [{' '.join(op.lower() for op in ops)}]"]
+        for arm in arms:
+            lines.extend("  " + line for line in arm.logical_lines())
+        return lines
+
     def plan_summary(self) -> dict[str, int]:
         """Count of plan nodes by kind (``{"HashJoin": 1, "SeqScan": 2}``).
 
@@ -161,6 +229,15 @@ class Database:
         self.name = name
         self.tables: dict[str, Table] = {}
         self.functions = FunctionRegistry()
+        # Policy-enforcement hooks, set by the admin layer when the
+        # framework is configured.  ``policy_function``/``policy_column``
+        # tell the optimizer what a rewriter-injected guard conjunct looks
+        # like; ``policy_bitmaps`` caches the row-index sets those guards
+        # are answered with (one ``complieswith`` call per distinct policy
+        # value instead of one per row).
+        self.policy_function: str | None = None
+        self.policy_column: str | None = None
+        self.policy_bitmaps = PolicyBitmapCache()
 
     # -- catalog -----------------------------------------------------------------
 
@@ -228,8 +305,16 @@ class Database:
             return 0
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
-    def query(self, sql: "str | ast.Select | ast.SetOperation") -> ResultSet:
-        """Execute a SELECT (or a set-operation chain) and return rows."""
+    def query(
+        self,
+        sql: "str | ast.Select | ast.SetOperation",
+        optimizer: str | None = None,
+    ) -> ResultSet:
+        """Execute a SELECT (or a set-operation chain) and return rows.
+
+        ``optimizer`` pins the pass pipeline for this query ("on"/"off");
+        ``None`` resolves from ``REPRO_OPTIMIZER`` (default "on").
+        """
         if isinstance(sql, str):
             statement = parse_statement(sql)
             if not isinstance(statement, (ast.Select, ast.SetOperation)):
@@ -239,17 +324,23 @@ class Database:
         if isinstance(statement, ast.SetOperation):
             from .result import combine_set_operation
 
-            left = self.query(statement.left)
-            right = self.query(statement.right)
+            left = self.query(statement.left, optimizer=optimizer)
+            right = self.query(statement.right, optimizer=optimizer)
             return combine_set_operation(left, right, statement.op, statement.all)
-        return SelectExecutor(self).execute_select(statement)
+        return SelectExecutor(self, optimizer=optimizer).execute_select(statement)
 
-    def prepare(self, sql: "str | ast.Select | ast.SetOperation") -> PreparedQuery:
+    def prepare(
+        self,
+        sql: "str | ast.Select | ast.SetOperation",
+        optimizer: str | None = None,
+    ) -> PreparedQuery:
         """Plan a SELECT once for repeated execution (prepare/execute).
 
         The returned :class:`PreparedQuery` is bound to the current schema
         (``*`` expansion, column resolution) but reads table contents at
-        execution time, so it observes later inserts/updates.
+        execution time, so it observes later inserts/updates.  ``optimizer``
+        overrides the plan-rewrite mode (``"on"``/``"off"``); ``None``
+        resolves from ``$REPRO_OPTIMIZER`` (default on).
         """
         if isinstance(sql, str):
             statement = parse_statement(sql)
@@ -257,7 +348,7 @@ class Database:
             statement = sql
         if not isinstance(statement, (ast.Select, ast.SetOperation)):
             raise ExecutionError("prepare() requires a SELECT statement")
-        return PreparedQuery(self, statement)
+        return PreparedQuery(self, statement, optimizer=optimizer)
 
     def execute_prepared(
         self, prepared: PreparedQuery, params=None, trace=None

@@ -1,9 +1,19 @@
-"""SELECT execution.
+"""SELECT execution: physical operators over optimized logical plans.
 
-A :class:`PreparedSelect` is built per statement execution: the FROM tree is
-planned (hash joins for equi-join conditions, nested loops otherwise),
-expressions are compiled to closures, aggregates are collected into slots,
-and ``rows(env)`` runs the pipeline:
+A :class:`PreparedSelect` is built per statement preparation in three
+stages (DESIGN.md §11):
+
+1. the :class:`~repro.engine.plan.Planner` turns the SELECT block into a
+   logical-plan IR,
+2. the :class:`~repro.engine.plan.Optimizer` runs its pass pipeline
+   (predicate pushdown, ``complieswith``-guard hoisting, hash-join
+   selection, constant folding, projection pruning — the set depends on the
+   optimizer mode), and
+3. this module compiles the optimized IR into physical
+   :class:`SourcePlan` operators and the block's projection/aggregation/
+   ordering closures.
+
+``rows(env)`` then runs the pipeline:
 
     FROM → WHERE → GROUP BY/aggregate → HAVING → project → DISTINCT →
     ORDER BY → LIMIT/OFFSET
@@ -17,9 +27,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
-from ..errors import CatalogError, ExecutionError, ExpressionError
+from ..errors import ExecutionError, ExpressionError
 from ..sql import ast
-from .aggregates import is_aggregate_name, make_aggregate
+from .aggregates import make_aggregate
 from .expressions import (
     CompiledExpr,
     Env,
@@ -27,6 +37,9 @@ from .expressions import (
     Scope,
     aggregate_key,
 )
+from . import plan as plan_ir
+from .aggregates import is_aggregate_name
+from .plan import Optimizer, Planner, resolve_optimizer_mode
 from .result import ResultSet
 from .schema import ColumnBinding, RowShape
 
@@ -45,104 +58,8 @@ class TrackingScope(Scope):
         return depth, index
 
 
-class _PushdownSet:
-    """Single-source predicate pushdown bookkeeping.
-
-    A WHERE conjunct whose column references all resolve within one leaf
-    source (and which contains no subquery) is evaluated at that leaf's scan
-    instead of after the joins — the same transformation a conventional
-    planner applies, and the reason the paper's per-table ``compliesWith``
-    conjuncts are charged per *table row* rather than per *joined row*.
-
-    Pushdown is disabled when the FROM tree contains outer joins (filtering
-    the nullable side would change the padding semantics).
-    """
-
-    def __init__(self, select: ast.Select):
-        self.conjuncts: list[list] = []  # [expression, consumed] pairs
-        self._original_where = select.where
-        self._enabled = False
-        if select.where is None or _has_outer_join(select.sources):
-            return
-        self._enabled = True
-        stack = [select.where]
-        ordered: list[ast.Expression] = []
-        while stack:
-            node = stack.pop()
-            if isinstance(node, ast.BinaryOp) and node.op == "AND":
-                stack.append(node.right)
-                stack.append(node.left)
-            else:
-                ordered.append(node)
-        # The stack pops left-first, so `ordered` preserves source order.
-        self.conjuncts = [[expression, False] for expression in ordered]
-
-    def claim_for_shape(self, shape: RowShape) -> list[ast.Expression]:
-        """Conjuncts evaluable on this leaf alone; marks them consumed."""
-        claimed = []
-        for entry in self.conjuncts:
-            expression, consumed = entry
-            if consumed:
-                continue
-            if _pushable_to(expression, shape):
-                entry[1] = True
-                claimed.append(expression)
-        return claimed
-
-    def residual_where(self) -> ast.Expression | None:
-        """The remaining WHERE predicate after pushdown (original order)."""
-        if not self._enabled:
-            return self._original_where
-        remaining = [expr for expr, consumed in self.conjuncts if not consumed]
-        residual: ast.Expression | None = None
-        for expression in remaining:
-            residual = (
-                expression
-                if residual is None
-                else ast.BinaryOp("AND", residual, expression)
-            )
-        return residual
-
-
-#: A pushdown set that never claims anything (for nested planning contexts).
-class _NoPushdown:
-    conjuncts: list = []
-
-    def claim_for_shape(self, shape: RowShape) -> list:
-        return []
-
-
-NO_PUSHDOWN = _NoPushdown()
-
-
-def _has_outer_join(sources: tuple[ast.TableSource, ...]) -> bool:
-    def scan(source: ast.TableSource) -> bool:
-        if isinstance(source, ast.Join):
-            if source.kind in ("LEFT", "RIGHT"):
-                return True
-            return scan(source.left) or scan(source.right)
-        return False
-
-    return any(scan(source) for source in sources)
-
-
-def _pushable_to(expression: ast.Expression, shape: RowShape) -> bool:
-    """All column refs resolve in ``shape``, at least one ref, no subqueries."""
-    refs = list(ast.iter_column_refs(expression))
-    if not refs:
-        return False
-    for node in ast.walk_expression(expression):
-        if node.child_selects():
-            return False
-    for ref in refs:
-        table = ref.table.lower() if ref.table else None
-        if not _shape_has(shape, ref.name.lower(), table):
-            return False
-    return True
-
-
 class SourcePlan:
-    """A planned FROM-clause node: a row shape plus a row producer.
+    """A physical FROM-clause operator: a row shape plus a row producer.
 
     ``kind``/``detail``/``children`` describe the node for EXPLAIN output.
     """
@@ -190,25 +107,28 @@ class PreparedSelect:
     def __init__(self, executor: "SelectExecutor", select: ast.Select, parent_scope: Scope | None):
         self.executor = executor
         self.select = select
-        pushdown = _PushdownSet(select)
-        source_plan = executor.plan_sources(select.sources, parent_scope, pushdown)
+        block = Planner(executor).plan_block(select)
+        executor.optimizer.optimize(block)
+        self.block = block
+        source_plan = executor.compile_plan(block.source_root, parent_scope)
         self.source_plan = source_plan
         self.scope = TrackingScope(source_plan.shape, parent_scope)
 
         # A pushed-down conjunct was claimed by the first leaf able to
         # resolve all of its references — but an unqualified reference that
         # is ambiguous *block-wide* must still be rejected, exactly as it
-        # would be without pushdown.
-        for expression, consumed in pushdown.conjuncts:
-            if not consumed:
-                continue
+        # would be without pushdown.  The check runs against the block's
+        # pre-optimization shape: projection pruning may have narrowed the
+        # physical shapes past columns (like a hoisted guard's policy
+        # column) that name resolution legitimately saw.
+        for expression in block.claimed:
             for ref in ast.iter_column_refs(expression):
-                source_plan.shape.resolve(
+                block.binder_shape.resolve(
                     ref.name.lower(), ref.table.lower() if ref.table else None
                 )
 
         compiler = executor.compiler(self.scope)
-        residual_where = pushdown.residual_where()
+        residual_where = block.residual_where()
         self.residual_where_ast = residual_where
         self.where = (
             compiler.compile(residual_where) if residual_where is not None else None
@@ -243,6 +163,17 @@ class PreparedSelect:
 
         self.output_columns = [self._output_name(item) for item in self.items]
         self.output_bindings = self._derive_output_bindings()
+
+    # -- optimizer surface -------------------------------------------------------
+
+    @property
+    def optimizer_notes(self) -> list[str]:
+        """Per-pass annotations recorded while optimizing this block."""
+        return self.block.notes
+
+    def logical_lines(self) -> list[str]:
+        """The optimized logical plan, rendered as indented lines."""
+        return self.block.logical_lines()
 
     # -- planning helpers ---------------------------------------------------------
 
@@ -561,10 +492,23 @@ def _group_key_value(value: object) -> object:
 
 
 class SelectExecutor:
-    """Plans and runs SELECT statements against a database."""
+    """Compiles optimized logical plans and runs SELECT statements.
 
-    def __init__(self, database):
+    The executor no longer makes planning decisions of its own: the
+    :class:`~repro.engine.plan.Planner` shapes the plan, the
+    :class:`~repro.engine.plan.Optimizer` (one per executor, carrying the
+    resolved mode) rewrites it, and :meth:`compile_plan` turns each logical
+    node into a physical :class:`SourcePlan` row producer.
+    """
+
+    def __init__(self, database, optimizer: str | None = None):
         self.database = database
+        self.optimizer = Optimizer(resolve_optimizer_mode(optimizer), database)
+
+    @property
+    def optimizer_mode(self) -> str:
+        """The resolved optimizer mode this executor plans under."""
+        return self.optimizer.mode
 
     # -- compiler / subquery hooks ---------------------------------------------------
 
@@ -580,6 +524,12 @@ class SelectExecutor:
         """Plan a nested SELECT whose enclosing block has ``scope``."""
         return PreparedSelect(self, select, scope)
 
+    def prepare_block(
+        self, select: ast.Select, parent_scope: Scope | None
+    ) -> PreparedSelect:
+        """Plan one SELECT block (the planner's derived-table hook)."""
+        return PreparedSelect(self, select, parent_scope)
+
     # -- public API ---------------------------------------------------------------
 
     def execute_select(self, select: ast.Select) -> ResultSet:
@@ -588,49 +538,78 @@ class SelectExecutor:
         rows = prepared.rows(Env(subq={}))
         return ResultSet(prepared.output_columns, rows)
 
-    # -- FROM planning ---------------------------------------------------------------
+    # -- physical compilation ---------------------------------------------------------
 
-    def plan_sources(
-        self,
-        sources: tuple[ast.TableSource, ...],
-        parent_scope: Scope | None,
-        pushdown=NO_PUSHDOWN,
+    def compile_plan(
+        self, node: plan_ir.LogicalNode, parent_scope: Scope | None
     ) -> SourcePlan:
-        """Plan the whole FROM clause (comma = cross join)."""
-        if not sources:
-            shape = RowShape([])
-            return SourcePlan(shape, lambda env: [()], kind="Values", detail="(one row)")
-        plan = self._plan_source(sources[0], parent_scope, pushdown)
-        for source in sources[1:]:
-            right = self._plan_source(source, parent_scope, pushdown)
-            plan = self._cross_join(plan, right)
+        """Compile one optimized logical node into a physical operator."""
+        if isinstance(node, plan_ir.Values):
+            return SourcePlan(
+                node.shape, lambda env: [()], kind="Values", detail="(one row)"
+            )
+        if isinstance(node, plan_ir.Scan):
+            return self._compile_scan(node)
+        if isinstance(node, plan_ir.DerivedTable):
+            return self._compile_derived(node)
+        if isinstance(node, plan_ir.Filter):
+            return self._compile_filter(node, parent_scope)
+        if isinstance(node, plan_ir.PolicyGuard):
+            return self._compile_policy_guard(node, parent_scope)
+        if isinstance(node, plan_ir.HashJoin):
+            return self._compile_hash_join(node, parent_scope)
+        if isinstance(node, plan_ir.NestedLoop):
+            if node.condition is None:
+                return self._compile_cross_join(node, parent_scope)
+            return self._compile_nested_loop(node, parent_scope)
+        raise ExecutionError(
+            f"unsupported plan node {type(node).__name__}"
+        )
+
+    def _compile_scan(self, node: plan_ir.Scan) -> SourcePlan:
+        table = self.database.table(node.table_name)
+        detail = table.name
+        if node.binding != table.name.lower():
+            detail = f"{table.name} as {node.binding}"
+        if node.kept is None:
+            # Read table.rows at execution time (not planning time): prepared
+            # plans are re-executed after inserts/updates replace the row list.
+            return SourcePlan(
+                node.shape, lambda env: table.rows, kind="SeqScan", detail=detail
+            )
+        indices = [table.schema.column_index(name) for name in node.kept]
+
+        def produce(env: Env) -> Iterable[tuple]:
+            for row in table.rows:
+                yield tuple(row[index] for index in indices)
+
+        return SourcePlan(node.shape, produce, kind="SeqScan", detail=detail)
+
+    def _compile_derived(self, node: plan_ir.DerivedTable) -> SourcePlan:
+        prepared = node.prepared
+        plan = SourcePlan(
+            node.shape,
+            lambda env: prepared.rows(env),
+            kind="Subquery",
+            detail=node.alias,
+        )
+        plan.children = [prepared.source_plan]
         return plan
 
-    def _plan_source(
-        self, source: ast.TableSource, parent_scope: Scope | None, pushdown
+    def _compile_filter(
+        self, node: plan_ir.Filter, parent_scope: Scope | None
     ) -> SourcePlan:
-        if isinstance(source, ast.TableName):
-            return self._apply_pushdown(self._plan_table(source), pushdown)
-        if isinstance(source, ast.SubquerySource):
-            return self._apply_pushdown(
-                self._plan_derived(source, parent_scope), pushdown
-            )
-        if isinstance(source, ast.Join):
-            return self._plan_join(source, parent_scope, pushdown)
-        raise ExecutionError(f"unsupported FROM source {type(source).__name__}")
-
-    def _apply_pushdown(self, plan: SourcePlan, pushdown) -> SourcePlan:
-        """Wrap a leaf scan with the WHERE conjuncts it can evaluate alone."""
-        claimed = pushdown.claim_for_shape(plan.shape)
-        if not claimed:
-            return plan
-        scope = TrackingScope(plan.shape, parent=None)
+        child = self.compile_plan(node.input, parent_scope)
+        claimed = list(node.conjuncts or [])
+        # Pushed conjuncts resolve fully inside the leaf (that is what made
+        # them pushable), so they compile without the enclosing scope chain.
+        scope = TrackingScope(child.shape, parent=None)
         predicates = [self.compiler(scope).compile(expr) for expr in claimed]
 
         def produce(env: Env) -> Iterable[tuple]:
             # Pull through the child's rows() (not its raw producer) so a
             # traced execution counts the scanned rows against the child.
-            for row in plan.rows(env):
+            for row in child.rows(env):
                 if all(predicate(row, env) is True for predicate in predicates):
                     yield row
 
@@ -638,62 +617,45 @@ class SelectExecutor:
 
         detail = " and ".join(print_expression(expr) for expr in claimed)
         return SourcePlan(
-            plan.shape, produce,
-            kind="Filter", detail=f"[{detail}]", children=[plan],
+            child.shape, produce,
+            kind="Filter", detail=f"[{detail}]", children=[child],
         )
 
-    def _plan_table(self, source: ast.TableName) -> SourcePlan:
-        table = self.database.table(source.name)
-        binding_name = source.binding.lower()
-        bindings = [
-            ColumnBinding(
-                binding_name,
-                column.name.lower(),
-                index,
-                column.sql_type,
-                table.name.lower(),
-                column.name.lower(),
-            )
-            for index, column in enumerate(table.schema.columns)
-        ]
-        detail = table.name
-        if binding_name != table.name.lower():
-            detail = f"{table.name} as {binding_name}"
-        # Read table.rows at execution time (not planning time): prepared
-        # plans are re-executed after inserts/updates replace the row list.
-        return SourcePlan(
-            RowShape(bindings), lambda env: table.rows, kind="SeqScan", detail=detail
-        )
-
-    def _plan_derived(
-        self, source: ast.SubquerySource, parent_scope: Scope | None
+    def _compile_policy_guard(
+        self, node: plan_ir.PolicyGuard, parent_scope: Scope | None
     ) -> SourcePlan:
-        # Derived tables cannot be correlated (no LATERAL support), so the
-        # inner block is planned without access to the enclosing scope.
-        prepared = PreparedSelect(self, source.select, parent_scope=None)
-        alias = source.alias.lower()
-        bindings = [
-            ColumnBinding(
-                alias,
-                binding.name,
-                index,
-                binding.sql_type,
-                binding.base_table,
-                binding.base_column,
-            )
-            for index, binding in enumerate(prepared.output_bindings)
-        ]
-        plan = SourcePlan(
-            RowShape(bindings),
-            lambda env: prepared.rows(env),
-            kind="Subquery",
-            detail=alias,
-        )
-        plan.children = [prepared.source_plan]
-        return plan
+        child = self.compile_plan(node.scan, parent_scope)
+        table = self.database.table(node.scan.table_name)
+        masks = [guard.args[0].bits for guard in node.guards]
+        function_name = self.database.policy_function
+        policy_column = self.database.policy_column
+        registry = self.database.functions
+        bitmaps = self.database.policy_bitmaps
 
-    def _cross_join(self, left: SourcePlan, right: SourcePlan) -> SourcePlan:
-        shape = left.shape.merged_with(right.shape)
+        def produce(env: Env) -> Iterable[tuple]:
+            passing: frozenset | None = None
+            for bits in masks:
+                indices = bitmaps.passing_indices(
+                    table, policy_column, bits, registry, function_name
+                )
+                passing = indices if passing is None else passing & indices
+            for index, row in enumerate(child.rows(env)):
+                if index in passing:
+                    yield row
+
+        from ..sql.printer import print_expression
+
+        detail = " and ".join(print_expression(guard) for guard in node.guards)
+        return SourcePlan(
+            child.shape, produce,
+            kind="PolicyGuard", detail=f"[{detail}]", children=[child],
+        )
+
+    def _compile_cross_join(
+        self, node: plan_ir.NestedLoop, parent_scope: Scope | None
+    ) -> SourcePlan:
+        left = self.compile_plan(node.left, parent_scope)
+        right = self.compile_plan(node.right, parent_scope)
 
         def produce(env: Env) -> Iterable[tuple]:
             right_rows = list(right.rows(env))
@@ -702,111 +664,59 @@ class SelectExecutor:
                     yield left_row + right_row
 
         return SourcePlan(
-            shape, produce, kind="NestedLoop", detail="(cross)",
+            node.shape, produce, kind="NestedLoop", detail="(cross)",
             children=[left, right],
         )
 
-    def _plan_join(
-        self, source: ast.Join, parent_scope: Scope | None, pushdown=NO_PUSHDOWN
+    def _compile_nested_loop(
+        self, node: plan_ir.NestedLoop, parent_scope: Scope | None
     ) -> SourcePlan:
-        left = self._plan_source(source.left, parent_scope, pushdown)
-        right = self._plan_source(source.right, parent_scope, pushdown)
-        shape = left.shape.merged_with(right.shape)
+        left = self.compile_plan(node.left, parent_scope)
+        right = self.compile_plan(node.right, parent_scope)
+        kind = node.join_kind
+        merged_scope = TrackingScope(node.shape, parent_scope)
+        predicate = self.compiler(merged_scope).compile(node.condition)
+        left_width = left.shape.width()
+        right_width = right.shape.width()
 
-        if source.kind == "CROSS" or source.condition is None:
-            return self._cross_join(left, right)
+        def produce(env: Env) -> Iterable[tuple]:
+            right_rows = list(right.rows(env))
+            matched_right: set[int] = set()
+            for left_row in left.rows(env):
+                emitted = False
+                for index, right_row in enumerate(right_rows):
+                    combined = left_row + right_row
+                    if predicate(combined, env) is True:
+                        emitted = True
+                        matched_right.add(index)
+                        yield combined
+                if not emitted and kind == "LEFT":
+                    yield left_row + (None,) * right_width
+            if kind == "RIGHT":
+                for index, right_row in enumerate(right_rows):
+                    if index not in matched_right:
+                        yield (None,) * left_width + right_row
 
-        equi_pairs, residual = self._split_equi_condition(
-            source.condition, left.shape, right.shape
+        return SourcePlan(
+            node.shape, produce,
+            kind="NestedLoop", detail=f"({kind.lower()})",
+            children=[left, right],
         )
-        merged_scope = TrackingScope(shape, parent_scope)
+
+    def _compile_hash_join(
+        self, node: plan_ir.HashJoin, parent_scope: Scope | None
+    ) -> SourcePlan:
+        left = self.compile_plan(node.left, parent_scope)
+        right = self.compile_plan(node.right, parent_scope)
+        kind = node.join_kind
+        equi_pairs = node.equi_pairs
         residual_predicate = (
-            self.compiler(merged_scope).compile(residual)
-            if residual is not None
+            self.compiler(TrackingScope(node.shape, parent_scope)).compile(
+                node.residual
+            )
+            if node.residual is not None
             else None
         )
-
-        if equi_pairs:
-            return self._hash_join(
-                source.kind, left, right, shape, equi_pairs,
-                residual_predicate, parent_scope,
-            )
-        return self._nested_loop_join(
-            source.kind, left, right, shape,
-            self.compiler(merged_scope).compile(source.condition),
-        )
-
-    def _split_equi_condition(
-        self,
-        condition: ast.Expression,
-        left_shape: RowShape,
-        right_shape: RowShape,
-    ) -> tuple[list[tuple[ast.Expression, ast.Expression]], ast.Expression | None]:
-        """Split an ON condition into hashable equi-pairs and a residual.
-
-        Returns ``(pairs, residual)`` where each pair is ``(left_expr,
-        right_expr)`` with the left expression referencing only left-side
-        columns and vice versa.
-        """
-        conjuncts: list[ast.Expression] = []
-
-        def flatten(node: ast.Expression) -> None:
-            if isinstance(node, ast.BinaryOp) and node.op == "AND":
-                flatten(node.left)
-                flatten(node.right)
-            else:
-                conjuncts.append(node)
-
-        flatten(condition)
-
-        def side_of(expression: ast.Expression) -> str | None:
-            refs = list(ast.iter_column_refs(expression))
-            if not refs or list(ast.iter_subqueries(expression)):
-                return None
-            sides = set()
-            for ref in refs:
-                table = ref.table.lower() if ref.table else None
-                in_left = _shape_has(left_shape, ref.name.lower(), table)
-                in_right = _shape_has(right_shape, ref.name.lower(), table)
-                if in_left and not in_right:
-                    sides.add("left")
-                elif in_right and not in_left:
-                    sides.add("right")
-                else:
-                    return None  # ambiguous or unknown → not hashable
-            if len(sides) == 1:
-                return sides.pop()
-            return None
-
-        pairs: list[tuple[ast.Expression, ast.Expression]] = []
-        residual_parts: list[ast.Expression] = []
-        for conjunct in conjuncts:
-            if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
-                left_side = side_of(conjunct.left)
-                right_side = side_of(conjunct.right)
-                if left_side == "left" and right_side == "right":
-                    pairs.append((conjunct.left, conjunct.right))
-                    continue
-                if left_side == "right" and right_side == "left":
-                    pairs.append((conjunct.right, conjunct.left))
-                    continue
-            residual_parts.append(conjunct)
-
-        residual: ast.Expression | None = None
-        for part in residual_parts:
-            residual = part if residual is None else ast.BinaryOp("AND", residual, part)
-        return pairs, residual
-
-    def _hash_join(
-        self,
-        kind: str,
-        left: SourcePlan,
-        right: SourcePlan,
-        shape: RowShape,
-        equi_pairs: list[tuple[ast.Expression, ast.Expression]],
-        residual_predicate: CompiledExpr | None,
-        parent_scope: Scope | None,
-    ) -> SourcePlan:
         left_scope = TrackingScope(left.shape, parent_scope)
         right_scope = TrackingScope(right.shape, parent_scope)
         left_keys = [self.compiler(left_scope).compile(le) for le, _ in equi_pairs]
@@ -853,51 +763,7 @@ class SelectExecutor:
             for le, re in equi_pairs
         )
         return SourcePlan(
-            shape, produce,
+            node.shape, produce,
             kind="HashJoin", detail=f"({kind.lower()}) on {keys}",
             children=[left, right],
         )
-
-    def _nested_loop_join(
-        self,
-        kind: str,
-        left: SourcePlan,
-        right: SourcePlan,
-        shape: RowShape,
-        predicate: CompiledExpr,
-    ) -> SourcePlan:
-        left_width = left.shape.width()
-        right_width = right.shape.width()
-
-        def produce(env: Env) -> Iterable[tuple]:
-            right_rows = list(right.rows(env))
-            matched_right: set[int] = set()
-            for left_row in left.rows(env):
-                emitted = False
-                for index, right_row in enumerate(right_rows):
-                    combined = left_row + right_row
-                    if predicate(combined, env) is True:
-                        emitted = True
-                        matched_right.add(index)
-                        yield combined
-                if not emitted and kind == "LEFT":
-                    yield left_row + (None,) * right_width
-            if kind == "RIGHT":
-                for index, right_row in enumerate(right_rows):
-                    if index not in matched_right:
-                        yield (None,) * left_width + right_row
-
-        return SourcePlan(
-            shape, produce,
-            kind="NestedLoop", detail=f"({kind.lower()})",
-            children=[left, right],
-        )
-
-
-def _shape_has(shape: RowShape, name: str, table: str | None) -> bool:
-    """True when the shape can resolve the reference unambiguously."""
-    try:
-        shape.resolve(name, table)
-    except CatalogError:
-        return False
-    return True

@@ -1,0 +1,630 @@
+"""The rule-based optimizer: an ordered pipeline of plan-rewrite passes.
+
+Two pipelines exist.  ``off`` runs the legacy pair of rewrites the
+tree-walking executor always applied (single-source predicate pushdown and
+equi-join hash-join selection), reproducing the pre-IR engine's plans —
+and its ``complieswith`` invocation counts — exactly.  ``on`` adds the
+passes the IR makes expressible:
+
+1. ``constant_folding`` — evaluate literal-only arithmetic subtrees in
+   filter conjuncts and join conditions once, at plan time.
+2. ``predicate_pushdown`` — move single-source conjuncts to their leaf
+   (generalizes the legacy ``_PushdownSet``).
+3. ``policy_guard_hoist`` — lift the rewriter's per-table ``complieswith``
+   conjuncts out of pushed filters into :class:`PolicyGuard` nodes directly
+   above their base-table scans, where the
+   :class:`~repro.engine.plan.bitmap.PolicyBitmapCache` answers them with a
+   row-index set instead of per-row UDF calls.
+4. ``hash_join_selection`` — replace conditioned nested loops whose ON
+   clause contains side-separable equalities with hash joins.
+5. ``projection_pruning`` — narrow base-table scans to the columns the rest
+   of the plan references.
+
+Ordering invariants: folding precedes pushdown (a folded conjunct may
+become pushable); hoisting runs *after* pushdown because only a
+pushdown-claimed conjunct is known to be safe at the scan (pushdown is
+disabled under outer joins, which is exactly when hoisting would be wrong
+too); pruning runs last so every earlier pass sees full-width shapes, and
+name resolution of claimed conjuncts is re-checked against the pre-pruning
+``binder_shape``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from ...errors import CatalogError
+from ...sql import ast
+from ..schema import RowShape
+from .nodes import (
+    DerivedTable,
+    Filter,
+    HashJoin,
+    LogicalNode,
+    NestedLoop,
+    PolicyGuard,
+    Scan,
+    Values,
+    walk,
+)
+from .planner import BlockPlan
+
+#: Environment variable consulted when no explicit mode is given.
+OPTIMIZER_ENV = "REPRO_OPTIMIZER"
+
+#: The legacy rewrites: what the pre-IR executor always did.
+BASELINE_PASSES = ("predicate_pushdown", "hash_join_selection")
+
+#: The full pipeline (see module docstring for the ordering invariants).
+FULL_PASSES = (
+    "constant_folding",
+    "predicate_pushdown",
+    "policy_guard_hoist",
+    "hash_join_selection",
+    "projection_pruning",
+)
+
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+
+
+def resolve_optimizer_mode(mode: str | None = None) -> str:
+    """Normalize an optimizer mode: explicit > ``$REPRO_OPTIMIZER`` > on."""
+    if mode is None:
+        mode = os.environ.get(OPTIMIZER_ENV) or "on"
+    mode = mode.lower()
+    if mode not in ("on", "off"):
+        raise ValueError(f"optimizer mode must be 'on' or 'off', got {mode!r}")
+    return mode
+
+
+class Optimizer:
+    """Runs the pass pipeline for one mode over block plans."""
+
+    def __init__(self, mode: str, database):
+        self.mode = resolve_optimizer_mode(mode)
+        self.database = database
+        self.passes = FULL_PASSES if self.mode == "on" else BASELINE_PASSES
+
+    def optimize(self, block: BlockPlan) -> BlockPlan:
+        for name in self.passes:
+            getattr(self, f"_pass_{name}")(block)
+        return block
+
+    # -- constant folding --------------------------------------------------------
+
+    def _pass_constant_folding(self, block: BlockPlan) -> None:
+        folded = 0
+
+        def fold(expression: ast.Expression) -> ast.Expression:
+            nonlocal folded
+            new, changed = _fold_expression(expression, self.database.functions)
+            if changed:
+                folded += 1
+            return new
+
+        if block.filter is not None:
+            if block.filter.conjuncts is not None:
+                block.filter.conjuncts = [
+                    fold(c) for c in block.filter.conjuncts
+                ]
+            elif block.filter.original is not None:
+                block.filter.original = fold(block.filter.original)
+        for node in _block_nodes(block.source_root):
+            if isinstance(node, NestedLoop) and node.condition is not None:
+                node.condition = fold(node.condition)
+        if folded:
+            block.notes.append(
+                f"constant_folding: folded {folded} expression(s)"
+            )
+
+    def _rewire_spine(self, block: BlockPlan, previous_root) -> None:
+        """Re-point the spine at a replaced source tree.
+
+        Passes that return a new node for ``block.source_root`` must update
+        whoever held the old one: the block filter when there is a WHERE,
+        otherwise the spine's bottom node (Aggregate/Project/...), which
+        references the source tree directly.
+        """
+        if block.filter is not None:
+            block.filter.input = block.source_root
+        elif block.source_root is not previous_root:
+            for node in walk(block.root):
+                if getattr(node, "input", None) is previous_root:
+                    node.input = block.source_root
+
+    # -- predicate pushdown ------------------------------------------------------
+
+    def _pass_predicate_pushdown(self, block: BlockPlan) -> None:
+        block_filter = block.filter
+        if block_filter is None or block_filter.conjuncts is None:
+            return  # no WHERE, or outer-join block (kept whole)
+        ledger = [[conjunct, False] for conjunct in block_filter.conjuncts]
+
+        def visit(node: LogicalNode) -> LogicalNode:
+            if isinstance(node, (Scan, DerivedTable)):
+                claimed = []
+                for entry in ledger:
+                    expression, consumed = entry
+                    if consumed:
+                        continue
+                    if _pushable_to(expression, node.shape):
+                        entry[1] = True
+                        claimed.append(expression)
+                if claimed:
+                    leaf = node.binding if isinstance(node, Scan) else node.alias
+                    block.notes.append(
+                        f"predicate_pushdown: pushed {len(claimed)} "
+                        f"conjunct(s) to {leaf}"
+                    )
+                    return Filter(claimed, None, node, pushed=True)
+                return node
+            if isinstance(node, (NestedLoop, HashJoin)):
+                node.left = visit(node.left)
+                node.right = visit(node.right)
+            return node
+
+        block.source_root = visit(block.source_root)
+        block_filter.input = block.source_root
+        # Claimed conjuncts leave the residual; keep them (in original WHERE
+        # order) for the block-wide ambiguity re-check.
+        block.claimed = [expr for expr, consumed in ledger if consumed]
+        block_filter.conjuncts = [
+            expr for expr, consumed in ledger if not consumed
+        ]
+
+    # -- policy-guard hoisting ---------------------------------------------------
+
+    def _pass_policy_guard_hoist(self, block: BlockPlan) -> None:
+        function_name = getattr(self.database, "policy_function", None)
+        policy_column = getattr(self.database, "policy_column", None)
+        if not function_name or not policy_column:
+            return
+
+        def visit(node: LogicalNode) -> LogicalNode:
+            if (
+                isinstance(node, Filter)
+                and node.pushed
+                and isinstance(node.input, Scan)
+            ):
+                scan = node.input
+                guards = [
+                    conjunct
+                    for conjunct in node.conjuncts or []
+                    if _is_policy_guard(
+                        conjunct, function_name, policy_column, scan.binding
+                    )
+                ]
+                if not guards:
+                    return node
+                guard_ids = {id(guard) for guard in guards}
+                others = [
+                    conjunct
+                    for conjunct in node.conjuncts or []
+                    if id(conjunct) not in guard_ids
+                ]
+                block.hoisted.extend(guards)
+                block.notes.append(
+                    f"policy_guard_hoist: {len(guards)} guard(s) on "
+                    f"{scan.binding} answered by policy bitmap"
+                )
+                guard_node = PolicyGuard(guards, scan)
+                if others:
+                    node.conjuncts = others
+                    node.input = guard_node
+                    return node
+                return guard_node
+            if isinstance(node, (NestedLoop, HashJoin)):
+                node.left = visit(node.left)
+                node.right = visit(node.right)
+            elif isinstance(node, Filter):
+                node.input = visit(node.input)
+            return node
+
+        previous_root = block.source_root
+        block.source_root = visit(block.source_root)
+        self._rewire_spine(block, previous_root)
+
+    # -- hash-join selection -----------------------------------------------------
+
+    def _pass_hash_join_selection(self, block: BlockPlan) -> None:
+        def visit(node: LogicalNode) -> LogicalNode:
+            if isinstance(node, (NestedLoop, HashJoin)):
+                node.left = visit(node.left)
+                node.right = visit(node.right)
+            elif isinstance(node, Filter):
+                node.input = visit(node.input)
+            if isinstance(node, NestedLoop) and node.condition is not None:
+                pairs, residual = split_equi_condition(
+                    node.condition, node.left.shape, node.right.shape
+                )
+                if pairs:
+                    keys = ", ".join(
+                        f"{_print(le)} = {_print(re)}" for le, re in pairs
+                    )
+                    block.notes.append(
+                        f"hash_join_selection: hash join "
+                        f"({node.join_kind.lower()}) on {keys}"
+                    )
+                    return HashJoin(
+                        node.join_kind, pairs, residual,
+                        node.left, node.right, node.shape,
+                    )
+            return node
+
+        previous_root = block.source_root
+        block.source_root = visit(block.source_root)
+        self._rewire_spine(block, previous_root)
+
+    # -- projection pruning ------------------------------------------------------
+
+    def _pass_projection_pruning(self, block: BlockPlan) -> None:
+        select = block.select
+        if any(isinstance(item.expression, ast.Star) for item in select.items):
+            return  # `*` needs the full shape
+
+        unqualified: set[str] = set()
+        qualified: set[tuple[str, str]] = set()
+
+        def collect(expression: ast.Expression) -> None:
+            _collect_refs(expression, unqualified, qualified)
+
+        # Everything the rest of the plan evaluates — except the hoisted
+        # guards, whose policy-column reads happen through the bitmap cache
+        # rather than through row tuples.
+        hoisted_ids = {id(guard) for guard in block.hoisted}
+        if block.filter is not None:
+            if block.filter.original is not None:
+                collect(block.filter.original)
+            for conjunct in block.filter.conjuncts or []:
+                collect(conjunct)
+        for node in _block_nodes(block.source_root):
+            if isinstance(node, Filter):
+                for conjunct in node.conjuncts or []:
+                    if id(conjunct) not in hoisted_ids:
+                        collect(conjunct)
+            elif isinstance(node, NestedLoop):
+                if node.condition is not None:
+                    collect(node.condition)
+            elif isinstance(node, HashJoin):
+                for left_expr, right_expr in node.equi_pairs:
+                    collect(left_expr)
+                    collect(right_expr)
+                if node.residual is not None:
+                    collect(node.residual)
+        for item in select.items:
+            collect(item.expression)
+        for expression in select.group_by:
+            collect(expression)
+        if select.having is not None:
+            collect(select.having)
+        for order_item in select.order_by:
+            collect(order_item.expression)
+
+        narrowed = 0
+        for node in _block_nodes(block.source_root):
+            if not isinstance(node, Scan):
+                continue
+            table = self.database.table(node.table_name)
+            columns = table.schema.columns
+            if not columns:
+                continue
+            keep = [
+                column.name.lower()
+                for column in columns
+                if column.name.lower() in unqualified
+                or (node.binding, column.name.lower()) in qualified
+            ]
+            if len(keep) == len(columns):
+                continue
+            if not keep:
+                keep = [columns[0].name.lower()]  # never a zero-width scan
+            node.kept = tuple(keep)
+            node.shape = _narrowed_shape(node, table)
+            narrowed += 1
+            block.notes.append(
+                f"projection_pruning: {node.binding} narrowed to "
+                f"{len(keep)}/{len(columns)} column(s)"
+            )
+        if narrowed:
+            _refresh_shapes(block.source_root)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers (also used by the planner/executor)
+# ---------------------------------------------------------------------------
+
+
+def _print(expression: ast.Expression) -> str:
+    from ...sql.printer import print_expression
+
+    return print_expression(expression)
+
+
+def _block_nodes(node: LogicalNode):
+    """This block's source nodes, stopping at derived-table boundaries."""
+    yield node
+    if isinstance(node, DerivedTable):
+        return  # the inner block optimizes itself
+    for child in node.children():
+        yield from _block_nodes(child)
+
+
+def shape_has(shape: RowShape, name: str, table: str | None) -> bool:
+    """True when the shape can resolve the reference unambiguously."""
+    try:
+        shape.resolve(name, table)
+    except CatalogError:
+        return False
+    return True
+
+
+def _pushable_to(expression: ast.Expression, shape: RowShape) -> bool:
+    """All column refs resolve in ``shape``, at least one ref, no subqueries."""
+    refs = list(ast.iter_column_refs(expression))
+    if not refs:
+        return False
+    for node in ast.walk_expression(expression):
+        if node.child_selects():
+            return False
+    for ref in refs:
+        table = ref.table.lower() if ref.table else None
+        if not shape_has(shape, ref.name.lower(), table):
+            return False
+    return True
+
+
+def _is_policy_guard(
+    expression: ast.Expression,
+    function_name: str,
+    policy_column: str,
+    binding: str,
+) -> bool:
+    """Match the rewriter's ``complieswith(b'<mask>', t.policy)`` shape."""
+    if not isinstance(expression, ast.FunctionCall):
+        return False
+    if expression.name.lower() != function_name or expression.distinct:
+        return False
+    if len(expression.args) != 2:
+        return False
+    mask, column = expression.args
+    if not isinstance(mask, ast.BitStringLiteral):
+        return False
+    if not isinstance(column, ast.ColumnRef):
+        return False
+    if column.name.lower() != policy_column:
+        return False
+    return column.table is None or column.table.lower() == binding
+
+
+def split_equi_condition(
+    condition: ast.Expression,
+    left_shape: RowShape,
+    right_shape: RowShape,
+) -> tuple[list[tuple[ast.Expression, ast.Expression]], ast.Expression | None]:
+    """Split an ON condition into hashable equi-pairs and a residual.
+
+    Returns ``(pairs, residual)`` where each pair is ``(left_expr,
+    right_expr)`` with the left expression referencing only left-side
+    columns and vice versa.
+    """
+    conjuncts: list[ast.Expression] = []
+
+    def flatten(node: ast.Expression) -> None:
+        if isinstance(node, ast.BinaryOp) and node.op == "AND":
+            flatten(node.left)
+            flatten(node.right)
+        else:
+            conjuncts.append(node)
+
+    flatten(condition)
+
+    def side_of(expression: ast.Expression) -> str | None:
+        refs = list(ast.iter_column_refs(expression))
+        if not refs or list(ast.iter_subqueries(expression)):
+            return None
+        sides = set()
+        for ref in refs:
+            table = ref.table.lower() if ref.table else None
+            in_left = shape_has(left_shape, ref.name.lower(), table)
+            in_right = shape_has(right_shape, ref.name.lower(), table)
+            if in_left and not in_right:
+                sides.add("left")
+            elif in_right and not in_left:
+                sides.add("right")
+            else:
+                return None  # ambiguous or unknown → not hashable
+        if len(sides) == 1:
+            return sides.pop()
+        return None
+
+    pairs: list[tuple[ast.Expression, ast.Expression]] = []
+    residual_parts: list[ast.Expression] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+            left_side = side_of(conjunct.left)
+            right_side = side_of(conjunct.right)
+            if left_side == "left" and right_side == "right":
+                pairs.append((conjunct.left, conjunct.right))
+                continue
+            if left_side == "right" and right_side == "left":
+                pairs.append((conjunct.right, conjunct.left))
+                continue
+        residual_parts.append(conjunct)
+
+    residual: ast.Expression | None = None
+    for part in residual_parts:
+        residual = (
+            part if residual is None else ast.BinaryOp("AND", residual, part)
+        )
+    return pairs, residual
+
+
+# -- constant folding internals ------------------------------------------------
+
+
+def _is_foldable(expression: ast.Expression) -> bool:
+    """A non-leaf subtree made entirely of literals and arithmetic."""
+    if isinstance(expression, ast.UnaryOp):
+        return expression.op in ("-", "+") and _all_literal_arithmetic(
+            expression.operand
+        )
+    if isinstance(expression, ast.BinaryOp) and expression.op in _ARITHMETIC_OPS:
+        return _all_literal_arithmetic(
+            expression.left
+        ) and _all_literal_arithmetic(expression.right)
+    return False
+
+
+def _all_literal_arithmetic(expression: ast.Expression) -> bool:
+    if isinstance(expression, ast.Literal):
+        return not isinstance(expression.value, bool)
+    if isinstance(expression, ast.UnaryOp):
+        return expression.op in ("-", "+") and _all_literal_arithmetic(
+            expression.operand
+        )
+    if isinstance(expression, ast.BinaryOp) and expression.op in _ARITHMETIC_OPS:
+        return _all_literal_arithmetic(
+            expression.left
+        ) and _all_literal_arithmetic(expression.right)
+    return False
+
+
+def _evaluate_constant(expression: ast.Expression, registry) -> object:
+    # Evaluate through the real expression compiler so folded values match
+    # runtime arithmetic (integer division, modulo, numeric coercion) bit
+    # for bit.
+    from ..expressions import Env, ExpressionCompiler, Scope
+
+    compiler = ExpressionCompiler(Scope(RowShape([])), registry)
+    return compiler.compile(expression)((), Env())
+
+
+def _fold_expression(
+    expression: ast.Expression, registry
+) -> tuple[ast.Expression, bool]:
+    """Fold maximal literal-arithmetic subtrees; identity when unchanged."""
+    if isinstance(expression, (ast.Literal, ast.ColumnRef, ast.Parameter,
+                               ast.Star, ast.BitStringLiteral)):
+        return expression, False
+    if _is_foldable(expression):
+        try:
+            value = _evaluate_constant(expression, registry)
+        except Exception:
+            return expression, False  # e.g. division by zero: fold at runtime
+        if value is None or (
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+        ):
+            return ast.Literal(value), True
+        return expression, False
+    if not dataclasses.is_dataclass(expression) or isinstance(
+        expression, (ast.Select, ast.SetOperation)
+    ):
+        return expression, False
+    changed = False
+    updates: dict[str, object] = {}
+    for field in dataclasses.fields(expression):
+        value = getattr(expression, field.name)
+        new_value, value_changed = _fold_field(value, registry)
+        if value_changed:
+            updates[field.name] = new_value
+            changed = True
+    if changed:
+        return dataclasses.replace(expression, **updates), True
+    return expression, False
+
+
+def _fold_field(value: object, registry) -> tuple[object, bool]:
+    if isinstance(value, tuple):
+        items = [_fold_field(item, registry) for item in value]
+        if any(item_changed for _, item_changed in items):
+            return tuple(item for item, _ in items), True
+        return value, False
+    if isinstance(value, (ast.Select, ast.SetOperation)):
+        return value, False  # subquery blocks fold themselves when planned
+    if isinstance(value, ast.Expression):
+        return _fold_expression(value, registry)
+    return value, False
+
+
+# -- shape maintenance ---------------------------------------------------------
+
+
+def _narrowed_shape(scan: Scan, table) -> RowShape:
+    from ..schema import ColumnBinding
+
+    kept = scan.kept or ()
+    bindings = []
+    for index, name in enumerate(kept):
+        column = table.schema.columns[table.schema.column_index(name)]
+        bindings.append(
+            ColumnBinding(
+                scan.binding,
+                column.name.lower(),
+                index,
+                column.sql_type,
+                table.name.lower(),
+                column.name.lower(),
+            )
+        )
+    return RowShape(bindings)
+
+
+def _refresh_shapes(node: LogicalNode) -> RowShape:
+    """Recompute merged shapes bottom-up after scans were narrowed."""
+    if isinstance(node, (Scan, DerivedTable, Values)):
+        return node.shape
+    if isinstance(node, Filter):
+        return _refresh_shapes(node.input)
+    if isinstance(node, PolicyGuard):
+        return _refresh_shapes(node.scan)
+    if isinstance(node, (NestedLoop, HashJoin)):
+        left = _refresh_shapes(node.left)
+        right = _refresh_shapes(node.right)
+        node.shape = left.merged_with(right)
+        return node.shape
+    return node.shape
+
+
+def _collect_refs(
+    expression: ast.Expression,
+    unqualified: set[str],
+    qualified: set[tuple[str, str]],
+) -> None:
+    """Collect column references, descending into nested subqueries.
+
+    Inner-block references can only over-approximate the keep set for this
+    block's scans (an inner alias never matches an outer binding), which is
+    the safe direction for pruning.
+    """
+    for node in ast.walk_expression(expression):
+        if isinstance(node, ast.ColumnRef):
+            if node.table:
+                qualified.add((node.table.lower(), node.name.lower()))
+            else:
+                unqualified.add(node.name.lower())
+        for nested in node.child_selects():
+            _collect_select_refs(nested, unqualified, qualified)
+
+
+def _collect_select_refs(
+    select: ast.Select,
+    unqualified: set[str],
+    qualified: set[tuple[str, str]],
+) -> None:
+    for item in select.items:
+        if not isinstance(item.expression, ast.Star):
+            _collect_refs(item.expression, unqualified, qualified)
+    if select.where is not None:
+        _collect_refs(select.where, unqualified, qualified)
+    for expression in select.group_by:
+        _collect_refs(expression, unqualified, qualified)
+    if select.having is not None:
+        _collect_refs(select.having, unqualified, qualified)
+    for order_item in select.order_by:
+        _collect_refs(order_item.expression, unqualified, qualified)
+    for condition in ast.join_conditions(select):
+        _collect_refs(condition, unqualified, qualified)
+    for source in ast.select_sources(select):
+        if isinstance(source, ast.SubquerySource):
+            _collect_select_refs(source.select, unqualified, qualified)

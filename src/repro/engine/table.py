@@ -20,7 +20,20 @@ class Table:
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
-        self.rows: list[tuple] = []
+        self._rows: list[tuple] = []
+        #: Bumped whenever row storage changes; cached artifacts derived from
+        #: the rows (policy bitmaps) key on it to detect staleness.
+        self.version: int = 0
+
+    @property
+    def rows(self) -> list[tuple]:
+        """The stored row tuples, in insertion order."""
+        return self._rows
+
+    @rows.setter
+    def rows(self, new_rows: list[tuple]) -> None:
+        self._rows = new_rows
+        self.version += 1
 
     @property
     def name(self) -> str:
@@ -68,7 +81,8 @@ class Table:
                     f"NULL value in NOT NULL column {column.name!r} of "
                     f"table {self.name!r}"
                 )
-        self.rows.append(coerced)
+        self._rows.append(coerced)
+        self.version += 1
 
     def update_rows(
         self,
@@ -102,7 +116,8 @@ class Table:
 
     def truncate(self) -> None:
         """Remove all rows."""
-        self.rows.clear()
+        self._rows.clear()
+        self.version += 1
 
     # -- DDL -----------------------------------------------------------------
 

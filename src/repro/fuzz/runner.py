@@ -221,6 +221,10 @@ class DifferentialRunner:
         monitor = self.world.monitor
         if clear_cache:
             monitor.clear_plan_cache()
+        # Paths are compared on their complieswith counts, so each must pay
+        # the full guard-evaluation cost: drop bitmaps reused from earlier
+        # paths of the same case.
+        monitor.clear_policy_bitmaps()
         audit_before = len(self.audit)
         try:
             report = monitor.execute_with_report(
@@ -247,6 +251,7 @@ class DifferentialRunner:
         name = "prepared-cold"
         monitor = self.world.monitor
         monitor.clear_plan_cache()
+        monitor.clear_policy_bitmaps()
         audit_before = len(self.audit)
         try:
             prepared = monitor.prepare(case.sql, case.purpose)
@@ -277,6 +282,7 @@ class DifferentialRunner:
         # unaffected and denials still come from the case's own user.
         user = case.user if case.user is not None else self.world.users[0]
         params = case.params or None
+        self.world.monitor.clear_policy_bitmaps()
         try:
             with Client(*self.server.address) as client:
                 client.hello(user, case.purpose)

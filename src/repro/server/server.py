@@ -475,5 +475,9 @@ class QueryServer:
             "sessions": self.sessions.stats(),
             "admission": self._pool.stats(),
             "plan_cache": self.monitor.plan_cache_info(),
+            "optimizer": {
+                "mode": self.monitor.optimizer_mode,
+                "bitmaps": self.monitor.database.policy_bitmaps.stats(),
+            },
             "lock": self.rwlock.state(),
         }

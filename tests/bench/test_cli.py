@@ -71,6 +71,22 @@ class TestCli:
         assert payload["experiment"] == "concurrency"
         assert [point["threads"] for point in payload["sweep"]] == [1, 2]
 
+    def test_optimizer_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_optimizer.json"
+        out = run_cli(
+            capsys, "optimizer", "--patients", "10", "--samples", "3",
+            "--no-random", "--selectivities", "0", "0.5",
+            "--json-out", str(json_path),
+        )
+        assert "Optimizer" in out
+        assert "bound violations: 0" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["violations"] == []
+        assert payload["mismatches"] == []
+        assert {m["query"] for m in payload["measurements"]} == {
+            f"q{i}" for i in range(1, 9)
+        }
+
     def test_random_queries_included_by_default(self, capsys):
         out = run_cli(
             capsys, "fig6", "--patients", "10", "--samples", "3",

@@ -6,15 +6,19 @@ import pytest
 
 from repro.bench import (
     ExperimentConfig,
+    bitmap_build_bound,
     build_scenario,
     count_checks,
     experiment_queries,
     figure6_table,
     figure7_table,
     figure8_table,
+    measure_optimizer,
     measure_query,
+    optimizer_table,
     run_experiment1,
     run_experiment2,
+    run_optimizer,
     set_selectivity,
 )
 from repro.workload import get_query
@@ -133,3 +137,82 @@ class TestExperiment2:
             big_run.cell("q2", 0.4).compliance_checks
             > small_run.cell("q2", 0.4).compliance_checks
         )
+
+
+class TestOptimizerExperiment:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_optimizer(SMALL)
+
+    def test_grid_complete(self, run):
+        assert run.queries() == [f"q{i}" for i in range(1, 9)]
+        assert run.selectivities() == [0.0, 0.5]
+        assert len(run.measurements) == 16
+
+    def test_modes_agree_on_rows_everywhere(self, run):
+        assert run.mismatches() == []
+
+    def test_cold_checks_respect_the_distinct_value_bound(self, run):
+        # q1-q8 hoist every policy conjunct (no outer joins), so the cold
+        # optimized execution pays at most one compliesWith per distinct
+        # policy value per (table, mask) — the acceptance criterion.
+        for measurement in run.measurements:
+            assert measurement.checks_on_cold <= measurement.bitmap_bound, (
+                measurement.query,
+                measurement.selectivity,
+            )
+        assert run.violations() == []
+
+    def test_warm_executions_are_free(self, run):
+        # Every guard is bitmap-answered, so a repeat execution invokes the
+        # UDF zero times.
+        for measurement in run.measurements:
+            assert measurement.checks_on_warm == 0, measurement.query
+
+    def test_off_mode_reproduces_figure6_counts(self, run):
+        # The off column is the per-row model: q2 at s=0 checks every
+        # sensed_data row exactly once (single signature, no filter).
+        cell = run.cell("q2", 0.0)
+        assert cell.checks_off == SMALL.patients * SMALL.samples_per_patient
+
+    def test_table_renders(self, run):
+        table = optimizer_table(run)
+        assert "q1" in table and "bound" in table
+        assert "bound violations: 0" in table
+        assert "result mismatches: 0" in table
+
+    def test_to_dict_round_trips_the_cells(self, run):
+        payload = run.to_dict()
+        assert payload["violations"] == [] and payload["mismatches"] == []
+        assert len(payload["measurements"]) == 16
+        cell = payload["measurements"][0]
+        for key in (
+            "query",
+            "selectivity",
+            "checks_off",
+            "checks_on_cold",
+            "checks_on_warm",
+            "bitmap_bound",
+            "within_bound",
+            "rows_match",
+            "cached_time_off_s",
+            "cached_time_on_s",
+        ):
+            assert key in cell
+
+    def test_measure_optimizer_restores_the_mode(self):
+        scenario = build_scenario(SMALL)
+        set_selectivity(scenario, 0.5, SMALL.policy_seed)
+        scenario.monitor.set_optimizer("off")
+        measure_optimizer(scenario, get_query("q1"), 0.5)
+        assert scenario.monitor.optimizer_mode == "off"
+
+    def test_bitmap_bound_counts_subquery_guards(self):
+        # q6's IN sub-query carries its own complieswith conjunct; the bound
+        # must include it, so it is strictly larger than q5's two-table one
+        # under identical policies.
+        scenario = build_scenario(SMALL)
+        set_selectivity(scenario, 0.5, SMALL.policy_seed)
+        q5 = bitmap_build_bound(scenario, get_query("q5").sql)
+        q6 = bitmap_build_bound(scenario, get_query("q6").sql)
+        assert q6 > q5

@@ -1,0 +1,293 @@
+"""The logical-plan IR, the rule-based optimizer and the policy bitmaps.
+
+Covers mode resolution (explicit > ``$REPRO_OPTIMIZER`` > default), the
+canonical tree the planner builds, each optimizer pass in isolation via
+the plan it produces, the distinct-value economics of the bitmap cache,
+and the contract that ``optimizer=off`` reproduces the same rows as the
+full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.plan import (
+    BASELINE_PASSES,
+    FULL_PASSES,
+    OPTIMIZER_ENV,
+    Aggregate,
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoop,
+    Optimizer,
+    PolicyBitmapCache,
+    PolicyGuard,
+    Project,
+    Scan,
+    Sort,
+    resolve_optimizer_mode,
+    walk,
+)
+
+
+class TestModeResolution:
+    def test_default_is_on(self, monkeypatch) -> None:
+        monkeypatch.delenv(OPTIMIZER_ENV, raising=False)
+        assert resolve_optimizer_mode(None) == "on"
+
+    def test_environment_variable_is_honoured(self, monkeypatch) -> None:
+        monkeypatch.setenv(OPTIMIZER_ENV, "off")
+        assert resolve_optimizer_mode(None) == "off"
+
+    def test_explicit_mode_beats_the_environment(self, monkeypatch) -> None:
+        monkeypatch.setenv(OPTIMIZER_ENV, "off")
+        assert resolve_optimizer_mode("on") == "on"
+
+    def test_case_is_normalized(self) -> None:
+        assert resolve_optimizer_mode("OFF") == "off"
+
+    def test_invalid_mode_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            resolve_optimizer_mode("sideways")
+
+    def test_off_runs_only_the_seed_equivalent_passes(self) -> None:
+        database = Database("modes")
+        assert Optimizer("off", database).passes == BASELINE_PASSES
+        assert Optimizer("on", database).passes == FULL_PASSES
+        assert set(BASELINE_PASSES) < set(FULL_PASSES)
+
+
+@pytest.fixture()
+def plan_db():
+    database = Database("plans")
+    database.execute("create table t (a integer, b integer, c text)")
+    database.execute("create table u (a integer, d integer)")
+    database.execute(
+        "insert into t values (1, 10, 'x'), (2, 20, 'y'), (3, 30, 'z')"
+    )
+    database.execute("insert into u values (1, 100), (2, 200)")
+    return database
+
+
+def _root(database, sql, optimizer="on"):
+    prepared = database.prepare(sql, optimizer=optimizer)
+    _, arms = prepared._arms()
+    assert len(arms) == 1
+    return arms[0].block.root
+
+
+def _kinds(root):
+    return [type(node).__name__ for node in walk(root)]
+
+
+class TestPlanner:
+    def test_canonical_spine(self, plan_db) -> None:
+        root = _root(
+            plan_db, "select a from t where b > 10 order by a limit 2", "off"
+        )
+        kinds = _kinds(root)
+        assert kinds[0] == "Limit" and "Sort" in kinds and "Project" in kinds
+        assert isinstance(root, Limit)
+
+    def test_aggregate_node_for_group_by(self, plan_db) -> None:
+        root = _root(plan_db, "select c, sum(b) from t group by c", "off")
+        assert any(isinstance(node, Aggregate) for node in walk(root))
+
+    def test_equi_join_compiles_to_hash_join(self, plan_db) -> None:
+        root = _root(plan_db, "select t.a, d from t join u on t.a = u.a")
+        assert any(isinstance(node, HashJoin) for node in walk(root))
+        assert not any(isinstance(node, NestedLoop) for node in walk(root))
+
+    def test_non_equi_join_stays_nested_loop(self, plan_db) -> None:
+        root = _root(plan_db, "select t.a, d from t join u on t.a < u.a")
+        assert any(isinstance(node, NestedLoop) for node in walk(root))
+        assert not any(isinstance(node, HashJoin) for node in walk(root))
+
+
+class TestPasses:
+    def test_predicate_pushdown_claims_the_where(self, plan_db) -> None:
+        prepared = plan_db.prepare("select a from t where b > 10", optimizer="on")
+        notes = prepared.optimizer_notes()
+        assert any(note.startswith("predicate_pushdown:") for note in notes)
+        _, (arm,) = prepared._arms()
+        pushed = [
+            node
+            for node in walk(arm.block.root)
+            if isinstance(node, Filter) and node.pushed
+        ]
+        assert pushed and isinstance(pushed[0].input, Scan)
+
+    def test_constant_folding_is_reported_and_correct(self, plan_db) -> None:
+        prepared = plan_db.prepare(
+            "select a from t where b > 5 + 5", optimizer="on"
+        )
+        assert any(
+            note.startswith("constant_folding:")
+            for note in prepared.optimizer_notes()
+        )
+        assert sorted(prepared.execute().rows) == [(2,), (3,)]
+
+    def test_projection_pruning_narrows_the_scan(self, plan_db) -> None:
+        prepared = plan_db.prepare("select a from t where b > 10", optimizer="on")
+        _, (arm,) = prepared._arms()
+        scans = [n for n in walk(arm.block.root) if isinstance(n, Scan)]
+        assert list(scans[0].kept) == ["a", "b"]
+        assert sorted(prepared.execute().rows) == [(2,), (3,)]
+
+    def test_pruning_skipped_for_star(self, plan_db) -> None:
+        prepared = plan_db.prepare("select * from t", optimizer="on")
+        _, (arm,) = prepared._arms()
+        scans = [n for n in walk(arm.block.root) if isinstance(n, Scan)]
+        assert scans[0].kept is None
+
+    def test_off_mode_emits_no_optimizer_only_notes(self, plan_db) -> None:
+        prepared = plan_db.prepare(
+            "select a from t where b > 5 + 5", optimizer="off"
+        )
+        assert not any(
+            note.split(":")[0] in ("constant_folding", "projection_pruning")
+            for note in prepared.optimizer_notes()
+        )
+
+
+class TestPolicyGuardHoist:
+    """End-to-end over the real rewriter: guards leave the filter."""
+
+    def test_rewritten_query_gets_policy_guards(self, policy_scenario) -> None:
+        monitor = policy_scenario.monitor
+        rewritten = monitor.rewrite("select distinct watch_id from sensed_data", "p6")
+        prepared = policy_scenario.database.prepare(rewritten, optimizer="on")
+        _, (arm,) = prepared._arms()
+        guards = [n for n in walk(arm.block.root) if isinstance(n, PolicyGuard)]
+        assert len(guards) == 1
+        assert isinstance(guards[0].scan, Scan)
+        # The guarded conjunct no longer appears in any row-at-a-time filter.
+        residual = [
+            n for n in walk(arm.block.root) if isinstance(n, Filter) and not n.is_empty()
+        ]
+        assert residual == []
+
+    def test_off_mode_keeps_guards_in_the_filter(self, policy_scenario) -> None:
+        monitor = policy_scenario.monitor
+        rewritten = monitor.rewrite("select distinct watch_id from sensed_data", "p6")
+        prepared = policy_scenario.database.prepare(rewritten, optimizer="off")
+        _, (arm,) = prepared._arms()
+        assert not any(
+            isinstance(n, PolicyGuard) for n in walk(arm.block.root)
+        )
+
+    def test_both_modes_return_identical_rows(self, policy_scenario) -> None:
+        monitor = policy_scenario.monitor
+        queries = [
+            "select distinct watch_id from sensed_data",
+            "select user_id, temperature from users join sensed_data "
+            "on users.watch_id = sensed_data.watch_id "
+            "where sensed_data.temperature > 37",
+            "select food_intolerances, count(user_id) from users "
+            "join nutritional_profiles "
+            "on users.nutritional_profile_id = nutritional_profiles.profile_id "
+            "group by food_intolerances",
+        ]
+        for sql in queries:
+            rewritten = monitor.rewrite(sql, "p6")
+            on = policy_scenario.database.prepare(rewritten, optimizer="on")
+            off = policy_scenario.database.prepare(rewritten, optimizer="off")
+            assert sorted(on.execute().rows) == sorted(off.execute().rows), sql
+
+
+class TestPolicyBitmapCache:
+    @pytest.fixture()
+    def world(self):
+        database = Database("bitmaps")
+        database.execute("create table t (a integer, policy text)")
+        database.execute(
+            "insert into t values (1, 'p'), (2, 'q'), (3, 'p'), (4, null), (5, 'q')"
+        )
+        database.functions.register("accepts_p", lambda mask, policy: policy == "p")
+        return database
+
+    def test_build_costs_one_call_per_distinct_value(self, world) -> None:
+        cache = PolicyBitmapCache()
+        table = world.table("t")
+        passing = cache.passing_indices(
+            table, "policy", "01", world.functions, "accepts_p"
+        )
+        assert passing == {0, 2}
+        # 'p' and 'q' — NULL rows are excluded without a call (strict UDF).
+        assert world.functions.call_count("accepts_p") == 2
+        assert cache.stats() == {"hits": 0, "built": 1, "entries": 1}
+
+    def test_repeat_lookup_is_a_hit(self, world) -> None:
+        cache = PolicyBitmapCache()
+        table = world.table("t")
+        args = (table, "policy", "01", world.functions, "accepts_p")
+        cache.passing_indices(*args)
+        again = cache.passing_indices(*args)
+        assert again == {0, 2}
+        assert world.functions.call_count("accepts_p") == 2
+        assert cache.stats()["hits"] == 1
+
+    def test_distinct_masks_build_distinct_bitmaps(self, world) -> None:
+        cache = PolicyBitmapCache()
+        table = world.table("t")
+        cache.passing_indices(table, "policy", "01", world.functions, "accepts_p")
+        cache.passing_indices(table, "policy", "10", world.functions, "accepts_p")
+        assert cache.stats()["built"] == 2
+        assert len(cache) == 2
+
+    def test_data_change_rebuilds_but_reuses_verdicts(self, world) -> None:
+        cache = PolicyBitmapCache()
+        table = world.table("t")
+        args = (table, "policy", "01", world.functions, "accepts_p")
+        cache.passing_indices(*args)
+        world.execute("insert into t values (6, 'p')")
+        passing = cache.passing_indices(*args)
+        assert passing == {0, 2, 5}
+        # The rebuild re-reads the rows but finds both verdicts memoized.
+        assert world.functions.call_count("accepts_p") == 2
+        assert cache.stats()["built"] == 2
+
+    def test_new_value_after_data_change_is_evaluated(self, world) -> None:
+        cache = PolicyBitmapCache()
+        table = world.table("t")
+        args = (table, "policy", "01", world.functions, "accepts_p")
+        cache.passing_indices(*args)
+        world.execute("insert into t values (7, 'r')")
+        cache.passing_indices(*args)
+        assert world.functions.call_count("accepts_p") == 3
+
+    def test_clear_drops_entries_but_keeps_counters(self, world) -> None:
+        cache = PolicyBitmapCache()
+        table = world.table("t")
+        args = (table, "policy", "01", world.functions, "accepts_p")
+        cache.passing_indices(*args)
+        cache.passing_indices(*args)
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["built"] == 1
+        # After a clear the verdict memo is gone too: full rebuild cost.
+        cache.passing_indices(*args)
+        assert world.functions.call_count("accepts_p") == 4
+
+
+class TestTableVersion:
+    def test_every_mutation_path_bumps_the_version(self, plan_db) -> None:
+        table = plan_db.table("t")
+        start = table.version
+        plan_db.execute("insert into t values (9, 90, 'w')")
+        after_insert = table.version
+        assert after_insert > start
+        plan_db.execute("update t set b = 0 where a = 9")
+        after_update = table.version
+        assert after_update > after_insert
+        plan_db.execute("delete from t where a = 9")
+        assert table.version > after_update
+
+    def test_direct_storage_assignment_bumps_the_version(self, plan_db) -> None:
+        table = plan_db.table("t")
+        start = table.version
+        table.rows = table.rows[:1]
+        assert table.version > start

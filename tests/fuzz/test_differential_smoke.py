@@ -15,6 +15,8 @@ import random
 
 import pytest
 
+from repro.core import AuditLog
+from repro.errors import ReproError, UnauthorizedPurposeError
 from repro.fuzz import (
     DifferentialRunner,
     FuzzQueryGenerator,
@@ -26,6 +28,7 @@ from repro.fuzz import (
     shrink,
 )
 from repro.fuzz.generator import FUZZ_KINDS
+from repro.fuzz.runner import normalize_rows
 from repro.fuzz.scenario import ScenarioSpec
 
 SMOKE_SEED = 2015
@@ -115,6 +118,79 @@ def test_injected_bug_is_caught_minimized_and_replayable(
     runner.world.monitor.clear_plan_cache()
     fixed_replay, _ = replay(path, use_server=False)
     assert fixed_replay.ok, "repro still fails after the bug is removed"
+
+
+class TestOptimizerEquivalence:
+    """Optimizer-equivalence mode: every smoke case behaves identically
+    with the pass pipeline on and off — same rows/columns, same denial or
+    error outcome, same audit trail.  ``complieswith`` counts legitimately
+    differ between the per-row and bitmap evaluation models, so they are
+    collected and reported, never asserted equal."""
+
+    @pytest.fixture(scope="class")
+    def eq_world(self):
+        instance = build_fuzz_scenario(ScenarioSpec())
+        audit = AuditLog(instance.database)
+        instance.monitor.attach_audit(audit)
+        return instance, audit
+
+    @staticmethod
+    def _run_mode(world, audit, case, mode):
+        monitor = world.monitor
+        monitor.set_optimizer(mode)
+        monitor.clear_plan_cache()
+        monitor.clear_policy_bitmaps()
+        audit_before = len(audit)
+        checks = 0
+        try:
+            report = monitor.execute_with_report(
+                case.sql, case.purpose, user=case.user, params=case.params or None
+            )
+        except UnauthorizedPurposeError:
+            outcome = ("denied", None, None)
+        except ReproError as exc:
+            outcome = ("error", type(exc).__name__, None)
+        else:
+            outcome = (
+                "rows",
+                tuple(c.lower() for c in report.result.columns),
+                tuple(normalize_rows(report.result.rows)),
+            )
+            checks = report.compliance_checks
+        # The audit trail must be mode-independent except for the check
+        # counter, which tracks the evaluation model on purpose.
+        trail = tuple(
+            (r.outcome, r.user, r.purpose, r.rows)
+            for r in audit.records[audit_before:]
+        )
+        return outcome, trail, checks
+
+    def test_smoke_cases_agree_between_modes(self, eq_world, capsys) -> None:
+        world, audit = eq_world
+        generator = FuzzQueryGenerator.for_world(world, seed=SMOKE_SEED)
+        previous = world.monitor.optimizer_mode
+        disagreements = []
+        checks_off_total = checks_on_total = 0
+        try:
+            for case in generator.cases(SMOKE_CASES):
+                off = self._run_mode(world, audit, case, "off")
+                on = self._run_mode(world, audit, case, "on")
+                checks_off_total += off[2]
+                checks_on_total += on[2]
+                if off[:2] != on[:2]:
+                    disagreements.append(
+                        f"{case.replay_token} ({case.kind}): {case.sql!r}\n"
+                        f"  off: {off[:2]}\n  on:  {on[:2]}"
+                    )
+        finally:
+            world.monitor.set_optimizer(previous)
+        assert disagreements == [], "\n\n".join(disagreements)
+        # Informational only: the whole point of the bitmap pass is that
+        # these two totals differ.
+        print(
+            f"complieswith totals over {SMOKE_CASES} cases: "
+            f"off={checks_off_total} on={checks_on_total}"
+        )
 
 
 @pytest.mark.slow

@@ -34,6 +34,9 @@ def golden_monitor():
     """The deterministic world all golden plans are produced against."""
     instance = build_patients_scenario(patients=25, samples_per_patient=8)
     apply_experiment_policies(instance, selectivity=0.4, seed=99)
+    # Golden files are produced with the full pass pipeline; pin it so the
+    # comparison is stable even when the suite runs under REPRO_OPTIMIZER=off.
+    instance.monitor.set_optimizer("on")
     return instance.monitor
 
 
@@ -114,7 +117,11 @@ class TestExplainAnalyze:
 
     def test_analyze_row_counts_are_real(self, golden_monitor):
         query = AD_HOC_QUERIES[0]  # q1: distinct watch_id over sensed_data
+        # Clear cached bitmaps before each run so both executions pay the
+        # same guard-evaluation cost and their check counts can be compared.
+        golden_monitor.clear_policy_bitmaps()
         report = golden_monitor.execute_with_report(query.sql, "p6")
+        golden_monitor.clear_policy_bitmaps()
         lines = [
             row[0]
             for row in golden_monitor.explain(query.sql, "p6", analyze=True).rows
