@@ -6,6 +6,7 @@ Regenerates the paper's figures as plain-text tables::
     python -m repro.bench fig7              # time vs policy selectivity
     python -m repro.bench fig8              # time vs dataset size
     python -m repro.bench optimizer         # per-row checks vs policy bitmaps
+    python -m repro.bench columnar          # row vs batch executor latency
     python -m repro.bench concurrency       # threads vs enforced throughput
     python -m repro.bench all               # everything
     python -m repro.bench fig7 --patients 1000 --samples 1000   # paper scale
@@ -20,9 +21,16 @@ import argparse
 import json
 
 from .concurrency import run_concurrency
-from .experiments import run_experiment1, run_experiment2, run_hotpath, run_optimizer
+from .experiments import (
+    run_columnar,
+    run_experiment1,
+    run_experiment2,
+    run_hotpath,
+    run_optimizer,
+)
 from .harness import ExperimentConfig, PAPER_SELECTIVITIES
 from .reporting import (
+    columnar_table,
     concurrency_table,
     figure6_table,
     figure7_table,
@@ -45,6 +53,18 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig.scaled(**overrides)
 
 
+def _build_columnar_config(args: argparse.Namespace) -> ExperimentConfig:
+    """The columnar experiment defaults to unscaled sizes (see run_columnar)."""
+    overrides = {}
+    if args.patients is not None:
+        overrides["patients"] = args.patients
+    if args.samples is not None:
+        overrides["samples_per_patient"] = args.samples
+    overrides["include_random"] = not args.no_random
+    overrides["repeat"] = args.repeat
+    return ExperimentConfig(**overrides)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the selected experiment(s) and print the figure tables."""
     parser = argparse.ArgumentParser(
@@ -60,6 +80,7 @@ def main(argv: list[str] | None = None) -> int:
             "cub",
             "hotpath",
             "optimizer",
+            "columnar",
             "concurrency",
             "all",
         ),
@@ -67,6 +88,7 @@ def main(argv: list[str] | None = None) -> int:
             "which figure to regenerate (cub = §5.6 bound vs measured, "
             "hotpath = cold vs cached prepared-pipeline latency, "
             "optimizer = per-row checks vs policy-bitmap pre-filtering, "
+            "columnar = row vs batch executor latency sweep, "
             "concurrency = enforced throughput vs parallel sessions)"
         ),
     )
@@ -105,8 +127,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help=(
-            "where the concurrency/hotpath experiments write their JSON "
-            "summaries (defaults: BENCH_concurrency.json / BENCH_hotpath.json)"
+            "where the concurrency/hotpath/optimizer/columnar experiments "
+            "write their JSON summaries (defaults: BENCH_<figure>.json)"
         ),
     )
     args = parser.parse_args(argv)
@@ -147,6 +169,18 @@ def main(argv: list[str] | None = None) -> int:
         json_path = (
             args.json_out if args.figure == "optimizer" and args.json_out else None
         ) or "BENCH_optimizer.json"
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(run.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {json_path}")
+        if args.figure == "all":
+            print()
+    if args.figure in ("columnar", "all"):
+        run = run_columnar(_build_columnar_config(args))
+        print(columnar_table(run))
+        json_path = (
+            args.json_out if args.figure == "columnar" and args.json_out else None
+        ) or "BENCH_columnar.json"
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(run.to_dict(), handle, indent=2)
             handle.write("\n")

@@ -579,6 +579,134 @@ def measure_optimizer(
     )
 
 
+#: Batch sizes the columnar experiment sweeps (the last is the default
+#: page size the batch executor resolves without an override).
+COLUMNAR_BATCH_SIZES: tuple[int, ...] = (64, 256, 1024)
+
+
+@dataclass
+class ColumnarMeasurement:
+    """One query of the row vs batch executor comparison (DESIGN.md §12)."""
+
+    query: str
+    rows_returned: int
+    row_time: float
+    batch_times: dict[int, float]
+    rows_match: bool
+
+    def speedup(self, batch_size: int) -> float:
+        """Row-mode latency over batch-mode latency at ``batch_size``."""
+        batch_time = self.batch_times[batch_size]
+        return self.row_time / batch_time if batch_time else float("inf")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of this query (for ``BENCH_columnar.json``)."""
+        return {
+            "query": self.query,
+            "rows": self.rows_returned,
+            "row_time_s": self.row_time,
+            "batch_time_s": {
+                str(size): t for size, t in self.batch_times.items()
+            },
+            "speedup": {
+                str(size): self.speedup(size) for size in self.batch_times
+            },
+            "rows_match": self.rows_match,
+        }
+
+
+@dataclass
+class ColumnarRun:
+    """All row-vs-batch measurements of one configuration."""
+
+    config: ExperimentConfig
+    selectivity: float
+    batch_sizes: tuple[int, ...] = COLUMNAR_BATCH_SIZES
+    measurements: list[ColumnarMeasurement] = field(default_factory=list)
+
+    @property
+    def default_batch_size(self) -> int:
+        """The sweep's reference page size (the largest swept)."""
+        return max(self.batch_sizes)
+
+    def aggregate_speedup(self, batch_size: int | None = None) -> float:
+        """Total row-mode time over total batch-mode time."""
+        size = batch_size if batch_size is not None else self.default_batch_size
+        row = sum(m.row_time for m in self.measurements)
+        batch = sum(m.batch_times[size] for m in self.measurements)
+        return row / batch if batch else float("inf")
+
+    def mismatches(self) -> list[ColumnarMeasurement]:
+        """Queries where the two executors disagreed on the result rows."""
+        return [m for m in self.measurements if not m.rows_match]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the whole run (for ``BENCH_columnar.json``)."""
+        return {
+            "config": {
+                "patients": self.config.patients,
+                "samples_per_patient": self.config.samples_per_patient,
+                "repeat": self.config.repeat,
+            },
+            "selectivity": self.selectivity,
+            "batch_sizes": list(self.batch_sizes),
+            "default_batch_size": self.default_batch_size,
+            "aggregate_speedup": {
+                str(size): self.aggregate_speedup(size)
+                for size in self.batch_sizes
+            },
+            "mismatches": [m.query for m in self.mismatches()],
+            "measurements": [m.to_dict() for m in self.measurements],
+        }
+
+
+def measure_columnar(
+    scenario: PatientsScenario,
+    query: BenchmarkQuery,
+    batch_sizes: tuple[int, ...] = COLUMNAR_BATCH_SIZES,
+    repeat: int = 1,
+    executions: int = 3,
+) -> ColumnarMeasurement:
+    """Time one query under the row executor and each swept batch size.
+
+    Every mode runs from a cold plan cache and cold policy bitmaps, then
+    times the *cached* prepared plan (best of ``executions``) — the hot
+    path the executor comparison is about.  Result rows are compared
+    against the row-mode reference for every batch size.
+    """
+    monitor = scenario.monitor
+    previous_mode = monitor.executor_mode
+    previous_size = monitor.batch_size
+
+    def run_mode(mode: str, batch_size: int | None = None):
+        monitor.set_executor(mode, batch_size=batch_size)
+        monitor.clear_plan_cache()
+        monitor.clear_policy_bitmaps()
+        report = monitor.execute_with_report(query.sql, BENCH_PURPOSE)
+        prepared = monitor.prepare(query.sql, BENCH_PURPOSE)
+        return report, time_query(prepared.execute, max(repeat, executions))
+
+    try:
+        row_report, row_time = run_mode("row")
+        reference = list(row_report.result)
+        batch_times: dict[int, float] = {}
+        rows_match = True
+        for size in batch_sizes:
+            batch_report, batch_time = run_mode("batch", size)
+            batch_times[size] = batch_time
+            rows_match = rows_match and list(batch_report.result) == reference
+    finally:
+        monitor.set_executor(previous_mode, batch_size=previous_size)
+
+    return ColumnarMeasurement(
+        query=query.name,
+        rows_returned=len(reference),
+        row_time=row_time,
+        batch_times=batch_times,
+        rows_match=rows_match,
+    )
+
+
 def count_checks(scenario: PatientsScenario, sql: str, purpose: str = BENCH_PURPOSE) -> int:
     """The number of ``complieswith`` invocations one execution performs.
 

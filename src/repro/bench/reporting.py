@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from .concurrency import ConcurrencyRun
 from .experiments import Experiment2Result
-from .harness import ExperimentRun, HotPathRun, OptimizerRun
+from .harness import ColumnarRun, ExperimentRun, HotPathRun, OptimizerRun
 
 
 def _format_table(header: list[str], rows: list[list[str]]) -> str:
@@ -101,6 +101,38 @@ def hotpath_table(run: HotPathRun) -> str:
         f"plan-cache hit rate over cached executions: {run.hit_rate():.0%}"
     )
     return f"{title}\n{_format_table(header, rows)}\n{hit_line}"
+
+
+def columnar_table(run: ColumnarRun) -> str:
+    """Columnar executor comparison: row vs batch latency per query.
+
+    ``rows`` is the enforced result cardinality, ``row`` the cached-plan
+    latency (ms) under the tuple-at-a-time reference executor, each
+    ``batch=N`` column the same latency under the batch executor at that
+    page size, and ``speedup`` the row/batch ratio at the default (largest)
+    page size.  The footer aggregates total row time over total batch time.
+    """
+    header = ["query", "rows", "row"]
+    header.extend(f"batch={size}" for size in run.batch_sizes)
+    header.append("speedup")
+    rows = []
+    for m in run.measurements:
+        row = [m.query, str(m.rows_returned), _ms(m.row_time)]
+        row.extend(_ms(m.batch_times[size]) for size in run.batch_sizes)
+        row.append(f"{m.speedup(run.default_batch_size):.2f}x")
+        rows.append(row)
+    title = (
+        f"Columnar — row vs batch executor, cached plans "
+        f"(patients={run.config.patients}, "
+        f"samples={run.config.samples_per_patient}, "
+        f"s={run.selectivity:g})"
+    )
+    summary = (
+        f"aggregate speedup at batch={run.default_batch_size}: "
+        f"{run.aggregate_speedup():.2f}x; "
+        f"result mismatches: {len(run.mismatches())}"
+    )
+    return f"{title}\n{_format_table(header, rows)}\n{summary}"
 
 
 def optimizer_table(run: OptimizerRun) -> str:

@@ -24,7 +24,13 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..engine import Database, ResultSet, resolve_optimizer_mode
+from ..engine import (
+    Database,
+    ResultSet,
+    resolve_batch_size,
+    resolve_executor_mode,
+    resolve_optimizer_mode,
+)
 from ..engine.database import PreparedQuery
 from ..errors import ParseError, UnauthorizedPurposeError
 from ..obs.tracing import NULL_TRACE, Trace
@@ -77,6 +83,7 @@ class CompiledEnforcedPlan:
     purpose: str
     epoch: int
     optimizer: str
+    executor: str
     original_sql: str
     statement: "ast.Select | ast.SetOperation"
     rewritten: "ast.Select | ast.SetOperation"
@@ -179,6 +186,8 @@ class EnforcementMonitor:
         plan_cache_size: int = 128,
         parse_cache_size: int = 256,
         optimizer: str | None = None,
+        executor: str | None = None,
+        batch_size: int | None = None,
     ):
         self.admin = admin
         self.authorizer = authorizer if authorizer is not None else admin
@@ -187,9 +196,11 @@ class EnforcementMonitor:
         self.metrics = None
         self.tracing_enabled = False
         self.optimizer_mode = resolve_optimizer_mode(optimizer)
+        self.executor_mode = resolve_executor_mode(executor)
+        self.batch_size = resolve_batch_size(batch_size)
         self.plan_cache_size = plan_cache_size
         self.parse_cache_size = parse_cache_size
-        self._plan_cache: "OrderedDict[tuple[str, str, int, str], CompiledEnforcedPlan]" = (
+        self._plan_cache: "OrderedDict[tuple, CompiledEnforcedPlan]" = (
             OrderedDict()
         )
         self._parse_memo: "OrderedDict[str, tuple[ast.Select | ast.SetOperation, str]]" = (
@@ -273,6 +284,20 @@ class EnforcementMonitor:
         cached and are simply not hit while this mode is active.
         """
         self.optimizer_mode = resolve_optimizer_mode(mode)
+
+    def set_executor(self, mode: str | None, batch_size: int | None = None) -> None:
+        """Switch the physical-execution mode for *future* compilations.
+
+        ``"batch"`` runs the columnar batch-at-a-time operators; ``"row"``
+        replays the tuple-at-a-time reference executor; ``None`` re-resolves
+        from ``$REPRO_EXECUTOR``.  As with :meth:`set_optimizer`, plan-cache
+        keys embed the executor mode, so plans compiled for the other mode
+        stay cached and simply stop being hit.  ``batch_size`` optionally
+        re-pins the rows-per-batch page size (``None`` re-resolves from
+        ``$REPRO_BATCH_SIZE``).
+        """
+        self.executor_mode = resolve_executor_mode(mode)
+        self.batch_size = resolve_batch_size(batch_size)
 
     def clear_policy_bitmaps(self) -> None:
         """Drop the engine's cached policy bitmaps (counters are kept)."""
@@ -381,7 +406,9 @@ class EnforcementMonitor:
         with self._cache_lock:
             epoch = self.admin.policy_epoch
             mode = self.optimizer_mode
-            key = (qid, purpose, epoch, mode)
+            executor = self.executor_mode
+            batch_size = self.batch_size
+            key = (qid, purpose, epoch, mode, executor, batch_size)
             plan = self._plan_cache.get(key)
             if plan is not None:
                 self._plan_cache.move_to_end(key)
@@ -402,12 +429,16 @@ class EnforcementMonitor:
                 purpose=purpose,
                 epoch=epoch,
                 optimizer=mode,
+                executor=executor,
                 original_sql=to_sql(statement),
                 statement=statement,
                 rewritten=rewritten,
                 rewritten_sql=to_sql(rewritten),
                 signature=signature,
-                plan=self.database.prepare(rewritten, optimizer=mode),
+                plan=self.database.prepare(
+                    rewritten, optimizer=mode,
+                    executor=executor, batch_size=batch_size,
+                ),
             )
             # Keys embed the current epoch, so entries compiled under earlier
             # epochs can never be hit again — drop them before LRU eviction
@@ -569,6 +600,8 @@ class EnforcementMonitor:
                 "maxsize": self.plan_cache_size,
                 "epoch": self.admin.policy_epoch,
                 "optimizer": self.optimizer_mode,
+                "executor": self.executor_mode,
+                "batch_size": self.batch_size,
             }
 
     def clear_plan_cache(self) -> None:
@@ -642,6 +675,9 @@ class EnforcementMonitor:
         lines = [f"rewritten: {plan.rewritten_sql}"]
         lines.append(f"Optimizer: mode={plan.optimizer}")
         lines.extend(f"  {note}" for note in plan.plan.optimizer_notes())
+        lines.append(
+            f"Executor: mode={plan.executor} batch_size={plan.plan.batch_size}"
+        )
         lines.append("Logical:")
         lines.extend(f"  {line}" for line in plan.plan.logical_lines())
         rows = checks = memo_hits = 0

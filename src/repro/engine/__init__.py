@@ -8,6 +8,15 @@ value type for policy masks, and a UDF registry with invocation counters
 """
 
 from . import persist
+from .batch import (
+    BATCH_SIZE_ENV,
+    DEFAULT_BATCH_SIZE,
+    EXECUTOR_ENV,
+    EXECUTOR_MODES,
+    ColumnBatch,
+    resolve_batch_size,
+    resolve_executor_mode,
+)
 from .database import Database, PreparedQuery, bind_parameters
 from .functions import FunctionRegistry, MemoizedFunction
 from .plan import (
@@ -23,6 +32,13 @@ from .table import Table
 from .types import BitString, SqlType
 
 __all__ = [
+    "BATCH_SIZE_ENV",
+    "DEFAULT_BATCH_SIZE",
+    "EXECUTOR_ENV",
+    "EXECUTOR_MODES",
+    "ColumnBatch",
+    "resolve_batch_size",
+    "resolve_executor_mode",
     "Database",
     "PreparedQuery",
     "bind_parameters",

@@ -1,0 +1,135 @@
+"""Columnar batches and executor-mode resolution (DESIGN.md §12).
+
+The batch executor moves the hot path from one-Python-frame-per-row to
+one-frame-per-*batch*: a :class:`ColumnBatch` stores a page of rows as
+per-column value sequences, so scans transpose whole pages with C-level
+``zip``, filters keep rows with one list comprehension per column, and the
+policy guard answers a whole batch with one slice of the cached bitmap.
+
+Mode resolution mirrors the optimizer's (`repro.engine.plan.optimizer`):
+an explicit argument wins, then ``$REPRO_EXECUTOR``, then the default
+``"batch"``.  ``"row"`` replays the original tuple-at-a-time operators
+exactly and is kept as the differential reference the fuzzer compares
+against.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ExecutionError
+
+#: Environment variable consulted when no explicit executor mode is given.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Environment variable consulted when no explicit batch size is given.
+BATCH_SIZE_ENV = "REPRO_BATCH_SIZE"
+
+#: Rows per batch when neither an argument nor the env var overrides it.
+DEFAULT_BATCH_SIZE = 1024
+
+#: The valid executor modes.
+EXECUTOR_MODES = ("batch", "row")
+
+
+def resolve_executor_mode(mode: str | None = None) -> str:
+    """Resolve the physical-execution mode.
+
+    Precedence: explicit argument > ``$REPRO_EXECUTOR`` > ``"batch"`` —
+    the same explicit/env/default ladder as
+    :func:`~repro.engine.plan.optimizer.resolve_optimizer_mode`.
+    """
+    if mode is None:
+        mode = os.environ.get(EXECUTOR_ENV) or "batch"
+    mode = mode.strip().lower()
+    if mode not in EXECUTOR_MODES:
+        raise ExecutionError(
+            f"unknown executor mode {mode!r} (expected one of {EXECUTOR_MODES})"
+        )
+    return mode
+
+
+def resolve_batch_size(size: int | None = None) -> int:
+    """Resolve the rows-per-batch page size (argument > env > default)."""
+    if size is None:
+        raw = os.environ.get(BATCH_SIZE_ENV)
+        size = int(raw) if raw else DEFAULT_BATCH_SIZE
+    size = int(size)
+    if size < 1:
+        raise ExecutionError(f"batch size must be positive, got {size}")
+    return size
+
+
+class ColumnBatch:
+    """A page of rows stored column-wise.
+
+    ``columns[j][i]`` is row *i*'s value for column *j*; ``length`` is the
+    row count (kept explicitly so zero-width shapes — ``Values`` — still
+    know how many rows they carry).  Columns are never mutated in place:
+    operators that drop rows build new column lists via :meth:`take`, so a
+    batch may safely share column storage with its producer.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Sequence[Sequence], length: int):
+        self.columns = columns
+        self.length = length
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], width: int) -> "ColumnBatch":
+        """Transpose a page of row tuples into a batch."""
+        if not rows:
+            return cls([() for _ in range(width)], 0)
+        return cls(list(zip(*rows)), len(rows))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def column(self, index: int) -> Sequence:
+        """One column's values, in row order."""
+        return self.columns[index]
+
+    def row(self, index: int) -> tuple:
+        """Materialize a single row tuple (used for group representatives)."""
+        return tuple(column[index] for column in self.columns)
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize every row as a tuple, in order."""
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate row tuples (the per-row fallback path)."""
+        return iter(self.to_rows())
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """A new batch keeping only the given row positions, in order."""
+        return ColumnBatch(
+            [[column[i] for i in indices] for column in self.columns],
+            len(indices),
+        )
+
+    def project(self, indices: Sequence[int]) -> "ColumnBatch":
+        """A new batch keeping only the given columns (RowShape slicing)."""
+        return ColumnBatch([self.columns[i] for i in indices], self.length)
+
+
+def batches_from_rows(
+    rows: Iterable[tuple], width: int, batch_size: int
+) -> Iterator[ColumnBatch]:
+    """Chunk a row stream into column batches of at most ``batch_size`` rows.
+
+    The adapter every non-batch-native operator (nested loops, derived
+    tables) uses to join the columnar pipeline.
+    """
+    page: list[tuple] = []
+    for row in rows:
+        page.append(row)
+        if len(page) >= batch_size:
+            yield ColumnBatch.from_rows(page, width)
+            page = []
+    if page:
+        yield ColumnBatch.from_rows(page, width)

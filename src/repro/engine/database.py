@@ -37,11 +37,17 @@ class PreparedQuery:
         database: "Database",
         statement: "ast.Select | ast.SetOperation",
         optimizer: str | None = None,
+        executor: str | None = None,
+        batch_size: int | None = None,
     ):
         self.database = database
         self.statement = statement
-        self.executor = SelectExecutor(database, optimizer=optimizer)
+        self.executor = SelectExecutor(
+            database, optimizer=optimizer, executor=executor, batch_size=batch_size
+        )
         self.optimizer_mode = self.executor.optimizer_mode
+        self.executor_mode = self.executor.executor_mode
+        self.batch_size = self.executor.batch_size
         self.parameters = ast.collect_parameters(statement)
         self._plan = self._prepare_node(statement)
 
@@ -309,11 +315,14 @@ class Database:
         self,
         sql: "str | ast.Select | ast.SetOperation",
         optimizer: str | None = None,
+        executor: str | None = None,
     ) -> ResultSet:
         """Execute a SELECT (or a set-operation chain) and return rows.
 
         ``optimizer`` pins the pass pipeline for this query ("on"/"off");
         ``None`` resolves from ``REPRO_OPTIMIZER`` (default "on").
+        ``executor`` pins the physical mode ("batch"/"row"); ``None``
+        resolves from ``REPRO_EXECUTOR`` (default "batch").
         """
         if isinstance(sql, str):
             statement = parse_statement(sql)
@@ -324,23 +333,29 @@ class Database:
         if isinstance(statement, ast.SetOperation):
             from .result import combine_set_operation
 
-            left = self.query(statement.left, optimizer=optimizer)
-            right = self.query(statement.right, optimizer=optimizer)
+            left = self.query(statement.left, optimizer=optimizer, executor=executor)
+            right = self.query(statement.right, optimizer=optimizer, executor=executor)
             return combine_set_operation(left, right, statement.op, statement.all)
-        return SelectExecutor(self, optimizer=optimizer).execute_select(statement)
+        return SelectExecutor(
+            self, optimizer=optimizer, executor=executor
+        ).execute_select(statement)
 
     def prepare(
         self,
         sql: "str | ast.Select | ast.SetOperation",
         optimizer: str | None = None,
+        executor: str | None = None,
+        batch_size: int | None = None,
     ) -> PreparedQuery:
         """Plan a SELECT once for repeated execution (prepare/execute).
 
         The returned :class:`PreparedQuery` is bound to the current schema
         (``*`` expansion, column resolution) but reads table contents at
         execution time, so it observes later inserts/updates.  ``optimizer``
-        overrides the plan-rewrite mode (``"on"``/``"off"``); ``None``
-        resolves from ``$REPRO_OPTIMIZER`` (default on).
+        overrides the plan-rewrite mode (``"on"``/``"off"``); ``executor``
+        overrides the physical mode (``"batch"``/``"row"``); ``None``
+        resolves each from its env var (``$REPRO_OPTIMIZER`` /
+        ``$REPRO_EXECUTOR``).
         """
         if isinstance(sql, str):
             statement = parse_statement(sql)
@@ -348,7 +363,10 @@ class Database:
             statement = sql
         if not isinstance(statement, (ast.Select, ast.SetOperation)):
             raise ExecutionError("prepare() requires a SELECT statement")
-        return PreparedQuery(self, statement, optimizer=optimizer)
+        return PreparedQuery(
+            self, statement,
+            optimizer=optimizer, executor=executor, batch_size=batch_size,
+        )
 
     def execute_prepared(
         self, prepared: PreparedQuery, params=None, trace=None
@@ -386,17 +404,19 @@ class Database:
 
     def _execute_insert(self, statement: ast.Insert) -> int:
         table = self.table(statement.table)
+        # Bulk-append: one version bump per statement (not per row), so the
+        # policy-bitmap cache rebuilds once after an INSERT ... SELECT or a
+        # multi-row VALUES list.
         if statement.select is not None:
             result = self.query(statement.select)
-            for row in result.rows:
-                table.insert_row(row, statement.columns)
-            return len(result.rows)
-        count = 0
-        for value_row in statement.rows:
-            values = [_constant(expression, self) for expression in value_row]
-            table.insert_row(values, statement.columns)
-            count += 1
-        return count
+            return table.append_rows(result.rows, statement.columns)
+        return table.append_rows(
+            (
+                [_constant(expression, self) for expression in value_row]
+                for value_row in statement.rows
+            ),
+            statement.columns,
+        )
 
     def _row_compiler(self, table: Table) -> tuple[ExpressionCompiler, RowShape]:
         bindings = [

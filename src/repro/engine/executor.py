@@ -25,11 +25,19 @@ cached, matching how a conventional engine executes uncorrelated subplans.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from bisect import bisect_left
+from itertools import repeat
+from typing import Callable, Iterable, Iterator
 
 from ..errors import ExecutionError, ExpressionError
 from ..sql import ast
 from .aggregates import make_aggregate
+from .batch import (
+    ColumnBatch,
+    batches_from_rows,
+    resolve_batch_size,
+    resolve_executor_mode,
+)
 from .expressions import (
     CompiledExpr,
     Env,
@@ -42,6 +50,7 @@ from .aggregates import is_aggregate_name
 from .plan import Optimizer, Planner, resolve_optimizer_mode
 from .result import ResultSet
 from .schema import ColumnBinding, RowShape
+from .vector import VectorCompiler, VectorExpr
 
 
 class TrackingScope(Scope):
@@ -62,6 +71,14 @@ class SourcePlan:
     """A physical FROM-clause operator: a row shape plus a row producer.
 
     ``kind``/``detail``/``children`` describe the node for EXPLAIN output.
+
+    Under the batch executor a node may also carry a ``batch_producer``
+    yielding :class:`~repro.engine.batch.ColumnBatch` pages; nodes without
+    a batch-native implementation (nested loops, derived tables) join the
+    columnar pipeline by chunking their row stream.  Each node is consumed
+    by exactly one parent through exactly one of :meth:`rows` /
+    :meth:`batches` per execution, so the trace's per-node row ledger stays
+    per-row-accurate in either mode.
     """
 
     def __init__(
@@ -71,18 +88,42 @@ class SourcePlan:
         kind: str = "source",
         detail: str = "",
         children: "list[SourcePlan] | None" = None,
+        batch_producer: "Callable[[Env], Iterator[ColumnBatch]] | None" = None,
+        batch_size: int | None = None,
     ):
         self.shape = shape
         self.producer = producer
         self.kind = kind
         self.detail = detail
         self.children = children or []
+        self.batch_producer = batch_producer
+        self.batch_size = batch_size
 
     def rows(self, env: Env) -> Iterable[tuple]:
         """Produce this node's rows for the given environment."""
         if env.trace is not None:
             return env.trace.count_rows(self, self.producer(env))
         return self.producer(env)
+
+    def batches(self, env: Env) -> Iterator[ColumnBatch]:
+        """Produce this node's output as column batches.
+
+        Falls back to chunking the row producer when the node has no
+        batch-native implementation.  Traced executions credit the sum of
+        batch lengths (not the batch count) to this node, keeping EXPLAIN
+        ANALYZE's ``rows=`` figures identical across executor modes.
+        """
+        if self.batch_producer is not None:
+            produced = self.batch_producer(env)
+        else:
+            produced = batches_from_rows(
+                self.producer(env),
+                self.shape.width(),
+                self.batch_size or resolve_batch_size(),
+            )
+        if env.trace is not None:
+            return env.trace.count_batches(self, produced)
+        return produced
 
     def describe(self, indent: int = 0, annotate=None) -> list[str]:
         """Render this node and its children as EXPLAIN lines.
@@ -161,6 +202,38 @@ class PreparedSelect:
             self.order_keys = self._compile_order(compiler)
             self.agg_args = []
 
+        # Batch-mode compilation rides alongside the row closures: the same
+        # scope and registry, so name resolution and correlation tracking
+        # agree, with the vectorized fast path falling back to the row
+        # closures for subquery/CASE expressions (DESIGN.md §12).
+        self.batch_mode = executor.batch_mode
+        self.batch_size = executor.batch_size
+        self.where_vector: VectorExpr | None = None
+        self.projection_vectors: list[VectorExpr] = []
+        self.order_key_vectors: list[tuple[VectorExpr, bool]] = []
+        self.group_key_vectors: list[VectorExpr] = []
+        self.agg_arg_vectors: "list[VectorExpr | None]" = []
+        if self.batch_mode:
+            vectors = VectorCompiler(compiler)
+            if residual_where is not None:
+                self.where_vector = vectors.compile(residual_where)
+            if self.aggregated:
+                self.group_key_vectors = [
+                    vectors.compile(e) for e in select.group_by
+                ]
+                self.agg_arg_vectors = [
+                    (vectors.compile(arg) if arg is not None else None)
+                    for (_, _, _, arg) in self.aggregate_specs
+                ]
+            else:
+                self.projection_vectors = [
+                    vectors.compile(item.expression) for item in self.items
+                ]
+                self.order_key_vectors = [
+                    (vectors.compile(expression), descending)
+                    for expression, descending in self._order_expressions()
+                ]
+
         self.output_columns = [self._output_name(item) for item in self.items]
         self.output_bindings = self._derive_output_bindings()
 
@@ -236,8 +309,9 @@ class PreparedSelect:
         aggregated = bool(specs) or bool(self.select.group_by)
         return aggregated, list(specs.values())
 
-    def _compile_order(self, compiler: ExpressionCompiler) -> list[tuple[CompiledExpr, bool]]:
-        keys: list[tuple[CompiledExpr, bool]] = []
+    def _order_expressions(self) -> list[tuple[ast.Expression, bool]]:
+        """ORDER BY expressions with ordinals and output aliases resolved."""
+        resolved: list[tuple[ast.Expression, bool]] = []
         for order_item in self.select.order_by:
             expression = order_item.expression
             # ORDER BY <ordinal> selects the i-th projected column.
@@ -254,8 +328,14 @@ class PreparedSelect:
                     if item.alias and item.alias.lower() == expression.name.lower():
                         expression = item.expression
                         break
-            keys.append((compiler.compile(expression), order_item.descending))
-        return keys
+            resolved.append((expression, order_item.descending))
+        return resolved
+
+    def _compile_order(self, compiler: ExpressionCompiler) -> list[tuple[CompiledExpr, bool]]:
+        return [
+            (compiler.compile(expression), descending)
+            for expression, descending in self._order_expressions()
+        ]
 
     def _output_name(self, item: ast.SelectItem) -> str:
         if item.alias:
@@ -357,17 +437,25 @@ class PreparedSelect:
         return cached
 
     def _execute(self, env: Env) -> list[tuple]:
-        source_rows = self.source_plan.rows(env)
-        if self.where is not None:
-            where = self.where
-            source_rows = (
-                row for row in source_rows if where(row, env) is True
-            )
-
-        if self.aggregated:
-            projected = self._execute_aggregated(source_rows, env)
+        if self.batch_mode:
+            batches = self.source_plan.batches(env)
+            if self.where_vector is not None:
+                batches = self._filter_batches(batches, env)
+            if self.aggregated:
+                projected = self._execute_aggregated_batches(batches, env)
+            else:
+                projected = self._execute_plain_batches(batches, env)
         else:
-            projected = self._execute_plain(source_rows, env)
+            source_rows = self.source_plan.rows(env)
+            if self.where is not None:
+                where = self.where
+                source_rows = (
+                    row for row in source_rows if where(row, env) is True
+                )
+            if self.aggregated:
+                projected = self._execute_aggregated(source_rows, env)
+            else:
+                projected = self._execute_plain(source_rows, env)
 
         if self.select.distinct:
             seen: set = set()
@@ -433,7 +521,86 @@ class PreparedSelect:
                     accumulator.add(row)  # count(*): any non-None marker
                 else:
                     accumulator.add(arg(row, env))
+        return self._finalize_groups(groups, group_order, env)
 
+    # -- batch-at-a-time pipeline (DESIGN.md §12) ------------------------------
+
+    def _filter_batches(
+        self, batches: Iterator[ColumnBatch], env: Env
+    ) -> Iterator[ColumnBatch]:
+        """Apply the vectorized residual WHERE, dropping non-True rows."""
+        where = self.where_vector
+        for batch in batches:
+            values = where(batch, env)
+            keep = [i for i, v in enumerate(values) if v is True]
+            if not keep:
+                continue
+            yield batch if len(keep) == len(batch) else batch.take(keep)
+
+    def _execute_plain_batches(
+        self, batches: Iterator[ColumnBatch], env: Env
+    ) -> list:
+        projection_vectors = self.projection_vectors
+        order_vectors = self.order_key_vectors
+        results: list = []
+        for batch in batches:
+            columns = [vector(batch, env) for vector in projection_vectors]
+            projected_rows = list(zip(*columns))
+            if not order_vectors:
+                results.extend(zip(projected_rows, repeat(())))
+                continue
+            key_columns = [vector(batch, env) for vector, _ in order_vectors]
+            for i, projected in enumerate(projected_rows):
+                key = []
+                for (_, descending), column in zip(order_vectors, key_columns):
+                    value = column[i]
+                    null_rank = value is None
+                    if descending:
+                        key.append((not null_rank, _Reversed(value)))
+                    else:
+                        key.append((null_rank, value))
+                results.append((projected, tuple(key)))
+        return results
+
+    def _execute_aggregated_batches(
+        self, batches: Iterator[ColumnBatch], env: Env
+    ) -> list:
+        groups: dict[tuple, list] = {}
+        group_order: list[tuple] = []
+        for batch in batches:
+            key_columns = [vector(batch, env) for vector in self.group_key_vectors]
+            arg_columns = [
+                (vector(batch, env) if vector is not None else None)
+                for vector in self.agg_arg_vectors
+            ]
+            keys = (
+                list(zip(*key_columns))
+                if key_columns
+                else [()] * batch.length
+            )
+            for i, key in enumerate(keys):
+                group = groups.get(key)
+                if group is None:
+                    accumulators = [
+                        make_aggregate(name, star, distinct)
+                        for (_, name, (star, distinct), _) in self.aggregate_specs
+                    ]
+                    # Representative rows are materialized lazily — only the
+                    # first row of each group ever becomes a tuple.
+                    group = [batch.row(i), accumulators]
+                    groups[key] = group
+                    group_order.append(key)
+                for accumulator, column in zip(group[1], arg_columns):
+                    if column is None:
+                        accumulator.add(True)  # count(*): any non-None marker
+                    else:
+                        accumulator.add(column[i])
+        return self._finalize_groups(groups, group_order, env)
+
+    def _finalize_groups(
+        self, groups: dict[tuple, list], group_order: list[tuple], env: Env
+    ) -> list:
+        """HAVING + projection over group representatives (both executors)."""
         if not groups and not self.select.group_by:
             # Aggregates over an empty input still yield one row.
             width = self.source_plan.shape.width()
@@ -501,9 +668,18 @@ class SelectExecutor:
     node into a physical :class:`SourcePlan` row producer.
     """
 
-    def __init__(self, database, optimizer: str | None = None):
+    def __init__(
+        self,
+        database,
+        optimizer: str | None = None,
+        executor: str | None = None,
+        batch_size: int | None = None,
+    ):
         self.database = database
         self.optimizer = Optimizer(resolve_optimizer_mode(optimizer), database)
+        self.executor_mode = resolve_executor_mode(executor)
+        self.batch_mode = self.executor_mode == "batch"
+        self.batch_size = resolve_batch_size(batch_size)
 
     @property
     def optimizer_mode(self) -> str:
@@ -546,7 +722,12 @@ class SelectExecutor:
         """Compile one optimized logical node into a physical operator."""
         if isinstance(node, plan_ir.Values):
             return SourcePlan(
-                node.shape, lambda env: [()], kind="Values", detail="(one row)"
+                node.shape, lambda env: [()], kind="Values", detail="(one row)",
+                batch_producer=(
+                    (lambda env: iter([ColumnBatch([], 1)]))
+                    if self.batch_mode else None
+                ),
+                batch_size=self.batch_size,
             )
         if isinstance(node, plan_ir.Scan):
             return self._compile_scan(node)
@@ -571,11 +752,22 @@ class SelectExecutor:
         detail = table.name
         if node.binding != table.name.lower():
             detail = f"{table.name} as {node.binding}"
+        batch_size = self.batch_size
         if node.kept is None:
             # Read table.rows at execution time (not planning time): prepared
             # plans are re-executed after inserts/updates replace the row list.
+            def produce_batches(env: Env) -> Iterator[ColumnBatch]:
+                rows = table.rows
+                width = node.shape.width()
+                for start in range(0, len(rows), batch_size):
+                    yield ColumnBatch.from_rows(
+                        rows[start : start + batch_size], width
+                    )
+
             return SourcePlan(
-                node.shape, lambda env: table.rows, kind="SeqScan", detail=detail
+                node.shape, lambda env: table.rows, kind="SeqScan", detail=detail,
+                batch_producer=produce_batches if self.batch_mode else None,
+                batch_size=batch_size,
             )
         indices = [table.schema.column_index(name) for name in node.kept]
 
@@ -583,7 +775,20 @@ class SelectExecutor:
             for row in table.rows:
                 yield tuple(row[index] for index in indices)
 
-        return SourcePlan(node.shape, produce, kind="SeqScan", detail=detail)
+        def produce_kept_batches(env: Env) -> Iterator[ColumnBatch]:
+            rows = table.rows
+            for start in range(0, len(rows), batch_size):
+                page = rows[start : start + batch_size]
+                yield ColumnBatch(
+                    [[row[index] for row in page] for index in indices],
+                    len(page),
+                )
+
+        return SourcePlan(
+            node.shape, produce, kind="SeqScan", detail=detail,
+            batch_producer=produce_kept_batches if self.batch_mode else None,
+            batch_size=batch_size,
+        )
 
     def _compile_derived(self, node: plan_ir.DerivedTable) -> SourcePlan:
         prepared = node.prepared
@@ -592,6 +797,7 @@ class SelectExecutor:
             lambda env: prepared.rows(env),
             kind="Subquery",
             detail=node.alias,
+            batch_size=self.batch_size,
         )
         plan.children = [prepared.source_plan]
         return plan
@@ -613,12 +819,37 @@ class SelectExecutor:
                 if all(predicate(row, env) is True for predicate in predicates):
                     yield row
 
+        batch_producer = None
+        if self.batch_mode:
+            vector_predicates = [
+                VectorCompiler(self.compiler(scope)).compile(expr)
+                for expr in claimed
+            ]
+
+            def produce_batches(env: Env) -> Iterator[ColumnBatch]:
+                for batch in child.batches(env):
+                    # Progressive narrowing: each conjunct sees only the rows
+                    # the previous ones kept, matching row mode's and-chain.
+                    for vector in vector_predicates:
+                        values = vector(batch, env)
+                        keep = [i for i, v in enumerate(values) if v is True]
+                        if len(keep) == len(batch):
+                            continue
+                        batch = batch.take(keep)
+                        if not batch.length:
+                            break
+                    if batch.length:
+                        yield batch
+
+            batch_producer = produce_batches
+
         from ..sql.printer import print_expression
 
         detail = " and ".join(print_expression(expr) for expr in claimed)
         return SourcePlan(
             child.shape, produce,
             kind="Filter", detail=f"[{detail}]", children=[child],
+            batch_producer=batch_producer, batch_size=self.batch_size,
         )
 
     def _compile_policy_guard(
@@ -632,16 +863,44 @@ class SelectExecutor:
         registry = self.database.functions
         bitmaps = self.database.policy_bitmaps
 
-        def produce(env: Env) -> Iterable[tuple]:
+        def passing_set(env: Env) -> frozenset:
             passing: frozenset | None = None
             for bits in masks:
                 indices = bitmaps.passing_indices(
                     table, policy_column, bits, registry, function_name
                 )
                 passing = indices if passing is None else passing & indices
+            return passing
+
+        def produce(env: Env) -> Iterable[tuple]:
+            passing = passing_set(env)
             for index, row in enumerate(child.rows(env)):
                 if index in passing:
                     yield row
+
+        batch_producer = None
+        if self.batch_mode:
+
+            def produce_batches(env: Env) -> Iterator[ColumnBatch]:
+                # One bitmap lookup per mask per *execution* — the cache
+                # already collapses the BitString AND to one evaluation per
+                # distinct policy value, so a batch costs a sorted-slice of
+                # the passing set rather than a membership probe per row.
+                ordered = sorted(passing_set(env))
+                offset = 0
+                for batch in child.batches(env):
+                    length = batch.length
+                    lo = bisect_left(ordered, offset)
+                    hi = bisect_left(ordered, offset + length)
+                    offset += length
+                    if lo == hi:
+                        continue
+                    if hi - lo == length:
+                        yield batch
+                        continue
+                    yield batch.take([p - (offset - length) for p in ordered[lo:hi]])
+
+            batch_producer = produce_batches
 
         from ..sql.printer import print_expression
 
@@ -649,6 +908,7 @@ class SelectExecutor:
         return SourcePlan(
             child.shape, produce,
             kind="PolicyGuard", detail=f"[{detail}]", children=[child],
+            batch_producer=batch_producer, batch_size=self.batch_size,
         )
 
     def _compile_cross_join(
@@ -665,7 +925,7 @@ class SelectExecutor:
 
         return SourcePlan(
             node.shape, produce, kind="NestedLoop", detail="(cross)",
-            children=[left, right],
+            children=[left, right], batch_size=self.batch_size,
         )
 
     def _compile_nested_loop(
@@ -700,7 +960,7 @@ class SelectExecutor:
         return SourcePlan(
             node.shape, produce,
             kind="NestedLoop", detail=f"({kind.lower()})",
-            children=[left, right],
+            children=[left, right], batch_size=self.batch_size,
         )
 
     def _compile_hash_join(
@@ -756,6 +1016,132 @@ class SelectExecutor:
                     if id(right_row) not in matched_right:
                         yield (None,) * left_width + right_row
 
+        batch_producer = None
+        if self.batch_mode:
+            width = node.shape.width()
+            left_key_vectors = [
+                VectorCompiler(self.compiler(left_scope)).compile(le)
+                for le, _ in equi_pairs
+            ]
+            right_key_vectors = [
+                VectorCompiler(self.compiler(right_scope)).compile(re)
+                for _, re in equi_pairs
+            ]
+
+            single_key = len(equi_pairs) == 1
+
+            def batch_keys(batch, vectors, env):
+                """One hashable join key per row: a scalar for single-column
+                joins (the common case — no per-row tuple construction), a
+                tuple otherwise.  Scalar and 1-tuple keys hash/compare the
+                same way, so match semantics are unchanged."""
+                columns = [k(batch, env) for k in vectors]
+                return columns[0] if single_key else list(zip(*columns))
+
+            if kind == "INNER" and residual_predicate is None:
+
+                def produce_batches(env: Env) -> Iterator[ColumnBatch]:
+                    # Fully columnar inner join: the build side buckets
+                    # *global row indices* per key and keeps right values
+                    # column-wise, the probe side gathers matching (left,
+                    # right) index pairs, and output batches are built by
+                    # per-column takes — no row tuple is ever constructed.
+                    buckets: dict[object, list[int]] = {}
+                    bucket_get = buckets.get
+                    right_columns: list[list] = [[] for _ in range(right_width)]
+                    base = 0
+                    for rbatch in right.batches(env):
+                        keys = batch_keys(rbatch, right_key_vectors, env)
+                        for column, values in zip(right_columns, rbatch.columns):
+                            column.extend(values)
+                        for offset, key in enumerate(keys):
+                            if (key is None) if single_key else (None in key):
+                                continue  # NULL never joins
+                            bucket = bucket_get(key)
+                            if bucket is None:
+                                buckets[key] = [base + offset]
+                            else:
+                                bucket.append(base + offset)
+                        base += rbatch.length
+
+                    # NULL probe keys were never stored, so bucket_get()
+                    # already misses them — no per-row NULL check needed.
+                    for lbatch in left.batches(env):
+                        keys = batch_keys(lbatch, left_key_vectors, env)
+                        left_take: list[int] = []
+                        right_take: list[int] = []
+                        lt_append = left_take.append
+                        rt_append = right_take.append
+                        for i, key in enumerate(keys):
+                            bucket = bucket_get(key)
+                            if bucket is not None:
+                                for j in bucket:
+                                    lt_append(i)
+                                    rt_append(j)
+                        if not left_take:
+                            continue
+                        out = [
+                            [column[i] for i in left_take]
+                            for column in lbatch.columns
+                        ]
+                        out.extend(
+                            [column[j] for j in right_take]
+                            for column in right_columns
+                        )
+                        yield ColumnBatch(out, len(left_take))
+
+            else:
+
+                def produce_batches(env: Env) -> Iterator[ColumnBatch]:
+                    # Build side: vectorized key columns over whole batches.
+                    build: dict[object, list[tuple]] = {}
+                    right_rows: list[tuple] = []
+                    for rbatch in right.batches(env):
+                        keys = batch_keys(rbatch, right_key_vectors, env)
+                        rows = rbatch.to_rows()
+                        right_rows.extend(rows)
+                        for right_row, key in zip(rows, keys):
+                            if (key is None) if single_key else (None in key):
+                                continue  # NULL never joins
+                            build.setdefault(key, []).append(right_row)
+
+                    # Probe side.  NULL keys were never stored, so
+                    # build.get() already misses them.
+                    build_get = build.get
+                    matched_right: set[int] = set()
+                    for lbatch in left.batches(env):
+                        keys = batch_keys(lbatch, left_key_vectors, env)
+                        out: list[tuple] = []
+                        append = out.append
+                        for left_row, key in zip(lbatch.to_rows(), keys):
+                            emitted = False
+                            for right_row in build_get(key, ()):
+                                combined = left_row + right_row
+                                if (
+                                    residual_predicate is not None
+                                    and residual_predicate(combined, env)
+                                    is not True
+                                ):
+                                    continue
+                                emitted = True
+                                if kind == "RIGHT":
+                                    matched_right.add(id(right_row))
+                                append(combined)
+                            if not emitted and kind == "LEFT":
+                                append(left_row + (None,) * right_width)
+                        if out:
+                            yield ColumnBatch.from_rows(out, width)
+                    if kind == "RIGHT":
+                        out = [
+                            (None,) * left_width + right_row
+                            for right_row in right_rows
+                            if id(right_row) not in matched_right
+                        ]
+                        if out:
+                            yield ColumnBatch.from_rows(out, width)
+
+            batch_producer = produce_batches
+
         from ..sql.printer import print_expression
 
         keys = ", ".join(
@@ -766,4 +1152,5 @@ class SelectExecutor:
             node.shape, produce,
             kind="HashJoin", detail=f"({kind.lower()}) on {keys}",
             children=[left, right],
+            batch_producer=batch_producer, batch_size=self.batch_size,
         )

@@ -48,12 +48,10 @@ class Table:
 
     # -- DML -----------------------------------------------------------------
 
-    def insert_row(self, values: Iterable[object], columns: tuple[str, ...] = ()) -> None:
-        """Insert one row.
-
-        When ``columns`` is given, missing columns get their declared default
-        (or NULL); otherwise ``values`` must cover the full schema in order.
-        """
+    def _coerce_insert(
+        self, values: Iterable[object], columns: tuple[str, ...] = ()
+    ) -> tuple:
+        """Align ``values`` with the schema, coerce types, check NOT NULL."""
         values = list(values)
         if columns:
             if len(values) != len(columns):
@@ -81,8 +79,36 @@ class Table:
                     f"NULL value in NOT NULL column {column.name!r} of "
                     f"table {self.name!r}"
                 )
-        self._rows.append(coerced)
+        return coerced
+
+    def insert_row(self, values: Iterable[object], columns: tuple[str, ...] = ()) -> None:
+        """Insert one row.
+
+        When ``columns`` is given, missing columns get their declared default
+        (or NULL); otherwise ``values`` must cover the full schema in order.
+        """
+        self._rows.append(self._coerce_insert(values, columns))
         self.version += 1
+
+    def append_rows(
+        self, rows: Iterable[Iterable[object]], columns: tuple[str, ...] = ()
+    ) -> int:
+        """Insert many rows with a *single* version bump.
+
+        The bulk-load counterpart of :meth:`insert_row`: every row is
+        coerced and NOT NULL-checked up front, then storage and ``version``
+        change atomically — either all rows land (one bump, so one bitmap
+        rebuild) or, on a bad row, none do.  Returns the inserted count.
+        """
+        coerced = [self._coerce_insert(row, columns) for row in rows]
+        if coerced:
+            self._rows.extend(coerced)
+            self.version += 1
+        return len(coerced)
+
+    def extend(self, rows: Iterable[Iterable[object]]) -> int:
+        """Bulk-append full-width rows (see :meth:`append_rows`)."""
+        return self.append_rows(rows)
 
     def update_rows(
         self,

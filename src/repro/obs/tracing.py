@@ -73,13 +73,15 @@ class Trace:
 
     enabled = True
 
-    __slots__ = ("spans", "_stack", "node_rows")
+    __slots__ = ("spans", "_stack", "node_rows", "node_batches")
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         #: id(plan node) → rows produced by that node during this execution.
         self.node_rows: dict[int, int] = {}
+        #: id(plan node) → column batches produced (batch executor only).
+        self.node_batches: dict[int, int] = {}
 
     @contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[Span]:
@@ -109,6 +111,25 @@ class Trace:
             counts[key] += 1
             yield row
 
+    def count_batches(self, node: object, batches: Iterable) -> Iterator:
+        """Yield batches unchanged while crediting their *row* totals.
+
+        The ledger stays per-row-accurate under the batch executor: each
+        batch adds ``len(batch)`` to ``node_rows`` (so EXPLAIN ANALYZE's
+        ``rows=`` figures match row mode exactly) and 1 to ``node_batches``.
+        """
+        key = id(node)
+        rows = self.node_rows
+        counts = self.node_batches
+        if key not in rows:
+            rows[key] = 0
+        if key not in counts:
+            counts[key] = 0
+        for batch in batches:
+            rows[key] += len(batch)
+            counts[key] += 1
+            yield batch
+
     def add_rows(self, node: object, count: int) -> None:
         """Credit ``count`` produced rows to ``node`` (block-level totals)."""
         key = id(node)
@@ -118,10 +139,19 @@ class Trace:
         """Rows recorded for a plan node, or ``None`` if it never ran."""
         return self.node_rows.get(id(node))
 
+    def batches_for(self, node: object) -> int | None:
+        """Batches recorded for a plan node, or ``None`` under row mode."""
+        return self.node_batches.get(id(node))
+
     def annotation(self, node: object) -> str:
-        """The ``describe()`` suffix for a node: ``" (rows=N)"`` or ``""``."""
+        """The ``describe()`` suffix: ``" (rows=N[, batches=M])"`` or ``""``."""
         rows = self.node_rows.get(id(node))
-        return "" if rows is None else f" (rows={rows})"
+        if rows is None:
+            return ""
+        batches = self.node_batches.get(id(node))
+        if batches is None:
+            return f" (rows={rows})"
+        return f" (rows={rows}, batches={batches})"
 
     # -- reporting -------------------------------------------------------------
 
@@ -188,10 +218,16 @@ class NullTrace:
     def count_rows(self, node: object, rows: Iterable[tuple]) -> Iterable[tuple]:
         return rows
 
+    def count_batches(self, node: object, batches: Iterable) -> Iterable:
+        return batches
+
     def add_rows(self, node: object, count: int) -> None:
         pass
 
     def rows_for(self, node: object) -> None:
+        return None
+
+    def batches_for(self, node: object) -> None:
         return None
 
     def annotation(self, node: object) -> str:

@@ -479,5 +479,9 @@ class QueryServer:
                 "mode": self.monitor.optimizer_mode,
                 "bitmaps": self.monitor.database.policy_bitmaps.stats(),
             },
+            "executor": {
+                "mode": self.monitor.executor_mode,
+                "batch_size": self.monitor.batch_size,
+            },
             "lock": self.rwlock.state(),
         }

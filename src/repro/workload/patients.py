@@ -119,30 +119,44 @@ def populate_patients(
     users = database.table("users")
     sensed = database.table("sensed_data")
     profiles = database.table("nutritional_profiles")
+    # Rows are staged per table and bulk-appended once: one version bump per
+    # table instead of one per row, so the policy-bitmap cache (keyed on
+    # Table.version) is invalidated once per load.  The RNG draw order is
+    # unchanged, so generated data matches the old per-row loader exactly.
+    user_rows: list[tuple] = []
+    profile_rows: list[tuple] = []
+    sensed_rows: list[tuple] = []
     for patient in range(patients):
         user_id = f"user{patient}"
         watch_id = f"watch{patient}"
-        users.insert_row((user_id, watch_id, patient), ("user_id", "watch_id", "nutritional_profile_id"))
-        profiles.insert_row(
+        user_rows.append((user_id, watch_id, patient))
+        profile_rows.append(
             (
                 patient,
                 rng.choice(FOOD_INTOLERANCES),
                 rng.choice(FOOD_PREFERENCES),
                 rng.choice(DIET_TYPES),
-            ),
-            ("profile_id", "food_intolerances", "food_preferences", "diet_type"),
+            )
         )
         for sample in range(samples_per_patient):
-            sensed.insert_row(
+            sensed_rows.append(
                 (
                     watch_id,
                     sample + 1,
                     round(rng.uniform(35.0, 41.0), 2),
                     rng.choice(POSITIONS),
                     rng.randint(50, 140),
-                ),
-                ("watch_id", "timestamp", "temperature", "position", "beats"),
+                )
             )
+    users.append_rows(user_rows, ("user_id", "watch_id", "nutritional_profile_id"))
+    profiles.append_rows(
+        profile_rows,
+        ("profile_id", "food_intolerances", "food_preferences", "diet_type"),
+    )
+    sensed.append_rows(
+        sensed_rows,
+        ("watch_id", "timestamp", "temperature", "position", "beats"),
+    )
 
 
 def build_patients_scenario(

@@ -45,7 +45,11 @@ class TestCli:
         assert "cub" in out
         assert "measured/cub" in out
 
-    def test_all_prints_everything(self, capsys, tmp_path):
+    def test_all_prints_everything(self, capsys, tmp_path, monkeypatch):
+        # ``all`` writes the hotpath/optimizer/columnar JSON summaries to
+        # the working directory; run from tmp so the tiny-scale test run
+        # never clobbers the repository's committed BENCH_*.json files.
+        monkeypatch.chdir(tmp_path)
         json_path = tmp_path / "BENCH_concurrency.json"
         out = run_cli(
             capsys, "all", "--patients", "10", "--samples", "3",
@@ -54,10 +58,12 @@ class TestCli:
             "--json-out", str(json_path),
         )
         for marker in (
-            "Figure 6", "Figure 7", "Figure 8", "cub", "Concurrency"
+            "Figure 6", "Figure 7", "Figure 8", "cub", "Columnar",
+            "Concurrency",
         ):
             assert marker in out
         assert json_path.exists()
+        assert (tmp_path / "BENCH_columnar.json").exists()
 
     def test_concurrency_writes_json(self, capsys, tmp_path):
         json_path = tmp_path / "BENCH_concurrency.json"
@@ -86,6 +92,24 @@ class TestCli:
         assert {m["query"] for m in payload["measurements"]} == {
             f"q{i}" for i in range(1, 9)
         }
+
+    def test_columnar_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_columnar.json"
+        out = run_cli(
+            capsys, "columnar", "--patients", "10", "--samples", "3",
+            "--no-random", "--json-out", str(json_path),
+        )
+        assert "Columnar" in out
+        assert "result mismatches: 0" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["mismatches"] == []
+        assert payload["batch_sizes"] == [64, 256, 1024]
+        assert {m["query"] for m in payload["measurements"]} == {
+            f"q{i}" for i in range(1, 9)
+        }
+        # The columnar experiment intentionally ignores REPRO_SCALE: its
+        # config comes from the explicit sizes (or the unscaled defaults).
+        assert payload["config"]["patients"] == 10
 
     def test_random_queries_included_by_default(self, capsys):
         out = run_cli(

@@ -8,14 +8,17 @@ from repro.bench import (
     ExperimentConfig,
     bitmap_build_bound,
     build_scenario,
+    columnar_table,
     count_checks,
     experiment_queries,
     figure6_table,
     figure7_table,
     figure8_table,
+    measure_columnar,
     measure_optimizer,
     measure_query,
     optimizer_table,
+    run_columnar,
     run_experiment1,
     run_experiment2,
     run_optimizer,
@@ -216,3 +219,48 @@ class TestOptimizerExperiment:
         q5 = bitmap_build_bound(scenario, get_query("q5").sql)
         q6 = bitmap_build_bound(scenario, get_query("q6").sql)
         assert q6 > q5
+
+class TestColumnarExperiment:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_columnar(SMALL, batch_sizes=(16, 64))
+
+    def test_covers_every_query_and_batch_size(self, run):
+        assert [m.query for m in run.measurements] == [
+            f"q{i}" for i in range(1, 9)
+        ]
+        assert run.batch_sizes == (16, 64)
+        assert run.default_batch_size == 64
+        for measurement in run.measurements:
+            assert set(measurement.batch_times) == {16, 64}
+            assert measurement.row_time > 0
+            assert all(t > 0 for t in measurement.batch_times.values())
+
+    def test_executors_agree_on_rows_everywhere(self, run):
+        assert run.mismatches() == []
+
+    def test_table_renders(self, run):
+        table = columnar_table(run)
+        assert "q1" in table and "batch=64" in table
+        assert "result mismatches: 0" in table
+        assert "aggregate speedup at batch=64" in table
+
+    def test_to_dict_round_trips_the_cells(self, run):
+        payload = run.to_dict()
+        assert payload["mismatches"] == []
+        assert payload["batch_sizes"] == [16, 64]
+        assert payload["default_batch_size"] == 64
+        assert set(payload["aggregate_speedup"]) == {"16", "64"}
+        assert len(payload["measurements"]) == 8
+        cell = payload["measurements"][0]
+        for key in ("query", "rows", "row_time_s", "batch_time_s", "speedup", "rows_match"):
+            assert key in cell
+        assert set(cell["batch_time_s"]) == {"16", "64"}
+
+    def test_measure_columnar_restores_the_executor(self):
+        scenario = build_scenario(SMALL)
+        set_selectivity(scenario, 0.5, SMALL.policy_seed)
+        scenario.monitor.set_executor("row", batch_size=32)
+        measure_columnar(scenario, get_query("q1"), batch_sizes=(16,))
+        assert scenario.monitor.executor_mode == "row"
+        assert scenario.monitor.batch_size == 32

@@ -1,0 +1,115 @@
+"""Differential testing of the batch executor against the row reference.
+
+The batch executor (DESIGN.md §12) must be observationally identical to
+the row-at-a-time reference: same rows and columns, same denial/error
+outcome, the *same* ``complieswith`` invocation count (masked vectorized
+evaluation preserves short-circuit semantics, and the policy guard resolves
+its bitmap once per execution in both modes), and the same audit trail.
+
+Three layers of coverage:
+
+* every regression-corpus file replayed through the full differential
+  harness under each executor mode,
+* a 500-case seed-2015 campaign comparing row and batch execution of
+  every generated case directly against each other, and
+* the campaign's audit records compared field-by-field.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import AuditLog
+from repro.errors import ReproError, UnauthorizedPurposeError
+from repro.fuzz import DifferentialRunner, FuzzQueryGenerator, build_fuzz_scenario, load_repro
+from repro.fuzz.runner import normalize_rows
+from repro.fuzz.scenario import ScenarioSpec
+
+CAMPAIGN_SEED = 2015
+CAMPAIGN_CASES = 500
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+EXECUTOR_MODES = ("batch", "row")
+
+
+@pytest.fixture(scope="module", params=EXECUTOR_MODES)
+def mode_runner(request):
+    """One full differential harness (server included) per executor mode."""
+    with DifferentialRunner(spec=ScenarioSpec()) as runner:
+        runner.world.monitor.set_executor(request.param)
+        try:
+            yield runner
+        finally:
+            runner.world.monitor.set_executor(None)
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_replays_clean_in_both_modes(mode_runner, path: Path) -> None:
+    _, case, _ = load_repro(path)
+    report = mode_runner.run_case(case)
+    assert report.ok, report.describe()
+
+
+class TestExecutorCampaign:
+    """500 generated cases, each executed under row and batch modes."""
+
+    @pytest.fixture(scope="class")
+    def eq_world(self):
+        instance = build_fuzz_scenario(ScenarioSpec())
+        audit = AuditLog(instance.database)
+        instance.monitor.attach_audit(audit)
+        return instance, audit
+
+    @staticmethod
+    def _run_mode(world, audit, case, mode):
+        monitor = world.monitor
+        monitor.set_executor(mode)
+        monitor.clear_plan_cache()
+        monitor.clear_policy_bitmaps()
+        audit_before = len(audit)
+        try:
+            report = monitor.execute_with_report(
+                case.sql, case.purpose, user=case.user, params=case.params or None
+            )
+        except UnauthorizedPurposeError:
+            outcome = ("denied", None, None, None)
+        except ReproError as exc:
+            outcome = ("error", type(exc).__name__, None, None)
+        else:
+            outcome = (
+                "rows",
+                tuple(c.lower() for c in report.result.columns),
+                tuple(normalize_rows(report.result.rows)),
+                report.compliance_checks,
+            )
+        trail = tuple(
+            (r.outcome, r.user, r.purpose, r.rows, r.compliance_checks)
+            for r in audit.records[audit_before:]
+        )
+        return outcome, trail
+
+    def test_500_cases_agree_between_executors(self, eq_world) -> None:
+        world, audit = eq_world
+        generator = FuzzQueryGenerator.for_world(world, seed=CAMPAIGN_SEED)
+        previous = world.monitor.executor_mode
+        disagreements = []
+        try:
+            for case in generator.cases(CAMPAIGN_CASES):
+                row = self._run_mode(world, audit, case, "row")
+                batch = self._run_mode(world, audit, case, "batch")
+                if row != batch:
+                    disagreements.append(
+                        f"{case.replay_token} ({case.kind}): {case.sql!r}\n"
+                        f"  row:   {row}\n  batch: {batch}"
+                    )
+                    if len(disagreements) >= 5:
+                        break
+        finally:
+            world.monitor.set_executor(previous)
+        assert disagreements == [], "\n\n".join(disagreements)
