@@ -22,10 +22,12 @@ import json
 
 from .concurrency import run_concurrency
 from .experiments import (
+    INDEXES_SIZES,
     run_columnar,
     run_experiment1,
     run_experiment2,
     run_hotpath,
+    run_indexes,
     run_optimizer,
 )
 from .harness import ExperimentConfig, PAPER_SELECTIVITIES
@@ -36,6 +38,7 @@ from .reporting import (
     figure7_table,
     figure8_table,
     hotpath_table,
+    indexes_table,
     optimizer_table,
 )
 
@@ -81,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
             "hotpath",
             "optimizer",
             "columnar",
+            "indexes",
             "concurrency",
             "all",
         ),
@@ -89,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
             "hotpath = cold vs cached prepared-pipeline latency, "
             "optimizer = per-row checks vs policy-bitmap pre-filtering, "
             "columnar = row vs batch executor latency sweep, "
+            "indexes = full-scan vs index vs partition-pruned access paths, "
             "concurrency = enforced throughput vs parallel sessions)"
         ),
     )
@@ -115,6 +120,13 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         default=[1, 2, 4, 8],
         help="thread sweep for the concurrency experiment",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(INDEXES_SIZES),
+        help="sensed_data row counts for the indexes experiment",
     )
     parser.add_argument(
         "--queries-per-session",
@@ -181,6 +193,18 @@ def main(argv: list[str] | None = None) -> int:
         json_path = (
             args.json_out if args.figure == "columnar" and args.json_out else None
         ) or "BENCH_columnar.json"
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(run.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {json_path}")
+        if args.figure == "all":
+            print()
+    if args.figure in ("indexes", "all"):
+        run = run_indexes(sizes=tuple(args.sizes))
+        print(indexes_table(run))
+        json_path = (
+            args.json_out if args.figure == "indexes" and args.json_out else None
+        ) or "BENCH_indexes.json"
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(run.to_dict(), handle, indent=2)
             handle.write("\n")

@@ -18,15 +18,20 @@ from .harness import (
     ExperimentConfig,
     ExperimentRun,
     HotPathRun,
+    IndexesRun,
     OptimizerRun,
     build_scenario,
     experiment_queries,
     measure_columnar,
     measure_hotpath,
+    measure_indexes,
     measure_optimizer,
     measure_query,
     set_selectivity,
 )
+
+#: Dataset sizes (``sensed_data`` rows) the indexes experiment sweeps.
+INDEXES_SIZES = (10_000, 100_000)
 
 
 def run_experiment1(config: ExperimentConfig | None = None) -> ExperimentRun:
@@ -187,3 +192,44 @@ def run_experiment2(
             )
         )
     return result
+
+
+def run_indexes(
+    sizes: tuple[int, ...] = INDEXES_SIZES,
+    selectivity: float = 0.4,
+    samples_per_patient: int = 100,
+    executions: int = 3,
+    policy_seed: int = 411595,
+    data_seed: int = 20150311,
+) -> IndexesRun:
+    """Indexes experiment: full scan vs index scan vs partition pruning.
+
+    For each swept size a fresh patients scenario is built with
+    ``sensed_data`` at that many rows and scattered policies at the fixed
+    Experiment-2 selectivity, then the most selective workload probe (one
+    watch's samples) is timed under every access path (DESIGN.md §13).
+    Unlike the other experiments this sweep ignores ``REPRO_SCALE`` — the
+    access-path comparison is *about* the table sizes, so they are passed
+    explicitly (CI smoke passes small ones).
+    """
+    run = IndexesRun(
+        sizes=tuple(sizes),
+        selectivity=selectivity,
+        samples_per_patient=samples_per_patient,
+    )
+    for size in sizes:
+        patients = max(1, size // samples_per_patient)
+        config = ExperimentConfig(
+            patients=patients,
+            samples_per_patient=samples_per_patient,
+            policy_seed=policy_seed,
+            data_seed=data_seed,
+        )
+        scenario = build_scenario(config)
+        set_selectivity(scenario, selectivity, policy_seed)
+        run.measurements.append(
+            measure_indexes(
+                scenario, patients * samples_per_patient, executions
+            )
+        )
+    return run

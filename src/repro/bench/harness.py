@@ -723,3 +723,151 @@ def count_checks(scenario: PatientsScenario, sql: str, purpose: str = BENCH_PURP
         return database.function_calls(COMPLIES_WITH) - before
     finally:
         monitor.set_optimizer(previous_mode)
+
+
+# -- indexes experiment --------------------------------------------------------
+
+
+@dataclass
+class IndexesMeasurement:
+    """One dataset size of the access-path comparison (DESIGN.md §13).
+
+    ``full_scan_time``/``index_time`` time the *unenforced* selective probe
+    (an enforced scan keeps its policy guard between the pushed filter and
+    the base table, so the index conversion targets plain scans).  The
+    ``guard_*`` pair times the same probe under enforcement, where the
+    policy-partitioned index prunes non-compliant partitions at the guard.
+    """
+
+    rows: int
+    rows_returned: int
+    full_scan_time: float
+    index_time: float
+    guard_full_time: float
+    guard_partitioned_time: float
+    partition_count: int
+    partition_skips: int
+    rows_match: bool
+
+    @property
+    def index_speedup(self) -> float:
+        """Sequential-scan latency over index-scan latency."""
+        return self.full_scan_time / self.index_time if self.index_time else float("inf")
+
+    @property
+    def partitioned_speedup(self) -> float:
+        """Guarded full-scan latency over partition-pruned latency."""
+        if not self.guard_partitioned_time:
+            return float("inf")
+        return self.guard_full_time / self.guard_partitioned_time
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of this size (for ``BENCH_indexes.json``)."""
+        return {
+            "rows": self.rows,
+            "rows_returned": self.rows_returned,
+            "full_scan_time_s": self.full_scan_time,
+            "index_time_s": self.index_time,
+            "index_speedup": self.index_speedup,
+            "guard_full_time_s": self.guard_full_time,
+            "guard_partitioned_time_s": self.guard_partitioned_time,
+            "partitioned_speedup": self.partitioned_speedup,
+            "partition_count": self.partition_count,
+            "partition_skips": self.partition_skips,
+            "rows_match": self.rows_match,
+        }
+
+
+@dataclass
+class IndexesRun:
+    """All sizes of the access-path experiment."""
+
+    sizes: tuple[int, ...]
+    selectivity: float
+    samples_per_patient: int
+    measurements: list[IndexesMeasurement] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form of the whole run (for ``BENCH_indexes.json``)."""
+        return {
+            "experiment": "indexes",
+            "selectivity": self.selectivity,
+            "samples_per_patient": self.samples_per_patient,
+            "sizes": [m.to_dict() for m in self.measurements],
+        }
+
+
+def measure_indexes(
+    scenario: PatientsScenario,
+    size: int,
+    executions: int = 3,
+) -> IndexesMeasurement:
+    """Time the selective probe under each access path at one table size.
+
+    The probe is a single-watch equality on ``sensed_data`` — the most
+    selective predicate the workload offers (one patient's samples out of
+    ``size`` rows).  Every arm runs once cold (building indexes, statistics
+    and bitmaps), then times the cached prepared plan, best of
+    ``executions``.
+    """
+    database = scenario.database
+    monitor = scenario.monitor
+    watch = database.query(
+        "select min(watch_id) from sensed_data", indexes="off"
+    ).scalar()
+    sql = f"select * from sensed_data where watch_id = '{watch}'"
+
+    # The comparison is about access paths, so the pass pipeline itself is
+    # pinned on regardless of any REPRO_OPTIMIZER override.
+    def time_unenforced(mode: str) -> tuple[list, float]:
+        prepared = database.prepare(sql, optimizer="on", indexes=mode)
+        rows = list(prepared.execute())
+        return rows, time_query(prepared.execute, executions)
+
+    def time_enforced(mode: str) -> float:
+        monitor.set_indexes(mode)
+        monitor.clear_plan_cache()
+        monitor.clear_policy_bitmaps()
+        monitor.execute(sql, BENCH_PURPOSE)
+        prepared = monitor.prepare(sql, BENCH_PURPOSE)
+        return time_query(prepared.execute, executions)
+
+    previous = monitor.indexes_mode
+    previous_optimizer = monitor.optimizer_mode
+    monitor.set_optimizer("on")
+    try:
+        full_rows, full_time = time_unenforced("off")
+
+        database.execute(
+            "create index bench_watch on sensed_data (watch_id) using hash"
+        )
+        database.execute("analyze sensed_data")
+        index_rows, index_time = time_unenforced("on")
+
+        guard_full_time = time_enforced("off")
+        database.execute(
+            "create index bench_part on sensed_data (watch_id) "
+            f"partition by {database.policy_column}"
+        )
+        skips_before = database.indexes.stats()["partition_skips"]
+        guard_partitioned_time = time_enforced("on")
+        skips = database.indexes.stats()["partition_skips"] - skips_before
+        partition_count = database.indexes.partition_count("bench_part")
+    finally:
+        monitor.set_indexes(previous)
+        monitor.set_optimizer(previous_optimizer)
+        for name in ("bench_watch", "bench_part"):
+            if database.indexes.find(name) is not None:
+                database.execute(f"drop index {name}")
+
+    return IndexesMeasurement(
+        rows=size,
+        rows_returned=len(full_rows),
+        full_scan_time=full_time,
+        index_time=index_time,
+        guard_full_time=guard_full_time,
+        guard_partitioned_time=guard_partitioned_time,
+        partition_count=partition_count,
+        partition_skips=skips,
+        rows_match=sorted(index_rows) == sorted(full_rows),
+    )

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from .concurrency import ConcurrencyRun
 from .experiments import Experiment2Result
-from .harness import ColumnarRun, ExperimentRun, HotPathRun, OptimizerRun
+from .harness import (
+    ColumnarRun,
+    ExperimentRun,
+    HotPathRun,
+    IndexesRun,
+    OptimizerRun,
+)
 
 
 def _format_table(header: list[str], rows: list[list[str]]) -> str:
@@ -233,3 +239,40 @@ def figure8_table(result: Experiment2Result) -> str:
         rows.append(row)
     title = "Figure 8 — query execution time (ms) vs dataset size (s=0.4)"
     return f"{title}\n{_format_table(header, rows)}"
+
+
+def indexes_table(run: IndexesRun) -> str:
+    """Access-path comparison: full scan vs index vs partition pruning.
+
+    One row per swept ``sensed_data`` size.  ``scan``/``index`` are the
+    unenforced selective-probe latencies (ms) and ``speedup`` their ratio;
+    ``guard``/``pruned`` the enforced latencies without and with the
+    policy-partitioned index, with ``skips`` the partitions the pruned run
+    never touched (out of ``parts``).
+    """
+    header = [
+        "rows", "hit", "scan", "index", "speedup",
+        "guard", "pruned", "p-speedup", "parts", "skips",
+    ]
+    rows = []
+    for m in run.measurements:
+        rows.append(
+            [
+                str(m.rows),
+                str(m.rows_returned),
+                _ms(m.full_scan_time),
+                _ms(m.index_time),
+                f"{m.index_speedup:.2f}x",
+                _ms(m.guard_full_time),
+                _ms(m.guard_partitioned_time),
+                f"{m.partitioned_speedup:.2f}x",
+                str(m.partition_count),
+                str(m.partition_skips),
+            ]
+        )
+    title = (
+        f"Indexes — selective probe per access path "
+        f"(s={run.selectivity:g}, samples={run.samples_per_patient})"
+    )
+    mismatches = sum(1 for m in run.measurements if not m.rows_match)
+    return f"{title}\n{_format_table(header, rows)}\nresult mismatches: {mismatches}"

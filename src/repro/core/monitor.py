@@ -29,6 +29,7 @@ from ..engine import (
     ResultSet,
     resolve_batch_size,
     resolve_executor_mode,
+    resolve_index_mode,
     resolve_optimizer_mode,
 )
 from ..engine.database import PreparedQuery
@@ -64,6 +65,10 @@ class EnforcementReport:
     #: (both stay 0 with the optimizer off or no guards hoisted).
     bitmap_built: int = 0
     bitmap_hits: int = 0
+    #: Secondary-index probes and policy-partition skips performed by this
+    #: execution (both stay 0 with ``REPRO_INDEXES=off`` or no indexes).
+    index_hits: int = 0
+    partition_skips: int = 0
     trace: "object | None" = None
 
 
@@ -84,6 +89,7 @@ class CompiledEnforcedPlan:
     epoch: int
     optimizer: str
     executor: str
+    indexes: str
     original_sql: str
     statement: "ast.Select | ast.SetOperation"
     rewritten: "ast.Select | ast.SetOperation"
@@ -188,6 +194,7 @@ class EnforcementMonitor:
         optimizer: str | None = None,
         executor: str | None = None,
         batch_size: int | None = None,
+        indexes: str | None = None,
     ):
         self.admin = admin
         self.authorizer = authorizer if authorizer is not None else admin
@@ -198,6 +205,7 @@ class EnforcementMonitor:
         self.optimizer_mode = resolve_optimizer_mode(optimizer)
         self.executor_mode = resolve_executor_mode(executor)
         self.batch_size = resolve_batch_size(batch_size)
+        self.indexes_mode = resolve_index_mode(indexes)
         self.plan_cache_size = plan_cache_size
         self.parse_cache_size = parse_cache_size
         self._plan_cache: "OrderedDict[tuple, CompiledEnforcedPlan]" = (
@@ -250,6 +258,12 @@ class EnforcementMonitor:
             "Cached plans purged because the policy epoch moved",
         )
         registry.counter(
+            "repro_index_total",
+            "Secondary-index activity: probes (event=hit), entry rebuilds "
+            "(event=rebuild), policy partitions read (event=partition_hit) "
+            "or skipped (event=partition_skip)",
+        )
+        registry.counter(
             "repro_audit_records_total", "Records written to the audit log"
         )
         registry.counter(
@@ -298,6 +312,18 @@ class EnforcementMonitor:
         """
         self.executor_mode = resolve_executor_mode(mode)
         self.batch_size = resolve_batch_size(batch_size)
+
+    def set_indexes(self, mode: str | None) -> None:
+        """Switch access-path selection for *future* compilations.
+
+        ``"on"`` lets the optimizer choose index scans, partition-pruned
+        policy guards and cost-based build sides; ``"off"`` plans every
+        query exactly as the pre-index engine did (the differential
+        reference); ``None`` re-resolves from ``$REPRO_INDEXES``.  Plan
+        cache keys embed the mode, so plans of the other mode stay cached
+        and simply stop being hit.
+        """
+        self.indexes_mode = resolve_index_mode(mode)
 
     def clear_policy_bitmaps(self) -> None:
         """Drop the engine's cached policy bitmaps (counters are kept)."""
@@ -408,7 +434,8 @@ class EnforcementMonitor:
             mode = self.optimizer_mode
             executor = self.executor_mode
             batch_size = self.batch_size
-            key = (qid, purpose, epoch, mode, executor, batch_size)
+            indexes = self.indexes_mode
+            key = (qid, purpose, epoch, mode, executor, batch_size, indexes)
             plan = self._plan_cache.get(key)
             if plan is not None:
                 self._plan_cache.move_to_end(key)
@@ -430,6 +457,7 @@ class EnforcementMonitor:
                 epoch=epoch,
                 optimizer=mode,
                 executor=executor,
+                indexes=indexes,
                 original_sql=to_sql(statement),
                 statement=statement,
                 rewritten=rewritten,
@@ -438,6 +466,7 @@ class EnforcementMonitor:
                 plan=self.database.prepare(
                     rewritten, optimizer=mode,
                     executor=executor, batch_size=batch_size,
+                    indexes=indexes,
                 ),
             )
             # Keys embed the current epoch, so entries compiled under earlier
@@ -530,6 +559,7 @@ class EnforcementMonitor:
         memo_before = self.admin.compliance_memo_info()["hits"]
         checks_before = database.function_calls(COMPLIES_WITH)
         bitmap_before = database.policy_bitmaps.stats()
+        index_before = database.indexes.stats()
         with trace.span("execute") as execute_span:
             try:
                 result = database.execute_prepared(
@@ -543,6 +573,15 @@ class EnforcementMonitor:
         bitmap_after = database.policy_bitmaps.stats()
         bitmap_built = bitmap_after["built"] - bitmap_before["built"]
         bitmap_hits = bitmap_after["hits"] - bitmap_before["hits"]
+        index_after = database.indexes.stats()
+        index_hits = index_after["hits"] - index_before["hits"]
+        index_rebuilds = index_after["rebuilds"] - index_before["rebuilds"]
+        partition_hits = (
+            index_after["partition_hits"] - index_before["partition_hits"]
+        )
+        partition_skips = (
+            index_after["partition_skips"] - index_before["partition_skips"]
+        )
         execute_span.annotate(
             rows=len(result), checks=checks, memo_hits=memo_hits
         )
@@ -564,6 +603,14 @@ class EnforcementMonitor:
                 metrics.counter("repro_policy_bitmap_total").inc(
                     bitmap_built, event="built"
                 )
+            for event, delta in (
+                ("hit", index_hits),
+                ("rebuild", index_rebuilds),
+                ("partition_hit", partition_hits),
+                ("partition_skip", partition_skips),
+            ):
+                if delta:
+                    metrics.counter("repro_index_total").inc(delta, event=event)
             metrics.counter("repro_plan_cache_total").inc(
                 result="hit" if hit else "miss"
             )
@@ -585,6 +632,8 @@ class EnforcementMonitor:
             memo_hits=memo_hits,
             bitmap_built=bitmap_built,
             bitmap_hits=bitmap_hits,
+            index_hits=index_hits,
+            partition_skips=partition_skips,
             trace=trace if trace.enabled else None,
         )
 
@@ -602,6 +651,7 @@ class EnforcementMonitor:
                 "optimizer": self.optimizer_mode,
                 "executor": self.executor_mode,
                 "batch_size": self.batch_size,
+                "indexes": self.indexes_mode,
             }
 
     def clear_plan_cache(self) -> None:
@@ -678,6 +728,7 @@ class EnforcementMonitor:
         lines.append(
             f"Executor: mode={plan.executor} batch_size={plan.plan.batch_size}"
         )
+        lines.append(f"Indexes: mode={plan.indexes}")
         lines.append("Logical:")
         lines.extend(f"  {line}" for line in plan.plan.logical_lines())
         rows = checks = memo_hits = 0
@@ -687,18 +738,23 @@ class EnforcementMonitor:
             memo_before = self.admin.compliance_memo_info()["hits"]
             checks_before = database.function_calls(COMPLIES_WITH)
             bitmap_before = database.policy_bitmaps.stats()
+            index_before = database.indexes.stats()
             with trace.span("execute"):
                 result = database.execute_prepared(plan.plan, params, trace=trace)
             checks = database.function_calls(COMPLIES_WITH) - checks_before
             memo_hits = self.admin.compliance_memo_info()["hits"] - memo_before
             bitmap_after = database.policy_bitmaps.stats()
+            index_after = database.indexes.stats()
             rows = len(result)
             lines.extend(plan.plan.describe_arms(annotate=trace.annotation))
             lines.append(
                 f"Execution: rows={rows} checks={checks} "
                 f"memo_hits={memo_hits} cache_hit={str(hit).lower()} "
                 f"bitmap_built={bitmap_after['built'] - bitmap_before['built']} "
-                f"bitmap_hits={bitmap_after['hits'] - bitmap_before['hits']}"
+                f"bitmap_hits={bitmap_after['hits'] - bitmap_before['hits']} "
+                f"index_hits={index_after['hits'] - index_before['hits']} "
+                f"partition_skips="
+                f"{index_after['partition_skips'] - index_before['partition_skips']}"
             )
             stages = " ".join(
                 f"{stage}={seconds * 1000:.3f}ms"

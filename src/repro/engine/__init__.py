@@ -19,6 +19,19 @@ from .batch import (
 )
 from .database import Database, PreparedQuery, bind_parameters
 from .functions import FunctionRegistry, MemoizedFunction
+from .index import (
+    INDEX_KINDS,
+    INDEX_MODES,
+    INDEXES_ENV,
+    BTreeIndex,
+    HashIndex,
+    IndexDefinition,
+    IndexManager,
+    StatisticsCollector,
+    TableStatistics,
+    collect_table_statistics,
+    resolve_index_mode,
+)
 from .plan import (
     BASELINE_PASSES,
     FULL_PASSES,
@@ -45,6 +58,17 @@ __all__ = [
     "persist",
     "FunctionRegistry",
     "MemoizedFunction",
+    "INDEX_KINDS",
+    "INDEX_MODES",
+    "INDEXES_ENV",
+    "BTreeIndex",
+    "HashIndex",
+    "IndexDefinition",
+    "IndexManager",
+    "StatisticsCollector",
+    "TableStatistics",
+    "collect_table_statistics",
+    "resolve_index_mode",
     "BASELINE_PASSES",
     "FULL_PASSES",
     "OPTIMIZER_ENV",

@@ -14,6 +14,7 @@ from ..sql import ast, parse_statement
 from .executor import PreparedSelect, SelectExecutor
 from .expressions import Env, ExpressionCompiler, Scope
 from .functions import FunctionRegistry
+from .index import IndexDefinition, IndexManager, StatisticsCollector
 from .plan import PolicyBitmapCache
 from .result import ResultSet
 from .schema import Column, ColumnBinding, RowShape, TableSchema
@@ -39,15 +40,18 @@ class PreparedQuery:
         optimizer: str | None = None,
         executor: str | None = None,
         batch_size: int | None = None,
+        indexes: str | None = None,
     ):
         self.database = database
         self.statement = statement
         self.executor = SelectExecutor(
-            database, optimizer=optimizer, executor=executor, batch_size=batch_size
+            database, optimizer=optimizer, executor=executor,
+            batch_size=batch_size, indexes=indexes,
         )
         self.optimizer_mode = self.executor.optimizer_mode
         self.executor_mode = self.executor.executor_mode
         self.batch_size = self.executor.batch_size
+        self.indexes_mode = self.executor.index_mode
         self.parameters = ast.collect_parameters(statement)
         self._plan = self._prepare_node(statement)
 
@@ -244,6 +248,9 @@ class Database:
         self.policy_function: str | None = None
         self.policy_column: str | None = None
         self.policy_bitmaps = PolicyBitmapCache()
+        # Secondary-index catalog and optimizer statistics (DESIGN.md §13).
+        self.indexes = IndexManager(self)
+        self.statistics = StatisticsCollector(self)
 
     # -- catalog -----------------------------------------------------------------
 
@@ -272,11 +279,13 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
-        """Drop a table; unknown names raise :class:`CatalogError`."""
+        """Drop a table (and its indexes/statistics); unknown names raise."""
         key = name.lower()
         if key not in self.tables:
             raise CatalogError(f"unknown table {name!r}")
         del self.tables[key]
+        self.indexes.drop_for_table(key)
+        self.statistics.forget(key)
 
     # -- statement execution -----------------------------------------------------
 
@@ -309,6 +318,24 @@ class Database:
         if isinstance(statement, ast.AlterTableDropColumn):
             self.table(statement.table).drop_column(statement.column_name)
             return 0
+        if isinstance(statement, ast.CreateIndex):
+            self.indexes.create(
+                IndexDefinition(
+                    name=statement.name,
+                    table=statement.table,
+                    columns=statement.columns,
+                    kind=statement.kind,
+                    partitioned_by=statement.partitioned_by,
+                )
+            )
+            return 0
+        if isinstance(statement, ast.DropIndex):
+            self.indexes.drop(statement.name)
+            return 0
+        if isinstance(statement, ast.Analyze):
+            # ANALYZE reports the number of tables whose statistics were
+            # refreshed, mirroring DML's affected-row convention.
+            return len(self.statistics.collect(statement.table))
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
     def query(
@@ -316,13 +343,16 @@ class Database:
         sql: "str | ast.Select | ast.SetOperation",
         optimizer: str | None = None,
         executor: str | None = None,
+        indexes: str | None = None,
     ) -> ResultSet:
         """Execute a SELECT (or a set-operation chain) and return rows.
 
         ``optimizer`` pins the pass pipeline for this query ("on"/"off");
         ``None`` resolves from ``REPRO_OPTIMIZER`` (default "on").
         ``executor`` pins the physical mode ("batch"/"row"); ``None``
-        resolves from ``REPRO_EXECUTOR`` (default "batch").
+        resolves from ``REPRO_EXECUTOR`` (default "batch").  ``indexes``
+        pins access-path selection ("on"/"off"); ``None`` resolves from
+        ``REPRO_INDEXES`` (default "on").
         """
         if isinstance(sql, str):
             statement = parse_statement(sql)
@@ -333,11 +363,17 @@ class Database:
         if isinstance(statement, ast.SetOperation):
             from .result import combine_set_operation
 
-            left = self.query(statement.left, optimizer=optimizer, executor=executor)
-            right = self.query(statement.right, optimizer=optimizer, executor=executor)
+            left = self.query(
+                statement.left,
+                optimizer=optimizer, executor=executor, indexes=indexes,
+            )
+            right = self.query(
+                statement.right,
+                optimizer=optimizer, executor=executor, indexes=indexes,
+            )
             return combine_set_operation(left, right, statement.op, statement.all)
         return SelectExecutor(
-            self, optimizer=optimizer, executor=executor
+            self, optimizer=optimizer, executor=executor, indexes=indexes
         ).execute_select(statement)
 
     def prepare(
@@ -346,6 +382,7 @@ class Database:
         optimizer: str | None = None,
         executor: str | None = None,
         batch_size: int | None = None,
+        indexes: str | None = None,
     ) -> PreparedQuery:
         """Plan a SELECT once for repeated execution (prepare/execute).
 
@@ -353,9 +390,10 @@ class Database:
         (``*`` expansion, column resolution) but reads table contents at
         execution time, so it observes later inserts/updates.  ``optimizer``
         overrides the plan-rewrite mode (``"on"``/``"off"``); ``executor``
-        overrides the physical mode (``"batch"``/``"row"``); ``None``
+        overrides the physical mode (``"batch"``/``"row"``); ``indexes``
+        overrides access-path selection (``"on"``/``"off"``); ``None``
         resolves each from its env var (``$REPRO_OPTIMIZER`` /
-        ``$REPRO_EXECUTOR``).
+        ``$REPRO_EXECUTOR`` / ``$REPRO_INDEXES``).
         """
         if isinstance(sql, str):
             statement = parse_statement(sql)
@@ -366,6 +404,7 @@ class Database:
         return PreparedQuery(
             self, statement,
             optimizer=optimizer, executor=executor, batch_size=batch_size,
+            indexes=indexes,
         )
 
     def execute_prepared(

@@ -29,7 +29,7 @@ from bisect import bisect_left
 from itertools import repeat
 from typing import Callable, Iterable, Iterator
 
-from ..errors import ExecutionError, ExpressionError
+from ..errors import CatalogError, ExecutionError, ExpressionError
 from ..sql import ast
 from .aggregates import make_aggregate
 from .batch import (
@@ -47,6 +47,7 @@ from .expressions import (
 )
 from . import plan as plan_ir
 from .aggregates import is_aggregate_name
+from .index import resolve_index_mode
 from .plan import Optimizer, Planner, resolve_optimizer_mode
 from .result import ResultSet
 from .schema import ColumnBinding, RowShape
@@ -674,9 +675,13 @@ class SelectExecutor:
         optimizer: str | None = None,
         executor: str | None = None,
         batch_size: int | None = None,
+        indexes: str | None = None,
     ):
         self.database = database
-        self.optimizer = Optimizer(resolve_optimizer_mode(optimizer), database)
+        self.index_mode = resolve_index_mode(indexes)
+        self.optimizer = Optimizer(
+            resolve_optimizer_mode(optimizer), database, indexes=self.index_mode
+        )
         self.executor_mode = resolve_executor_mode(executor)
         self.batch_mode = self.executor_mode == "batch"
         self.batch_size = resolve_batch_size(batch_size)
@@ -729,6 +734,8 @@ class SelectExecutor:
                 ),
                 batch_size=self.batch_size,
             )
+        if isinstance(node, plan_ir.IndexScan):  # before Scan: a subclass
+            return self._compile_index_scan(node)
         if isinstance(node, plan_ir.Scan):
             return self._compile_scan(node)
         if isinstance(node, plan_ir.DerivedTable):
@@ -787,6 +794,81 @@ class SelectExecutor:
         return SourcePlan(
             node.shape, produce, kind="SeqScan", detail=detail,
             batch_producer=produce_kept_batches if self.batch_mode else None,
+            batch_size=batch_size,
+        )
+
+    def _compile_index_scan(self, node: plan_ir.IndexScan) -> SourcePlan:
+        """Index probe / range walk: candidate row ids → stored rows.
+
+        The matched predicate stays in the parent filter (a recheck), so
+        this node only has to narrow candidates.  If the index was dropped
+        after planning the node silently degrades to a full sequential
+        read — the recheck keeps results identical either way.
+        """
+        table = self.database.table(node.table_name)
+        manager = self.database.indexes
+        detail = table.name
+        if node.binding != table.name.lower():
+            detail = f"{table.name} as {node.binding}"
+        detail += f" using {node.index_name} [{node._predicate()}]"
+        if node.estimated_rows is not None:
+            detail += f" (est={node.estimated_rows})"
+        batch_size = self.batch_size
+        kept_positions = (
+            [table.schema.column_index(name) for name in node.kept]
+            if node.kept is not None
+            else None
+        )
+        ranged = isinstance(node, plan_ir.IndexRangeScan)
+
+        def candidate_ids(env: Env) -> "list[int] | None":
+            # Row ids in ascending storage order, or None to degrade to a
+            # full scan.  Resolved at execution time: prepared plans are
+            # re-executed after DML rebuilds (or DDL drops) the index.
+            try:
+                if ranged:
+                    return manager.lookup_range(
+                        node.index_name,
+                        node.lower, node.upper,
+                        node.lower_inclusive, node.upper_inclusive,
+                    )
+                return manager.lookup_equal(node.index_name, node.value)
+            except CatalogError:
+                return None  # index dropped since planning
+
+        def produce(env: Env) -> Iterable[tuple]:
+            rows = table.rows
+            ids = candidate_ids(env)
+            source = rows if ids is None else [rows[i] for i in ids]
+            if kept_positions is None:
+                yield from source
+            else:
+                for row in source:
+                    yield tuple(row[p] for p in kept_positions)
+
+        def page_batch(page_rows: list) -> ColumnBatch:
+            if kept_positions is None:
+                return ColumnBatch.from_rows(page_rows, node.shape.width())
+            return ColumnBatch(
+                [[row[p] for row in page_rows] for p in kept_positions],
+                len(page_rows),
+            )
+
+        def produce_batches(env: Env) -> Iterator[ColumnBatch]:
+            rows = table.rows
+            ids = candidate_ids(env)
+            if ids is None:
+                for start in range(0, len(rows), batch_size):
+                    yield page_batch(rows[start : start + batch_size])
+                return
+            for start in range(0, len(ids), batch_size):
+                yield page_batch(
+                    [rows[i] for i in ids[start : start + batch_size]]
+                )
+
+        return SourcePlan(
+            node.shape, produce, kind=node.kind, detail=detail,
+            batch_producer=produce_batches if self.batch_mode else None,
             batch_size=batch_size,
         )
 
@@ -862,6 +944,13 @@ class SelectExecutor:
         policy_column = self.database.policy_column
         registry = self.database.functions
         bitmaps = self.database.policy_bitmaps
+        manager = self.database.indexes
+        partitioned = node.partitioned
+        kept_positions = (
+            [table.schema.column_index(name) for name in node.scan.kept]
+            if node.scan.kept is not None
+            else None
+        )
 
         def passing_set(env: Env) -> frozenset:
             passing: frozenset | None = None
@@ -872,7 +961,31 @@ class SelectExecutor:
                 passing = indices if passing is None else passing & indices
             return passing
 
+        def partition_ids(env: Env) -> "list[int] | None":
+            # Row ids from the policy-partitioned index's qualifying
+            # partitions (ascending storage order), or None to fall back
+            # to the positional bitmap intersection.  Verdicts still come
+            # from the bitmap cache, so the per-distinct-value UDF call
+            # accounting is identical on both paths.
+            if partitioned is None:
+                return None
+            try:
+                return list(manager.partition_rows(partitioned, passing_set(env)))
+            except CatalogError:
+                return None  # index dropped since planning
+
         def produce(env: Env) -> Iterable[tuple]:
+            ids = partition_ids(env)
+            if ids is not None:
+                rows = table.rows
+                if kept_positions is None:
+                    for i in ids:
+                        yield rows[i]
+                else:
+                    for i in ids:
+                        row = rows[i]
+                        yield tuple(row[p] for p in kept_positions)
+                return
             passing = passing_set(env)
             for index, row in enumerate(child.rows(env)):
                 if index in passing:
@@ -880,8 +993,28 @@ class SelectExecutor:
 
         batch_producer = None
         if self.batch_mode:
+            batch_size = self.batch_size
 
             def produce_batches(env: Env) -> Iterator[ColumnBatch]:
+                ids = partition_ids(env)
+                if ids is not None:
+                    rows = table.rows
+                    for start in range(0, len(ids), batch_size):
+                        page = ids[start : start + batch_size]
+                        if kept_positions is None:
+                            yield ColumnBatch.from_rows(
+                                [rows[i] for i in page],
+                                node.scan.shape.width(),
+                            )
+                        else:
+                            yield ColumnBatch(
+                                [
+                                    [rows[i][p] for i in page]
+                                    for p in kept_positions
+                                ],
+                                len(page),
+                            )
+                    return
                 # One bitmap lookup per mask per *execution* — the cache
                 # already collapses the BitString AND to one evaluation per
                 # distinct policy value, so a batch costs a sorted-slice of
@@ -905,9 +1038,12 @@ class SelectExecutor:
         from ..sql.printer import print_expression
 
         detail = " and ".join(print_expression(guard) for guard in node.guards)
+        detail = f"[{detail}]"
+        if partitioned is not None:
+            detail += f" (partitions: {partitioned})"
         return SourcePlan(
             child.shape, produce,
-            kind="PolicyGuard", detail=f"[{detail}]", children=[child],
+            kind="PolicyGuard", detail=detail, children=[child],
             batch_producer=batch_producer, batch_size=self.batch_size,
         )
 
@@ -983,6 +1119,31 @@ class SelectExecutor:
         right_keys = [self.compiler(right_scope).compile(re) for _, re in equi_pairs]
         left_width = left.shape.width()
         right_width = right.shape.width()
+        build_side = node.build_side
+
+        def produce_build_left(env: Env) -> Iterable[tuple]:
+            # Cost-based swap (INNER only): hash the smaller left input and
+            # probe with the right.  Output order follows the probe side,
+            # with all matches of one probe row emitted together — a set
+            # equal to the build-right path's output.
+            build: dict[tuple, list[tuple]] = {}
+            for left_row in left.rows(env):
+                key = tuple(k(left_row, env) for k in left_keys)
+                if any(v is None for v in key):
+                    continue  # NULL never joins
+                build.setdefault(key, []).append(left_row)
+            for right_row in right.rows(env):
+                key = tuple(k(right_row, env) for k in right_keys)
+                if any(v is None for v in key):
+                    continue
+                for left_row in build.get(key, ()):
+                    combined = left_row + right_row
+                    if (
+                        residual_predicate is not None
+                        and residual_predicate(combined, env) is not True
+                    ):
+                        continue
+                    yield combined
 
         def produce(env: Env) -> Iterable[tuple]:
             build: dict[tuple, list[tuple]] = {}
@@ -1015,6 +1176,21 @@ class SelectExecutor:
                 for right_row in right_rows:
                     if id(right_row) not in matched_right:
                         yield (None,) * left_width + right_row
+
+        if kind == "INNER" and build_side == "left":
+            # The swapped variant has no batch-native implementation; the
+            # batch pipeline chunks its row stream (SourcePlan.batches).
+            from ..sql.printer import print_expression
+
+            keys = ", ".join(
+                f"{print_expression(le)} = {print_expression(re)}"
+                for le, re in equi_pairs
+            )
+            return SourcePlan(
+                node.shape, produce_build_left,
+                kind="HashJoin", detail=f"(inner) on {keys} (build: left)",
+                children=[left, right], batch_size=self.batch_size,
+            )
 
         batch_producer = None
         if self.batch_mode:

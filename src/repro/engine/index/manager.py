@@ -1,0 +1,330 @@
+"""Index lifecycles, lazy maintenance and policy-partitioned layouts.
+
+:class:`IndexManager` owns every secondary index of one database.  An
+index *definition* (name, table, key columns, structure kind, optional
+policy partitioning) is durable catalog state — it survives DML, is
+persisted by :mod:`repro.engine.persist` and round-trips through ``CREATE
+INDEX`` / ``DROP INDEX``.  The built *entry* (the B+-tree / hash structure
+plus the partition layout) is a cache keyed on ``Table.version``:
+
+* DML maintenance is transparent — every write path bumps the version, so
+  the next lookup rebuilds the entry from current rows (the PolicyBitmap-
+  Cache protocol, extended to indexes);
+* a dropped-and-recreated index or table never serves stale row ids.
+
+**Policy-partitioned indexes** additionally group the table's row ids by
+the exact value of the policy-mask column.  Because a hoisted
+``complieswith`` guard passes or fails *per distinct policy value* — never
+per row — a partition either qualifies wholesale or can be skipped without
+touching any of its rows.  The executor asks :meth:`IndexManager
+.partition_rows` with the bitmap cache's passing-row set; the manager
+checks one representative row id per partition, counts the skipped
+partitions, and returns the qualifying row ids merged back into ascending
+storage order so emission matches a sequential scan exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from heapq import merge
+from typing import TYPE_CHECKING
+
+from ...errors import CatalogError, ExecutionError
+from .btree import BTreeIndex
+from .hash import HashIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..database import Database
+    from ..table import Table
+
+#: The supported index structure kinds.
+INDEX_KINDS = ("btree", "hash")
+
+
+@dataclass(frozen=True)
+class IndexDefinition:
+    """Catalog state of one secondary index (all identifiers lower-cased)."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    kind: str = "btree"
+    #: The policy column when the index is policy-partitioned, else ``None``.
+    partitioned_by: str | None = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self.partitioned_by is not None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (what snapshots persist)."""
+        return {
+            "name": self.name,
+            "table": self.table,
+            "columns": list(self.columns),
+            "kind": self.kind,
+            "partitioned_by": self.partitioned_by,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IndexDefinition":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            table=str(payload["table"]),
+            columns=tuple(str(c) for c in payload["columns"]),
+            kind=str(payload.get("kind") or "btree"),
+            partitioned_by=payload.get("partitioned_by"),
+        )
+
+
+class _IndexEntry:
+    """A built index structure plus (optionally) its policy partitions."""
+
+    __slots__ = ("structure", "partitions")
+
+    def __init__(self, structure, partitions: dict | None):
+        self.structure = structure
+        self.partitions = partitions
+
+
+class IndexManager:
+    """Per-database index catalog, build cache and lookup counters."""
+
+    def __init__(self, database: "Database"):
+        self._database = database
+        self._lock = threading.RLock()
+        self._definitions: dict[str, IndexDefinition] = {}
+        self._entries: dict[str, tuple[int, _IndexEntry]] = {}
+        # Monotonic counters, reported like the bitmap cache's stats() so
+        # the monitor and metrics layer can take per-execution deltas.
+        self._hits = 0
+        self._rebuilds = 0
+        self._partition_hits = 0
+        self._partition_skips = 0
+
+    # -- catalog ---------------------------------------------------------------
+
+    def create(self, definition: IndexDefinition) -> IndexDefinition:
+        """Validate and register ``definition`` (build happens lazily)."""
+        normalized = IndexDefinition(
+            name=definition.name.lower(),
+            table=definition.table.lower(),
+            columns=tuple(c.lower() for c in definition.columns),
+            kind=definition.kind.lower(),
+            partitioned_by=(
+                definition.partitioned_by.lower()
+                if definition.partitioned_by is not None
+                else None
+            ),
+        )
+        if normalized.kind not in INDEX_KINDS:
+            raise CatalogError(
+                f"unknown index kind {normalized.kind!r} "
+                f"(expected one of {INDEX_KINDS})"
+            )
+        if not normalized.columns:
+            raise CatalogError(f"index {normalized.name!r} has no key columns")
+        table = self._database.table(normalized.table)
+        for column in normalized.columns:
+            table.schema.column_index(column)  # raises on unknown columns
+        if normalized.partitioned_by is not None:
+            policy_column = getattr(self._database, "policy_column", None)
+            if normalized.partitioned_by != (policy_column or "").lower():
+                raise CatalogError(
+                    f"index {normalized.name!r}: partitioning column "
+                    f"{normalized.partitioned_by!r} is not the policy column"
+                )
+            table.schema.column_index(normalized.partitioned_by)
+        with self._lock:
+            if normalized.name in self._definitions:
+                raise CatalogError(f"index {normalized.name!r} already exists")
+            self._definitions[normalized.name] = normalized
+        return normalized
+
+    def drop(self, name: str) -> IndexDefinition:
+        """Drop one index; unknown names raise :class:`CatalogError`."""
+        key = name.lower()
+        with self._lock:
+            if key not in self._definitions:
+                raise CatalogError(f"unknown index {name!r}")
+            self._entries.pop(key, None)
+            return self._definitions.pop(key)
+
+    def drop_for_table(self, table_name: str) -> list[IndexDefinition]:
+        """Drop every index of one table (DROP TABLE cleanup)."""
+        key = table_name.lower()
+        with self._lock:
+            doomed = [d for d in self._definitions.values() if d.table == key]
+            for definition in doomed:
+                self._definitions.pop(definition.name, None)
+                self._entries.pop(definition.name, None)
+        return doomed
+
+    def get(self, name: str) -> IndexDefinition:
+        """The definition named ``name``; unknown names raise."""
+        with self._lock:
+            definition = self._definitions.get(name.lower())
+        if definition is None:
+            raise CatalogError(f"unknown index {name!r}")
+        return definition
+
+    def find(self, name: str) -> IndexDefinition | None:
+        with self._lock:
+            return self._definitions.get(name.lower())
+
+    def definitions(self) -> list[IndexDefinition]:
+        """Every definition, sorted by name."""
+        with self._lock:
+            return sorted(self._definitions.values(), key=lambda d: d.name)
+
+    def for_table(self, table_name: str) -> list[IndexDefinition]:
+        """Every definition on one table, sorted by name."""
+        key = table_name.lower()
+        return [d for d in self.definitions() if d.table == key]
+
+    def partitioned_for(self, table_name: str) -> IndexDefinition | None:
+        """The first policy-partitioned index on ``table_name``, if any."""
+        for definition in self.for_table(table_name):
+            if definition.partitioned:
+                return definition
+        return None
+
+    # -- build cache -----------------------------------------------------------
+
+    def _entry(self, definition: IndexDefinition) -> _IndexEntry:
+        table = self._database.table(definition.table)
+        with self._lock:
+            cached = self._entries.get(definition.name)
+            if cached is not None and cached[0] == table.version:
+                return cached[1]
+            entry = self._build(definition, table)
+            self._entries[definition.name] = (table.version, entry)
+            self._rebuilds += 1
+            return entry
+
+    def _build(self, definition: IndexDefinition, table: "Table") -> _IndexEntry:
+        schema = table.schema
+        positions = [schema.column_index(c) for c in definition.columns]
+        structure = BTreeIndex() if definition.kind == "btree" else HashIndex()
+        partitions: dict | None = None
+        partition_position = None
+        if definition.partitioned_by is not None:
+            partitions = {}
+            partition_position = schema.column_index(definition.partitioned_by)
+        for row_id, row in enumerate(table.rows):
+            key_values = [row[p] for p in positions]
+            if all(value is not None for value in key_values):
+                key = key_values[0] if len(key_values) == 1 else tuple(key_values)
+                structure.insert(key, row_id)
+            if partitions is not None:
+                partitions.setdefault(row[partition_position], []).append(row_id)
+        return _IndexEntry(structure, partitions)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup_equal(self, name: str, key) -> list[int]:
+        """Row ids (ascending) matching ``key`` on index ``name``."""
+        entry = self._entry(self.get(name))
+        with self._lock:
+            self._hits += 1
+        return entry.structure.search(key)
+
+    def lookup_range(
+        self,
+        name: str,
+        lower=None,
+        upper=None,
+        lower_inclusive: bool = True,
+        upper_inclusive: bool = True,
+    ) -> list[int]:
+        """Row ids (ascending) inside the bound pair on B-tree index ``name``."""
+        definition = self.get(name)
+        if definition.kind != "btree":
+            raise ExecutionError(
+                f"index {definition.name!r} ({definition.kind}) does not "
+                f"support range lookups"
+            )
+        entry = self._entry(definition)
+        with self._lock:
+            self._hits += 1
+        return entry.structure.range(
+            lower, upper, lower_inclusive, upper_inclusive
+        )
+
+    def partition_rows(self, name: str, passing) -> list[int]:
+        """Row ids of every partition whose policy value passes the guards.
+
+        ``passing`` is the bitmap cache's (already guard-intersected) set of
+        passing row ids.  A ``complieswith`` verdict is uniform across a
+        partition — all of its rows share one policy value — so membership
+        of one representative row id decides the whole run.  Qualifying
+        partitions are merged back into ascending storage order; skipped
+        ones (NULL-policy partitions included) are counted without touching
+        their rows.
+        """
+        definition = self.get(name)
+        if not definition.partitioned:
+            raise ExecutionError(f"index {definition.name!r} is not partitioned")
+        entry = self._entry(definition)
+        qualifying = []
+        skipped = 0
+        for rows in entry.partitions.values():
+            if rows and rows[0] in passing:
+                qualifying.append(rows)
+            else:
+                skipped += 1
+        with self._lock:
+            self._hits += 1
+            self._partition_hits += len(qualifying)
+            self._partition_skips += skipped
+        if len(qualifying) == 1:
+            return list(qualifying[0])
+        return list(merge(*qualifying))
+
+    def partition_count(self, name: str) -> int:
+        """Number of distinct policy values in a partitioned index."""
+        definition = self.get(name)
+        if not definition.partitioned:
+            return 0
+        return len(self._entry(definition).partitions)
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Monotonic lookup/rebuild/partition counters plus catalog sizes."""
+        with self._lock:
+            return {
+                "definitions": len(self._definitions),
+                "built": len(self._entries),
+                "hits": self._hits,
+                "rebuilds": self._rebuilds,
+                "partition_hits": self._partition_hits,
+                "partition_skips": self._partition_skips,
+            }
+
+    def describe(self) -> list[dict]:
+        """Catalog listing for the server's stats endpoint."""
+        out = []
+        for definition in self.definitions():
+            with self._lock:
+                built = self._entries.get(definition.name)
+            info = definition.to_dict()
+            info["built"] = built is not None
+            if built is not None:
+                info["version"] = built[0]
+                info["distinct_keys"] = len(built[1].structure)
+                if built[1].partitions is not None:
+                    info["partitions"] = len(built[1].partitions)
+            out.append(info)
+        return out
+
+    def clear_entries(self) -> None:
+        """Drop every built structure (definitions survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._definitions)

@@ -1,10 +1,18 @@
 """Database persistence: JSON snapshots.
 
-``dump``/``load`` serialize the whole catalog — schemas, rows and the
-``BIT VARYING`` policy masks — to a JSON document or file.  Registered
-functions are *not* serialized (code doesn't round-trip through JSON);
-reattach UDFs after loading, e.g. by rebuilding the access-control manager
-with :meth:`repro.core.admin.AccessControlManager.from_existing`.
+``dump``/``load`` serialize the whole catalog — schemas, rows, the
+``BIT VARYING`` policy masks and secondary-index *definitions* — to a JSON
+document or file.  Index entries themselves are not serialized: they are
+derived state, rebuilt lazily (version-keyed) on first use after the load.
+Registered functions are *not* serialized (code doesn't round-trip through
+JSON); reattach UDFs after loading, e.g. by rebuilding the access-control
+manager with :meth:`repro.core.admin.AccessControlManager.from_existing`.
+
+Format history: version 1 had no ``indexes`` list; version 2 added it
+together with the ``policy`` marker object (the enforcement framework's
+policy function/column names, needed to re-validate partitioned index
+definitions at load time).  Version-1 documents still load (no indexes
+are restored).
 """
 
 from __future__ import annotations
@@ -14,10 +22,14 @@ from pathlib import Path
 
 from ..errors import EngineError
 from .database import Database
+from .index import IndexDefinition
 from .schema import Column, TableSchema
 from .types import BitString, SqlType
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Snapshot versions :func:`from_document` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 _BITS_KEY = "$bits"
 
@@ -56,13 +68,24 @@ def to_document(database: Database) -> dict:
                 ],
             }
         )
-    return {"version": FORMAT_VERSION, "name": database.name, "tables": tables}
+    return {
+        "version": FORMAT_VERSION,
+        "name": database.name,
+        "tables": tables,
+        "policy": {
+            "function": database.policy_function,
+            "column": database.policy_column,
+        },
+        "indexes": [
+            definition.to_dict() for definition in database.indexes.definitions()
+        ],
+    }
 
 
 def from_document(document: dict) -> Database:
     """Rebuild a database from :func:`to_document` output."""
     version = document.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise EngineError(f"unsupported snapshot version {version!r}")
     database = Database(document.get("name", "db"))
     for entry in document["tables"]:
@@ -80,6 +103,14 @@ def from_document(document: dict) -> Database:
         table.rows = [
             tuple(_decode_value(value) for value in row) for row in entry["rows"]
         ]
+    # Restore the policy markers before the index catalog: creating a
+    # partitioned definition re-validates its column against them.  Both
+    # keys are absent in version-1 snapshots.
+    policy = document.get("policy") or {}
+    database.policy_function = policy.get("function")
+    database.policy_column = policy.get("column")
+    for entry in document.get("indexes", ()):
+        database.indexes.create(IndexDefinition.from_dict(entry))
     return database
 
 

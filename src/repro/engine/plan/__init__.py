@@ -16,6 +16,8 @@ from .nodes import (
     DerivedTable,
     Filter,
     HashJoin,
+    IndexRangeScan,
+    IndexScan,
     Limit,
     LogicalNode,
     NestedLoop,
@@ -45,6 +47,8 @@ __all__ = [
     "FULL_PASSES",
     "Filter",
     "HashJoin",
+    "IndexRangeScan",
+    "IndexScan",
     "Limit",
     "LogicalNode",
     "NestedLoop",

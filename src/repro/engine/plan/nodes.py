@@ -13,6 +13,8 @@ The node set mirrors the classic relational-operator vocabulary:
 node                      meaning
 ========================  ======================================================
 :class:`Scan`             base-table sequential scan (optionally narrowed)
+:class:`IndexScan`        equality probe of a secondary index
+:class:`IndexRangeScan`   B-tree range scan of a secondary index
 :class:`DerivedTable`     a FROM-clause subquery, planned as its own block
 :class:`Filter`           a conjunction of predicates over its input
 :class:`PolicyGuard`      a hoisted ``complieswith`` conjunct answered from the
@@ -106,6 +108,88 @@ class Scan(LogicalNode):
         if self.kept is not None:
             text += f" (cols: {', '.join(self.kept)})"
         return text
+
+
+class IndexScan(Scan):
+    """An equality probe of a secondary index (``column = literal``).
+
+    Subclasses :class:`Scan` so every shape/pruning pass that handles
+    scans handles index scans identically; the executor compiles it into a
+    row-id lookup against the :class:`~repro.engine.index.IndexManager`
+    instead of a sequential walk.  The matched conjunct deliberately stays
+    in the residual filter (a *recheck*): the index only narrows the
+    candidate rows, so dropping the index — or a stale entry rebuilding
+    mid-flight — can never change results.
+    """
+
+    kind = "IndexScan"
+
+    def __init__(
+        self,
+        scan: Scan,
+        index_name: str,
+        column: str,
+        value: object,
+        estimated_rows: int | None = None,
+    ):
+        super().__init__(scan.table_name, scan.binding, scan.shape)
+        self.kept = scan.kept
+        self.index_name = index_name
+        self.column = column
+        self.value = value
+        self.estimated_rows = estimated_rows
+
+    def _predicate(self) -> str:
+        return f"{self.column} = {_print(ast.Literal(self.value))}"
+
+    def label(self) -> str:
+        text = f"{self.kind} {self.table_name}"
+        if self.binding != self.table_name.lower():
+            text += f" as {self.binding}"
+        text += f" using {self.index_name} [{self._predicate()}]"
+        if self.estimated_rows is not None:
+            text += f" (est={self.estimated_rows})"
+        if self.kept is not None:
+            text += f" (cols: {', '.join(self.kept)})"
+        return text
+
+
+class IndexRangeScan(IndexScan):
+    """A B-tree range scan (``column < / <= / > / >= / BETWEEN literals``).
+
+    Emits candidate row ids in ascending storage order, so downstream
+    operators observe the same row order a sequential scan plus filter
+    would.
+    """
+
+    kind = "IndexRangeScan"
+
+    def __init__(
+        self,
+        scan: Scan,
+        index_name: str,
+        column: str,
+        lower: object = None,
+        upper: object = None,
+        lower_inclusive: bool = True,
+        upper_inclusive: bool = True,
+        estimated_rows: int | None = None,
+    ):
+        super().__init__(scan, index_name, column, None, estimated_rows)
+        self.lower = lower
+        self.upper = upper
+        self.lower_inclusive = lower_inclusive
+        self.upper_inclusive = upper_inclusive
+
+    def _predicate(self) -> str:
+        parts = []
+        if self.lower is not None:
+            op = ">=" if self.lower_inclusive else ">"
+            parts.append(f"{self.column} {op} {_print(ast.Literal(self.lower))}")
+        if self.upper is not None:
+            op = "<=" if self.upper_inclusive else "<"
+            parts.append(f"{self.column} {op} {_print(ast.Literal(self.upper))}")
+        return " and ".join(parts) if parts else f"{self.column} unbounded"
 
 
 class DerivedTable(LogicalNode):
@@ -204,6 +288,12 @@ class PolicyGuard(LogicalNode):
     def __init__(self, guards: list[ast.FunctionCall], scan: Scan):
         self.guards = guards
         self.scan = scan
+        #: Name of a policy-partitioned index the executor may prune with:
+        #: whole partitions (runs of row ids sharing one policy value) are
+        #: skipped when the bitmap says their value fails the mask.  Set by
+        #: the optimizer's ``access_path_selection`` pass; ``None`` keeps
+        #: the positional bitmap-intersection path.
+        self.partitioned: str | None = None
 
     @property
     def shape(self) -> RowShape | None:  # type: ignore[override]
@@ -214,7 +304,10 @@ class PolicyGuard(LogicalNode):
 
     def label(self) -> str:
         rendered = " and ".join(_print(guard) for guard in self.guards)
-        return f"PolicyGuard [{rendered}]"
+        text = f"PolicyGuard [{rendered}]"
+        if self.partitioned is not None:
+            text += f" (partitions: {self.partitioned})"
+        return text
 
 
 class NestedLoop(LogicalNode):
@@ -265,6 +358,10 @@ class HashJoin(LogicalNode):
         self.left = left
         self.right = right
         self.shape = shape
+        #: Which input is hashed.  The legacy choice is ``"right"``; the
+        #: optimizer flips INNER joins to ``"left"`` when fresh statistics
+        #: say the left input is smaller.
+        self.build_side: str = "right"
 
     def children(self) -> tuple[LogicalNode, ...]:
         return (self.left, self.right)
@@ -273,7 +370,10 @@ class HashJoin(LogicalNode):
         keys = ", ".join(
             f"{_print(le)} = {_print(re)}" for le, re in self.equi_pairs
         )
-        return f"HashJoin ({self.join_kind.lower()}) on {keys}"
+        text = f"HashJoin ({self.join_kind.lower()}) on {keys}"
+        if self.build_side != "right":
+            text += f" (build: {self.build_side})"
+        return text
 
 
 class Aggregate(LogicalNode):

@@ -15,18 +15,28 @@ passes the IR makes expressible:
    above their base-table scans, where the
    :class:`~repro.engine.plan.bitmap.PolicyBitmapCache` answers them with a
    row-index set instead of per-row UDF calls.
-4. ``hash_join_selection`` — replace conditioned nested loops whose ON
-   clause contains side-separable equalities with hash joins.
-5. ``projection_pruning`` — narrow base-table scans to the columns the rest
+4. ``access_path_selection`` — cost-based access paths (DESIGN.md §13):
+   convert a pushed filter's scan into an :class:`IndexScan` /
+   :class:`IndexRangeScan` when a matching secondary index exists and the
+   estimated selectivity (from ``ANALYZE`` statistics, with heuristic
+   defaults) is favorable, and mark :class:`PolicyGuard` nodes whose table
+   carries a policy-partitioned index for partition pruning.  Runs only
+   when the index mode resolves to ``on``.
+5. ``hash_join_selection`` — replace conditioned nested loops whose ON
+   clause contains side-separable equalities with hash joins; with fresh
+   statistics (and indexes on) the smaller estimated side becomes the
+   build side.
+6. ``projection_pruning`` — narrow base-table scans to the columns the rest
    of the plan references.
 
 Ordering invariants: folding precedes pushdown (a folded conjunct may
 become pushable); hoisting runs *after* pushdown because only a
 pushdown-claimed conjunct is known to be safe at the scan (pushdown is
 disabled under outer joins, which is exactly when hoisting would be wrong
-too); pruning runs last so every earlier pass sees full-width shapes, and
-name resolution of claimed conjuncts is re-checked against the pre-pruning
-``binder_shape``.
+too); access-path selection runs after hoisting so hoisted guards are
+already out of the conjunct lists it inspects; pruning runs last so every
+earlier pass sees full-width shapes, and name resolution of claimed
+conjuncts is re-checked against the pre-pruning ``binder_shape``.
 """
 
 from __future__ import annotations
@@ -41,6 +51,8 @@ from .nodes import (
     DerivedTable,
     Filter,
     HashJoin,
+    IndexRangeScan,
+    IndexScan,
     LogicalNode,
     NestedLoop,
     PolicyGuard,
@@ -61,11 +73,23 @@ FULL_PASSES = (
     "constant_folding",
     "predicate_pushdown",
     "policy_guard_hoist",
+    "access_path_selection",
     "hash_join_selection",
     "projection_pruning",
 )
 
 _ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+
+#: Heuristic selectivities used when no fresh statistics exist.
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.25
+
+#: An index access path is only chosen when the estimated fraction of
+#: surviving rows is at most this (a near-full scan through an index is
+#: strictly worse than the sequential scan).
+INDEX_SELECTIVITY_THRESHOLD = 0.5
+
+_RANGE_OPS = frozenset({"<", "<=", ">", ">="})
 
 
 def resolve_optimizer_mode(mode: str | None = None) -> str:
@@ -79,11 +103,18 @@ def resolve_optimizer_mode(mode: str | None = None) -> str:
 
 
 class Optimizer:
-    """Runs the pass pipeline for one mode over block plans."""
+    """Runs the pass pipeline for one mode over block plans.
 
-    def __init__(self, mode: str, database):
+    ``indexes`` carries the resolved index mode (``"on"``/``"off"``): it
+    gates the ``access_path_selection`` pass and the cost-based build-side
+    choice in ``hash_join_selection``, so ``REPRO_INDEXES=off`` reproduces
+    the pre-index plans exactly (the differential reference).
+    """
+
+    def __init__(self, mode: str, database, indexes: str = "on"):
         self.mode = resolve_optimizer_mode(mode)
         self.database = database
+        self.index_mode = indexes
         self.passes = FULL_PASSES if self.mode == "on" else BASELINE_PASSES
 
     def optimize(self, block: BlockPlan) -> BlockPlan:
@@ -225,6 +256,104 @@ class Optimizer:
         block.source_root = visit(block.source_root)
         self._rewire_spine(block, previous_root)
 
+    # -- access-path selection (DESIGN.md §13) -----------------------------------
+
+    def _pass_access_path_selection(self, block: BlockPlan) -> None:
+        if self.index_mode != "on":
+            return  # REPRO_INDEXES=off: the differential reference plans
+        manager = getattr(self.database, "indexes", None)
+        if manager is None or not len(manager):
+            return
+
+        def visit(node: LogicalNode) -> LogicalNode:
+            if isinstance(node, Filter):
+                node.input = visit(node.input)
+                if node.pushed and type(node.input) is Scan:
+                    replacement = self._select_index_path(block, node)
+                    if replacement is not None:
+                        node.input = replacement
+                return node
+            if isinstance(node, PolicyGuard):
+                defn = manager.partitioned_for(node.scan.table_name)
+                if defn is not None and type(node.scan) is Scan:
+                    node.partitioned = defn.name
+                    block.notes.append(
+                        f"access_path_selection: guard on {node.scan.binding} "
+                        f"prunes partitions of {defn.name}"
+                    )
+                return node
+            if isinstance(node, (NestedLoop, HashJoin)):
+                node.left = visit(node.left)
+                node.right = visit(node.right)
+            return node
+
+        previous_root = block.source_root
+        block.source_root = visit(block.source_root)
+        self._rewire_spine(block, previous_root)
+
+    def _select_index_path(
+        self, block: BlockPlan, filter_node: Filter
+    ) -> Scan | None:
+        """The cheapest index access path for a pushed filter's scan.
+
+        The matched conjunct stays in the filter as a recheck, so the
+        conversion can only narrow the candidate set — never change
+        results.  Scans whose residual calls the policy UDF are left alone:
+        narrowing the rows the residual sees would change the per-row call
+        count the differential harness audits.
+        """
+        scan = filter_node.input
+        assert isinstance(scan, Scan)
+        conjuncts = filter_node.conjuncts or []
+        if not conjuncts:
+            return None
+        function_name = getattr(self.database, "policy_function", None)
+        if function_name and any(
+            _references_function(conjunct, function_name)
+            for conjunct in conjuncts
+        ):
+            return None
+        manager = self.database.indexes
+        try:
+            table = self.database.table(scan.table_name)
+        except CatalogError:
+            return None
+        row_count = len(table.rows)
+        stats = self.database.statistics.fresh(table)
+
+        best: tuple[int, object, str, tuple] | None = None
+        for conjunct in conjuncts:
+            candidate = _index_candidate(conjunct, scan.binding)
+            if candidate is None:
+                continue
+            column, spec = candidate
+            defn = _find_index(manager, scan.table_name, column, spec[0])
+            if defn is None:
+                continue
+            estimated = _estimate_candidate(stats, row_count, column, spec)
+            if row_count and estimated / row_count > INDEX_SELECTIVITY_THRESHOLD:
+                continue
+            if best is None or estimated < best[0]:
+                best = (estimated, defn, column, spec)
+        if best is None:
+            return None
+        estimated, defn, column, spec = best
+        if spec[0] == "eq":
+            replacement: IndexScan = IndexScan(
+                scan, defn.name, column, spec[1], estimated
+            )
+        else:
+            _, lower, upper, lower_inclusive, upper_inclusive = spec
+            replacement = IndexRangeScan(
+                scan, defn.name, column,
+                lower, upper, lower_inclusive, upper_inclusive, estimated,
+            )
+        block.notes.append(
+            f"access_path_selection: {scan.binding} via {replacement.kind} "
+            f"on {defn.name} (est={estimated})"
+        )
+        return replacement
+
     # -- hash-join selection -----------------------------------------------------
 
     def _pass_hash_join_selection(self, block: BlockPlan) -> None:
@@ -246,15 +375,65 @@ class Optimizer:
                         f"hash_join_selection: hash join "
                         f"({node.join_kind.lower()}) on {keys}"
                     )
-                    return HashJoin(
+                    join = HashJoin(
                         node.join_kind, pairs, residual,
                         node.left, node.right, node.shape,
                     )
+                    self._choose_build_side(block, join)
+                    return join
             return node
 
         previous_root = block.source_root
         block.source_root = visit(block.source_root)
         self._rewire_spine(block, previous_root)
+
+    def _choose_build_side(self, block: BlockPlan, join: HashJoin) -> None:
+        """Hash the smaller estimated input (INNER joins, indexes on).
+
+        Estimates come only from fresh ``ANALYZE`` statistics (or index
+        path estimates derived from them), so without an ``ANALYZE`` the
+        legacy build-on-the-right behavior is preserved bit for bit.
+        """
+        if self.mode != "on" or self.index_mode != "on":
+            return
+        if join.join_kind != "INNER":
+            return
+        left = self._estimate_rows(join.left)
+        right = self._estimate_rows(join.right)
+        if left is None or right is None:
+            return
+        if left < right:
+            join.build_side = "left"
+            block.notes.append(
+                f"hash_join_selection: build side = left "
+                f"(est {left} vs {right})"
+            )
+
+    def _estimate_rows(self, node: LogicalNode) -> int | None:
+        """Estimated output cardinality, or ``None`` when unknowable."""
+        if isinstance(node, IndexScan):  # covers IndexRangeScan
+            return node.estimated_rows
+        if isinstance(node, Scan):
+            try:
+                table = self.database.table(node.table_name)
+            except CatalogError:
+                return None
+            stats = self.database.statistics.fresh(table)
+            return stats.row_count if stats is not None else None
+        if isinstance(node, Filter):
+            base = self._estimate_rows(node.input)
+            if base is None:
+                return None
+            count = len(node.conjuncts or [])
+            if isinstance(node.input, IndexScan) and count:
+                count -= 1  # the matched conjunct is a recheck, counted already
+            if not count:
+                return base
+            return max(1, round(base * (0.33 ** count)))
+        if isinstance(node, PolicyGuard):
+            base = self._estimate_rows(node.scan)
+            return None if base is None else max(1, base // 2)
+        return None
 
     # -- projection pruning ------------------------------------------------------
 
@@ -372,6 +551,125 @@ def _pushable_to(expression: ast.Expression, shape: RowShape) -> bool:
         if not shape_has(shape, ref.name.lower(), table):
             return False
     return True
+
+
+def _references_function(expression: ast.Expression, name: str) -> bool:
+    """Whether any function call in the expression targets ``name``."""
+    return any(
+        isinstance(node, ast.FunctionCall) and node.name.lower() == name
+        for node in ast.walk_expression(expression)
+    )
+
+
+def _scan_column(expression: ast.Expression, binding: str) -> str | None:
+    """The scan column a reference names, or ``None`` if not this scan's."""
+    if not isinstance(expression, ast.ColumnRef):
+        return None
+    if expression.table is not None and expression.table.lower() != binding:
+        return None
+    return expression.name.lower()
+
+
+def _index_candidate(
+    conjunct: ast.Expression, binding: str
+) -> tuple[str, tuple] | None:
+    """Match a conjunct against the indexable predicate shapes.
+
+    Returns ``(column, spec)`` where ``spec`` is ``("eq", value)`` or
+    ``("range", lower, upper, lower_inclusive, upper_inclusive)``; only
+    column-vs-literal comparisons qualify (parameters re-bind per
+    execution, so a prepared plan must not bake their values into an
+    access path).
+    """
+    if isinstance(conjunct, ast.BinaryOp):
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if op == "=":
+            column = _scan_column(left, binding)
+            if column is not None and isinstance(right, ast.Literal):
+                return column, ("eq", right.value)
+            column = _scan_column(right, binding)
+            if column is not None and isinstance(left, ast.Literal):
+                return column, ("eq", left.value)
+            return None
+        if op in _RANGE_OPS:
+            column = _scan_column(left, binding)
+            if (
+                column is not None
+                and isinstance(right, ast.Literal)
+                and right.value is not None
+            ):
+                value = right.value
+                if op == "<":
+                    return column, ("range", None, value, True, False)
+                if op == "<=":
+                    return column, ("range", None, value, True, True)
+                if op == ">":
+                    return column, ("range", value, None, False, True)
+                return column, ("range", value, None, True, True)
+            column = _scan_column(right, binding)
+            if (
+                column is not None
+                and isinstance(left, ast.Literal)
+                and left.value is not None
+            ):
+                value = left.value  # mirrored: 5 < col  ≡  col > 5
+                if op == "<":
+                    return column, ("range", value, None, False, True)
+                if op == "<=":
+                    return column, ("range", value, None, True, True)
+                if op == ">":
+                    return column, ("range", None, value, True, False)
+                return column, ("range", None, value, True, True)
+            return None
+        return None
+    if isinstance(conjunct, ast.Between) and not conjunct.negated:
+        column = _scan_column(conjunct.operand, binding)
+        if (
+            column is not None
+            and isinstance(conjunct.low, ast.Literal)
+            and isinstance(conjunct.high, ast.Literal)
+            and conjunct.low.value is not None
+            and conjunct.high.value is not None
+        ):
+            return column, (
+                "range", conjunct.low.value, conjunct.high.value, True, True,
+            )
+    return None
+
+
+def _find_index(manager, table_name: str, column: str, access: str):
+    """The best single-column index for ``column``: hash wins equality
+    probes, only a B-tree can serve a range."""
+    equality = access == "eq"
+    best = None
+    for defn in manager.for_table(table_name):
+        if len(defn.columns) != 1 or defn.columns[0] != column:
+            continue
+        if defn.kind == "hash":
+            if equality:
+                return defn  # O(1) probe beats the tree descent
+            continue
+        if best is None:
+            best = defn
+    return best
+
+
+def _estimate_candidate(stats, row_count: int, column: str, spec: tuple) -> int:
+    """Estimated matching rows: fresh statistics, else heuristic defaults."""
+    if spec[0] == "eq":
+        if stats is not None:
+            estimated = stats.estimate_equal(column, spec[1])
+            if estimated is not None:
+                return estimated
+        return max(1, round(row_count * DEFAULT_EQUALITY_SELECTIVITY))
+    _, lower, upper, lower_inclusive, upper_inclusive = spec
+    if stats is not None:
+        estimated = stats.estimate_range(
+            column, lower, upper, lower_inclusive, upper_inclusive
+        )
+        if estimated is not None:
+            return estimated
+    return max(1, round(row_count * DEFAULT_RANGE_SELECTIVITY))
 
 
 def _is_policy_guard(

@@ -39,6 +39,18 @@ from ..workload import (
 #: The policy-randomization modes a spec may name.
 POLICY_MODES = ("scattered", "structured", "mixed", "open")
 
+#: Indexable workload columns: ``(table, column, kind)``.  Hash for the
+#: id-equality columns the generator probes, B-tree for the range-heavy
+#: numeric ones.
+INDEX_CANDIDATES = (
+    ("users", "watch_id", "hash"),
+    ("users", "nutritional_profile_id", "btree"),
+    ("sensed_data", "watch_id", "hash"),
+    ("sensed_data", "timestamp", "btree"),
+    ("sensed_data", "beats", "btree"),
+    ("nutritional_profiles", "profile_id", "btree"),
+)
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -51,6 +63,12 @@ class ScenarioSpec:
     policy_seed: int = 411595
     selectivity: float = 0.4
     user_count: int = 4
+    #: Secondary indexes to create: ``-1`` draws 0–3 from the policy seed
+    #: (the first one policy-partitioned), ``0`` disables, ``1``–``3`` pin
+    #: the count.  Index presence never changes enforced results — that is
+    #: exactly the invariant the differential harness checks — so older
+    #: repro files without this field replay under the default.
+    index_count: int = -1
 
     def __post_init__(self) -> None:
         if self.policy_mode not in POLICY_MODES:
@@ -59,6 +77,8 @@ class ScenarioSpec:
             )
         if self.patients < 1 or self.samples < 1 or self.user_count < 1:
             raise ValueError("patients, samples and user_count must be >= 1")
+        if not -1 <= self.index_count <= 3:
+            raise ValueError("index_count must be between -1 and 3")
 
     def to_dict(self) -> dict:
         """JSON-ready form (the ``spec`` object of a repro file)."""
@@ -70,6 +90,7 @@ class ScenarioSpec:
             "policy_seed": self.policy_seed,
             "selectivity": self.selectivity,
             "user_count": self.user_count,
+            "index_count": self.index_count,
         }
 
     @classmethod
@@ -89,6 +110,9 @@ class FuzzScenario:
     spec: ScenarioSpec
     scenario: PatientsScenario
     grants: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Names of the secondary indexes created in this world, in creation
+    #: order (the first, when any exist, is policy-partitioned).
+    indexes: tuple[str, ...] = ()
 
     @property
     def admin(self):
@@ -169,6 +193,39 @@ def _grant_users(instance: PatientsScenario, spec: ScenarioSpec) -> dict:
     return grants
 
 
+def _create_indexes(instance: PatientsScenario, spec: ScenarioSpec) -> tuple[str, ...]:
+    """Create the spec's secondary indexes through the DDL surface.
+
+    Deterministic per policy seed.  When any index is created, the first
+    is policy-partitioned so every indexed world exercises partition
+    pruning, and a final ``ANALYZE`` gives the cost model fresh statistics.
+    """
+    rng = random.Random(f"{spec.policy_seed}:indexes")
+    count = spec.index_count
+    if count < 0:
+        count = rng.randint(0, 3)
+    if count == 0:
+        return ()
+    database = instance.database
+    created: list[str] = []
+    table, column, _ = rng.choice(INDEX_CANDIDATES)
+    name = f"idx_part_{table}"
+    database.execute(
+        f"create index {name} on {table} ({column}) "
+        f"partition by {database.policy_column}"
+    )
+    created.append(name)
+    candidates = list(INDEX_CANDIDATES)
+    rng.shuffle(candidates)
+    for table, column, kind in candidates[: count - 1]:
+        name = f"idx_{table}_{column}"
+        using = f" using {kind}" if kind != "btree" else ""
+        database.execute(f"create index {name} on {table} ({column}){using}")
+        created.append(name)
+    database.execute("analyze")
+    return tuple(created)
+
+
 def build_fuzz_scenario(spec: ScenarioSpec | None = None) -> FuzzScenario:
     """Build the world a spec describes (deterministic per spec)."""
     spec = spec or ScenarioSpec()
@@ -179,4 +236,7 @@ def build_fuzz_scenario(spec: ScenarioSpec | None = None) -> FuzzScenario:
     )
     _apply_policies(instance, spec)
     grants = _grant_users(instance, spec)
-    return FuzzScenario(spec=spec, scenario=instance, grants=grants)
+    indexes = _create_indexes(instance, spec)
+    return FuzzScenario(
+        spec=spec, scenario=instance, grants=grants, indexes=indexes
+    )

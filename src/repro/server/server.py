@@ -483,5 +483,16 @@ class QueryServer:
                 "mode": self.monitor.executor_mode,
                 "batch_size": self.monitor.batch_size,
             },
+            "indexes": {
+                "mode": self.monitor.indexes_mode,
+                "manager": self.monitor.database.indexes.stats(),
+                "catalog": self.monitor.database.indexes.describe(),
+                "statistics": {
+                    "collections": (
+                        self.monitor.database.statistics.stats()["collections"]
+                    ),
+                    "tables": self.monitor.database.statistics.summary(),
+                },
+            },
             "lock": self.rwlock.state(),
         }

@@ -424,6 +424,41 @@ class AlterTableDropColumn(Statement):
 
 
 @dataclass(frozen=True)
+class CreateIndex(Statement):
+    """``CREATE INDEX name ON table (cols) [USING kind] [PARTITION BY col]``.
+
+    ``kind`` selects the structure (``btree`` default, or ``hash``);
+    ``partitioned_by`` names the policy column when the index additionally
+    groups its row ids by policy value for guard-time partition pruning.
+    ``INDEX``, ``USING`` and ``PARTITION`` are soft keywords.
+    """
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    kind: str = "btree"
+    partitioned_by: str | None = None
+
+
+@dataclass(frozen=True)
+class DropIndex(Statement):
+    """``DROP INDEX name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Analyze(Statement):
+    """``ANALYZE [table]`` — collect optimizer statistics.
+
+    With no table every table is analyzed.  Like ``EXPLAIN``, ``ANALYZE``
+    is a soft keyword recognized only at the very start of a statement.
+    """
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
 class Explain(Statement):
     """``EXPLAIN [ANALYZE] <select or set-operation>``.
 

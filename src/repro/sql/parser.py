@@ -147,6 +147,13 @@ class Parser:
             if not self._check_keyword("SELECT"):
                 raise self._error("EXPLAIN requires a SELECT statement")
             return ast.Explain(self._query_expression(), analyze=analyze)
+        # Bare ANALYZE (statistics collection).  Checked after EXPLAIN so
+        # "explain analyze select ..." still reads ANALYZE as the flag.
+        if self._match_word("ANALYZE"):
+            table = None
+            if self._peek().type is TokenType.IDENTIFIER:
+                table = self._advance().value
+            return ast.Analyze(table)
         if self._check_keyword("SELECT"):
             return self._query_expression()
         if self._check_keyword("INSERT"):
@@ -379,8 +386,10 @@ class Parser:
         where = self.expression() if self._match_keyword("WHERE") else None
         return ast.Delete(table, where)
 
-    def _create_table(self) -> ast.CreateTable:
+    def _create_table(self) -> ast.Statement:
         self._expect_keyword("CREATE")
+        if self._match_word("INDEX"):
+            return self._create_index()
         self._expect_keyword("TABLE")
         name = self._expect_identifier()
         self._expect_punct("(")
@@ -426,8 +435,29 @@ class Parser:
             self._expect_punct(")")
         return " ".join(parts)
 
-    def _drop_table(self) -> ast.DropTable:
+    def _create_index(self) -> ast.CreateIndex:
+        """The body after ``CREATE INDEX`` (INDEX already consumed)."""
+        name = self._expect_identifier()
+        self._expect_keyword("ON")
+        table = self._expect_identifier()
+        self._expect_punct("(")
+        columns = [self._expect_identifier()]
+        while self._match_punct(","):
+            columns.append(self._expect_identifier())
+        self._expect_punct(")")
+        kind = "btree"
+        if self._match_word("USING"):
+            kind = self._expect_identifier().lower()
+        partitioned_by = None
+        if self._match_word("PARTITION"):
+            self._expect_keyword("BY")
+            partitioned_by = self._expect_identifier()
+        return ast.CreateIndex(name, table, tuple(columns), kind, partitioned_by)
+
+    def _drop_table(self) -> ast.Statement:
         self._expect_keyword("DROP")
+        if self._match_word("INDEX"):
+            return ast.DropIndex(self._expect_identifier())
         self._expect_keyword("TABLE")
         return ast.DropTable(self._expect_identifier())
 

@@ -40,6 +40,12 @@ def to_sql(node: ast.Statement | ast.Expression) -> str:
         return _print_create(node)
     if isinstance(node, ast.DropTable):
         return f"drop table {node.name}"
+    if isinstance(node, ast.CreateIndex):
+        return _print_create_index(node)
+    if isinstance(node, ast.DropIndex):
+        return f"drop index {node.name}"
+    if isinstance(node, ast.Analyze):
+        return f"analyze {node.table}" if node.table else "analyze"
     if isinstance(node, ast.AlterTableAddColumn):
         return f"alter table {node.table} add column {_print_column_def(node.column)}"
     if isinstance(node, ast.AlterTableDropColumn):
@@ -97,6 +103,18 @@ def _print_column_def(column: ast.ColumnDef) -> str:
 def _print_create(statement: ast.CreateTable) -> str:
     columns = ", ".join(_print_column_def(column) for column in statement.columns)
     return f"create table {statement.name} ({columns})"
+
+
+def _print_create_index(statement: ast.CreateIndex) -> str:
+    text = (
+        f"create index {statement.name} on {statement.table} "
+        f"({', '.join(statement.columns)})"
+    )
+    if statement.kind != "btree":
+        text += f" using {statement.kind}"
+    if statement.partitioned_by is not None:
+        text += f" partition by {statement.partitioned_by}"
+    return text
 
 
 def print_select(select: ast.Select) -> str:

@@ -111,6 +111,22 @@ class TestCli:
         # config comes from the explicit sizes (or the unscaled defaults).
         assert payload["config"]["patients"] == 10
 
+    def test_indexes_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_indexes.json"
+        out = run_cli(
+            capsys, "indexes", "--sizes", "600", "--json-out", str(json_path),
+        )
+        assert "Indexes" in out
+        assert "result mismatches: 0" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "indexes"
+        assert len(payload["sizes"]) == 1
+        size = payload["sizes"][0]
+        assert size["rows"] == 600
+        assert size["rows_match"] is True
+        assert size["index_speedup"] > 1.0
+        assert size["partition_skips"] > 0
+
     def test_random_queries_included_by_default(self, capsys):
         out = run_cli(
             capsys, "fig6", "--patients", "10", "--samples", "3",

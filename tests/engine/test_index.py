@@ -1,0 +1,334 @@
+"""The secondary-index subsystem: structures, catalog and statistics.
+
+Covers mode resolution (explicit > ``$REPRO_INDEXES`` > default), the
+B+-tree and hash structures in isolation, the :class:`IndexManager`
+catalog lifecycle with its version-keyed lazy maintenance, the
+policy-partitioned layout's skip accounting, and the statistics
+collector's snapshots and cardinality estimators — including the empty /
+all-NULL / single-distinct edge cases and staleness after every DML
+write path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.index import (
+    INDEXES_ENV,
+    BTreeIndex,
+    HashIndex,
+    IndexDefinition,
+    StatisticsCollector,
+    collect_table_statistics,
+    resolve_index_mode,
+)
+from repro.engine.types import BitString
+from repro.errors import CatalogError, ExecutionError
+
+
+class TestModeResolution:
+    def test_default_is_on(self, monkeypatch) -> None:
+        monkeypatch.delenv(INDEXES_ENV, raising=False)
+        assert resolve_index_mode(None) == "on"
+
+    def test_environment_variable_is_honoured(self, monkeypatch) -> None:
+        monkeypatch.setenv(INDEXES_ENV, "off")
+        assert resolve_index_mode(None) == "off"
+
+    def test_explicit_mode_beats_the_environment(self, monkeypatch) -> None:
+        monkeypatch.setenv(INDEXES_ENV, "off")
+        assert resolve_index_mode("on") == "on"
+
+    def test_case_is_normalized(self) -> None:
+        assert resolve_index_mode("OFF") == "off"
+
+    def test_unknown_mode_is_rejected(self) -> None:
+        with pytest.raises(ExecutionError):
+            resolve_index_mode("sometimes")
+
+
+class TestBTreeIndex:
+    def test_point_search_after_splits(self) -> None:
+        index = BTreeIndex(order=4)
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            index.insert(key, key * 10)
+        assert index.height > 1
+        assert len(index) == 500
+        for key in (0, 123, 499):
+            assert index.search(key) == [key * 10]
+        assert index.search(500) == []
+
+    def test_duplicate_keys_share_one_posting_list(self) -> None:
+        # Builders insert in ascending row-id order; the posting list
+        # preserves it, so equal-key row ids come back ascending.
+        index = BTreeIndex()
+        for row_id in (3, 7, 9):
+            index.insert("k", row_id)
+        assert index.search("k") == [3, 7, 9]
+        assert index.entries == 3
+        assert len(index) == 1
+
+    def test_range_bounds(self) -> None:
+        index = BTreeIndex(order=4)
+        for key in range(20):
+            index.insert(key, key)
+        assert index.range(5, 8) == [5, 6, 7, 8]
+        assert index.range(5, 8, lower_inclusive=False) == [6, 7, 8]
+        assert index.range(5, 8, upper_inclusive=False) == [5, 6, 7]
+        assert index.range(None, 2) == [0, 1, 2]
+        assert index.range(17, None) == [17, 18, 19]
+        assert index.range(8, 5) == []
+
+    def test_items_iterate_in_key_order(self) -> None:
+        index = BTreeIndex(order=4)
+        for key in (30, 10, 20, 10):
+            index.insert(key, key)
+        assert [key for key, _ in index.items()] == [10, 20, 30]
+
+
+class TestHashIndex:
+    def test_search_and_postings_order(self) -> None:
+        index = HashIndex()
+        for row_id in (1, 3, 5):
+            index.insert("a", row_id)
+        index.insert("b", 2)
+        assert index.search("a") == [1, 3, 5]
+        assert index.search("b") == [2]
+        assert index.search("missing") == []
+        assert len(index) == 2
+        assert index.entries == 4
+
+
+@pytest.fixture
+def indexed_db() -> Database:
+    database = Database("idx")
+    database.execute(
+        "create table t (id integer primary key, grp text, score integer, "
+        "policy bit varying)"
+    )
+    database.policy_column = "policy"
+    masks = (BitString.from_bits("01"), BitString.from_bits("10"), None)
+    for i in range(30):
+        database.execute(
+            f"insert into t values ({i}, 'g{i % 3}', {i * 2}, null)"
+        )
+    table = database.table("t")
+    for mask_index, mask in enumerate(masks):
+        table.set_column_value(
+            "policy", mask, lambda row, m=mask_index: row[0] % 3 == m
+        )
+    return database
+
+
+class TestIndexManagerCatalog:
+    def test_create_and_describe_via_ddl(self, indexed_db) -> None:
+        indexed_db.execute("create index i_grp on t (grp) using hash")
+        indexed_db.execute("create index i_score on t (score)")
+        definitions = {d.name: d for d in indexed_db.indexes.definitions()}
+        assert definitions["i_grp"].kind == "hash"
+        assert definitions["i_score"].kind == "btree"
+        assert indexed_db.indexes.for_table("t") == list(definitions.values())
+
+    def test_duplicate_name_is_rejected(self, indexed_db) -> None:
+        indexed_db.execute("create index i on t (grp)")
+        with pytest.raises(CatalogError):
+            indexed_db.execute("create index i on t (score)")
+
+    def test_unknown_table_and_column_are_rejected(self, indexed_db) -> None:
+        with pytest.raises(CatalogError):
+            indexed_db.execute("create index i on nope (grp)")
+        with pytest.raises(CatalogError):
+            indexed_db.execute("create index i on t (nope)")
+
+    def test_unknown_kind_is_rejected(self, indexed_db) -> None:
+        with pytest.raises(CatalogError):
+            indexed_db.indexes.create(
+                IndexDefinition(name="i", table="t", columns=("grp",), kind="gin")
+            )
+
+    def test_partitioning_must_use_the_policy_column(self, indexed_db) -> None:
+        with pytest.raises(CatalogError):
+            indexed_db.execute("create index i on t (grp) partition by grp")
+        indexed_db.execute("create index i on t (grp) partition by policy")
+        assert indexed_db.indexes.get("i").partitioned
+
+    def test_drop_unknown_raises(self, indexed_db) -> None:
+        with pytest.raises(CatalogError):
+            indexed_db.execute("drop index nope")
+
+    def test_drop_table_drops_its_indexes(self, indexed_db) -> None:
+        indexed_db.execute("create index i on t (grp)")
+        indexed_db.execute("drop table t")
+        assert len(indexed_db.indexes) == 0
+
+
+class TestIndexMaintenance:
+    def test_lookup_reflects_rows_inserted_after_build(self, indexed_db) -> None:
+        indexed_db.execute("create index i_score on t (score)")
+        manager = indexed_db.indexes
+        assert manager.lookup_equal("i_score", 10) == [5]
+        rebuilds = manager.stats()["rebuilds"]
+        indexed_db.execute("insert into t values (100, 'g0', 10, null)")
+        assert manager.lookup_equal("i_score", 10) == [5, 30]
+        assert manager.stats()["rebuilds"] == rebuilds + 1
+
+    def test_entry_is_reused_while_version_is_unchanged(self, indexed_db) -> None:
+        indexed_db.execute("create index i_score on t (score)")
+        manager = indexed_db.indexes
+        manager.lookup_equal("i_score", 10)
+        rebuilds = manager.stats()["rebuilds"]
+        manager.lookup_equal("i_score", 12)
+        manager.lookup_range("i_score", 0, 6)
+        assert manager.stats()["rebuilds"] == rebuilds
+
+    def test_range_lookup_requires_a_btree(self, indexed_db) -> None:
+        indexed_db.execute("create index i_grp on t (grp) using hash")
+        with pytest.raises(ExecutionError):
+            indexed_db.indexes.lookup_range("i_grp", "a", "z")
+
+
+class TestPolicyPartitions:
+    def test_partition_rows_skips_failing_partitions(self, indexed_db) -> None:
+        indexed_db.execute("create index i on t (grp) partition by policy")
+        manager = indexed_db.indexes
+        # Three partitions: mask 01 (rows 0,3,...), mask 10 (rows 1,4,...)
+        # and NULL (rows 2,5,...).  Pass only the mask-01 partition.
+        assert manager.partition_count("i") == 3
+        passing = set(range(0, 30, 3))
+        rows = manager.partition_rows("i", passing)
+        assert rows == sorted(passing)
+        stats = manager.stats()
+        assert stats["partition_hits"] == 1
+        assert stats["partition_skips"] == 2
+
+    def test_all_partitions_qualify_in_storage_order(self, indexed_db) -> None:
+        indexed_db.execute("create index i on t (grp) partition by policy")
+        rows = indexed_db.indexes.partition_rows("i", set(range(30)))
+        assert rows == list(range(30))
+
+    def test_partition_rows_rejects_unpartitioned_indexes(self, indexed_db) -> None:
+        indexed_db.execute("create index i_grp on t (grp)")
+        with pytest.raises(ExecutionError):
+            indexed_db.indexes.partition_rows("i_grp", set())
+
+
+class TestStatisticsSnapshots:
+    def test_collect_covers_count_ndv_bounds_and_histogram(self, indexed_db) -> None:
+        stats = collect_table_statistics(indexed_db.table("t"))
+        assert stats.row_count == 30
+        score = stats.column("score")
+        assert score.distinct == 30
+        assert (score.minimum, score.maximum) == (0, 58)
+        assert score.histogram
+        grp = stats.column("grp")
+        assert grp.distinct == 3
+
+    def test_unorderable_policy_column_still_gets_ndv(self, indexed_db) -> None:
+        stats = collect_table_statistics(indexed_db.table("t"))
+        policy = stats.column("policy")
+        assert policy.distinct == 2
+        assert policy.null_count == 10
+        assert policy.minimum is None
+        assert policy.histogram == ()
+
+    def test_empty_table(self) -> None:
+        database = Database()
+        database.execute("create table e (v integer)")
+        stats = collect_table_statistics(database.table("e"))
+        assert stats.row_count == 0
+        assert stats.column("v").distinct == 0
+        assert stats.column("v").histogram == ()
+        assert stats.estimate_equal("v", 1) == 0
+
+    def test_all_null_column(self) -> None:
+        database = Database()
+        database.execute("create table n (v integer)")
+        database.execute("insert into n values (null), (null), (null)")
+        stats = collect_table_statistics(database.table("n"))
+        column = stats.column("v")
+        assert column.null_count == 3
+        assert column.distinct == 0
+        assert stats.estimate_equal("v", 1) == 0
+
+    def test_single_distinct_column(self) -> None:
+        database = Database()
+        database.execute("create table s (v integer)")
+        database.execute("insert into s values (7), (7), (7), (7)")
+        stats = collect_table_statistics(database.table("s"))
+        assert stats.column("v").distinct == 1
+        assert stats.estimate_equal("v", 7) == 4
+        assert stats.estimate_equal("v", 8) == 0  # outside [min, max]
+
+
+class TestStatisticsCollector:
+    @pytest.fixture
+    def collected(self, indexed_db):
+        collector = StatisticsCollector(indexed_db)
+        collector.collect()
+        return indexed_db, collector
+
+    def test_analyze_returns_refreshed_table_count(self, indexed_db) -> None:
+        assert indexed_db.execute("analyze") == 1
+        assert indexed_db.execute("analyze t") == 1
+
+    def test_fresh_after_collect(self, collected) -> None:
+        database, collector = collected
+        table = database.table("t")
+        assert collector.fresh(table) is not None
+        assert not collector.is_stale(table)
+
+    def test_stale_after_append_rows(self, collected) -> None:
+        database, collector = collected
+        table = database.table("t")
+        table.append_rows([(200, "g0", 1, None)])
+        assert collector.is_stale(table)
+        assert collector.fresh(table) is None
+
+    def test_stale_after_extend(self, collected) -> None:
+        database, collector = collected
+        table = database.table("t")
+        table.extend([(201, "g1", 2, None), (202, "g2", 3, None)])
+        assert collector.is_stale(table)
+
+    def test_stale_after_delete(self, collected) -> None:
+        database, collector = collected
+        table = database.table("t")
+        table.delete_rows(lambda row: row[0] == 0)
+        assert collector.is_stale(table)
+
+    def test_forget_and_clear(self, collected) -> None:
+        database, collector = collected
+        collector.forget("t")
+        assert collector.get("t") is None
+        collector.collect()
+        collector.clear()
+        assert collector.get("t") is None
+
+
+class TestCardinalityEstimates:
+    @pytest.fixture
+    def stats(self, indexed_db):
+        return collect_table_statistics(indexed_db.table("t"))
+
+    def test_equality_is_uniform_over_ndv(self, stats) -> None:
+        assert stats.estimate_equal("grp", "g1") == 10
+        assert stats.estimate_equal("score", 10) == 1
+
+    def test_equality_outside_bounds_is_zero(self, stats) -> None:
+        assert stats.estimate_equal("score", 999) == 0
+
+    def test_unknown_column_estimates_to_none(self, stats) -> None:
+        assert stats.estimate_equal("nope", 1) is None
+        assert stats.estimate_range("nope", 1, 2) is None
+
+    def test_range_tracks_the_histogram(self, stats) -> None:
+        # scores are 0,2,...,58 uniform; [0, 28] covers about half the rows.
+        estimate = stats.estimate_range("score", 0, 28)
+        assert 10 <= estimate <= 20
+        assert stats.estimate_range("score", None, 999) == 30
+        assert stats.estimate_range("score", 999, None) == 0

@@ -1,0 +1,152 @@
+"""Differential testing of index-accelerated plans against full scans.
+
+``REPRO_INDEXES=off`` is the differential reference: every query plans
+exactly as the pre-index engine did.  With indexes on, the optimizer may
+reroute scans through secondary indexes, prune policy partitions and flip
+hash-join build sides — none of which may change the observable outcome:
+same rows and columns, same denial/error outcome, the *same*
+``complieswith`` invocation count (index paths are never chosen for
+residuals that call the policy UDF, and partition verdicts come from the
+same bitmap cache), and the same audit trail.
+
+Three layers of coverage:
+
+* every regression-corpus file replayed through the full differential
+  harness under each index mode,
+* a 500-case seed-2015 campaign comparing indexes-on and indexes-off
+  execution of every generated case directly against each other, and
+* the campaign's audit records compared field-by-field.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import AuditLog
+from repro.errors import ReproError, UnauthorizedPurposeError
+from repro.fuzz import DifferentialRunner, FuzzQueryGenerator, build_fuzz_scenario, load_repro
+from repro.fuzz.runner import normalize_rows
+from repro.fuzz.scenario import ScenarioSpec
+
+CAMPAIGN_SEED = 2015
+CAMPAIGN_CASES = 500
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+INDEX_MODES = ("on", "off")
+
+#: The campaign world pins three indexes so the on-mode always has access
+#: paths (including a policy-partitioned one) to choose from.
+INDEXED_SPEC = ScenarioSpec(index_count=3)
+
+
+@pytest.fixture(scope="module", params=INDEX_MODES)
+def mode_runner(request):
+    """One full differential harness (server included) per index mode."""
+    with DifferentialRunner(spec=INDEXED_SPEC) as runner:
+        runner.world.monitor.set_indexes(request.param)
+        try:
+            yield runner
+        finally:
+            runner.world.monitor.set_indexes(None)
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_replays_clean_in_both_modes(mode_runner, path: Path) -> None:
+    _, case, _ = load_repro(path)
+    report = mode_runner.run_case(case)
+    assert report.ok, report.describe()
+
+
+class TestIndexCampaign:
+    """500 generated cases, each executed with indexes on and off."""
+
+    @pytest.fixture(scope="class")
+    def eq_world(self):
+        instance = build_fuzz_scenario(INDEXED_SPEC)
+        assert instance.indexes, "campaign world must carry secondary indexes"
+        audit = AuditLog(instance.database)
+        instance.monitor.attach_audit(audit)
+        return instance, audit
+
+    @staticmethod
+    def _run_mode(world, audit, case, mode):
+        monitor = world.monitor
+        monitor.set_indexes(mode)
+        monitor.clear_plan_cache()
+        monitor.clear_policy_bitmaps()
+        audit_before = len(audit)
+        try:
+            report = monitor.execute_with_report(
+                case.sql, case.purpose, user=case.user, params=case.params or None
+            )
+        except UnauthorizedPurposeError:
+            outcome = ("denied", None, None, None)
+        except ReproError as exc:
+            outcome = ("error", type(exc).__name__, None, None)
+        else:
+            outcome = (
+                "rows",
+                tuple(c.lower() for c in report.result.columns),
+                tuple(normalize_rows(report.result.rows)),
+                report.compliance_checks,
+            )
+        trail = tuple(
+            (r.outcome, r.user, r.purpose, r.rows, r.compliance_checks)
+            for r in audit.records[audit_before:]
+        )
+        return outcome, trail
+
+    def test_500_cases_agree_between_index_modes(self, eq_world) -> None:
+        world, audit = eq_world
+        generator = FuzzQueryGenerator.for_world(world, seed=CAMPAIGN_SEED)
+        previous = world.monitor.indexes_mode
+        disagreements = []
+        try:
+            for case in generator.cases(CAMPAIGN_CASES):
+                on = self._run_mode(world, audit, case, "on")
+                off = self._run_mode(world, audit, case, "off")
+                if on != off:
+                    disagreements.append(
+                        f"{case.replay_token} ({case.kind}): {case.sql!r}\n"
+                        f"  on:  {on}\n  off: {off}"
+                    )
+                    if len(disagreements) >= 5:
+                        break
+        finally:
+            world.monitor.set_indexes(previous)
+        assert disagreements == [], "\n\n".join(disagreements)
+
+    def test_on_mode_actually_uses_indexes(self, eq_world) -> None:
+        """The equivalence above is vacuous unless index paths really run."""
+        world, _ = eq_world
+        monitor = world.monitor
+        previous_optimizer = monitor.optimizer_mode
+        # Index paths hang off the full pass pipeline; pin it on so this
+        # check holds under the CI matrix's REPRO_OPTIMIZER=off run.
+        monitor.set_optimizer("on")
+        monitor.set_indexes("on")
+        monitor.clear_plan_cache()
+        try:
+            before = world.database.indexes.stats()
+            generator = FuzzQueryGenerator.for_world(world, seed=CAMPAIGN_SEED)
+            for case in generator.cases(100):
+                try:
+                    monitor.execute(case.sql, case.purpose, params=case.params or None)
+                except ReproError:
+                    pass
+            after = world.database.indexes.stats()
+        finally:
+            monitor.set_indexes(None)
+            monitor.set_optimizer(previous_optimizer)
+        touched = (
+            (after["hits"] - before["hits"])
+            + (after["partition_hits"] - before["partition_hits"])
+            + (after["partition_skips"] - before["partition_skips"])
+        )
+        assert touched > 0

@@ -34,12 +34,13 @@ def golden_monitor():
     """The deterministic world all golden plans are produced against."""
     instance = build_patients_scenario(patients=25, samples_per_patient=8)
     apply_experiment_policies(instance, selectivity=0.4, seed=99)
-    # Golden files are produced with the full pass pipeline and the batch
-    # executor at the default page size; pin both so the comparison is
-    # stable even when the suite runs under REPRO_OPTIMIZER=off or
-    # REPRO_EXECUTOR=row.
+    # Golden files are produced with the full pass pipeline, the batch
+    # executor at the default page size and index-based access paths on;
+    # pin all three so the comparison is stable even when the suite runs
+    # under REPRO_OPTIMIZER=off, REPRO_EXECUTOR=row or REPRO_INDEXES=off.
     instance.monitor.set_optimizer("on")
     instance.monitor.set_executor("batch", batch_size=1024)
+    instance.monitor.set_indexes("on")
     return instance.monitor
 
 

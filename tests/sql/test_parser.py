@@ -302,6 +302,48 @@ class TestDmlDdl:
             parse_statement("vacuum t")
 
 
+class TestIndexStatements:
+    def test_create_index_defaults_to_btree(self):
+        statement = parse_statement("create index i on t (a)")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.name == "i"
+        assert statement.table == "t"
+        assert statement.columns == ("a",)
+        assert statement.kind == "btree"
+        assert statement.partitioned_by is None
+
+    def test_create_index_using_hash(self):
+        statement = parse_statement("create index i on t (a, b) using hash")
+        assert statement.kind == "hash"
+        assert statement.columns == ("a", "b")
+
+    def test_create_index_partition_by(self):
+        statement = parse_statement(
+            "create index i on t (a) partition by policy"
+        )
+        assert statement.partitioned_by == "policy"
+
+    def test_drop_index(self):
+        statement = parse_statement("drop index i")
+        assert isinstance(statement, ast.DropIndex)
+        assert statement.name == "i"
+
+    def test_analyze_all_tables(self):
+        statement = parse_statement("analyze")
+        assert isinstance(statement, ast.Analyze)
+        assert statement.table is None
+
+    def test_analyze_one_table(self):
+        statement = parse_statement("analyze t")
+        assert statement.table == "t"
+
+    def test_index_stays_a_soft_keyword(self):
+        # ``index`` and ``analyze`` must remain usable as identifiers.
+        select = parse_select("select index, analyze from t")
+        names = [item.expression.name for item in select.items]
+        assert names == ["index", "analyze"]
+
+
 class TestPaperQueries:
     """Every query from Figure 4 and the paper's examples must parse."""
 

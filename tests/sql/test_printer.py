@@ -45,6 +45,12 @@ def test_select_roundtrip_is_fixpoint(sql):
         "drop table t",
         "alter table t add column p bit varying",
         "alter table t drop column p",
+        "create index i on t (a)",
+        "create index i on t (a, b) using hash",
+        "create index i on t (a) partition by policy",
+        "drop index i",
+        "analyze",
+        "analyze t",
     ],
 )
 def test_statement_roundtrip_is_fixpoint(sql):
