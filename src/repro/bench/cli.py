@@ -7,7 +7,7 @@ Regenerates the paper's figures as plain-text tables::
     python -m repro.bench fig8              # time vs dataset size
     python -m repro.bench optimizer         # per-row checks vs policy bitmaps
     python -m repro.bench columnar          # row vs batch executor latency
-    python -m repro.bench concurrency       # threads vs enforced throughput
+    python -m repro.bench shards            # threaded vs async sharded qps
     python -m repro.bench all               # everything
     python -m repro.bench fig7 --patients 1000 --samples 1000   # paper scale
 
@@ -20,7 +20,6 @@ from __future__ import annotations
 import argparse
 import json
 
-from .concurrency import run_concurrency
 from .experiments import (
     INDEXES_SIZES,
     run_columnar,
@@ -33,14 +32,15 @@ from .experiments import (
 from .harness import ExperimentConfig, PAPER_SELECTIVITIES
 from .reporting import (
     columnar_table,
-    concurrency_table,
     figure6_table,
     figure7_table,
     figure8_table,
     hotpath_table,
     indexes_table,
     optimizer_table,
+    shards_table,
 )
+from .shards import run_shards
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -85,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
             "optimizer",
             "columnar",
             "indexes",
-            "concurrency",
+            "shards",
             "all",
         ),
         help=(
@@ -94,7 +94,7 @@ def main(argv: list[str] | None = None) -> int:
             "optimizer = per-row checks vs policy-bitmap pre-filtering, "
             "columnar = row vs batch executor latency sweep, "
             "indexes = full-scan vs index vs partition-pruned access paths, "
-            "concurrency = enforced throughput vs parallel sessions)"
+            "shards = threaded baseline vs async sharded throughput)"
         ),
     )
     parser.add_argument("--patients", type=int, default=None)
@@ -115,11 +115,24 @@ def main(argv: list[str] | None = None) -> int:
         "--repeat", type=int, default=1, help="timing repetitions (best-of)"
     )
     parser.add_argument(
-        "--threads",
+        "--clients",
         type=int,
         nargs="+",
-        default=[1, 2, 4, 8],
-        help="thread sweep for the concurrency experiment",
+        default=[1, 4, 8, 16],
+        help="client-session sweep for the shards experiment",
+    )
+    parser.add_argument(
+        "--shard-counts",
+        type=int,
+        nargs="+",
+        default=[1, 3],
+        help="shard counts for the async rows of the shards experiment",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("inline", "process"),
+        default="inline",
+        help="shard transport for the shards experiment",
     )
     parser.add_argument(
         "--sizes",
@@ -132,14 +145,14 @@ def main(argv: list[str] | None = None) -> int:
         "--queries-per-session",
         type=int,
         default=8,
-        help="statement-mix iterations per session (concurrency experiment)",
+        help="statement-mix iterations per session (shards experiment)",
     )
     parser.add_argument(
         "--json-out",
         default=None,
         metavar="PATH",
         help=(
-            "where the concurrency/hotpath/optimizer/columnar experiments "
+            "where the shards/hotpath/optimizer/columnar experiments "
             "write their JSON summaries (defaults: BENCH_<figure>.json)"
         ),
     )
@@ -211,14 +224,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {json_path}")
         if args.figure == "all":
             print()
-    if args.figure in ("concurrency", "all"):
-        run = run_concurrency(
+    if args.figure in ("shards", "all"):
+        run = run_shards(
             config,
-            thread_counts=tuple(args.threads),
+            client_counts=tuple(args.clients),
+            shard_counts=tuple(args.shard_counts),
             queries_per_session=args.queries_per_session,
+            backend=args.backend,
         )
-        print(concurrency_table(run))
-        json_path = args.json_out or "BENCH_concurrency.json"
+        print(shards_table(run))
+        json_path = args.json_out or "BENCH_shards.json"
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(run.to_dict(), handle, indent=2)
             handle.write("\n")

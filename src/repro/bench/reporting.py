@@ -8,8 +8,8 @@ execution times across selectivities (Figure 7) and across dataset sizes
 
 from __future__ import annotations
 
-from .concurrency import ConcurrencyRun
 from .experiments import Experiment2Result
+from .shards import ShardsRun
 from .harness import (
     ColumnarRun,
     ExperimentRun,
@@ -188,20 +188,26 @@ def optimizer_table(run: OptimizerRun) -> str:
     return f"{title}\n{_format_table(header, rows)}\n{summary}"
 
 
-def concurrency_table(run: ConcurrencyRun) -> str:
-    """Concurrency sweep: enforced throughput and latency per thread count.
+def shards_table(run: ShardsRun) -> str:
+    """Scale-out sweep: threaded baseline vs async sharded, per client count.
 
-    ``qps`` counts completed statements per second across all sessions;
-    ``p50``/``p95`` are per-statement round-trip latencies; ``hit`` is the
-    plan-cache hit rate during the sweep point; ``busy`` the number of
-    ``server_busy`` backpressure responses clients absorbed.
+    ``server``/``shards`` name the flavor (the thread-per-connection
+    baseline reports 0 shards); ``qps`` counts completed statements per
+    second across all sessions; ``p50``/``p95`` are per-statement
+    round-trip latencies; ``hit`` is the plan-cache hit share; ``busy``
+    the number of ``server_busy`` backpressure responses clients absorbed.
     """
-    header = ["threads", "queries", "qps", "p50 ms", "p95 ms", "hit", "busy"]
+    header = [
+        "server", "shards", "clients", "queries",
+        "qps", "p50 ms", "p95 ms", "hit", "busy",
+    ]
     rows = []
     for sample in run.samples:
         rows.append(
             [
-                str(sample.threads),
+                sample.server,
+                str(sample.shards) if sample.shards else "-",
+                str(sample.clients),
                 str(sample.queries),
                 f"{sample.throughput:.0f}",
                 _ms(sample.percentile(0.50)),
@@ -211,10 +217,10 @@ def concurrency_table(run: ConcurrencyRun) -> str:
             ]
         )
     title = (
-        f"Concurrency — enforced throughput vs parallel sessions "
+        f"Scale-out — threaded baseline vs async sharded throughput "
         f"(patients={run.config.patients}, "
         f"samples={run.config.samples_per_patient}, "
-        f"selectivity={run.selectivity:g})"
+        f"selectivity={run.selectivity:g}, backend={run.backend})"
     )
     return f"{title}\n{_format_table(header, rows)}"
 

@@ -1,0 +1,303 @@
+"""Scale-out experiment: threaded baseline vs async sharded throughput.
+
+Not in the paper — the paper's evaluation (Section 6.3) is strictly
+sequential — but the question the :mod:`repro.server` and
+:mod:`repro.shard` subsystems exist to answer: what does the enforcement
+pipeline sustain when many authenticated sessions hit it at once, and does
+hash-sharding the executors buy anything over a thread pool on one world?
+
+Each sweep point crosses a client count with a server flavor: the
+thread-per-connection :class:`~repro.server.QueryServer` over one full
+world (the baseline every shard count is judged against), and the asyncio
+:class:`~repro.server.async_server.AsyncQueryServer` fronting a
+:class:`~repro.shard.ShardCoordinator` at each requested shard count.
+All flavors rebuild the *same* deterministic world from one
+:class:`~repro.shard.WorldRecipe`, open one session per client and drive
+the fixed per-session statement mix (cached SELECTs plus a parameterized
+prepared execution), reporting throughput, p50/p95 latency, the cache-hit
+share and any ``server_busy`` backpressure hits.  One run therefore folds
+the old ``concurrency`` experiment (the ``threaded`` rows) and the new
+scale-out question (the ``async`` rows) into a single artifact,
+``BENCH_shards.json``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import RemoteError
+from ..server import AsyncQueryServer, Client, QueryServer
+from ..shard import ShardCoordinator, WorldRecipe
+from ..shard.recipe import build_world
+from .harness import BENCH_PURPOSE, ExperimentConfig
+
+#: The per-session statement mix: two plain SELECTs that should hit the plan
+#: cache after warmup, plus one prepared statement executed under a
+#: per-iteration parameter binding.
+MIX_QUERIES = (
+    "select avg(beats) from sensed_data",
+    "select user_id, watch_id from users",
+)
+MIX_PREPARED = "select beats from sensed_data where watch_id = ?"
+
+#: Statements per mix iteration (used by tests to assert conservation).
+MIX_SIZE = len(MIX_QUERIES) + 1
+
+
+@dataclass
+class ShardsSample:
+    """One sweep point: ``clients`` parallel sessions against one flavor.
+
+    ``server`` is ``"threaded"`` (the thread-per-connection baseline, where
+    ``shards`` is 0) or ``"async"`` (the asyncio front end over ``shards``
+    hash-sharded executors).
+    """
+
+    server: str
+    shards: int
+    clients: int
+    queries: int
+    elapsed: float
+    latencies: list[float] = field(repr=False, default_factory=list)
+    cache_hits: int = 0
+    busy_responses: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed statements per second across all sessions."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.queries / self.elapsed
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile (seconds) over all completed statements."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+    @property
+    def hit_rate(self) -> float:
+        """Share of completed statements answered from a plan cache."""
+        if self.queries == 0:
+            return 1.0
+        return self.cache_hits / self.queries
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (latency list reduced to percentiles)."""
+        return {
+            "server": self.server,
+            "shards": self.shards,
+            "clients": self.clients,
+            "queries": self.queries,
+            "elapsed_s": self.elapsed,
+            "throughput_qps": self.throughput,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "hit_rate": self.hit_rate,
+            "busy_responses": self.busy_responses,
+        }
+
+
+@dataclass
+class ShardsRun:
+    """All sweep points of one scale-out experiment."""
+
+    config: ExperimentConfig
+    selectivity: float
+    queries_per_session: int
+    shard_counts: tuple
+    backend: str
+    samples: list[ShardsSample] = field(default_factory=list)
+
+    def point(self, server: str, shards: int, clients: int) -> ShardsSample:
+        """The sample for one (flavor, shard count, client count) cell."""
+        for sample in self.samples:
+            if (
+                sample.server == server
+                and sample.shards == shards
+                and sample.clients == clients
+            ):
+                return sample
+        raise KeyError((server, shards, clients))
+
+    def to_dict(self) -> dict:
+        """The ``BENCH_shards.json`` payload."""
+        return {
+            "experiment": "shards",
+            "patients": self.config.patients,
+            "samples_per_patient": self.config.samples_per_patient,
+            "selectivity": self.selectivity,
+            "queries_per_session": self.queries_per_session,
+            "shard_counts": list(self.shard_counts),
+            "backend": self.backend,
+            "sweep": [sample.to_dict() for sample in self.samples],
+        }
+
+
+def _session_worker(
+    address: tuple[str, int],
+    user: str,
+    iterations: int,
+    sample: ShardsSample,
+    lock: threading.Lock,
+    start_gate: threading.Event,
+) -> None:
+    latencies: list[float] = []
+    completed = 0
+    busy = 0
+    hits = 0
+    with Client(*address) as client:
+        client.hello(user, BENCH_PURPOSE)
+        statement = client.prepare(MIX_PREPARED)
+        start_gate.wait()
+        for iteration in range(iterations):
+            calls = [
+                lambda sql=sql: client.query(sql) for sql in MIX_QUERIES
+            ]
+            calls.append(
+                lambda i=iteration: client.execute_prepared(
+                    statement, [f"watch{i % 7}"]
+                )
+            )
+            for call in calls:
+                begin = time.perf_counter()
+                try:
+                    result = call()
+                except RemoteError as exc:
+                    if exc.code != "server_busy":
+                        raise
+                    busy += 1
+                    continue
+                latencies.append(time.perf_counter() - begin)
+                completed += 1
+                if result.cache_hit:
+                    hits += 1
+        client.bye()
+    with lock:
+        sample.latencies.extend(latencies)
+        sample.queries += completed
+        sample.cache_hits += hits
+        sample.busy_responses += busy
+
+
+def _drive_point(
+    address: tuple[str, int],
+    server: str,
+    shards: int,
+    clients: int,
+    queries_per_session: int,
+    users: list[str],
+) -> ShardsSample:
+    """One measured point: ``clients`` session threads against ``address``."""
+    sample = ShardsSample(
+        server=server, shards=shards, clients=clients, queries=0, elapsed=0.0
+    )
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    workers = [
+        threading.Thread(
+            target=_session_worker,
+            args=(
+                address,
+                users[index],
+                queries_per_session,
+                sample,
+                lock,
+                start_gate,
+            ),
+        )
+        for index in range(clients)
+    ]
+    for worker in workers:
+        worker.start()
+    begin = time.perf_counter()
+    start_gate.set()
+    for worker in workers:
+        worker.join()
+    sample.elapsed = time.perf_counter() - begin
+    return sample
+
+
+def run_shards(
+    config: ExperimentConfig | None = None,
+    client_counts: tuple[int, ...] = (1, 4, 8, 16),
+    shard_counts: tuple[int, ...] = (1, 3),
+    queries_per_session: int = 8,
+    selectivity: float = 0.4,
+    backend: str = "inline",
+    max_pending: int = 64,
+) -> ShardsRun:
+    """Sweep client counts across the threaded and async-sharded servers.
+
+    Worlds are built once per flavor from one :class:`WorldRecipe` and
+    reused across client counts; each sweep point gets a fresh server
+    whose admission width matches the client count, so backpressure and
+    latency are comparable across flavors at the same point.  The plan
+    caches warm during the first point of each flavor and stay warm —
+    every flavor gets the identical warmup treatment.
+    """
+    config = config or ExperimentConfig.scaled()
+    users = [f"bench{index}" for index in range(max(client_counts))]
+    recipe = WorldRecipe.for_patients(
+        patients=config.patients,
+        samples=config.samples_per_patient,
+        selectivity=selectivity,
+        policy_seed=config.policy_seed,
+        data_seed=config.data_seed,
+        grants=tuple((user, BENCH_PURPOSE) for user in users),
+    )
+    run = ShardsRun(
+        config=config,
+        selectivity=selectivity,
+        queries_per_session=queries_per_session,
+        shard_counts=tuple(shard_counts),
+        backend=backend,
+    )
+
+    baseline = build_world(recipe)
+    coordinators = {
+        count: ShardCoordinator(recipe, count, backend=backend)
+        for count in shard_counts
+    }
+    try:
+        for clients in client_counts:
+            with QueryServer(
+                baseline.monitor, workers=clients, max_pending=max_pending
+            ) as server:
+                run.samples.append(
+                    _drive_point(
+                        server.address,
+                        "threaded",
+                        0,
+                        clients,
+                        queries_per_session,
+                        users,
+                    )
+                )
+            for count in shard_counts:
+                with AsyncQueryServer(
+                    coordinators[count],
+                    max_concurrent=clients,
+                    max_pending=max_pending,
+                ) as server:
+                    run.samples.append(
+                        _drive_point(
+                            server.address,
+                            "async",
+                            count,
+                            clients,
+                            queries_per_session,
+                            users,
+                        )
+                    )
+    finally:
+        for coordinator in coordinators.values():
+            coordinator.close()
+    return run

@@ -67,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the wire-protocol paths (in-process paths only)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[],
+        metavar="N",
+        help=(
+            "also execute every case through async sharded deployments at "
+            "these shard counts (e.g. --shards 1 3)"
+        ),
+    )
     parser.add_argument("--patients", type=int, default=None)
     parser.add_argument("--samples", type=int, default=None)
     parser.add_argument("--policy-mode", choices=POLICY_MODES, default=None)
@@ -127,7 +138,11 @@ def _run_campaign(args: argparse.Namespace) -> int:
     executed = 0
     failures = 0
     started = time.monotonic()
-    with DifferentialRunner(world=world, use_server=not args.no_server) as runner:
+    with DifferentialRunner(
+        world=world,
+        use_server=not args.no_server,
+        sharded_counts=tuple(args.shards),
+    ) as runner:
         for index in range(args.start, args.start + args.cases):
             if deadline is not None and time.monotonic() >= deadline:
                 print(f"time budget reached after {executed} cases")

@@ -14,6 +14,18 @@ reach enforcement by:
 ``server-query`` / ``server-prepared``
     The same statement over the :mod:`repro.server` wire protocol, ad-hoc
     and via remote prepare/execute.
+``sharded-N`` (opt-in via ``sharded_counts``)
+    The same statement over the wire against an
+    :class:`~repro.server.async_server.AsyncQueryServer` fronting an
+    N-shard :class:`~repro.shard.coordinator.ShardCoordinator` whose
+    replica worlds are rebuilt from this world's
+    :class:`~.scenario.ScenarioSpec`.  Sharded deployments pin
+    ``optimizer=off, executor=row, indexes=off`` — in that mode the
+    per-row ``complieswith`` count is exactly conserved under row
+    partitioning, so check counts must agree *across shard counts* (they
+    are compared among the sharded paths, not against the default-mode
+    paths, and cache-hit expectations do not apply to the separate
+    replica worlds).
 
 All row-returning paths must agree with the oracle on columns and row
 multiset, report the same ``complieswith`` invocation count, and match the
@@ -140,13 +152,16 @@ class DifferentialRunner:
         world: FuzzScenario | None = None,
         spec: ScenarioSpec | None = None,
         use_server: bool = True,
+        sharded_counts: "tuple[int, ...]" = (),
     ):
         self.world = world or build_fuzz_scenario(spec)
         self.oracle = EnforcementOracle(self.world.admin)
         self.audit = AuditLog(self.world.database)
         self.world.monitor.attach_audit(self.audit)
         self.use_server = use_server
+        self.sharded_counts = tuple(sharded_counts)
         self._server: QueryServer | None = None
+        self._sharded: dict = {}  # shard count -> running AsyncQueryServer
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -156,10 +171,34 @@ class DifferentialRunner:
             self._server = QueryServer(self.world.monitor).start()
         return self._server
 
+    def sharded_server(self, count: int):
+        """The running async sharded deployment for one shard count (lazy)."""
+        if count not in self._sharded:
+            from ..server.async_server import AsyncQueryServer
+            from ..shard import ShardCoordinator, WorldRecipe
+
+            coordinator = ShardCoordinator(
+                WorldRecipe.for_fuzz(self.world.spec),
+                count,
+                backend="inline",
+                # Pinned modes: per-row complieswith counts are conserved
+                # exactly under partitioning only when every guard conjunct
+                # is evaluated row by row with no bitmap/memo hoisting.
+                optimizer="off",
+                executor="row",
+                indexes="off",
+            )
+            self._sharded[count] = AsyncQueryServer(coordinator).start()
+        return self._sharded[count]
+
     def close(self) -> None:
         if self._server is not None:
             self._server.stop()
             self._server = None
+        for server in self._sharded.values():
+            server.stop()
+            server.coordinator.close()
+        self._sharded.clear()
 
     def __enter__(self) -> "DifferentialRunner":
         return self
@@ -204,6 +243,21 @@ class DifferentialRunner:
             expected_rows,
             expected_columns,
         )
+
+        if self.sharded_counts:
+            sharded = [
+                self._sharded_path(case, count) for count in self.sharded_counts
+            ]
+            self._check_sharded(
+                case,
+                sharded,
+                failures,
+                denial_expected,
+                oracle_error,
+                expected_rows,
+                expected_columns,
+            )
+            paths.extend(sharded)
 
         if (
             not failures
@@ -308,6 +362,29 @@ class DifferentialRunner:
             cache_hit=answer.cache_hit,
         )
 
+    def _sharded_path(self, case: FuzzCase, count: int) -> PathResult:
+        name = f"sharded-{count}"
+        user = case.user if case.user is not None else self.world.users[0]
+        params = case.params or None
+        try:
+            with Client(*self.sharded_server(count).address) as client:
+                client.hello(user, case.purpose)
+                answer = client.query(case.sql, params)
+        except RemoteError as exc:
+            if exc.code == "unauthorized_purpose":
+                return PathResult(name, "denied")
+            return PathResult(
+                name, "error", error=f"RemoteError[{exc.code}]: {exc.message}"
+            )
+        return PathResult(
+            name,
+            "rows",
+            columns=[c.lower() for c in answer.columns],
+            rows=normalize_rows(answer.rows),
+            checks=answer.checks,
+            cache_hit=answer.cache_hit,
+        )
+
     # -- assertions ------------------------------------------------------------
 
     def _check_audit(
@@ -402,6 +479,71 @@ class DifferentialRunner:
                 failures.append(
                     f"{path.path}: cache_hit={path.cache_hit}, expected "
                     f"{expected_hit}"
+                )
+
+    def _check_sharded(
+        self,
+        case: FuzzCase,
+        paths: list[PathResult],
+        failures: list[str],
+        denial_expected: bool,
+        oracle_error: str | None,
+        expected_rows,
+        expected_columns,
+    ) -> None:
+        """Sharded deployments must agree with the oracle and *each other*.
+
+        Row/column/denial agreement is against the oracle like any other
+        path; compliance-check counts are compared across shard counts
+        (exact conservation under partitioning in off/row mode), and
+        cache-hit expectations don't apply — each deployment is a separate
+        replica world with its own plan cache.
+        """
+        if denial_expected:
+            for path in paths:
+                if path.outcome != "denied":
+                    failures.append(
+                        f"{path.path}: expected denial for user {case.user!r} "
+                        f"purpose {case.purpose!r}, got {path.outcome}"
+                        + (f" ({path.error})" if path.error else "")
+                    )
+            return
+        if oracle_error is not None:
+            for path in paths:
+                if path.outcome != "error":
+                    failures.append(
+                        f"{path.path}: oracle raised ({oracle_error}) but the "
+                        f"path returned {path.outcome}"
+                    )
+            return
+        baseline_checks: int | None = None
+        for path in paths:
+            if path.outcome == "denied":
+                failures.append(
+                    f"{path.path}: unexpected denial (user {case.user!r} holds "
+                    f"purpose {case.purpose!r})"
+                )
+                continue
+            if path.outcome == "error":
+                failures.append(f"{path.path}: unexpected error: {path.error}")
+                continue
+            if path.columns != expected_columns:
+                failures.append(
+                    f"{path.path}: columns {path.columns} != oracle "
+                    f"{expected_columns}"
+                )
+            if path.rows != expected_rows:
+                failures.append(
+                    f"{path.path}: {len(path.rows)} rows disagree with oracle's "
+                    f"{len(expected_rows)} "
+                    f"(first diff: {_first_difference(path.rows, expected_rows)})"
+                )
+            if baseline_checks is None:
+                baseline_checks = path.checks
+            elif path.checks != baseline_checks:
+                failures.append(
+                    f"{path.path}: {path.checks} compliance checks != "
+                    f"{baseline_checks} on the first sharded path"
                 )
 
     # -- metamorphic invariants --------------------------------------------------

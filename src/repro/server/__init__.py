@@ -11,12 +11,17 @@ clients at once:
   authenticated state (user, purpose, open prepared statements);
 * :class:`Client` — the matching synchronous client;
 * :class:`ReadWriteLock`, :class:`WorkerPool` — the concurrency primitives,
-  importable on their own.
+  importable on their own;
+* :class:`AsyncQueryServer` — the asyncio front end over a hash-sharded
+  deployment (:mod:`repro.shard`, DESIGN.md §14): same protocol, one event
+  loop instead of a thread per connection, scatter-gather execution.
 
-``python -m repro.server --port 7878`` serves the patients scenario.
+``python -m repro.server --port 7878`` serves the patients scenario
+(add ``--async --shards 3`` for the sharded event-loop server).
 """
 
 from .admission import WorkerPool
+from .async_server import AsyncQueryServer
 from .client import Client, QueryResult
 from .locks import ReadWriteLock
 from .protocol import (
@@ -32,12 +37,15 @@ from .protocol import (
     MAX_FRAME,
     error_code_for,
     recv_message,
+    recv_message_async,
     send_message,
+    send_message_async,
 )
 from .server import QueryServer
 from .sessions import ServerSession, SessionManager
 
 __all__ = [
+    "AsyncQueryServer",
     "Client",
     "QueryResult",
     "QueryServer",
@@ -57,5 +65,7 @@ __all__ = [
     "MAX_FRAME",
     "error_code_for",
     "recv_message",
+    "recv_message_async",
     "send_message",
+    "send_message_async",
 ]

@@ -17,6 +17,7 @@ import argparse
 
 from ..core import AuditLog, default_purpose_set
 from ..workload import apply_experiment_policies, build_patients_scenario
+from .async_server import AsyncQueryServer
 from .server import QueryServer
 
 
@@ -56,30 +57,68 @@ def main(argv: list[str] | None = None) -> int:
         metavar="USER=P1,P2",
         help="purpose grants (default: user 'demo' gets every purpose)",
     )
-    args = parser.parse_args(argv)
-
-    scenario = build_patients_scenario(
-        patients=args.patients, samples_per_patient=args.samples
+    parser.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve with the asyncio event-loop front end (implies sharding)",
     )
-    apply_experiment_policies(scenario, args.selectivity, seed=411595)
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard-worker count for the async server (implies --async)",
+    )
+    parser.add_argument(
+        "--backend", choices=("inline", "process"), default="inline",
+        help="shard transport: in-process workers or one process per shard",
+    )
+    args = parser.parse_args(argv)
+    use_async = args.use_async or args.shards > 1
+
     grants = _parse_grants(args.grant) or [
         ("demo", purpose.id) for purpose in default_purpose_set().ordered()
     ]
-    for user, purpose in grants:
-        scenario.admin.grant_purpose(user, purpose)
-    scenario.monitor.attach_audit(AuditLog(scenario.database))
+    if use_async:
+        from ..shard import ShardCoordinator, WorldRecipe
 
-    server = QueryServer(
-        scenario.monitor,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        max_pending=args.max_pending,
-    )
+        recipe = WorldRecipe.for_patients(
+            patients=args.patients,
+            samples=args.samples,
+            selectivity=args.selectivity,
+            grants=tuple(grants),
+        )
+        coordinator = ShardCoordinator(
+            recipe, max(1, args.shards), backend=args.backend
+        )
+        coordinator.monitor.attach_audit(AuditLog(coordinator.database))
+        server: "AsyncQueryServer | QueryServer" = AsyncQueryServer(
+            coordinator,
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.workers,
+            max_pending=args.max_pending,
+        )
+        flavor = (
+            f"asyncio, {coordinator.shard_count} {args.backend} shard(s)"
+        )
+    else:
+        scenario = build_patients_scenario(
+            patients=args.patients, samples_per_patient=args.samples
+        )
+        apply_experiment_policies(scenario, args.selectivity, seed=411595)
+        for user, purpose in grants:
+            scenario.admin.grant_purpose(user, purpose)
+        scenario.monitor.attach_audit(AuditLog(scenario.database))
+        server = QueryServer(
+            scenario.monitor,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_pending=args.max_pending,
+        )
+        flavor = f"threaded, {args.workers} workers"
+
     with server:
         host, port = server.address
         users = sorted({user for user, _ in grants})
-        print(f"repro.server listening on {host}:{port}")
+        print(f"repro.server listening on {host}:{port} ({flavor})")
         print(
             f"scenario: {args.patients} patients x {args.samples} samples, "
             f"selectivity {args.selectivity:g}; users: {', '.join(users)}"

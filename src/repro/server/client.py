@@ -15,7 +15,7 @@ can distinguish a policy denial from a parse or engine failure::
             if exc.code == "server_busy":
                 ...  # back off and retry
 
-Used by the test suite, the ``concurrency`` benchmark and
+Used by the test suite, the ``shards`` benchmark and
 ``examples/server_demo.py``; it is deliberately the only supported way to
 talk to the server in-process or across machines.
 """
@@ -31,12 +31,20 @@ from .protocol import recv_message, rows_from_wire, send_message
 
 @dataclass
 class QueryResult:
-    """One SELECT's answer: columns, row tuples, cache/check metadata."""
+    """One SELECT's answer: columns, row tuples, cache/check metadata.
+
+    ``route`` and ``epoch`` are populated only by the sharded
+    :class:`~repro.server.async_server.AsyncQueryServer` (the scatter
+    route taken and the policy epoch the scatter executed under); the
+    thread-per-connection server leaves them ``None``.
+    """
 
     columns: list[str]
     rows: list[tuple]
     cache_hit: bool
     checks: int
+    route: "str | None" = None
+    epoch: "int | None" = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -73,6 +81,8 @@ class Client:
             rows=rows_from_wire(payload),
             cache_hit=bool(response.get("cache_hit", False)),
             checks=int(response.get("checks", 0)),
+            route=response.get("route"),
+            epoch=response.get("epoch"),
         )
 
     # -- session ------------------------------------------------------------------

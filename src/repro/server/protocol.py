@@ -14,6 +14,7 @@ backpressure (``server_busy``) or a protocol violation (``protocol_error``).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
@@ -120,6 +121,49 @@ def recv_message(sock: socket.socket) -> dict | None:
     if length > MAX_FRAME:
         raise WireProtocolError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
     data = _recv_exactly(sock, length, allow_eof=False)
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise WireProtocolError(
+            f"expected a JSON object frame, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def send_message_async(writer, payload: dict) -> None:
+    """:func:`send_message` for an :class:`asyncio.StreamWriter`."""
+    data = json.dumps(payload, separators=(",", ":"), default=_jsonable).encode(
+        "utf-8"
+    )
+    if len(data) > MAX_FRAME:
+        raise WireProtocolError(
+            f"outgoing frame of {len(data)} bytes exceeds MAX_FRAME"
+        )
+    writer.write(HEADER.pack(len(data)) + data)
+    await writer.drain()
+
+
+async def recv_message_async(reader) -> dict | None:
+    """:func:`recv_message` for an :class:`asyncio.StreamReader`."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF at a frame boundary
+        raise WireProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{HEADER.size} bytes)"
+        ) from None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise WireProtocolError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
     try:
         payload = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -1,0 +1,216 @@
+"""Hash partitioning and query routing for the sharded deployment.
+
+Two decisions live here:
+
+* **Row placement** — :func:`shard_of` maps a row to one shard by hashing
+  its partition key (the table's primary-key columns when declared, the
+  full row otherwise, always excluding the policy column whose cells are
+  rewritten by policy writes).  The hash is ``zlib.crc32`` over a
+  canonical ``repr``, *not* Python's salted ``hash()`` — worker processes
+  must agree on placement across interpreter launches.
+
+* **Query routing** — :func:`classify` decides how a statement executes:
+
+  ``SCATTER_ROWS``
+      A plain single-table SELECT (no subqueries, DISTINCT, GROUP BY,
+      aggregates, HAVING, ORDER BY or LIMIT/OFFSET).  Selection and
+      projection — policy guards included — are row-local, so the shard
+      results concatenate into exactly the single-node result.
+
+  ``SCATTER_AGG``
+      A single-table aggregate whose select list is only shardable
+      aggregate calls and GROUP BY keys.  COUNT/MIN/MAX decompose over any
+      subquery-free argument; SUM/AVG only over *integer* columns — float
+      addition is non-associative, and a partitioned sum must equal the
+      single-node left-to-right accumulation bit for bit, which integer
+      arithmetic guarantees and IEEE doubles do not.
+
+  ``LOCAL``
+      Everything else (joins, subqueries, set operations, ORDER BY/LIMIT,
+      DISTINCT, HAVING, float SUM/AVG, ...) runs on the coordinator's full
+      replica.  Correct first; the scatter routes are the hot paths the
+      workload generator actually emits.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+
+from ..engine import Database
+from ..engine.table import Table
+from ..engine.types import SqlType
+from ..sql import ast
+
+#: Aggregates whose partials merge exactly for any subquery-free argument.
+_ORDER_FREE_AGGREGATES = frozenset({"count", "min", "max"})
+
+#: Aggregates whose partials merge exactly only over integer arguments.
+_SUM_LIKE_AGGREGATES = frozenset({"sum", "avg"})
+
+
+class Route(enum.Enum):
+    """How a statement executes in the sharded deployment."""
+
+    SCATTER_ROWS = "scatter_rows"
+    SCATTER_AGG = "scatter_agg"
+    LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """The routing decision for one statement."""
+
+    route: Route
+    table: str | None = None
+    reason: str = ""
+
+
+# -- row placement -----------------------------------------------------------------
+
+
+def partition_key_indexes(table: Table, policy_column: str) -> tuple[int, ...]:
+    """Column indexes hashed for row placement.
+
+    Primary-key columns when the schema declares any; otherwise every
+    column except the policy column (its cells change under policy writes,
+    and placement must survive them).
+    """
+    schema = table.schema
+    primary = tuple(
+        index
+        for index, column in enumerate(schema.columns)
+        if column.primary_key
+    )
+    if primary:
+        return primary
+    policy = policy_column.lower()
+    return tuple(
+        index
+        for index, column in enumerate(schema.columns)
+        if column.name.lower() != policy
+    )
+
+
+def shard_of(row: tuple, key_indexes: tuple[int, ...], shard_count: int) -> int:
+    """The shard a row lives on (deterministic across processes)."""
+    key = repr(tuple(row[index] for index in key_indexes))
+    return zlib.crc32(key.encode("utf-8")) % shard_count
+
+
+def partition_rows(
+    table: Table, shard_count: int, policy_column: str
+) -> list[list[tuple]]:
+    """Split a table's rows into per-shard lists, preserving order."""
+    key_indexes = partition_key_indexes(table, policy_column)
+    partitions: list[list[tuple]] = [[] for _ in range(shard_count)]
+    for row in table.rows:
+        partitions[shard_of(row, key_indexes, shard_count)].append(row)
+    return partitions
+
+
+# -- query routing -----------------------------------------------------------------
+
+
+def _has_subquery(select: ast.Select) -> bool:
+    for source in ast.select_sources(select):
+        if not isinstance(source, ast.TableName):
+            return True
+    for expression in ast.clause_expressions(select):
+        for _ in ast.iter_subqueries(expression):
+            return True
+    return False
+
+
+def _sum_like_shardable(
+    call: ast.FunctionCall, table: Table, binding: str
+) -> bool:
+    """SUM/AVG partials are exact only over integer column references."""
+    if len(call.args) != 1 or not isinstance(call.args[0], ast.ColumnRef):
+        return False
+    ref = call.args[0]
+    if ref.table is not None and ref.table.lower() != binding.lower():
+        return False
+    schema = table.schema
+    if ref.name.lower() not in schema:
+        return False
+    return schema.column(ref.name).sql_type in (SqlType.INTEGER, SqlType.BOOLEAN)
+
+
+def _aggregate_shardable(
+    call: ast.FunctionCall, table: Table, binding: str
+) -> bool:
+    name = call.name.lower()
+    if call.distinct:
+        return False  # DISTINCT aggregates need a cross-shard value set
+    if name in _ORDER_FREE_AGGREGATES:
+        if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+            return name == "count"
+        return len(call.args) == 1
+    if name in _SUM_LIKE_AGGREGATES:
+        return _sum_like_shardable(call, table, binding)
+    return False
+
+
+def classify(statement: ast.Statement, database: Database) -> RoutePlan:
+    """Decide the route for one statement (see module docstring)."""
+    if not isinstance(statement, ast.Select):
+        return RoutePlan(Route.LOCAL, reason="not a plain SELECT")
+    select = statement
+    sources = list(ast.select_sources(select))
+    if len(sources) != 1 or not isinstance(sources[0], ast.TableName):
+        return RoutePlan(Route.LOCAL, reason="joins/derived tables")
+    source = sources[0]
+    if not database.has_table(source.name):
+        return RoutePlan(Route.LOCAL, reason="unknown table")
+    if _has_subquery(select):
+        return RoutePlan(Route.LOCAL, reason="subquery")
+    if (
+        select.distinct
+        or select.order_by
+        or select.limit is not None
+        or select.offset is not None
+        or select.having is not None
+    ):
+        return RoutePlan(Route.LOCAL, reason="order-sensitive clause")
+
+    table = database.table(source.name)
+    binding = source.binding
+    item_aggregates = [
+        ast.expression_aggregates(item.expression, ast.AGGREGATE_FUNCTIONS)
+        for item in select.items
+    ]
+    where_aggregates = (
+        ast.expression_aggregates(select.where, ast.AGGREGATE_FUNCTIONS)
+        if select.where is not None
+        else []
+    )
+    group_aggregates = [
+        agg
+        for expr in select.group_by
+        for agg in ast.expression_aggregates(expr, ast.AGGREGATE_FUNCTIONS)
+    ]
+    if where_aggregates or group_aggregates:
+        return RoutePlan(Route.LOCAL, reason="aggregate outside select list")
+
+    if not any(item_aggregates) and not select.group_by:
+        return RoutePlan(Route.SCATTER_ROWS, table=source.name)
+
+    # Aggregate shape: every select item is either exactly one shardable
+    # aggregate call or (structurally) one of the GROUP BY keys.
+    for item, aggregates in zip(select.items, item_aggregates):
+        expression = item.expression
+        if isinstance(expression, ast.FunctionCall) and (
+            expression.name.lower() in ast.AGGREGATE_FUNCTIONS
+        ):
+            if not _aggregate_shardable(expression, table, binding):
+                return RoutePlan(
+                    Route.LOCAL, reason=f"non-shardable {expression.name}()"
+                )
+            continue
+        if aggregates:
+            return RoutePlan(Route.LOCAL, reason="aggregate inside expression")
+        if expression not in select.group_by:
+            return RoutePlan(Route.LOCAL, reason="item is not a GROUP BY key")
+    return RoutePlan(Route.SCATTER_AGG, table=source.name)

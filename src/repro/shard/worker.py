@@ -1,0 +1,255 @@
+"""Shard workers: one enforcement stack per hash partition.
+
+A :class:`ShardWorker` rebuilds the deployment's world from its
+:class:`~repro.shard.recipe.WorldRecipe`, prunes every table to the rows of
+its hash partition (placement from :mod:`repro.shard.router`), and then
+answers a tiny message-dict protocol:
+
+``query``
+    Enforce and execute a SELECT under a purpose.  Policy guards, filters
+    and partial aggregates all run *here*, on the shard's own monitor —
+    the coordinator only merges.  The response carries the shard's policy
+    epoch so the coordinator can reject split-epoch scatters.
+``sync_table``
+    Replace one table's partition rows (DML and policy writes re-partition
+    on the coordinator and push the new rows down).
+``epoch``
+    Adopt the coordinator's policy epoch: bump the local admin until it
+    matches, which clears every epoch-scoped cache (``compliesWith`` memo,
+    policy bitmaps) and invalidates cached plans (their keys embed the
+    epoch).
+``stats``
+    Observability snapshot.
+
+Two transports wrap the same worker: :class:`InlineShard` keeps the worker
+in-process (awaitable, used by tests and the differential battery — a
+cooperative yield before each call preserves the interleavings the epoch
+fence must survive), and :class:`ProcessShard` runs it in a separate
+``multiprocessing`` process connected by a pipe, giving real CPU
+parallelism on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry
+from ..server.protocol import error_code_for
+from .recipe import WorldRecipe, build_world
+from .router import partition_rows
+
+
+class ShardWorker:
+    """One shard's enforcement stack over its hash partition."""
+
+    def __init__(
+        self,
+        recipe: WorldRecipe,
+        shard_index: int,
+        shard_count: int,
+        optimizer: str | None = None,
+        executor: str | None = None,
+        indexes: str | None = None,
+    ):
+        if not 0 <= shard_index < shard_count:
+            raise ValueError("shard_index must be within shard_count")
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.world = build_world(recipe).apply_modes(optimizer, executor, indexes)
+        self.monitor = self.world.monitor
+        self.admin = self.world.admin
+        # Each shard keeps its own registry so the coordinator can audit
+        # epoch-scoped invalidations shard by shard (the epoch-race test
+        # cross-checks these against the coordinator's own counter).
+        if self.monitor.metrics is None:
+            self.monitor.attach_metrics(MetricsRegistry())
+        self._queries = 0
+        self._epoch_bumps = 0
+        self._syncs = 0
+        self._prune()
+
+    def _prune(self) -> None:
+        """Keep only this shard's partition of every table."""
+        database = self.world.database
+        for name in database.table_names():
+            table = database.table(name)
+            partitions = partition_rows(
+                table, self.shard_count, database.policy_column
+            )
+            table.rows = partitions[self.shard_index]
+
+    # -- the message protocol -----------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """One request dict → one response dict (exceptions become codes)."""
+        verb = request.get("verb")
+        try:
+            if verb == "query":
+                return self._handle_query(request)
+            if verb == "sync_table":
+                return self._handle_sync(request)
+            if verb == "epoch":
+                return self._handle_epoch(request)
+            if verb == "stats":
+                return {"ok": True, "stats": self.stats()}
+            raise ValueError(f"unknown shard verb {verb!r}")
+        except ReproError as exc:
+            return {
+                "ok": False,
+                "code": error_code_for(exc),
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        except Exception as exc:  # noqa: BLE001 - workers must answer
+            return {
+                "ok": False,
+                "code": "internal_error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    def _handle_query(self, request: dict) -> dict:
+        self._queries += 1
+        report = self.monitor.execute_with_report(
+            request["sql"],
+            request["purpose"],
+            params=request.get("params"),
+        )
+        return {
+            "ok": True,
+            "columns": list(report.result.columns),
+            "rows": [tuple(row) for row in report.result.rows],
+            "checks": report.compliance_checks,
+            "cache_hit": report.cache_hit,
+            "epoch": self.admin.policy_epoch,
+        }
+
+    def _handle_sync(self, request: dict) -> dict:
+        table = self.world.database.table(request["table"])
+        table.rows = [tuple(row) for row in request["rows"]]
+        self._syncs += 1
+        return {"ok": True, "rows": len(table.rows)}
+
+    def _handle_epoch(self, request: dict) -> dict:
+        target = int(request["epoch"])
+        while self.admin.policy_epoch < target:
+            self.admin.bump_policy_epoch()
+            self._epoch_bumps += 1
+        return {
+            "ok": True,
+            "epoch": self.admin.policy_epoch,
+            "epoch_bumps": self._epoch_bumps,
+        }
+
+    def stats(self) -> dict:
+        """The shard's row of the coordinator's ``stats`` section."""
+        database = self.world.database
+        return {
+            "shard": self.shard_index,
+            "epoch": self.admin.policy_epoch,
+            "epoch_bumps": self._epoch_bumps,
+            "epoch_invalidations": int(
+                self.monitor.metrics.counter(
+                    "repro_epoch_invalidations_total"
+                ).value()
+            ),
+            "queries": self._queries,
+            "syncs": self._syncs,
+            "rows": {name: len(database.table(name)) for name in database.table_names()},
+            "plan_cache": self.monitor.plan_cache_info(),
+        }
+
+
+class InlineShard:
+    """In-process transport: the worker runs on the caller's event loop.
+
+    ``call`` yields to the loop before executing, so a scatter of N shard
+    calls interleaves with concurrent coordinator work exactly like a
+    remote transport would — without the yield, the epoch fence would be
+    untestable (and bugs in it invisible) under the inline backend.
+    """
+
+    def __init__(self, worker: ShardWorker):
+        self.worker = worker
+
+    async def call(self, request: dict) -> dict:
+        await asyncio.sleep(0)
+        return self.worker.handle(request)
+
+    def close(self) -> None:
+        """Nothing to release in-process."""
+
+
+def _shard_process_main(
+    conn, recipe: WorldRecipe, shard_index: int, shard_count: int, modes: tuple
+) -> None:
+    """Child-process loop: build the worker, answer until EOF/None."""
+    worker = ShardWorker(recipe, shard_index, shard_count, *modes)
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            return
+        if request is None:
+            return
+        conn.send(worker.handle(request))
+
+
+class ProcessShard:
+    """Process transport: the worker lives behind a ``multiprocessing`` pipe.
+
+    Requests serialize per shard (one pipe, one in-flight request); the
+    blocking ``send``/``recv`` pair runs on the event loop's default thread
+    pool so concurrent scatters to *different* shards overlap.  The spawn
+    start method keeps the child's interpreter state independent of the
+    (threaded) coordinator process.
+    """
+
+    def __init__(
+        self,
+        recipe: WorldRecipe,
+        shard_index: int,
+        shard_count: int,
+        optimizer: str | None = None,
+        executor: str | None = None,
+        indexes: str | None = None,
+    ):
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        self._parent_conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_shard_process_main,
+            args=(
+                child_conn,
+                recipe,
+                shard_index,
+                shard_count,
+                (optimizer, executor, indexes),
+            ),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._lock = threading.Lock()
+
+    def _request(self, request: dict) -> dict:
+        with self._lock:
+            self._parent_conn.send(request)
+            return self._parent_conn.recv()
+
+    async def call(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._request, request)
+
+    def close(self) -> None:
+        try:
+            with self._lock:
+                self._parent_conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=5)
+        self._parent_conn.close()

@@ -50,32 +50,36 @@ class TestCli:
         # the working directory; run from tmp so the tiny-scale test run
         # never clobbers the repository's committed BENCH_*.json files.
         monkeypatch.chdir(tmp_path)
-        json_path = tmp_path / "BENCH_concurrency.json"
+        json_path = tmp_path / "BENCH_shards.json"
         out = run_cli(
             capsys, "all", "--patients", "10", "--samples", "3",
             "--no-random", "--selectivities", "0",
-            "--threads", "1", "--queries-per-session", "1",
+            "--clients", "1", "--shard-counts", "1",
+            "--queries-per-session", "1",
             "--json-out", str(json_path),
         )
         for marker in (
             "Figure 6", "Figure 7", "Figure 8", "cub", "Columnar",
-            "Concurrency",
+            "Scale-out",
         ):
             assert marker in out
         assert json_path.exists()
         assert (tmp_path / "BENCH_columnar.json").exists()
 
-    def test_concurrency_writes_json(self, capsys, tmp_path):
-        json_path = tmp_path / "BENCH_concurrency.json"
+    def test_shards_writes_json(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_shards.json"
         out = run_cli(
-            capsys, "concurrency", "--patients", "10", "--samples", "3",
-            "--threads", "1", "2", "--queries-per-session", "1",
+            capsys, "shards", "--patients", "10", "--samples", "3",
+            "--clients", "1", "2", "--shard-counts", "1",
+            "--queries-per-session", "1",
             "--json-out", str(json_path),
         )
-        assert "Concurrency" in out
+        assert "Scale-out" in out
         payload = json.loads(json_path.read_text())
-        assert payload["experiment"] == "concurrency"
-        assert [point["threads"] for point in payload["sweep"]] == [1, 2]
+        assert payload["experiment"] == "shards"
+        assert [
+            (point["server"], point["clients"]) for point in payload["sweep"]
+        ] == [("threaded", 1), ("async", 1), ("threaded", 2), ("async", 2)]
 
     def test_optimizer_writes_json(self, capsys, tmp_path):
         json_path = tmp_path / "BENCH_optimizer.json"

@@ -1,0 +1,77 @@
+"""The scale-out experiment: grid structure, JSON payload, table."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    ExperimentConfig,
+    run_shards,
+    shards_table,
+)
+from repro.bench.shards import MIX_SIZE
+
+TINY = ExperimentConfig(patients=12, samples_per_patient=3)
+
+
+def test_grid_crosses_clients_with_every_flavor():
+    run = run_shards(
+        TINY, client_counts=(1, 2), shard_counts=(2,), queries_per_session=2
+    )
+    assert [(s.server, s.shards, s.clients) for s in run.samples] == [
+        ("threaded", 0, 1),
+        ("async", 2, 1),
+        ("threaded", 0, 2),
+        ("async", 2, 2),
+    ]
+    for sample in run.samples:
+        # Every statement either completed or bounced off admission control.
+        expected = sample.clients * 2 * MIX_SIZE
+        assert sample.queries + sample.busy_responses == expected
+        assert sample.elapsed > 0
+        assert sample.throughput > 0
+        assert 0 <= sample.percentile(0.50) <= sample.percentile(0.95)
+        assert 0.0 <= sample.hit_rate <= 1.0
+    # Sessions repeat the same statements, so caches must get hits on the
+    # threaded baseline (the sharded rows route scatters around the cache).
+    assert any(
+        sample.cache_hits > 0
+        for sample in run.samples
+        if sample.server == "threaded"
+    )
+
+
+def test_point_lookup_and_json_payload_shape():
+    run = run_shards(
+        TINY, client_counts=(2,), shard_counts=(1,), queries_per_session=1
+    )
+    assert run.point("threaded", 0, 2).server == "threaded"
+    assert run.point("async", 1, 2).shards == 1
+    payload = run.to_dict()
+    assert payload["experiment"] == "shards"
+    assert payload["patients"] == TINY.patients
+    assert payload["shard_counts"] == [1]
+    assert payload["backend"] == "inline"
+    assert len(payload["sweep"]) == 2  # threaded + one shard count
+    for point in payload["sweep"]:
+        assert set(point) == {
+            "server",
+            "shards",
+            "clients",
+            "queries",
+            "elapsed_s",
+            "throughput_qps",
+            "p50_ms",
+            "p95_ms",
+            "hit_rate",
+            "busy_responses",
+        }
+
+
+def test_table_renders_one_row_per_sweep_point():
+    run = run_shards(
+        TINY, client_counts=(1,), shard_counts=(1,), queries_per_session=1
+    )
+    table = shards_table(run)
+    lines = table.splitlines()
+    assert "Scale-out" in lines[0]
+    assert "server" in lines[1] and "shards" in lines[1]
+    assert len(lines) == 3 + len(run.samples)  # title, header, rule, rows

@@ -1,0 +1,201 @@
+"""Scatter-gather coordination: routes, writes, and the epoch fence."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import UnauthorizedPurposeError
+from repro.shard import (
+    EPOCH_RETRIES,
+    ShardCoordinator,
+    SplitEpochError,
+    WorldRecipe,
+)
+
+RECIPE = WorldRecipe.for_patients(
+    patients=8, samples=3, grants=(("demo", "p6"), ("demo", "p1"))
+)
+
+
+@pytest.fixture()
+def coordinator():
+    instance = ShardCoordinator(RECIPE, 3, backend="inline")
+    yield instance
+    instance.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def reference_world():
+    """An identical unsharded world: the single-node result to agree with."""
+    from repro.shard.recipe import build_world
+
+    return build_world(RECIPE)
+
+
+class TestQueryRoutes:
+    def test_scatter_rows_matches_single_node(self, coordinator) -> None:
+        sql = "select watch_id, beats from sensed_data where beats > 60"
+        report = run(coordinator.query(sql, "p6", user="demo"))
+        expected = reference_world().monitor.execute(sql, "p6")
+        assert report.route == "scatter_rows"
+        assert report.shards == 3
+        assert list(report.result.columns) == list(expected.columns)
+        assert sorted(report.result.rows) == sorted(expected.rows)
+
+    def test_scatter_agg_matches_single_node(self, coordinator) -> None:
+        sql = (
+            "select position, count(*), avg(beats), min(beats), max(beats) "
+            "from sensed_data group by position"
+        )
+        report = run(coordinator.query(sql, "p6", user="demo"))
+        expected = reference_world().monitor.execute(sql, "p6")
+        assert report.route == "scatter_agg"
+        assert list(report.result.columns) == list(expected.columns)
+        assert sorted(report.result.rows, key=repr) == sorted(
+            expected.rows, key=repr
+        )
+
+    def test_local_route_matches_single_node(self, coordinator) -> None:
+        sql = "select watch_id from sensed_data order by watch_id limit 4"
+        report = run(coordinator.query(sql, "p6", user="demo"))
+        expected = reference_world().monitor.execute(sql, "p6")
+        assert report.route == "local"
+        assert report.shards == 0
+        assert list(report.result.rows) == list(expected.rows)
+
+    def test_scalar_count_matches_single_node(self, coordinator) -> None:
+        # count(*) discloses no protected column, so enforcement admits
+        # every row — single-node and merged-partial counts must agree on
+        # that semantics exactly.
+        sql = "select count(*) from sensed_data"
+        report = run(coordinator.query(sql, "p6", user="demo"))
+        expected = reference_world().monitor.execute(sql, "p6")
+        assert report.route == "scatter_agg"
+        assert list(report.result.rows) == list(expected.rows)
+
+    def test_unauthorized_purpose_is_rejected_before_scatter(
+        self, coordinator
+    ) -> None:
+        fanout_before = int(
+            coordinator.metrics.counter("repro_shard_fanout_total").value()
+        )
+        with pytest.raises(UnauthorizedPurposeError):
+            run(
+                coordinator.query(
+                    "select watch_id from sensed_data", "p6", user="nobody"
+                )
+            )
+        assert (
+            int(coordinator.metrics.counter("repro_shard_fanout_total").value())
+            == fanout_before
+        )
+
+
+class TestWrites:
+    def test_dml_resyncs_partitions(self, coordinator) -> None:
+        before = run(
+            coordinator.query("select count(*) from users", "p6", user="demo")
+        ).result.rows[0][0]
+        affected = run(
+            coordinator.execute(
+                "insert into users (user_id, watch_id, nutritional_profile_id) "
+                "values ('fresh', 'watch0', 1)",
+                "p6",
+                user="demo",
+            )
+        )
+        assert affected == 1
+        after = run(
+            coordinator.query("select count(*) from users", "p6", user="demo")
+        ).result.rows[0][0]
+        assert after == before + 1
+
+    def test_execute_rejects_select(self, coordinator) -> None:
+        with pytest.raises(ValueError, match="DML path"):
+            run(coordinator.execute("select 1 from users", "p6", user="demo"))
+
+    def test_policy_write_changes_shard_enforcement(self, coordinator) -> None:
+        table = coordinator.database.table("sensed_data")
+        policy_index = list(
+            c.name for c in table.schema.columns
+        ).index(coordinator.database.policy_column)
+        enforced = run(
+            coordinator.query("select * from sensed_data", "p6", user="demo")
+        )
+        assert len(enforced.result.rows) < len(table)
+        permissive = next(
+            row[policy_index]
+            for row in enforced.result.rows  # a mask that admits p6
+        )
+        epoch_before = coordinator.admin.policy_epoch
+
+        def grant_everywhere(world):
+            rows = [
+                row[:policy_index] + (permissive,) + row[policy_index + 1 :]
+                for row in world.database.table("sensed_data").rows
+            ]
+            world.database.table("sensed_data").rows = rows
+
+        run(coordinator.policy_write(grant_everywhere, tables=("sensed_data",)))
+        assert coordinator.admin.policy_epoch == epoch_before + 1
+        widened = run(
+            coordinator.query("select * from sensed_data", "p6", user="demo")
+        )
+        assert len(widened.result.rows) == len(table)
+        assert widened.epoch == epoch_before + 1
+
+    def test_bump_epoch_reaches_every_shard(self, coordinator) -> None:
+        target = run(coordinator.bump_epoch())
+        assert target == coordinator.admin.policy_epoch
+        for shard in coordinator._shards:
+            assert shard.worker.admin.policy_epoch == target
+
+
+class TestEpochFence:
+    def test_split_epoch_scatter_fails_loudly(self, coordinator) -> None:
+        # Desynchronize one shard behind the coordinator's back: every
+        # scatter now observes two epochs, and because inline shards never
+        # heal on their own, the bounded retry loop must raise.
+        coordinator._shards[0].worker.admin.bump_policy_epoch()
+        with pytest.raises(SplitEpochError, match="observed epochs"):
+            run(
+                coordinator.query(
+                    "select watch_id from sensed_data", "p6", user="demo"
+                )
+            )
+        retries = int(
+            coordinator.metrics.counter("repro_shard_epoch_retries_total").value()
+        )
+        assert retries == EPOCH_RETRIES
+
+
+class TestStats:
+    def test_stats_aggregates_routes_and_shards(self, coordinator) -> None:
+        run(coordinator.query("select watch_id from users", "p6", user="demo"))
+        run(coordinator.query("select count(*) from users", "p6", user="demo"))
+        run(
+            coordinator.query(
+                "select watch_id from users order by watch_id",
+                "p6",
+                user="demo",
+            )
+        )
+        stats = run(coordinator.stats())
+        assert stats["shard_count"] == 3
+        assert stats["backend"] == "inline"
+        assert stats["routes"] == {
+            "scatter_rows": 1,
+            "scatter_agg": 1,
+            "local": 1,
+        }
+        assert len(stats["shards"]) == 3
+        assert {shard["epoch"] for shard in stats["shards"]} == {
+            coordinator.admin.policy_epoch
+        }
+        total = len(coordinator.database.table("users"))
+        assert sum(s["rows"]["users"] for s in stats["shards"]) == total

@@ -1,0 +1,154 @@
+"""Row placement and query routing: the two decisions in repro.shard.router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Column, Database, SqlType, TableSchema
+from repro.shard.router import (
+    Route,
+    classify,
+    partition_key_indexes,
+    partition_rows,
+    shard_of,
+)
+from repro.sql import parse_statement
+
+POLICY = "policy"
+
+
+@pytest.fixture()
+def database():
+    db = Database("routing")
+    db.create_table(
+        TableSchema(
+            "users",
+            [
+                Column("user_id", SqlType.TEXT, primary_key=True),
+                Column("name", SqlType.TEXT),
+                Column(POLICY, SqlType.TEXT),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "readings",
+            [
+                Column("watch_id", SqlType.TEXT),
+                Column("beats", SqlType.INTEGER),
+                Column("temp", SqlType.DOUBLE),
+                Column(POLICY, SqlType.TEXT),
+            ],
+        )
+    )
+    return db
+
+
+class TestRowPlacement:
+    def test_primary_key_columns_drive_placement(self, database) -> None:
+        table = database.table("users")
+        assert partition_key_indexes(table, POLICY) == (0,)
+
+    def test_no_primary_key_hashes_all_but_policy(self, database) -> None:
+        table = database.table("readings")
+        # Every column except the policy cell: its value is rewritten by
+        # policy writes and must not move the row to another shard.
+        assert partition_key_indexes(table, POLICY) == (0, 1, 2)
+
+    def test_placement_is_deterministic_and_in_range(self) -> None:
+        for count in (1, 2, 3, 7):
+            for row in [("a", 1), ("b", 2), ("c", None)]:
+                first = shard_of(row, (0, 1), count)
+                assert 0 <= first < count
+                assert shard_of(row, (0, 1), count) == first
+
+    def test_policy_rewrite_does_not_move_rows(self, database) -> None:
+        table = database.table("readings")
+        keys = partition_key_indexes(table, POLICY)
+        before = shard_of(("w1", 70, 36.5, "mask-a"), keys, 5)
+        after = shard_of(("w1", 70, 36.5, "mask-b"), keys, 5)
+        assert before == after
+
+    def test_partition_rows_is_a_partition(self, database) -> None:
+        table = database.table("users")
+        rows = [(f"u{i}", f"name{i}", "m") for i in range(40)]
+        table.extend(rows)
+        partitions = partition_rows(table, 4, POLICY)
+        assert sum(len(p) for p in partitions) == len(rows)
+        assert sorted(r for p in partitions for r in p) == sorted(rows)
+        # Order within a shard preserves table order.
+        for partition in partitions:
+            indexes = [rows.index(row) for row in partition]
+            assert indexes == sorted(indexes)
+
+
+SCATTER_ROWS_QUERIES = (
+    "select user_id from users",
+    "select user_id, name from users where name like 'a%'",
+    "select * from readings where beats > 70 and temp < 38.0",
+)
+
+SCATTER_AGG_QUERIES = (
+    "select count(*) from readings",
+    "select min(temp), max(temp) from readings",
+    "select sum(beats), avg(beats) from readings",
+    "select watch_id, count(*) from readings group by watch_id",
+    "select watch_id, avg(beats) from readings where beats > 0 group by watch_id",
+)
+
+LOCAL_QUERIES = (
+    # joins / multiple sources
+    "select u.name from users u, readings r where u.user_id = r.watch_id",
+    # subqueries
+    "select user_id from users where user_id in (select watch_id from readings)",
+    # order-sensitive clauses
+    "select user_id from users order by user_id",
+    "select user_id from users limit 3",
+    "select distinct name from users",
+    # float SUM/AVG partials are not exactly mergeable
+    "select sum(temp) from readings",
+    "select avg(temp) from readings",
+    # DISTINCT aggregates need the cross-shard value set
+    "select count(distinct watch_id) from readings",
+    # aggregate buried in an expression
+    "select count(*) + 1 from readings",
+    # HAVING
+    "select watch_id, count(*) from readings group by watch_id having count(*) > 1",
+    # item that is not a GROUP BY key
+    "select beats, count(*) from readings group by watch_id",
+    # unknown table falls back to the replica (which raises properly)
+    "select x from nowhere",
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("sql", SCATTER_ROWS_QUERIES)
+    def test_scatter_rows(self, database, sql: str) -> None:
+        plan = classify(parse_statement(sql), database)
+        assert plan.route is Route.SCATTER_ROWS, plan
+
+    @pytest.mark.parametrize("sql", SCATTER_AGG_QUERIES)
+    def test_scatter_agg(self, database, sql: str) -> None:
+        plan = classify(parse_statement(sql), database)
+        assert plan.route is Route.SCATTER_AGG, plan
+
+    @pytest.mark.parametrize("sql", LOCAL_QUERIES)
+    def test_local(self, database, sql: str) -> None:
+        plan = classify(parse_statement(sql), database)
+        assert plan.route is Route.LOCAL, plan
+
+    def test_dml_routes_local(self, database) -> None:
+        plan = classify(
+            parse_statement("insert into users values ('u', 'n', 'm')"),
+            database,
+        )
+        assert plan.route is Route.LOCAL
+
+    def test_set_operations_route_local(self, database) -> None:
+        plan = classify(
+            parse_statement(
+                "select user_id from users union select watch_id from readings"
+            ),
+            database,
+        )
+        assert plan.route is Route.LOCAL
