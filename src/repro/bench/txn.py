@@ -1,0 +1,325 @@
+"""Readers-under-policy-churn experiment: RW-lock fence vs MVCC snapshots.
+
+Not in the paper — the paper's evaluation is single-threaded — but the
+cost model behind the PR-9 concurrency work: what do policy writers do to
+reader latency?  Before MVCC, the server fenced every read behind a
+shared lock, so each policy recompilation (an exclusive writer) stalled
+the whole read side for its full duration.  With MVCC on, readers pin a
+snapshot and never wait for writers.
+
+Each sweep point crosses a reader-session count with an engine mode:
+
+``rwlock``
+    The pre-MVCC engine (``REPRO_TXN=off``): reads take the server's
+    shared lock, policy churn and DML take the exclusive side.  Writes
+    cannot abort — they serialize — so the abort rate is 0 by
+    construction and the cost shows up as read-latency tail.
+
+``mvcc``
+    Snapshot isolation (``REPRO_TXN=on``): reads pin ephemeral
+    snapshots, session writes run as ``BEGIN``/``UPDATE``/``COMMIT``
+    transactions and lose first-committer-wins races against the policy
+    churn (mask stores write the same table), so the cost shows up as a
+    non-zero abort rate instead of reader stalls.
+
+A dedicated churn thread recompiles a ``sensed_data`` policy in a tight
+loop for the whole measurement window (under ``server.exclusive()``,
+ordering it like any admin mutation); every reader session interleaves
+cached SELECTs with an occasional UPDATE.  The artifact,
+``BENCH_txn.json``, reports read p50/p95, read throughput, the policy
+writes the churn thread landed, and the write/abort counts per mode.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..engine import TXN_ENV
+from ..errors import RemoteError
+from ..server import Client, QueryServer
+from ..shard import WorldRecipe
+from ..shard.recipe import build_world
+from ..workload.policies import scattered_policy
+from .harness import BENCH_PURPOSE, ExperimentConfig
+
+#: Reader statement mix — both should hit the plan cache after warmup, so
+#: the measured latency is dominated by fencing, not planning.
+READ_QUERIES = (
+    "select avg(beats) from sensed_data",
+    "select watch_id, beats from sensed_data where beats >= 60",
+)
+
+#: Every ``WRITE_EVERY``-th iteration the session also attempts an UPDATE.
+WRITE_EVERY = 8
+
+MODES = ("rwlock", "mvcc")
+
+_MODE_ENV = {"rwlock": "off", "mvcc": "on"}
+
+
+@dataclass
+class TxnSample:
+    """One sweep point: ``readers`` sessions against one engine mode."""
+
+    mode: str
+    readers: int
+    reads: int
+    elapsed: float
+    latencies: list[float] = field(repr=False, default_factory=list)
+    writes: int = 0
+    aborts: int = 0
+    denied_writes: int = 0
+    churn_writes: int = 0
+
+    @property
+    def read_throughput(self) -> float:
+        """Completed reads per second across all sessions."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.reads / self.elapsed
+
+    def percentile(self, fraction: float) -> float:
+        """Read-latency percentile (seconds)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(
+            len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+    @property
+    def abort_rate(self) -> float:
+        """Share of attempted session writes that lost a commit race."""
+        if self.writes == 0:
+            return 0.0
+        return self.aborts / self.writes
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (latency list reduced to percentiles)."""
+        return {
+            "mode": self.mode,
+            "readers": self.readers,
+            "reads": self.reads,
+            "elapsed_s": self.elapsed,
+            "read_qps": self.read_throughput,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "writes": self.writes,
+            "aborts": self.aborts,
+            "abort_rate": self.abort_rate,
+            "denied_writes": self.denied_writes,
+            "churn_writes": self.churn_writes,
+        }
+
+
+@dataclass
+class TxnRun:
+    """All sweep points of one readers-under-churn experiment."""
+
+    config: ExperimentConfig
+    reader_counts: tuple
+    reads_per_session: int
+    samples: list[TxnSample] = field(default_factory=list)
+
+    def point(self, mode: str, readers: int) -> TxnSample:
+        """The sample for one (mode, reader count) cell."""
+        for sample in self.samples:
+            if sample.mode == mode and sample.readers == readers:
+                return sample
+        raise KeyError((mode, readers))
+
+    def to_dict(self) -> dict:
+        """The ``BENCH_txn.json`` payload."""
+        return {
+            "experiment": "txn",
+            "patients": self.config.patients,
+            "samples_per_patient": self.config.samples_per_patient,
+            "reader_counts": list(self.reader_counts),
+            "reads_per_session": self.reads_per_session,
+            "write_every": WRITE_EVERY,
+            "sweep": [sample.to_dict() for sample in self.samples],
+        }
+
+
+def _reader_worker(
+    address: tuple[str, int],
+    user: str,
+    mode: str,
+    iterations: int,
+    sample: TxnSample,
+    lock: threading.Lock,
+    start_gate: threading.Event,
+) -> None:
+    latencies: list[float] = []
+    reads = writes = aborts = denied = 0
+    with Client(*address) as client:
+        client.hello(user, BENCH_PURPOSE)
+        start_gate.wait()
+        for iteration in range(iterations):
+            sql = READ_QUERIES[iteration % len(READ_QUERIES)]
+            begin = time.perf_counter()
+            client.query(sql)
+            latencies.append(time.perf_counter() - begin)
+            reads += 1
+            if iteration % WRITE_EVERY:
+                continue
+            update = (
+                "update sensed_data set beats = 71 "
+                f"where watch_id = 'watch{iteration % 5}'"
+            )
+            writes += 1
+            try:
+                if mode == "mvcc":
+                    client.begin()
+                    try:
+                        client.execute(update)
+                    except RemoteError:
+                        # Leave the session clean before classifying: a
+                        # denied UPDATE must not poison the next BEGIN.
+                        client.rollback()
+                        raise
+                    client.commit()
+                else:
+                    client.execute(update)
+            except RemoteError as exc:
+                if exc.code == "txn_conflict":
+                    # The server already rolled the loser back.
+                    aborts += 1
+                elif exc.code in ("unauthorized_purpose", "policy_denied"):
+                    denied += 1
+                else:
+                    raise
+        client.bye()
+    with lock:
+        sample.latencies.extend(latencies)
+        sample.reads += reads
+        sample.writes += writes
+        sample.aborts += aborts
+        sample.denied_writes += denied
+
+
+def _drive_point(
+    server: QueryServer,
+    admin,
+    mode: str,
+    readers: int,
+    reads_per_session: int,
+    users: list[str],
+    churn_pause: float,
+) -> TxnSample:
+    """One measured point: reader threads racing one policy-churn thread."""
+    sample = TxnSample(mode=mode, readers=readers, reads=0, elapsed=0.0)
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    stop_churn = threading.Event()
+
+    def churn() -> None:
+        step = 0
+        start_gate.wait()
+        while not stop_churn.is_set():
+            with server.exclusive():
+                admin.apply_policy(
+                    scattered_policy(
+                        "sensed_data",
+                        compliant=True,
+                        rule_count=1 + step % 3,
+                        pass_all_position=step % 3,
+                    )
+                )
+            sample.churn_writes += 1
+            step += 1
+            if churn_pause:
+                time.sleep(churn_pause)
+
+    workers = [
+        threading.Thread(
+            target=_reader_worker,
+            args=(
+                server.address,
+                users[index],
+                mode,
+                reads_per_session,
+                sample,
+                lock,
+                start_gate,
+            ),
+        )
+        for index in range(readers)
+    ]
+    churner = threading.Thread(target=churn)
+    for worker in workers:
+        worker.start()
+    churner.start()
+    begin = time.perf_counter()
+    start_gate.set()
+    for worker in workers:
+        worker.join()
+    sample.elapsed = time.perf_counter() - begin
+    stop_churn.set()
+    churner.join()
+    return sample
+
+
+def run_txn(
+    config: ExperimentConfig | None = None,
+    reader_counts: tuple[int, ...] = (1, 4, 8),
+    reads_per_session: int = 40,
+    selectivity: float = 0.4,
+    churn_pause: float = 0.001,
+    max_pending: int = 64,
+) -> TxnRun:
+    """Sweep reader counts across the RW-lock and MVCC engine modes.
+
+    Each mode rebuilds the same deterministic world under its
+    ``REPRO_TXN`` setting (the transaction manager and the server fence
+    are both fixed at construction), then measures every reader count
+    against one continuously churning policy writer.  The sweep is
+    ordered mode-major so each mode's plan caches warm once, during its
+    first point — identical treatment for both rows of every pair.
+    """
+    config = config or ExperimentConfig.scaled()
+    users = [f"bench{index}" for index in range(max(reader_counts))]
+    recipe = WorldRecipe.for_patients(
+        patients=config.patients,
+        samples=config.samples_per_patient,
+        selectivity=selectivity,
+        policy_seed=config.policy_seed,
+        data_seed=config.data_seed,
+        grants=tuple((user, BENCH_PURPOSE) for user in users),
+    )
+    run = TxnRun(
+        config=config,
+        reader_counts=tuple(reader_counts),
+        reads_per_session=reads_per_session,
+    )
+    saved = os.environ.get(TXN_ENV)
+    try:
+        for mode in MODES:
+            os.environ[TXN_ENV] = _MODE_ENV[mode]
+            world = build_world(recipe)
+            for readers in reader_counts:
+                with QueryServer(
+                    world.monitor, workers=readers, max_pending=max_pending
+                ) as server:
+                    run.samples.append(
+                        _drive_point(
+                            server,
+                            world.admin,
+                            mode,
+                            readers,
+                            reads_per_session,
+                            users,
+                            churn_pause,
+                        )
+                    )
+    finally:
+        if saved is None:
+            os.environ.pop(TXN_ENV, None)
+        else:
+            os.environ[TXN_ENV] = saved
+    return run

@@ -89,6 +89,9 @@ class AccessControlManager:
         self.epoch_scoped = EpochScoped()
         self.epoch_scoped.register(self._compliance_memo)
         self.epoch_scoped.register(database.policy_bitmaps)
+        # Snapshot identity is (commit ts × policy epoch): the transaction
+        # manager stamps every new snapshot with our epoch (DESIGN.md §15).
+        database.transactions.epoch_provider = lambda: self._policy_epoch
 
     # -- policy epoch -------------------------------------------------------------
 
@@ -105,10 +108,22 @@ class AccessControlManager:
         """
         return self._policy_epoch
 
-    def bump_policy_epoch(self) -> None:
-        """Invalidate derived enforcement state after a policy-relevant write."""
+    def bump_policy_epoch(self, metadata_changed: bool = False) -> None:
+        """Invalidate derived enforcement state after a policy-relevant write.
+
+        ``metadata_changed`` marks changes to the purpose set or schema
+        categorization — state that lives in unversioned in-memory mirrors.
+        Mask churn is ordinary row data and stays snapshot-isolated, but
+        after a metadata change an open snapshot's enforcement state can no
+        longer be reconstructed, so active transactions are invalidated and
+        fail fast on next use (DESIGN.md §15).
+        """
         self._policy_epoch += 1
         self.epoch_scoped.clear_all()
+        if metadata_changed:
+            self.database.transactions.invalidate_active_snapshots(
+                f"policy metadata change at epoch {self._policy_epoch}"
+            )
 
     def compliance_memo_info(self) -> dict[str, int]:
         """Observability snapshot of the ``complieswith`` memo.
@@ -227,7 +242,7 @@ class AccessControlManager:
         if POLICY_COLUMN not in table.schema:
             table.add_column(Column(POLICY_COLUMN, SqlType.BIT_VARYING))
         self.invalidate_layouts(key)
-        self.bump_policy_epoch()
+        self.bump_policy_epoch(metadata_changed=True)
 
     def target_tables(self) -> list[str]:
         """The protected tables (every table except the meta-data ones)."""
@@ -245,7 +260,7 @@ class AccessControlManager:
         self.purposes.add(purpose)
         self.database.table("pr").insert_row((purpose.id, purpose.description))
         self._layouts.clear()
-        self.bump_policy_epoch()
+        self.bump_policy_epoch(metadata_changed=True)
 
     def remove_purpose(self, purpose_id: str) -> Purpose:
         """Remove a purpose from *Ps* and from Pr.
@@ -257,7 +272,7 @@ class AccessControlManager:
         purpose = self.purposes.remove(purpose_id)
         self.database.table("pr").delete_rows(lambda row: row[0] == purpose_id)
         self._layouts.clear()
-        self.bump_policy_epoch()
+        self.bump_policy_epoch(metadata_changed=True)
         return purpose
 
     # -- categorization (Pm) -------------------------------------------------------------
@@ -275,7 +290,7 @@ class AccessControlManager:
         pm.delete_rows(lambda row: row[0] == column_key and row[1] == table_key)
         pm.insert_row((column_key, table_key, category.code))
         self._category_map[(table_key, column_key)] = category
-        self.bump_policy_epoch()
+        self.bump_policy_epoch(metadata_changed=True)
 
     def category(self, table: str, column: str) -> DataCategory:
         """Categorizer protocol: Pm lookup with the *generic* fallback (§4.1)."""

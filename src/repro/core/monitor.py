@@ -27,10 +27,12 @@ from dataclasses import dataclass
 from ..engine import (
     Database,
     ResultSet,
+    current_transaction,
     resolve_batch_size,
     resolve_executor_mode,
     resolve_index_mode,
     resolve_optimizer_mode,
+    txn_scope,
 )
 from ..engine.database import PreparedQuery
 from ..errors import ParseError, UnauthorizedPurposeError
@@ -270,6 +272,15 @@ class EnforcementMonitor:
             "repro_explain_total",
             "EXPLAIN requests (never counted as data access)",
         )
+        registry.counter(
+            "repro_txn_total",
+            "Transaction lifecycle events (event=begin|commit|rollback|"
+            "conflict)",
+        )
+        registry.counter(
+            "repro_wal_total",
+            "Write-ahead-log activity (event=append|sync|checkpoint)",
+        )
         registry.histogram(
             "repro_query_seconds", "End-to-end enforced execution latency"
         )
@@ -347,9 +358,13 @@ class EnforcementMonitor:
         checks: int = 0,
     ) -> None:
         if self.audit is not None:
-            self.audit.record(
-                user, purpose, query_id, statement, outcome, rows, checks
-            )
+            # Audit rows are written outside any ambient transaction: the
+            # record of an attempt must survive even when the transaction
+            # that made it rolls back (and must never be staged).
+            with txn_scope(None):
+                self.audit.record(
+                    user, purpose, query_id, statement, outcome, rows, checks
+                )
             if self.metrics is not None:
                 self.metrics.counter("repro_audit_records_total").inc()
 
@@ -357,6 +372,31 @@ class EnforcementMonitor:
     def database(self) -> Database:
         """The secured target database."""
         return self.admin.database
+
+    def _current_txn(self):
+        """The context's transaction against this monitor's database, if any.
+
+        A snapshot doomed by a policy *metadata* change fails fast here —
+        its enforcement state can no longer be reconstructed, so no query
+        may run under it (DESIGN.md §15).
+        """
+        txn = current_transaction(self.database.transactions)
+        if txn is not None:
+            txn._check_usable()
+        return txn
+
+    def _current_epoch(self) -> int:
+        """The policy epoch queries are enforced under *right now*.
+
+        Inside a transaction this is the snapshot's epoch, not the admin's
+        live epoch: a reader that began before a policy update keeps
+        compiling and hitting plans for its snapshot's policy state
+        (DESIGN.md §15).
+        """
+        txn = self._current_txn()
+        if txn is not None:
+            return txn.snapshot.epoch
+        return self.admin.policy_epoch
 
     # -- pipeline pieces ------------------------------------------------------------
 
@@ -430,7 +470,7 @@ class EnforcementMonitor:
         eviction beyond :attr:`plan_cache_size`.
         """
         with self._cache_lock:
-            epoch = self.admin.policy_epoch
+            epoch = self._current_epoch()
             mode = self.optimizer_mode
             executor = self.executor_mode
             batch_size = self.batch_size
@@ -471,8 +511,16 @@ class EnforcementMonitor:
             )
             # Keys embed the current epoch, so entries compiled under earlier
             # epochs can never be hit again — drop them before LRU eviction
-            # starts pushing out live plans.
-            stale_keys = [k for k in self._plan_cache if k[2] != epoch]
+            # starts pushing out live plans.  Epochs still pinned by an
+            # active snapshot are kept: their readers can (and should) keep
+            # hitting the plans compiled for their policy state.
+            pinned = self.database.transactions.pinned_epochs()
+            live_epoch = self.admin.policy_epoch
+            stale_keys = [
+                k
+                for k in self._plan_cache
+                if k[2] != epoch and k[2] != live_epoch and k[2] not in pinned
+            ]
             for stale in stale_keys:
                 del self._plan_cache[stale]
             if stale_keys and self.metrics is not None:
@@ -729,6 +777,16 @@ class EnforcementMonitor:
             f"Executor: mode={plan.executor} batch_size={plan.plan.batch_size}"
         )
         lines.append(f"Indexes: mode={plan.indexes}")
+        txn = self._current_txn()
+        if txn is not None and not txn.ephemeral:
+            lines.append(
+                f"Snapshot: ts={txn.snapshot.ts} epoch={txn.snapshot.epoch} "
+                f"txn={txn.txn_id}"
+            )
+        else:
+            # No transaction, or a per-statement read snapshot (which by
+            # construction sees the latest committed state).
+            lines.append(f"Snapshot: latest epoch={plan.epoch}")
         lines.append("Logical:")
         lines.extend(f"  {line}" for line in plan.plan.logical_lines())
         rows = checks = memo_hits = 0
@@ -796,6 +854,8 @@ class EnforcementMonitor:
             return self.explain(
                 statement.statement, purpose, user=user, analyze=statement.analyze
             )
+        if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
+            return self.execute_txn_control(statement)
         if isinstance(statement, ast.Select):
             return self.execute(statement if text is None else text, purpose, user)
         if isinstance(statement, ast.SetOperation):
@@ -825,6 +885,38 @@ class EnforcementMonitor:
         if self.metrics is not None:
             self.metrics.counter("repro_complieswith_total").inc(checks)
         return affected
+
+    def execute_txn_control(self, statement: "ast.Begin | ast.Commit | ast.Rollback") -> int:
+        """Run BEGIN/COMMIT/ROLLBACK against the context's transaction state.
+
+        Transaction control is not a data access: it is never enforced or
+        audited, only counted (``repro_txn_total``).  A COMMIT that loses
+        first-committer-wins validation raises
+        :class:`~repro.errors.WriteConflictError` after counting the
+        conflict.
+        """
+        from ..errors import WriteConflictError
+
+        database = self.admin.database
+        if isinstance(statement, ast.Begin):
+            database.begin()
+            self._count_txn("begin")
+            return 0
+        if isinstance(statement, ast.Commit):
+            try:
+                database.commit()
+            except WriteConflictError:
+                self._count_txn("conflict")
+                raise
+            self._count_txn("commit")
+            return 0
+        database.rollback()
+        self._count_txn("rollback")
+        return 0
+
+    def _count_txn(self, event: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("repro_txn_total").inc(event=event)
 
     def _execute_set_operation(
         self,

@@ -19,6 +19,16 @@ from .batch import (
 )
 from .database import Database, PreparedQuery, bind_parameters
 from .functions import FunctionRegistry, MemoizedFunction
+from .mvcc import (
+    TXN_ENV,
+    TXN_MODES,
+    Snapshot,
+    Transaction,
+    TransactionManager,
+    current_transaction,
+    resolve_txn_mode,
+    txn_scope,
+)
 from .index import (
     INDEX_KINDS,
     INDEX_MODES,
@@ -80,4 +90,12 @@ __all__ = [
     "Table",
     "BitString",
     "SqlType",
+    "TXN_ENV",
+    "TXN_MODES",
+    "Snapshot",
+    "Transaction",
+    "TransactionManager",
+    "current_transaction",
+    "resolve_txn_mode",
+    "txn_scope",
 ]

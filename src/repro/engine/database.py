@@ -9,12 +9,13 @@ parsed or textual SQL statements.  SELECT goes through
 
 from __future__ import annotations
 
-from ..errors import CatalogError, ExecutionError
+from ..errors import CatalogError, ExecutionError, TransactionError
 from ..sql import ast, parse_statement
 from .executor import PreparedSelect, SelectExecutor
 from .expressions import Env, ExpressionCompiler, Scope
 from .functions import FunctionRegistry
 from .index import IndexDefinition, IndexManager, StatisticsCollector
+from .mvcc import Transaction, TransactionManager, current_transaction
 from .plan import PolicyBitmapCache
 from .result import ResultSet
 from .schema import Column, ColumnBinding, RowShape, TableSchema
@@ -251,6 +252,10 @@ class Database:
         # Secondary-index catalog and optimizer statistics (DESIGN.md §13).
         self.indexes = IndexManager(self)
         self.statistics = StatisticsCollector(self)
+        # MVCC: the commit clock + active-snapshot registry (DESIGN.md §15).
+        self.transactions = TransactionManager()
+        # Durability hook; set by engine.wal.DurabilityManager when attached.
+        self.durability = None
 
     # -- catalog -----------------------------------------------------------------
 
@@ -275,6 +280,7 @@ class Database:
         if key in self.tables:
             raise CatalogError(f"table {schema.name!r} already exists")
         table = Table(schema)
+        table.attach_manager(self.transactions)
         self.tables[key] = table
         return table
 
@@ -286,6 +292,56 @@ class Database:
         del self.tables[key]
         self.indexes.drop_for_table(key)
         self.statistics.forget(key)
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open a snapshot-isolation transaction and activate it in context.
+
+        The embedded single-context equivalent of the SQL ``BEGIN``: until
+        :meth:`commit`/:meth:`rollback`, every statement executed from
+        this thread/task reads the transaction's snapshot and stages its
+        writes.  Server sessions instead hold the returned handle and
+        activate it per statement with :func:`~repro.engine.mvcc.txn_scope`.
+        """
+        if current_transaction(self.transactions) is not None:
+            raise TransactionError("a transaction is already in progress")
+        txn = self.transactions.begin()
+        from .mvcc import _ACTIVE
+
+        _ACTIVE.set(txn)
+        return txn
+
+    def commit(self) -> int:
+        """Commit the context's transaction; returns its commit timestamp."""
+        txn = self._take_context_txn("COMMIT")
+        return self.transactions.commit(txn)
+
+    def rollback(self) -> None:
+        """Roll back the context's transaction."""
+        txn = self._take_context_txn("ROLLBACK")
+        self.transactions.rollback(txn)
+
+    def _take_context_txn(self, verb: str) -> Transaction:
+        from .mvcc import _ACTIVE
+
+        txn = current_transaction(self.transactions)
+        if txn is None:
+            raise TransactionError(f"{verb} without an active transaction")
+        _ACTIVE.set(None)
+        return txn
+
+    def _forbid_txn(self, operation: str) -> None:
+        if current_transaction(self.transactions) is not None:
+            raise TransactionError(
+                f"{operation} is not allowed inside a transaction"
+            )
+
+    def _checkpoint_ddl(self) -> None:
+        # WAL commit records carry rows, not schemas: a catalog change is
+        # made durable by checkpointing immediately (DESIGN.md §15).
+        if self.durability is not None:
+            self.durability.checkpoint()
 
     # -- statement execution -----------------------------------------------------
 
@@ -304,21 +360,37 @@ class Database:
             return self._execute_update(statement)
         if isinstance(statement, ast.Delete):
             return self._execute_delete(statement)
+        if isinstance(statement, ast.Begin):
+            self.begin()
+            return 0
+        if isinstance(statement, ast.Commit):
+            self.commit()
+            return 0
+        if isinstance(statement, ast.Rollback):
+            self.rollback()
+            return 0
         if isinstance(statement, ast.CreateTable):
+            self._forbid_txn("CREATE TABLE")
             self._execute_create(statement)
+            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.DropTable):
+            self._forbid_txn("DROP TABLE")
             self.drop_table(statement.name)
+            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.AlterTableAddColumn):
             self.table(statement.table).add_column(
                 _column_from_def(statement.column)
             )
+            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.AlterTableDropColumn):
             self.table(statement.table).drop_column(statement.column_name)
+            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.CreateIndex):
+            self._forbid_txn("CREATE INDEX")
             self.indexes.create(
                 IndexDefinition(
                     name=statement.name,
@@ -328,13 +400,18 @@ class Database:
                     partitioned_by=statement.partitioned_by,
                 )
             )
+            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.DropIndex):
+            self._forbid_txn("DROP INDEX")
             self.indexes.drop(statement.name)
+            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.Analyze):
             # ANALYZE reports the number of tables whose statistics were
-            # refreshed, mirroring DML's affected-row convention.
+            # refreshed, mirroring DML's affected-row convention.  Inside a
+            # transaction the stats snapshot is stamped with the *staged*
+            # version identity, so it can never outlive a rollback.
             return len(self.statistics.collect(statement.table))
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 

@@ -1,0 +1,462 @@
+"""Snapshot-isolation MVCC: snapshots, transactions, the commit clock.
+
+This module gives the engine the concurrency model the ROADMAP asks for —
+*policy writes never stall readers*.  The design in one paragraph:
+
+* Every committed change to a table is stamped with a **commit timestamp**
+  drawn from a single monotonic clock (:class:`TransactionManager`).
+* A :class:`Snapshot` is the pair ``(commit ts, policy epoch)``: which data
+  versions are visible *and* which policy state the query is enforced
+  under.  Folding the epoch into snapshot identity is what makes
+  enforcement snapshot-scoped (DESIGN.md §15): a reader that began before
+  a policy update keeps being enforced under its snapshot's policy state.
+* Tables keep per-tuple version chains (``xmin``/``xmax`` commit
+  timestamps, :class:`TupleVersion` in :mod:`repro.engine.table`); a
+  snapshot sees exactly the versions with ``xmin <= ts < xmax``.
+* A :class:`Transaction` stages its writes in per-table overlays and
+  validates **first-committer-wins** at commit: if any table it wrote was
+  committed to after its snapshot, the commit aborts with
+  :class:`~repro.errors.WriteConflictError`.
+
+The active transaction travels in a :class:`contextvars.ContextVar`, so it
+is inherited by the asyncio tasks of the sharded front end and can be
+activated per-statement on server worker threads via :func:`txn_scope` —
+every existing read path (executor scans, columnar batches, index builds,
+bitmap probes, statistics) becomes snapshot-consistent through the
+``Table.rows`` / ``Table.version`` properties without touching a single
+operator.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from ..errors import ExecutionError, TransactionError, WriteConflictError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .table import Table
+
+#: Environment variable gating the MVCC machinery (``"on"``/``"off"``).
+TXN_ENV = "REPRO_TXN"
+
+#: The valid transaction modes.
+TXN_MODES = ("on", "off")
+
+
+def resolve_txn_mode(mode: str | None = None) -> str:
+    """Resolve the transaction mode.
+
+    Precedence: explicit argument > ``$REPRO_TXN`` > ``"on"`` — the same
+    explicit/env/default ladder as
+    :func:`~repro.engine.batch.resolve_executor_mode`.  ``"off"`` restores
+    the pre-MVCC engine: no version chains are kept, ``BEGIN`` raises, and
+    the server falls back to its reader/writer lock.
+    """
+    if mode is None:
+        mode = os.environ.get(TXN_ENV) or "on"
+    mode = mode.strip().lower()
+    if mode not in TXN_MODES:
+        raise ExecutionError(
+            f"unknown transaction mode {mode!r} (expected one of {TXN_MODES})"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Snapshot identity: data visibility horizon × policy epoch.
+
+    ``ts`` is the highest commit timestamp visible to the snapshot;
+    ``epoch`` is the policy epoch the snapshot's queries are enforced
+    under (plan cache + ``compliesWith`` memo keying, DESIGN.md §15).
+    """
+
+    ts: int
+    epoch: int
+
+
+class _StagedTable:
+    """A transaction's private overlay over one table.
+
+    Created on the transaction's first write to the table by cloning the
+    snapshot-visible rows; all further statements in the transaction read
+    and write this list.  ``bump`` makes the staged ``Table.version``
+    change on every staged write so version-keyed caches (bitmaps,
+    indexes, statistics) never serve one staged state for another.
+    """
+
+    __slots__ = ("rows", "bump", "append_only")
+
+    def __init__(self, rows: list[tuple]):
+        self.rows = rows
+        self.bump = 0
+        #: True while the overlay only ever appended rows; such a table
+        #: commits as a cheap append (no version-chain closure, compact
+        #: WAL record) instead of a full replace.
+        self.append_only = True
+
+
+class Transaction:
+    """One snapshot-isolation transaction: a snapshot plus staged writes."""
+
+    def __init__(self, manager: "TransactionManager", txn_id: int, snapshot: Snapshot):
+        self.manager = manager
+        self.txn_id = txn_id
+        self.snapshot = snapshot
+        self.status = "active"
+        #: Set when policy *metadata* changed under this snapshot (see
+        #: :meth:`TransactionManager.invalidate_active_snapshots`).
+        self.invalidated_by: str | None = None
+        #: True for per-statement read snapshots (the server's snapshot
+        #: handoff), False for explicit BEGIN transactions.  Observability
+        #: only — EXPLAIN renders ephemeral snapshots as "latest".
+        self.ephemeral = False
+        self._staged: dict[str, _StagedTable] = {}
+        #: Row count of each staged table at staging time, to split the
+        #: append-only suffix out of the overlay at commit.
+        self._staged_base: dict[str, int] = {}
+        self._tables: dict[str, "Table"] = {}
+
+    # -- staging -----------------------------------------------------------
+
+    def staged(self, table: "Table") -> "_StagedTable | None":
+        """The overlay for ``table`` if this transaction wrote it."""
+        return self._staged.get(table.name.lower())
+
+    def stage(self, table: "Table") -> _StagedTable:
+        """Get-or-create the write overlay for ``table``."""
+        key = table.name.lower()
+        overlay = self._staged.get(key)
+        if overlay is None:
+            base = table.rows_as_of(self.snapshot.ts)
+            overlay = _StagedTable(list(base))
+            self._staged[key] = overlay
+            self._staged_base[key] = len(overlay.rows)
+            self._tables[key] = table
+        return overlay
+
+    def written_tables(self) -> list[str]:
+        """Lower-cased names of tables this transaction wrote."""
+        return list(self._staged)
+
+    def commit(self) -> int:
+        """Commit via the owning manager; returns the commit timestamp."""
+        return self.manager.commit(self)
+
+    def rollback(self) -> None:
+        """Abort: discard the staged overlays."""
+        self.manager.rollback(self)
+
+    def _check_usable(self) -> None:
+        if self.status != "active":
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.status}, not active"
+            )
+        if self.invalidated_by is not None:
+            from ..errors import SnapshotInvalidatedError
+
+            raise SnapshotInvalidatedError(
+                f"transaction {self.txn_id}: snapshot invalidated by "
+                f"{self.invalidated_by}; roll back and retry"
+            )
+
+
+#: The transaction active in the current thread/task context, if any.
+#: ``ContextVar`` (not a thread-local) so asyncio tasks inherit it.
+_ACTIVE: ContextVar["Transaction | None"] = ContextVar("repro_txn", default=None)
+
+
+def current_transaction(manager: "TransactionManager | None" = None) -> "Transaction | None":
+    """The context's active transaction, filtered to ``manager`` if given.
+
+    The manager filter keeps two databases in one process (e.g. the fuzz
+    oracle next to the enforced world, or per-shard replicas) from seeing
+    each other's transactions.
+    """
+    txn = _ACTIVE.get()
+    if txn is None or txn.status != "active":
+        return None
+    if manager is not None and txn.manager is not manager:
+        return None
+    return txn
+
+
+@contextlib.contextmanager
+def txn_scope(txn: "Transaction | None") -> Iterator[None]:
+    """Activate ``txn`` for the dynamic extent of the ``with`` block.
+
+    ``txn_scope(None)`` masks any ambient transaction — the audit log uses
+    it so audit rows are never staged (and hence never rolled back) with
+    the transaction they record.
+    """
+    token = _ACTIVE.set(txn)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+
+
+@dataclass
+class TxnStats:
+    """Counters for the server stats verb and the txn benchmark."""
+
+    begun: int = 0
+    committed: int = 0
+    rolled_back: int = 0
+    conflicts: int = 0
+    invalidated: int = 0
+    active: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "begun": self.begun,
+            "committed": self.committed,
+            "rolled_back": self.rolled_back,
+            "conflicts": self.conflicts,
+            "invalidated": self.invalidated,
+            "active": self.active,
+        }
+
+
+class TransactionManager:
+    """The commit clock, the active-snapshot registry and commit validation.
+
+    One manager per :class:`~repro.engine.database.Database`; standalone
+    :class:`~repro.engine.table.Table` objects lazily create a private one.
+    ``enabled`` mirrors :func:`resolve_txn_mode` at construction: when off,
+    tables skip version-chain bookkeeping entirely and :meth:`begin`
+    raises, restoring the pre-MVCC engine byte for byte.
+    """
+
+    def __init__(self, enabled: bool | None = None):
+        self.enabled = (
+            resolve_txn_mode(None) == "on" if enabled is None else enabled
+        )
+        self._lock = threading.Lock()
+        self._clock = 0
+        self._txn_counter = 0
+        self._active: dict[int, Transaction] = {}
+        self.stats = TxnStats()
+        #: Callback returning the current policy epoch; wired up by
+        #: :class:`~repro.core.admin.AccessControlManager` at configure time.
+        self.epoch_provider: Callable[[], int] | None = None
+        #: Durability hook (:class:`~repro.engine.wal.DurabilityManager`);
+        #: ``None`` for purely in-memory databases.
+        self.wal = None
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """The timestamp of the most recent commit."""
+        return self._clock
+
+    def advance_clock_to(self, ts: int) -> None:
+        """Fast-forward the clock (WAL replay stamps recovered commits)."""
+        with self._lock:
+            if ts > self._clock:
+                self._clock = ts
+
+    def current_epoch(self) -> int:
+        return self.epoch_provider() if self.epoch_provider is not None else 0
+
+    # -- snapshot lifecycle ------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """A snapshot of the present: latest commit ts × current epoch."""
+        return Snapshot(ts=self._clock, epoch=self.current_epoch())
+
+    def begin(self) -> Transaction:
+        """Open a transaction pinned to a fresh snapshot."""
+        if not self.enabled:
+            raise TransactionError(
+                f"transactions are disabled (${TXN_ENV}=off)"
+            )
+        with self._lock:
+            self._txn_counter += 1
+            txn = Transaction(self, self._txn_counter, self.snapshot())
+            self._active[txn.txn_id] = txn
+            self.stats.begun += 1
+            self.stats.active = len(self._active)
+        return txn
+
+    @contextlib.contextmanager
+    def read_snapshot(self) -> Iterator["Transaction"]:
+        """A registered read-only snapshot for the extent of a statement.
+
+        This is the server's *snapshot handoff*: instead of holding the
+        read side of the RW lock for the duration of a SELECT, the worker
+        pins a snapshot (protecting its versions from pruning) and reads
+        lock-free.  Exiting the scope unregisters without commit
+        validation — a read-only transaction has nothing to validate.
+        """
+        txn = self.begin()
+        txn.ephemeral = True
+        try:
+            with txn_scope(txn):
+                yield txn
+        finally:
+            self.rollback(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        if txn.status != "active":
+            return
+        with self._lock:
+            txn.status = "aborted"
+            self._active.pop(txn.txn_id, None)
+            self.stats.rolled_back += 1
+            self.stats.active = len(self._active)
+        self._prune_tables(txn)
+
+    # -- commit ------------------------------------------------------------
+
+    def next_commit_ts(self) -> int:
+        """Allocate the next commit timestamp (autocommit writes)."""
+        with self._lock:
+            self._clock += 1
+            return self._clock
+
+    def commit_single(self, table: "Table", op: str, rows: list[tuple]) -> int:
+        """Commit one autocommit statement's write to one table.
+
+        Timestamp allocation, WAL logging and the in-memory apply happen
+        under the manager lock so autocommit writes serialize with
+        transactional commits and the apply order is the timestamp order.
+        """
+        lsn = None
+        with self._lock:
+            ts = self._clock + 1
+            if self.wal is not None:
+                lsn = self.wal.log_commit(ts, {table.name.lower(): (op, rows)})
+            if op == "append":
+                table.apply_committed_append(rows, ts)
+            else:
+                table.apply_committed_replace(rows, ts)
+            self._clock = ts
+            table.prune_versions(self._oldest_locked())
+        if lsn is not None:
+            # Fsync outside the lock: concurrent committers group-commit.
+            self.wal.sync(lsn)
+        return ts
+
+    def commit(self, txn: Transaction) -> int:
+        """Validate first-committer-wins, log, apply; returns the commit ts.
+
+        Validation, WAL append and in-memory apply happen under the
+        manager lock, so the apply order *is* the timestamp order and a
+        concurrent snapshot can never observe half a commit (a table's
+        rows swap atomically per table; the clock only advances once every
+        staged table has been applied).
+        """
+        txn._check_usable()
+        if not txn._staged:
+            # Read-only commit: nothing to validate or log.
+            with self._lock:
+                txn.status = "committed"
+                self._active.pop(txn.txn_id, None)
+                self.stats.committed += 1
+                self.stats.active = len(self._active)
+            self._prune_tables(txn)
+            return self._clock
+        with self._lock:
+            # First committer wins: any commit to a written table after
+            # our snapshot aborts us.
+            for key, table in txn._tables.items():
+                if table.last_commit_ts > txn.snapshot.ts:
+                    txn.status = "aborted"
+                    self._active.pop(txn.txn_id, None)
+                    self.stats.conflicts += 1
+                    self.stats.rolled_back += 1
+                    self.stats.active = len(self._active)
+                    error = WriteConflictError(
+                        table.name, txn.snapshot.ts, table.last_commit_ts
+                    )
+                    self._prune_tables_locked(txn)
+                    raise error
+            ts = self._clock + 1
+            ops = {}
+            for key, overlay in txn._staged.items():
+                base = txn._staged_base[key]
+                if overlay.append_only:
+                    ops[key] = ("append", overlay.rows[base:])
+                else:
+                    ops[key] = ("replace", overlay.rows)
+            lsn = self.wal.log_commit(ts, ops) if self.wal is not None else None
+            for key, (op, rows) in ops.items():
+                table = txn._tables[key]
+                if op == "append":
+                    table.apply_committed_append(rows, ts)
+                else:
+                    table.apply_committed_replace(rows, ts)
+            self._clock = ts
+            txn.status = "committed"
+            self._active.pop(txn.txn_id, None)
+            self.stats.committed += 1
+            self.stats.active = len(self._active)
+            self._prune_tables_locked(txn)
+        if lsn is not None:
+            # Fsync outside the lock: concurrent committers group-commit.
+            self.wal.sync(lsn)
+        return ts
+
+    # -- snapshot horizon / version pruning --------------------------------
+
+    def oldest_snapshot_ts(self) -> int:
+        """The pruning horizon: versions dead before this ts are garbage."""
+        with self._lock:
+            return self._oldest_locked()
+
+    def _oldest_locked(self) -> int:
+        if not self._active:
+            return self._clock
+        return min(
+            (t.snapshot.ts for t in self._active.values()), default=self._clock
+        )
+
+    def pinned_epochs(self) -> set[int]:
+        """Policy epochs still pinned by an active snapshot.
+
+        The enforcement monitor's plan-cache purge keeps entries for these
+        epochs so a pinned reader's plans survive concurrent policy churn.
+        """
+        with self._lock:
+            return {t.snapshot.epoch for t in self._active.values()}
+
+    def invalidate_active_snapshots(self, reason: str) -> int:
+        """Doom every active transaction (policy *metadata* changed).
+
+        Mask churn is ordinary row data and is versioned like any other
+        write, but the admin's purpose set and schema categorization live
+        in in-memory mirrors that are not versioned; when those change we
+        cannot reconstruct old enforcement state, so open snapshots are
+        marked invalid and fail fast on next use (DESIGN.md §15).
+        """
+        with self._lock:
+            doomed = [t for t in self._active.values() if t.invalidated_by is None]
+            for txn in doomed:
+                txn.invalidated_by = reason
+            self.stats.invalidated += len(doomed)
+            return len(doomed)
+
+    def _prune_tables(self, txn: Transaction) -> None:
+        with self._lock:
+            self._prune_tables_locked(txn)
+
+    def _prune_tables_locked(self, txn: Transaction) -> None:
+        horizon = self._oldest_locked()
+        for table in txn._tables.values():
+            table.prune_versions(horizon)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def stats_dict(self) -> dict[str, int]:
+        with self._lock:
+            self.stats.active = len(self._active)
+            return self.stats.as_dict()

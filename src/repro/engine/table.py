@@ -1,39 +1,177 @@
-"""Row storage.
+"""Row storage with per-tuple version chains (MVCC).
 
 A :class:`Table` stores rows as Python tuples in insertion order.  Schema
 evolution (ALTER TABLE) rewrites stored rows, which is what the paper's
 framework-configuration step does when it appends the ``policy`` column to
 every target-DB table (Section 5.1).
+
+Since the MVCC work (DESIGN.md §15) a table keeps two representations:
+
+* ``_rows`` — the materialized latest-committed row list.  Readers outside
+  any transaction hit it directly, so the pre-MVCC hot path is unchanged.
+* ``_versions`` — an append-only chain of :class:`TupleVersion` entries
+  stamped with ``xmin``/``xmax`` commit timestamps.  A snapshot at ts
+  sees exactly the versions with ``xmin <= ts`` and ``xmax`` unset or
+  ``> ts``, reconstructed (and cached) on demand.
+
+The :attr:`rows` and :attr:`version` properties consult the context's
+active transaction (:mod:`repro.engine.mvcc`): inside a transaction they
+serve the staged overlay or the snapshot reconstruction, and ``version``
+returns a value that *identifies the snapshot state* — an int for
+committed states, a ``("txn", id, bump)`` tuple for staged ones — so every
+cache keyed on ``Table.version`` (policy bitmaps, index builds, table
+statistics) is snapshot-keyed for free and can never leak staged or
+future state into another snapshot's reads.
+
+Writers outside a transaction autocommit through the owning
+:class:`~repro.engine.mvcc.TransactionManager` (one commit timestamp per
+statement, WAL-logged when durability is attached).  With ``REPRO_TXN=off``
+no version bookkeeping happens at all and the table behaves exactly like
+the pre-MVCC engine.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import Callable, Iterable, Iterator
 
-from ..errors import CatalogError, ExecutionError
+from ..errors import CatalogError, ExecutionError, TransactionError
+from .mvcc import _ACTIVE, Transaction, TransactionManager
 from .schema import Column, TableSchema
 from .types import coerce_value
 
+#: Bound on the per-table snapshot-reconstruction cache.
+_ASOF_CACHE_LIMIT = 8
+
+
+class TupleVersion:
+    """One version of one row: visible to snapshots in ``[xmin, xmax)``."""
+
+    __slots__ = ("row", "xmin", "xmax")
+
+    def __init__(self, row: tuple, xmin: int, xmax: "int | None" = None):
+        self.row = row
+        self.xmin = xmin
+        self.xmax = xmax
+
+    def visible_at(self, ts: int) -> bool:
+        return self.xmin <= ts and (self.xmax is None or self.xmax > ts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TupleVersion(xmin={self.xmin}, xmax={self.xmax}, row={self.row!r})"
+
 
 class Table:
-    """A heap table: a schema plus a list of row tuples."""
+    """A heap table: a schema, a row list and an MVCC version chain."""
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: list[tuple] = []
-        #: Bumped whenever row storage changes; cached artifacts derived from
-        #: the rows (policy bitmaps) key on it to detect staleness.
-        self.version: int = 0
+        #: Bumped on every committed change; cached artifacts derived from
+        #: the rows (policy bitmaps, index builds, statistics) key on the
+        #: :attr:`version` property to detect staleness.
+        self._version: int = 0
+        self._versions: list[TupleVersion] = []
+        #: ``(commit ts, version)`` pairs, ascending; maps a snapshot ts to
+        #: the committed ``version`` value it observes.
+        self._commit_log: list[tuple[int, int]] = [(0, 0)]
+        self._last_commit_ts: int = 0
+        self._manager: TransactionManager | None = None
+        self._asof_cache: dict[int, list[tuple]] = {}
+
+    # -- transaction plumbing ------------------------------------------------
+
+    def attach_manager(self, manager: TransactionManager) -> None:
+        """Bind this table to its database's transaction manager."""
+        self._manager = manager
+
+    @property
+    def manager(self) -> TransactionManager:
+        """The owning transaction manager (created lazily when detached)."""
+        if self._manager is None:
+            self._manager = TransactionManager()
+        return self._manager
+
+    def _mvcc_on(self) -> bool:
+        return self._manager is not None and self._manager.enabled
+
+    def _active_txn(self) -> "Transaction | None":
+        """The context transaction, iff it belongs to this table's manager."""
+        txn = _ACTIVE.get()
+        if (
+            txn is None
+            or txn.status != "active"
+            or self._manager is None
+            or txn.manager is not self._manager
+        ):
+            return None
+        return txn
+
+    def _write_txn(self) -> "Transaction | None":
+        txn = self._active_txn()
+        if txn is not None:
+            txn._check_usable()
+        return txn
+
+    def _forbid_txn(self, operation: str) -> None:
+        if self._active_txn() is not None:
+            raise TransactionError(
+                f"{operation} is not allowed inside a transaction"
+            )
+
+    @property
+    def last_commit_ts(self) -> int:
+        """Commit timestamp of the most recent committed change."""
+        return self._last_commit_ts
+
+    # -- row access ----------------------------------------------------------
 
     @property
     def rows(self) -> list[tuple]:
-        """The stored row tuples, in insertion order."""
+        """The visible row tuples, in insertion order.
+
+        Outside a transaction: the latest committed rows.  Inside one: the
+        transaction's staged overlay if it wrote this table, otherwise the
+        reconstruction as of the transaction's snapshot timestamp.
+        """
+        txn = self._active_txn()
+        if txn is not None:
+            overlay = txn.staged(self)
+            if overlay is not None:
+                return overlay.rows
+            if txn.snapshot.ts < self._last_commit_ts:
+                return self.rows_as_of(txn.snapshot.ts)
         return self._rows
 
     @rows.setter
     def rows(self, new_rows: list[tuple]) -> None:
-        self._rows = new_rows
-        self.version += 1
+        txn = self._write_txn()
+        if txn is not None:
+            overlay = txn.stage(self)
+            overlay.rows = list(new_rows)
+            overlay.append_only = False
+            overlay.bump += 1
+            return
+        self._autocommit("replace", list(new_rows))
+
+    @property
+    def version(self) -> "int | tuple":
+        """Snapshot identity of the visible row state.
+
+        An int for committed states (strictly increasing per commit); a
+        ``("txn", txn_id, bump)`` tuple while reading a staged overlay.
+        Tuples never compare equal to ints, so version-keyed caches can
+        neither serve committed artifacts for staged state nor retain
+        staged artifacts after rollback.
+        """
+        txn = self._active_txn()
+        if txn is not None:
+            overlay = txn.staged(self)
+            if overlay is not None:
+                return ("txn", txn.txn_id, overlay.bump)
+            if txn.snapshot.ts < self._last_commit_ts:
+                return self.version_as_of(txn.snapshot.ts)
+        return self._version
 
     @property
     def name(self) -> str:
@@ -45,6 +183,91 @@ class Table:
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
+
+    # -- snapshot reconstruction ----------------------------------------------
+
+    def rows_as_of(self, ts: int) -> list[tuple]:
+        """The committed rows visible to a snapshot at ``ts``.
+
+        Reconstructed from the version chain and cached per timestamp; the
+        reconstruction is safe against concurrent committed appends (their
+        versions carry a later ``xmin`` and are filtered out).
+        """
+        if not self._mvcc_on() or ts >= self._last_commit_ts:
+            return self._rows
+        cached = self._asof_cache.get(ts)
+        if cached is None:
+            cached = [v.row for v in self._versions if v.visible_at(ts)]
+            if len(self._asof_cache) >= _ASOF_CACHE_LIMIT:
+                self._asof_cache.clear()
+            self._asof_cache[ts] = cached
+        return cached
+
+    def version_as_of(self, ts: int) -> int:
+        """The committed ``version`` value a snapshot at ``ts`` observes.
+
+        Snapshots over an unchanged table share the latest committed int,
+        so version-keyed caches (bitmaps, indexes, statistics) are shared
+        across snapshots whenever sharing is sound.
+        """
+        if ts >= self._last_commit_ts:
+            return self._version
+        index = bisect.bisect_right(self._commit_log, (ts, float("inf"))) - 1
+        return self._commit_log[max(index, 0)][1]
+
+    def prune_versions(self, horizon: int) -> None:
+        """Drop versions invisible to every snapshot at or after ``horizon``."""
+        if not self._versions:
+            return
+        live = [
+            v for v in self._versions if v.xmax is None or v.xmax > horizon
+        ]
+        if len(live) != len(self._versions):
+            self._versions = live
+            self._asof_cache.clear()
+        if len(self._commit_log) > 1:
+            cut = bisect.bisect_right(self._commit_log, (horizon, float("inf"))) - 1
+            if cut > 0:
+                self._commit_log = self._commit_log[cut:]
+
+    # -- commit application (called by the transaction manager) ---------------
+
+    def apply_committed_append(self, rows: list[tuple], ts: int) -> None:
+        """Apply an append-only commit at timestamp ``ts``."""
+        self._rows.extend(rows)
+        self._version += 1
+        if self._mvcc_on():
+            self._versions.extend(TupleVersion(row, ts) for row in rows)
+            self._commit_log.append((ts, self._version))
+        self._last_commit_ts = ts
+
+    def apply_committed_replace(self, rows: list[tuple], ts: int) -> None:
+        """Apply a whole-list replacement commit at timestamp ``ts``."""
+        if self._mvcc_on():
+            for version in self._versions:
+                if version.xmax is None:
+                    version.xmax = ts
+            self._versions.extend(TupleVersion(row, ts) for row in rows)
+        self._rows = list(rows)
+        self._version += 1
+        if self._mvcc_on():
+            self._commit_log.append((ts, self._version))
+        self._last_commit_ts = ts
+
+    def _autocommit(self, op: str, rows: list[tuple]) -> None:
+        """Commit a single-statement write with its own timestamp."""
+        manager = self.manager
+        if not manager.enabled:
+            self._apply_plain(op, rows)
+            return
+        manager.commit_single(self, op, rows)
+
+    def _apply_plain(self, op: str, rows: list[tuple]) -> None:
+        if op == "append":
+            self._rows.extend(rows)
+        else:
+            self._rows = rows
+        self._version += 1
 
     # -- DML -----------------------------------------------------------------
 
@@ -87,8 +310,14 @@ class Table:
         When ``columns`` is given, missing columns get their declared default
         (or NULL); otherwise ``values`` must cover the full schema in order.
         """
-        self._rows.append(self._coerce_insert(values, columns))
-        self.version += 1
+        coerced = self._coerce_insert(values, columns)
+        txn = self._write_txn()
+        if txn is not None:
+            overlay = txn.stage(self)
+            overlay.rows.append(coerced)
+            overlay.bump += 1
+            return
+        self._autocommit("append", [coerced])
 
     def append_rows(
         self, rows: Iterable[Iterable[object]], columns: tuple[str, ...] = ()
@@ -102,8 +331,13 @@ class Table:
         """
         coerced = [self._coerce_insert(row, columns) for row in rows]
         if coerced:
-            self._rows.extend(coerced)
-            self.version += 1
+            txn = self._write_txn()
+            if txn is not None:
+                overlay = txn.stage(self)
+                overlay.rows.extend(coerced)
+                overlay.bump += 1
+            else:
+                self._autocommit("append", coerced)
         return len(coerced)
 
     def extend(self, rows: Iterable[Iterable[object]]) -> int:
@@ -142,22 +376,42 @@ class Table:
 
     def truncate(self) -> None:
         """Remove all rows."""
-        self._rows.clear()
-        self.version += 1
+        self.rows = []
 
     # -- DDL -----------------------------------------------------------------
 
     def add_column(self, column: Column) -> None:
-        """Append a column, filling existing rows with its default."""
+        """Append a column, filling existing rows with its default.
+
+        Schema changes are not snapshot-isolated: they are rejected inside
+        a transaction and collapse the version chain (a *schema barrier*),
+        so concurrent snapshots observe the post-DDL state rather than
+        reconstructing rows of the wrong width.
+        """
+        self._forbid_txn("ALTER TABLE")
         self.schema = self.schema.with_column(column)
         fill = column.default
-        self.rows = [(*row, fill) for row in self.rows]
+        self.rows = [(*row, fill) for row in self._rows]
+        self._schema_barrier()
 
     def drop_column(self, name: str) -> None:
         """Drop a column and rewrite stored rows."""
+        self._forbid_txn("ALTER TABLE")
         index = self.schema.column_index(name)
         self.schema = self.schema.without_column(name)
-        self.rows = [tuple(v for i, v in enumerate(row) if i != index) for row in self.rows]
+        self.rows = [
+            tuple(v for i, v in enumerate(row) if i != index)
+            for row in self._rows
+        ]
+        self._schema_barrier()
+
+    def _schema_barrier(self) -> None:
+        """Collapse version history so every snapshot sees current rows."""
+        if not self._mvcc_on():
+            return
+        self._versions = [TupleVersion(row, 0) for row in self._rows]
+        self._commit_log = [(0, self._version)]
+        self._asof_cache.clear()
 
     # -- column-level access (used by the policy administration layer) --------
 
@@ -181,6 +435,7 @@ class Table:
             return (*row[:index], coerced, *row[index + 1 :])
 
         if predicate is None:
-            self.rows = [updater(row) for row in self.rows]
-            return len(self.rows)
+            updated = self.rows
+            self.rows = [updater(row) for row in updated]
+            return len(updated)
         return self.update_rows(predicate, updater)

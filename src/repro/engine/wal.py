@@ -1,0 +1,373 @@
+"""Write-ahead logging, checkpointing and crash recovery.
+
+The durability half of the MVCC work (DESIGN.md §15).  The protocol is
+redo-only physical logging of *committed* effects:
+
+* Every commit — transactional or autocommit — appends one
+  :data:`commit record <COMMIT>` describing its per-table effects
+  (``append`` of new rows, or a whole-list ``replace``) *before* the
+  in-memory apply.  A commit is durable exactly when its record is
+  fsynced; there is nothing to undo at recovery because uncommitted
+  staged state never reaches the log.
+* Records are framed as ``crc32 length json\\n``; recovery replays the
+  longest valid prefix and stops at the first torn or corrupt record, so
+  a crash mid-append can never resurrect half a commit.
+* ``fsync`` is group-committed: concurrent committers coalesce on a
+  single flush (the first one in syncs everything written so far, the
+  rest observe their LSN already durable and return without touching the
+  disk).  ``REPRO_WAL_SYNC=off`` trades durability for speed in tests.
+* A checkpoint writes a full database snapshot (via
+  :mod:`repro.engine.persist`) with an atomic rename, then truncates the
+  log; recovery = load newest checkpoint + replay the WAL suffix.
+  Because the snapshot carries schemas and WAL records don't, DDL
+  triggers an immediate checkpoint.
+
+Failpoints (:attr:`WriteAheadLog.failpoints`) simulate crashes at the
+exact moments that distinguish a correct recovery protocol from a lucky
+one: before the append, after a *partial* append (torn write), before the
+fsync, and after the fsync but before the in-memory apply.  The crash
+harness in ``tests/engine/test_wal_recovery.py`` drives them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+
+from ..errors import InjectedFailure, WalError
+from .database import Database
+
+#: Environment variable gating fsync on commit (``"on"``/``"off"``).
+WAL_SYNC_ENV = "REPRO_WAL_SYNC"
+
+#: Commit-record type tag.
+COMMIT = "commit"
+
+#: Checkpoint-marker record type tag (first record of a fresh log).
+CHECKPOINT = "checkpoint"
+
+_SNAPSHOT_NAME = "snapshot.json"
+_WAL_NAME = "wal.log"
+
+
+def resolve_wal_sync(mode: str | None = None) -> bool:
+    """Whether commits fsync (explicit argument > ``$REPRO_WAL_SYNC`` > on)."""
+    if mode is None:
+        mode = os.environ.get(WAL_SYNC_ENV) or "on"
+    return mode.strip().lower() != "off"
+
+
+def _frame(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%08x %08x %s\n" % (crc, len(payload), payload)
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed record log with group-committed fsync."""
+
+    def __init__(self, path: "str | Path", sync: bool | None = None):
+        self.path = Path(path)
+        self.sync_enabled = resolve_wal_sync() if sync is None else sync
+        self._write_lock = threading.Lock()
+        self._sync_lock = threading.Lock()
+        self._written_lsn = 0
+        self._synced_lsn = 0
+        self.appends = 0
+        self.syncs = 0
+        #: Active failpoint names; see module docstring.
+        self.failpoints: set[str] = set()
+        self._file = open(self.path, "ab")
+
+    # -- failpoints --------------------------------------------------------
+
+    def _hit(self, point: str) -> None:
+        if point in self.failpoints:
+            raise InjectedFailure(point)
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, record: dict, sync: bool = True) -> int:
+        """Append one record; returns its LSN (1-based record ordinal).
+
+        With ``sync`` the record is group-committed durable before the
+        call returns (subject to :attr:`sync_enabled`).
+        """
+        frame = _frame(record)
+        with self._write_lock:
+            self._hit("wal.before_append")
+            if "wal.partial_append" in self.failpoints:
+                # A torn write: half the frame reaches the disk, then the
+                # process dies.  Recovery must discard it.
+                self._file.write(frame[: max(1, len(frame) // 2)])
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                raise InjectedFailure("wal.partial_append")
+            self._file.write(frame)
+            self._file.flush()
+            self._written_lsn += 1
+            lsn = self._written_lsn
+            self.appends += 1
+        if sync:
+            self.sync_to(lsn)
+        return lsn
+
+    def sync_to(self, lsn: int) -> None:
+        """Make every record up to ``lsn`` durable (group commit).
+
+        Committers racing here coalesce: whoever takes the sync lock first
+        fsyncs *everything written so far*; the rest find their LSN
+        already covered and return without a second flush.
+        """
+        self._hit("wal.before_sync")
+        if not self.sync_enabled:
+            self._synced_lsn = max(self._synced_lsn, lsn)
+            self._hit("wal.after_sync")
+            return
+        if self._synced_lsn >= lsn:
+            self._hit("wal.after_sync")
+            return
+        with self._sync_lock:
+            if self._synced_lsn < lsn:
+                with self._write_lock:
+                    target = self._written_lsn
+                    os.fsync(self._file.fileno())
+                self._synced_lsn = target
+                self.syncs += 1
+        self._hit("wal.after_sync")
+
+    # -- reading -----------------------------------------------------------
+
+    def replay(self) -> "tuple[list[dict], int]":
+        """Decode the longest valid record prefix.
+
+        Returns ``(records, torn_bytes)`` where ``torn_bytes`` counts
+        trailing bytes discarded because the final frame was truncated or
+        failed its CRC.  Never raises on a damaged tail — that is the
+        normal shape of a crash — but a damaged *middle* cannot be told
+        apart from a damaged tail and also stops the replay there.
+        """
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0
+        records: list[dict] = []
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                break
+            line = data[offset : newline + 1]
+            record = _decode_frame(line)
+            if record is None:
+                break
+            records.append(record)
+            offset = newline + 1
+        return records, len(data) - offset
+
+    def truncate(self) -> None:
+        """Start a fresh, empty log (post-checkpoint)."""
+        with self._write_lock:
+            self._file.close()
+            self._file = open(self.path, "wb")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._written_lsn = 0
+            self._synced_lsn = 0
+
+    def close(self) -> None:
+        with self._write_lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "appends": self.appends,
+            "syncs": self.syncs,
+            "written_lsn": self._written_lsn,
+            "synced_lsn": self._synced_lsn,
+        }
+
+
+def _decode_frame(line: bytes) -> "dict | None":
+    """Decode one framed record; ``None`` when torn or corrupt."""
+    if not line.endswith(b"\n") or len(line) < 19:
+        return None
+    head, sep, payload = line[:-1].partition(b" ")
+    if not sep:
+        return None
+    length_hex, sep, payload = payload.partition(b" ")
+    if not sep:
+        return None
+    try:
+        crc = int(head, 16)
+        length = int(length_hex, 16)
+    except ValueError:
+        return None
+    if len(payload) != length:
+        return None
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+
+
+class DurabilityManager:
+    """Glue between a database, its transaction manager and the disk.
+
+    Owns a directory with two files: ``snapshot.json`` (the newest
+    checkpoint, written atomically) and ``wal.log`` (commits since).  Once
+    attached, every commit flowing through the transaction manager is
+    logged before it applies; :func:`open_database` reverses the process.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        directory: "str | Path",
+        sync: bool | None = None,
+    ):
+        self.database = database
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal = WriteAheadLog(self.directory / _WAL_NAME, sync=sync)
+        self.checkpoints = 0
+        self.recovered_commits = 0
+        self.torn_bytes = 0
+        manager = database.transactions
+        if not manager.enabled:
+            raise WalError(
+                "durability requires MVCC (REPRO_TXN=on); the WAL logs "
+                "commit timestamps"
+            )
+        manager.wal = self
+        database.durability = self
+
+    # -- logging (called by the transaction manager, under its lock) --------
+
+    def log_commit(self, ts: int, ops: "dict[str, tuple[str, list[tuple]]]") -> int:
+        """Log one commit's per-table effects; returns the record's LSN.
+
+        Called under the transaction-manager lock, *before* the in-memory
+        apply.  The fsync is deliberately not here: the committer calls
+        :meth:`sync` after releasing the manager lock, so concurrent
+        commits coalesce on one flush (group commit) instead of
+        serializing their fsyncs behind the lock.
+        """
+        from .persist import _encode_value
+
+        record = {
+            "type": COMMIT,
+            "ts": ts,
+            "tables": {
+                name: {
+                    "op": op,
+                    "rows": [[_encode_value(v) for v in row] for row in rows],
+                }
+                for name, (op, rows) in ops.items()
+            },
+        }
+        return self.wal.append(record, sync=False)
+
+    def sync(self, lsn: int) -> None:
+        """Group-commit: return once the record at ``lsn`` is durable."""
+        self.wal.sync_to(lsn)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write an atomic full snapshot and truncate the log."""
+        from . import persist
+
+        document = persist.to_document(self.database)
+        document["wal_clock"] = self.database.transactions.clock
+        snapshot_path = self.directory / _SNAPSHOT_NAME
+        temp_path = snapshot_path.with_suffix(".json.tmp")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, snapshot_path)
+        self.wal.truncate()
+        self.wal.append({"type": CHECKPOINT, "ts": self.database.transactions.clock})
+        self.checkpoints += 1
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def stats(self) -> dict[str, int]:
+        stats = dict(self.wal.stats())
+        stats["checkpoints"] = self.checkpoints
+        stats["recovered_commits"] = self.recovered_commits
+        stats["torn_bytes"] = self.torn_bytes
+        return stats
+
+
+def open_database(
+    directory: "str | Path",
+    name: str = "db",
+    sync: bool | None = None,
+) -> "tuple[Database, DurabilityManager]":
+    """Open (or create) a durable database rooted at ``directory``.
+
+    Recovery protocol: load the newest checkpoint snapshot if present,
+    fast-forward the commit clock to its ``wal_clock``, then replay every
+    valid WAL commit record with a later timestamp in order.  The result
+    is exactly the committed prefix: commits whose record survived are
+    reapplied, torn tails are discarded.
+    """
+    from . import persist
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    snapshot_path = directory / _SNAPSHOT_NAME
+    checkpoint_clock = 0
+    if snapshot_path.exists():
+        document = json.loads(snapshot_path.read_text(encoding="utf-8"))
+        database = persist.from_document(document)
+        checkpoint_clock = int(document.get("wal_clock", 0))
+        if name != "db":
+            database.name = name
+    else:
+        database = Database(name)
+    manager = database.transactions
+    manager.advance_clock_to(checkpoint_clock)
+    # Replay before attaching the WAL: recovered commits must not be
+    # re-logged (they are already durable).
+    wal = WriteAheadLog(directory / _WAL_NAME, sync=sync)
+    records, torn = wal.replay()
+    recovered = 0
+    for record in records:
+        if record.get("type") != COMMIT:
+            continue
+        ts = int(record["ts"])
+        if ts <= checkpoint_clock:
+            continue
+        for table_name, effect in record["tables"].items():
+            table = database.table(table_name)
+            rows = [
+                tuple(persist._decode_value(value) for value in row)
+                for row in effect["rows"]
+            ]
+            if effect["op"] == "append":
+                table.apply_committed_append(rows, ts)
+            else:
+                table.apply_committed_replace(rows, ts)
+        manager.advance_clock_to(ts)
+        recovered += 1
+    wal.close()
+    if torn:
+        # Heal the log: drop the torn tail so post-recovery commits append
+        # after the valid prefix — otherwise the next replay would stop at
+        # the garbage and discard every commit logged after it.
+        wal_path = directory / _WAL_NAME
+        os.truncate(wal_path, wal_path.stat().st_size - torn)
+    durability = DurabilityManager(database, directory, sync=sync)
+    durability.recovered_commits = recovered
+    durability.torn_bytes = torn
+    return database, durability

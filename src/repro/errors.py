@@ -75,6 +75,46 @@ class ExecutionError(EngineError):
     """A query plan failed during execution."""
 
 
+class TransactionError(EngineError):
+    """Transaction protocol misuse (nested BEGIN, COMMIT without BEGIN, ...)."""
+
+
+class WriteConflictError(TransactionError):
+    """First-committer-wins validation failed: another transaction committed
+    a write to a table this transaction also wrote since its snapshot."""
+
+    def __init__(self, table: str, snapshot_ts: int, committed_ts: int):
+        super().__init__(
+            f"write-write conflict on table {table!r}: snapshot ts "
+            f"{snapshot_ts} but a conflicting commit landed at ts {committed_ts}"
+        )
+        self.table = table
+        self.snapshot_ts = snapshot_ts
+        self.committed_ts = committed_ts
+
+
+class SnapshotInvalidatedError(TransactionError):
+    """The policy *metadata* (purposes, categorization) changed under an open
+    snapshot, so the snapshot's enforcement state can no longer be
+    reconstructed; the transaction must be rolled back and retried."""
+
+
+class WalError(EngineError):
+    """The write-ahead log is unreadable, unwritable or corrupt."""
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by a WAL failpoint to simulate a crash mid-commit.
+
+    Deliberately *not* a :class:`ReproError`: production code must never
+    catch it, exactly like a real ``kill -9`` cannot be caught.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected crash at failpoint {point!r}")
+        self.point = point
+
+
 # --------------------------------------------------------------------------
 # Access-control core
 # --------------------------------------------------------------------------

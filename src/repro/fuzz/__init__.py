@@ -24,6 +24,7 @@ from .scenario import (
     ScenarioSpec,
     build_fuzz_scenario,
 )
+from .schedules import ScheduleReport, ScheduleRunner
 from .shrinker import shrink
 
 __all__ = [
@@ -44,5 +45,7 @@ __all__ = [
     "FuzzScenario",
     "ScenarioSpec",
     "build_fuzz_scenario",
+    "ScheduleReport",
+    "ScheduleRunner",
     "shrink",
 ]

@@ -1,0 +1,263 @@
+"""Interleaved reader / policy-writer schedules for snapshot enforcement.
+
+:class:`ScheduleRunner` extends the differential harness to the MVCC
+claim DESIGN.md §15 makes: *a snapshot-pinned reader is enforced under the
+policy state its snapshot captured, no matter what commits around it*.
+
+For each :class:`~.generator.FuzzCase` the runner:
+
+1. computes the **serial frozen-policy reference** — the oracle's expected
+   answer under the world state at pin time;
+2. opens a transaction, pinning a :class:`~repro.engine.mvcc.Snapshot`
+   (commit ts × policy epoch);
+3. interleaves a seeded schedule of committed writer steps — scattered
+   policy-mask churn (which bumps the policy epoch), row duplications,
+   row deletions — re-running the pinned reader after **every** step;
+4. requires every pinned read to reproduce the reference exactly: same
+   rows, same columns, same denial outcome, and (with the bitmap cache
+   cleared before each read) the same ``complieswith`` count;
+5. after rolling the reader back, requires a fresh latest-snapshot read to
+   agree with the oracle recomputed under the churned state — the schedule
+   must not leave enforcement broken for later readers.
+
+A case whose reference errors must keep erroring at every pinned read
+(consistent-error rule, as in :class:`~.runner.DifferentialRunner`).
+
+Schedules are deterministic per ``(case.replay_token, schedule seed)``:
+every step draws from one :class:`random.Random`, so a failing schedule
+replays from its token alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ReproError, UnauthorizedPurposeError
+from ..workload.policies import scattered_policy
+from .generator import FuzzCase
+from .runner import DifferentialRunner, normalize_rows
+
+#: Writer-step kinds a schedule may draw (weights in ``_churn_step``).
+SCHEDULE_OPS = ("mask-churn", "epoch-bump", "dml-duplicate", "dml-delete")
+
+
+@dataclass
+class PinnedRead:
+    """One execution of the pinned reader: outcome plus comparison data."""
+
+    label: str
+    outcome: str  # "rows" | "denied" | "error"
+    columns: list[str] | None = None
+    rows: list[tuple] | None = None
+    checks: int | None = None
+    error: str | None = None
+
+
+@dataclass
+class ScheduleReport:
+    """Everything one schedule concluded, in replayable form."""
+
+    case: FuzzCase
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    steps: list[str] = field(default_factory=list)
+    reads: list[PinnedRead] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"schedule {self.case.replay_token} [{self.case.kind}] "
+            f"purpose={self.case.purpose} user={self.case.user}",
+            f"  sql: {self.case.sql}",
+            f"  steps: {', '.join(self.steps) or '(none)'}",
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+class ScheduleRunner(DifferentialRunner):
+    """A differential runner that also drives interleaved schedules.
+
+    Inherits the world/oracle plumbing (and, when enabled, every ordinary
+    execution path) from :class:`~.runner.DifferentialRunner`; adds
+    :meth:`run_schedule`.  Built with ``use_server=False`` by default —
+    schedules pin transactions in-process, not over the wire.
+    """
+
+    def __init__(self, world=None, spec=None, use_server: bool = False):
+        super().__init__(world=world, spec=spec, use_server=use_server)
+
+    # -- the pinned reader -------------------------------------------------
+
+    def _pinned_read(self, txn, case: FuzzCase, label: str) -> PinnedRead:
+        from ..engine import txn_scope
+
+        monitor = self.world.monitor
+        monitor.clear_policy_bitmaps()
+        try:
+            with txn_scope(txn):
+                report = monitor.execute_with_report(
+                    case.sql,
+                    case.purpose,
+                    user=case.user,
+                    params=case.params or None,
+                )
+        except UnauthorizedPurposeError:
+            return PinnedRead(label, "denied")
+        except ReproError as exc:
+            return PinnedRead(
+                label, "error", error=f"{type(exc).__name__}: {exc}"
+            )
+        return PinnedRead(
+            label,
+            "rows",
+            columns=[c.lower() for c in report.result.columns],
+            rows=normalize_rows(report.result.rows),
+            checks=report.compliance_checks,
+        )
+
+    # -- writer steps ------------------------------------------------------
+
+    def _churn_step(self, rng: random.Random, index: int) -> str:
+        """Apply one committed writer step; returns its description."""
+        admin = self.world.admin
+        table = rng.choice(admin.target_tables())
+        op = rng.choice(SCHEDULE_OPS)
+        if op == "mask-churn":
+            # Rewrite the whole table's policy masks with a fresh scattered
+            # policy — ordinary (versioned) row data plus an epoch bump.
+            policy = scattered_policy(
+                table,
+                compliant=rng.random() < 0.5,
+                rule_count=rng.randint(1, 3),
+                pass_all_position=rng.randint(0, 2),
+            )
+            admin.apply_policy(policy)
+            return f"{index}:mask-churn[{table}]"
+        if op == "epoch-bump":
+            admin.bump_policy_epoch()
+            return f"{index}:epoch-bump"
+        storage = self.world.database.table(table)
+        rows = storage.rows
+        if not rows:
+            admin.bump_policy_epoch()
+            return f"{index}:epoch-bump[{table} empty]"
+        if op == "dml-duplicate":
+            # Duplicate one committed row (schema-safe DML on any table).
+            storage.append_rows([rng.choice(rows)])
+            return f"{index}:dml-duplicate[{table}]"
+        victim = rng.randrange(len(rows))
+        storage.rows = [row for i, row in enumerate(rows) if i != victim]
+        return f"{index}:dml-delete[{table}]"
+
+    # -- one schedule ------------------------------------------------------
+
+    def run_schedule(
+        self,
+        case: FuzzCase,
+        churn_steps: int = 4,
+        schedule_seed: "int | str | None" = None,
+    ) -> ScheduleReport:
+        """Pin a reader, interleave writer steps, check every read."""
+        failures: list[str] = []
+        steps: list[str] = []
+        reads: list[PinnedRead] = []
+        rng = random.Random(
+            f"{case.replay_token}:{schedule_seed if schedule_seed is not None else 'schedule'}"
+        )
+        transactions = self.world.database.transactions
+
+        txn = transactions.begin()
+        try:
+            reference = self._pinned_read(txn, case, "pre-churn")
+            reads.append(reference)
+            for index in range(churn_steps):
+                steps.append(self._churn_step(rng, index))
+                read = self._pinned_read(txn, case, f"after {steps[-1]}")
+                reads.append(read)
+                self._compare(reference, read, failures)
+        finally:
+            transactions.rollback(txn)
+
+        self._check_latest(case, failures)
+        return ScheduleReport(
+            case=case, ok=not failures, failures=failures, steps=steps, reads=reads
+        )
+
+    def _compare(
+        self, reference: PinnedRead, read: PinnedRead, failures: list[str]
+    ) -> None:
+        if read.outcome != reference.outcome:
+            failures.append(
+                f"{read.label}: outcome {read.outcome} != pinned reference "
+                f"{reference.outcome}"
+                + (f" ({read.error})" if read.error else "")
+            )
+            return
+        if reference.outcome != "rows":
+            return
+        if read.columns != reference.columns:
+            failures.append(
+                f"{read.label}: columns {read.columns} != reference "
+                f"{reference.columns}"
+            )
+        if read.rows != reference.rows:
+            failures.append(
+                f"{read.label}: {len(read.rows)} rows != reference's "
+                f"{len(reference.rows)} — the pinned snapshot leaked "
+                f"concurrent policy/data churn"
+            )
+        if read.checks != reference.checks:
+            failures.append(
+                f"{read.label}: {read.checks} compliance checks != "
+                f"reference's {reference.checks}"
+            )
+
+    def _check_latest(self, case: FuzzCase, failures: list[str]) -> None:
+        """Post-churn: a fresh read must match the recomputed oracle."""
+        monitor = self.world.monitor
+        monitor.clear_policy_bitmaps()
+        denial_expected = case.user is not None and not self.world.is_authorized(
+            case.user, case.purpose
+        )
+        try:
+            expected = self.oracle.expected(
+                case.sql, case.purpose, case.params or None
+            )
+            expected_rows = normalize_rows(expected.rows)
+        except ReproError:
+            expected_rows = None  # consistent-error: latest read may error too
+        try:
+            report = monitor.execute_with_report(
+                case.sql, case.purpose, user=case.user, params=case.params or None
+            )
+        except UnauthorizedPurposeError:
+            if not denial_expected:
+                failures.append("latest: unexpected denial after churn")
+            return
+        except ReproError as exc:
+            if expected_rows is not None:
+                failures.append(
+                    f"latest: post-churn read failed but the oracle did not: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            return
+        if denial_expected:
+            failures.append("latest: expected denial after churn, got rows")
+            return
+        if expected_rows is None:
+            failures.append("latest: oracle errored post-churn but the read did not")
+            return
+        if normalize_rows(report.result.rows) != expected_rows:
+            failures.append(
+                "latest: post-churn read disagrees with the oracle recomputed "
+                "under the churned policy state"
+            )
+
+    # -- batches -----------------------------------------------------------
+
+    def run_schedules(self, cases, churn_steps: int = 4):
+        """Run an iterable of cases as schedules, yielding each report."""
+        for case in cases:
+            yield self.run_schedule(case, churn_steps=churn_steps)

@@ -9,6 +9,13 @@ monitor with a :class:`~repro.shard.coordinator.ShardCoordinator`:
 * SELECTs scatter to the shard workers (or run on the coordinator's local
   replica when the router says ``LOCAL``); DML and policy writes go through
   the coordinator's fenced two-phase epoch broadcast.
+* ``BEGIN``/``COMMIT``/``ROLLBACK`` pin a session transaction on the
+  coordinator's **local replica**: a shard worker cannot share the
+  coordinator's snapshot, so every statement inside an open transaction
+  runs locally under :func:`~repro.engine.mvcc.txn_scope` (reported as
+  route ``"txn-local"``), and ``COMMIT`` takes the write fence and pushes
+  the re-partitioned rows of every written table down to the shards —
+  the same resync the autocommit DML path performs.
 * Concurrency control is the coordinator's *async* readers–writer fence
   instead of the sync server's thread lock; admission control is a
   semaphore + bounded pending count instead of a worker pool, answering
@@ -29,7 +36,14 @@ import threading
 from contextlib import asynccontextmanager
 from typing import TYPE_CHECKING
 
-from ..errors import ReproError, ServerBusyError, WireProtocolError
+from ..engine import txn_scope
+from ..errors import (
+    ReproError,
+    ServerBusyError,
+    TransactionError,
+    WireProtocolError,
+    WriteConflictError,
+)
 from ..sql import ast, parse_statement
 
 if TYPE_CHECKING:  # import at runtime would close a package cycle:
@@ -374,7 +388,20 @@ class AsyncQueryServer:
         sql = str(self._required(request, "sql"))
         statement = parse_statement(sql)  # parse errors answered inline
         async with self._admitted():
+            if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
+                return await self._run_txn(session, statement)
             if isinstance(statement, ast.Explain):
+                if session.txn is not None:
+                    with txn_scope(session.txn):
+                        result = self.monitor.explain(
+                            statement.statement,
+                            session.purpose,
+                            user=session.user,
+                            analyze=statement.analyze,
+                        )
+                    return ok_response(
+                        result=result_to_wire(result), explain=True
+                    )
                 result = await self.coordinator.explain(
                     statement.statement,
                     session.purpose,
@@ -384,6 +411,17 @@ class AsyncQueryServer:
                 return ok_response(result=result_to_wire(result), explain=True)
             if isinstance(statement, (ast.Select, ast.SetOperation)):
                 return await self._run_select(session, sql, None)
+            if session.txn is not None:
+                # Transactional DML stages privately on the local replica —
+                # no fence needed; the write-write race is settled at COMMIT
+                # (first committer wins) and shards see the rows at resync.
+                await asyncio.sleep(0)
+                with txn_scope(session.txn):
+                    affected = self.monitor.execute_statement(
+                        sql, session.purpose, user=session.user
+                    )
+                session.statements += 1
+                return ok_response(rowcount=int(affected))
             affected = await self.coordinator.execute(
                 sql, session.purpose, user=session.user
             )
@@ -410,6 +448,21 @@ class AsyncQueryServer:
         prepared = session.get_prepared(statement_id)
         params = _wire_params(request.get("params"))
         async with self._admitted():
+            if session.txn is not None:
+                await asyncio.sleep(0)
+                with txn_scope(session.txn):
+                    report = self.monitor.execute_with_report(
+                        prepared.original_sql,
+                        prepared.purpose,
+                        user=session.user,
+                        params=params,
+                    )
+                session.statements += 1
+                return ok_response(
+                    result=result_to_wire(report.result),
+                    cache_hit=report.cache_hit,
+                    checks=report.compliance_checks,
+                )
             # Re-dispatch through the coordinator so the bound statement
             # scatters exactly like the equivalent ad-hoc query; the purpose
             # stays the one the statement was prepared under.
@@ -427,6 +480,24 @@ class AsyncQueryServer:
         )
 
     async def _run_select(self, session: ServerSession, sql: str, params) -> dict:
+        if session.txn is not None:
+            # Snapshot reads cannot scatter — the shard replicas do not
+            # share the coordinator's version chains — so an open
+            # transaction reads the local replica under its snapshot,
+            # fence-free (that is the point of MVCC).
+            await asyncio.sleep(0)
+            with txn_scope(session.txn):
+                report = self.monitor.execute_with_report(
+                    sql, session.purpose, user=session.user, params=params
+                )
+            session.statements += 1
+            return ok_response(
+                result=result_to_wire(report.result),
+                cache_hit=report.cache_hit,
+                checks=report.compliance_checks,
+                route="txn-local",
+                epoch=session.txn.snapshot.epoch,
+            )
         report = await self.coordinator.query(
             sql, session.purpose, user=session.user, params=params
         )
@@ -438,6 +509,54 @@ class AsyncQueryServer:
             route=report.route,
             epoch=report.epoch,
         )
+
+    async def _run_txn(
+        self, session: ServerSession, statement: "ast.Statement"
+    ) -> dict:
+        """BEGIN/COMMIT/ROLLBACK against the coordinator's local replica."""
+        transactions = self.monitor.database.transactions
+        if isinstance(statement, ast.Begin):
+            if session.txn is not None:
+                raise TransactionError("a transaction is already in progress")
+            # Under the read fence so the snapshot never begins between the
+            # two phases of an in-flight epoch broadcast.
+            async with self.coordinator.fence.read_locked():
+                session.txn = transactions.begin()
+            self.monitor._count_txn("begin")
+            return ok_response(
+                txn=session.txn.txn_id,
+                snapshot_ts=session.txn.snapshot.ts,
+                epoch=session.txn.snapshot.epoch,
+            )
+        if isinstance(statement, ast.Commit):
+            if session.txn is None:
+                raise TransactionError("COMMIT without an active transaction")
+            txn = session.txn
+            session.txn = None
+            written = txn.written_tables()
+            try:
+                # The write fence drains in-flight scatters so no scatter
+                # straddles the commit + resync of the written tables.
+                async with self.coordinator.fence.write_locked():
+                    ts = transactions.commit(txn)
+                    if written:
+                        self.coordinator._route_cache.clear()
+                        await self.coordinator._resync(tuple(written))
+            except WriteConflictError:
+                session.conflicts += 1
+                self.monitor._count_txn("conflict")
+                raise
+            session.commits += 1
+            self.monitor._count_txn("commit")
+            return ok_response(committed=True, commit_ts=ts)
+        if session.txn is None:
+            raise TransactionError("ROLLBACK without an active transaction")
+        txn = session.txn
+        session.txn = None
+        transactions.rollback(txn)
+        session.rollbacks += 1
+        self.monitor._count_txn("rollback")
+        return ok_response(rolled_back=True)
 
     # -- observability --------------------------------------------------------------------
 
@@ -484,5 +603,16 @@ class AsyncQueryServer:
                 },
             },
             "lock": self.coordinator.fence.state(),
+            "transactions": self._txn_stats(),
             "shards": await self.coordinator.stats(),
         }
+
+    def _txn_stats(self) -> dict:
+        database = self.monitor.database
+        stats = {
+            "mode": "on" if database.transactions.enabled else "off",
+            "manager": database.transactions.stats_dict(),
+        }
+        if database.durability is not None:
+            stats["wal"] = database.durability.stats()
+        return stats

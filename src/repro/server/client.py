@@ -127,11 +127,41 @@ class Client:
         return self._result(self._call(request))
 
     def execute(self, sql: str) -> "QueryResult | int":
-        """Run any SELECT/DML statement; DML returns the affected-row count."""
+        """Run any statement; DML returns the affected-row count.
+
+        Transaction control (``BEGIN``/``COMMIT``/``ROLLBACK``) is accepted
+        here too and returns ``0``, mirroring
+        :meth:`repro.engine.database.Database.execute`; the dedicated
+        :meth:`begin`/:meth:`commit`/:meth:`rollback` methods expose the
+        transaction id and commit timestamp.
+        """
         response = self._call({"op": "execute", "sql": sql})
         if "rowcount" in response:
             return int(response["rowcount"])
-        return self._result(response)
+        if "result" in response:
+            return self._result(response)
+        return 0  # transaction control: acknowledged, no rows affected
+
+    # -- transactions ---------------------------------------------------------------
+
+    def begin(self) -> int:
+        """Open a snapshot-isolation transaction; returns its id."""
+        response = self._call({"op": "execute", "sql": "begin"})
+        return int(response["txn"])
+
+    def commit(self) -> int:
+        """Commit the open transaction; returns its commit timestamp.
+
+        A first-committer-wins loss surfaces as :class:`RemoteError` with
+        code ``txn_conflict`` — the transaction is already rolled back
+        server-side; retry the whole transaction.
+        """
+        response = self._call({"op": "execute", "sql": "commit"})
+        return int(response["commit_ts"])
+
+    def rollback(self) -> None:
+        """Abort the open transaction, discarding its staged writes."""
+        self._call({"op": "execute", "sql": "rollback"})
 
     def prepare(self, sql: str) -> str:
         """Prepare a statement under the current purpose; returns its id."""

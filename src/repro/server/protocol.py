@@ -25,8 +25,10 @@ from ..errors import (
     EngineError,
     ServerBusyError,
     SqlError,
+    TransactionError,
     UnauthorizedPurposeError,
     WireProtocolError,
+    WriteConflictError,
 )
 
 #: Frame header: one big-endian u32 payload length.
@@ -46,6 +48,8 @@ E_BUSY = "server_busy"
 E_PROTOCOL = "protocol_error"
 E_NO_SESSION = "no_session"
 E_INTERNAL = "internal_error"
+E_TXN_CONFLICT = "txn_conflict"
+E_TXN = "txn_error"
 
 #: Codes a client should treat as an enforcement decision, not a fault.
 DENIAL_CODES = frozenset({E_UNAUTHORIZED, E_POLICY})
@@ -64,6 +68,10 @@ def error_code_for(exc: BaseException) -> str:
         return E_POLICY
     if isinstance(exc, SqlError):
         return E_PARSE
+    if isinstance(exc, WriteConflictError):
+        return E_TXN_CONFLICT
+    if isinstance(exc, TransactionError):
+        return E_TXN
     if isinstance(exc, EngineError):
         return E_ENGINE
     if isinstance(exc, ServerBusyError):

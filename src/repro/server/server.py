@@ -5,11 +5,15 @@ with a TCP listener speaking the length-prefixed JSON protocol of
 :mod:`repro.server.protocol`.  Three mechanisms make concurrent traffic safe
 and bounded:
 
-* **Readers–writer lock** — enforced SELECTs (``query``, ``prepare``,
-  ``execute_prepared``) hold the lock shared and run in parallel; DML and
-  administrative mutations (:meth:`QueryServer.exclusive`) hold it exclusive,
-  so a reader never observes a half-applied policy or data write and every
-  result corresponds to one policy epoch.
+* **Snapshot handoff (MVCC)** — enforced SELECTs (``query``, ``prepare``,
+  ``execute_prepared``) pin a snapshot (commit ts × policy epoch) and read
+  lock-free, so DML and policy updates never stall readers; writers still
+  serialize on the writer side of the readers–writer lock, and multi-
+  statement transactions (``BEGIN``/``COMMIT``/``ROLLBACK`` through
+  ``execute``) settle write-write races first-committer-wins at COMMIT.
+  With ``REPRO_TXN=off`` reads fall back to holding the lock shared — the
+  pre-MVCC fence, where a reader never observes a half-applied write
+  because writes exclude readers entirely.
 * **Admission control** — statement work runs on a fixed
   :class:`~repro.server.admission.WorkerPool` behind a bounded queue;
   overload is answered with ``server_busy`` instead of queueing without
@@ -31,10 +35,13 @@ import threading
 from contextlib import contextmanager
 
 from ..core.monitor import EnforcementMonitor
+from ..engine import resolve_txn_mode, txn_scope
 from ..errors import (
     ReproError,
     ServerBusyError,
+    TransactionError,
     WireProtocolError,
+    WriteConflictError,
 )
 from ..obs.metrics import MetricsRegistry
 from ..sql import ast, parse_statement
@@ -112,6 +119,11 @@ class QueryServer:
         )
         self.sessions = SessionManager(monitor)
         self.rwlock = ReadWriteLock()
+        # With MVCC on, reads run under a pinned snapshot instead of the
+        # read side of the lock (snapshot handoff): policy writes and DML
+        # never stall readers.  REPRO_TXN=off restores the pre-MVCC
+        # reader/writer fence.
+        self.txn_mode = resolve_txn_mode(None)
         self._pool: WorkerPool | None = None
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -376,6 +388,8 @@ class QueryServer:
         sql = str(self._required(request, "sql"))
         statement = parse_statement(sql)  # parse errors answered inline
         assert self._pool is not None
+        if isinstance(statement, (ast.Begin, ast.Commit, ast.Rollback)):
+            return self._pool.run(self._run_txn, session, statement)
         if isinstance(statement, ast.Explain):
             return self._pool.run(self._run_explain, session, statement)
         if isinstance(statement, (ast.Select, ast.SetOperation)):
@@ -396,12 +410,33 @@ class QueryServer:
             self._run_execute_prepared, session, prepared, params
         )
 
-    # -- worker-side execution (under the readers–writer lock) -----------------------
+    # -- worker-side execution --------------------------------------------------------
+
+    @contextmanager
+    def _read_scope(self, session: ServerSession):
+        """Consistency scope for one read statement.
+
+        Inside an open transaction: activate the session's transaction on
+        this worker thread (its snapshot pins both data versions and the
+        policy epoch).  Otherwise, with MVCC on, pin an ephemeral read
+        snapshot — the *snapshot handoff* that replaces the read fence, so
+        writers never block this read.  With ``REPRO_TXN=off``: the
+        pre-MVCC shared lock.
+        """
+        if session.txn is not None:
+            with txn_scope(session.txn):
+                yield
+        elif self.txn_mode == "on":
+            with self.monitor.database.transactions.read_snapshot():
+                yield
+        else:
+            with self.rwlock.read_locked():
+                yield
 
     def _run_select(
         self, session: ServerSession, sql: str, params
     ) -> dict:
-        with self.rwlock.read_locked():
+        with self._read_scope(session):
             report = self.monitor.execute_with_report(
                 sql, session.purpose, user=session.user, params=params
             )
@@ -413,7 +448,7 @@ class QueryServer:
         )
 
     def _run_explain(self, session: ServerSession, statement: ast.Explain) -> dict:
-        with self.rwlock.read_locked():
+        with self._read_scope(session):
             result = self.monitor.explain(
                 statement.statement,
                 session.purpose,
@@ -425,15 +460,62 @@ class QueryServer:
         return ok_response(result=result_to_wire(result), explain=True)
 
     def _run_dml(self, session: ServerSession, sql: str) -> dict:
-        with self.rwlock.write_locked():
-            affected = self.monitor.execute_statement(
-                sql, session.purpose, user=session.user
-            )
+        if session.txn is not None:
+            # Transactional DML stages privately — no lock needed; the
+            # write-write race is settled at COMMIT (first committer wins).
+            with txn_scope(session.txn):
+                affected = self.monitor.execute_statement(
+                    sql, session.purpose, user=session.user
+                )
+        else:
+            with self.rwlock.write_locked():
+                affected = self.monitor.execute_statement(
+                    sql, session.purpose, user=session.user
+                )
         session.statements += 1
         return ok_response(rowcount=affected)
 
+    def _run_txn(self, session: ServerSession, statement: ast.Statement) -> dict:
+        """BEGIN/COMMIT/ROLLBACK against the session's transaction handle."""
+        transactions = self.monitor.database.transactions
+        if isinstance(statement, ast.Begin):
+            if session.txn is not None:
+                raise TransactionError("a transaction is already in progress")
+            session.txn = transactions.begin()
+            self.monitor._count_txn("begin")
+            return ok_response(
+                txn=session.txn.txn_id,
+                snapshot_ts=session.txn.snapshot.ts,
+                epoch=session.txn.snapshot.epoch,
+            )
+        if isinstance(statement, ast.Commit):
+            if session.txn is None:
+                raise TransactionError("COMMIT without an active transaction")
+            txn = session.txn
+            session.txn = None
+            try:
+                # Under the write lock: commits order against autocommit
+                # DML and in-process admin mutations (`exclusive()`).
+                with self.rwlock.write_locked():
+                    ts = transactions.commit(txn)
+            except WriteConflictError:
+                session.conflicts += 1
+                self.monitor._count_txn("conflict")
+                raise
+            session.commits += 1
+            self.monitor._count_txn("commit")
+            return ok_response(committed=True, commit_ts=ts)
+        if session.txn is None:
+            raise TransactionError("ROLLBACK without an active transaction")
+        txn = session.txn
+        session.txn = None
+        transactions.rollback(txn)
+        session.rollbacks += 1
+        self.monitor._count_txn("rollback")
+        return ok_response(rolled_back=True)
+
     def _run_prepare(self, session: ServerSession, sql: str) -> dict:
-        with self.rwlock.read_locked():
+        with self._read_scope(session):
             prepared = self.monitor.prepare(sql, session.purpose)
         statement_id = session.add_prepared(prepared)
         return ok_response(
@@ -444,7 +526,7 @@ class QueryServer:
     def _run_execute_prepared(
         self, session: ServerSession, prepared, params
     ) -> dict:
-        with self.rwlock.read_locked():
+        with self._read_scope(session):
             report = prepared.execute_with_report(
                 params=params, user=session.user
             )
@@ -495,4 +577,15 @@ class QueryServer:
                 },
             },
             "lock": self.rwlock.state(),
+            "transactions": self._txn_stats(),
         }
+
+    def _txn_stats(self) -> dict:
+        database = self.monitor.database
+        stats = {
+            "mode": self.txn_mode,
+            "manager": database.transactions.stats_dict(),
+        }
+        if database.durability is not None:
+            stats["wal"] = database.durability.stats()
+        return stats

@@ -33,6 +33,16 @@ class ServerSession:
         self._statement_ids = itertools.count(1)
         self.statements = 0
         self.denials = 0
+        #: The session's open transaction handle
+        #: (:class:`~repro.engine.mvcc.Transaction`), or ``None``.  Held
+        #: here rather than in a context var because each statement of the
+        #: session may run on a different pool worker thread; the server
+        #: activates it per statement with
+        #: :func:`~repro.engine.mvcc.txn_scope`.
+        self.txn = None
+        self.commits = 0
+        self.rollbacks = 0
+        self.conflicts = 0
 
     @property
     def user(self) -> str:
@@ -70,7 +80,18 @@ class ServerSession:
             "prepared": len(self.prepared),
             "statements": self.statements,
             "denials": self.denials,
+            "txn_open": self.txn is not None,
+            "commits": self.commits,
+            "rollbacks": self.rollbacks,
+            "conflicts": self.conflicts,
         }
+
+    def abandon_txn(self) -> None:
+        """Roll back the open transaction, if any (disconnect path)."""
+        txn = self.txn
+        self.txn = None
+        if txn is not None:
+            txn.manager.rollback(txn)
 
 
 class SessionManager:
@@ -98,9 +119,15 @@ class SessionManager:
         return session
 
     def close(self, session_id: str) -> None:
-        """Drop a session and everything it holds; unknown ids are ignored."""
+        """Drop a session and everything it holds; unknown ids are ignored.
+
+        An open transaction is rolled back — a disconnected client can
+        never leave staged writes pinning snapshots alive.
+        """
         with self._lock:
-            self._sessions.pop(session_id, None)
+            session = self._sessions.pop(session_id, None)
+        if session is not None:
+            session.abandon_txn()
 
     def get(self, session_id: str) -> ServerSession | None:
         """The live session for an id, or ``None``."""

@@ -473,6 +473,26 @@ class Explain(Statement):
     analyze: bool = False
 
 
+@dataclass(frozen=True)
+class Begin(Statement):
+    """``BEGIN [TRANSACTION | WORK]`` — open a snapshot-isolation transaction.
+
+    Like ``EXPLAIN``/``ANALYZE``, the transaction-control words are soft
+    keywords recognized only at the very start of a statement, so columns
+    named ``begin`` keep working.
+    """
+
+
+@dataclass(frozen=True)
+class Commit(Statement):
+    """``COMMIT [TRANSACTION | WORK]`` — first-committer-wins validate + apply."""
+
+
+@dataclass(frozen=True)
+class Rollback(Statement):
+    """``ROLLBACK [TRANSACTION | WORK]`` — discard the staged writes."""
+
+
 # ---------------------------------------------------------------------------
 # Traversal helpers
 # ---------------------------------------------------------------------------

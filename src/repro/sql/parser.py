@@ -154,6 +154,16 @@ class Parser:
             if self._peek().type is TokenType.IDENTIFIER:
                 table = self._advance().value
             return ast.Analyze(table)
+        # Transaction control: soft keywords, like EXPLAIN/ANALYZE above.
+        if self._match_word("BEGIN"):
+            self._match_transaction_noise()
+            return ast.Begin()
+        if self._match_word("COMMIT"):
+            self._match_transaction_noise()
+            return ast.Commit()
+        if self._match_word("ROLLBACK"):
+            self._match_transaction_noise()
+            return ast.Rollback()
         if self._check_keyword("SELECT"):
             return self._query_expression()
         if self._check_keyword("INSERT"):
@@ -169,6 +179,11 @@ class Parser:
         if self._check_keyword("ALTER"):
             return self._alter_table()
         raise self._error(f"unexpected token {self._peek().value!r}")
+
+    def _match_transaction_noise(self) -> None:
+        """Consume the optional TRANSACTION/WORK word after BEGIN/COMMIT/ROLLBACK."""
+        if not self._match_word("TRANSACTION"):
+            self._match_word("WORK")
 
     def _query_expression(self) -> ast.Statement:
         """A SELECT optionally chained with UNION/INTERSECT/EXCEPT [ALL]."""

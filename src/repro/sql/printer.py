@@ -53,6 +53,12 @@ def to_sql(node: ast.Statement | ast.Expression) -> str:
     if isinstance(node, ast.Explain):
         prefix = "explain analyze" if node.analyze else "explain"
         return f"{prefix} {to_sql(node.statement)}"
+    if isinstance(node, ast.Begin):
+        return "begin"
+    if isinstance(node, ast.Commit):
+        return "commit"
+    if isinstance(node, ast.Rollback):
+        return "rollback"
     raise TypeError(f"cannot print {type(node).__name__}")
 
 

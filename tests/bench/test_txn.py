@@ -1,0 +1,79 @@
+"""The readers-under-policy-churn experiment: grid, payload, table."""
+
+from __future__ import annotations
+
+from repro.bench import (
+    ExperimentConfig,
+    TxnRun,
+    run_txn,
+    txn_table,
+)
+
+TINY = ExperimentConfig(patients=10, samples_per_patient=3)
+
+
+def _tiny_run(reader_counts=(2,), reads_per_session=12) -> TxnRun:
+    return run_txn(
+        TINY,
+        reader_counts=reader_counts,
+        reads_per_session=reads_per_session,
+        churn_pause=0.0,
+    )
+
+
+def test_grid_crosses_reader_counts_with_both_modes():
+    run = _tiny_run(reader_counts=(1, 2), reads_per_session=9)
+    assert [(s.mode, s.readers) for s in run.samples] == [
+        ("rwlock", 1),
+        ("rwlock", 2),
+        ("mvcc", 1),
+        ("mvcc", 2),
+    ]
+    for sample in run.samples:
+        assert sample.reads == sample.readers * 9
+        assert sample.elapsed > 0
+        assert sample.read_throughput > 0
+        assert 0 <= sample.percentile(0.50) <= sample.percentile(0.95)
+        # The churn thread must have landed policy writes during the window
+        # — otherwise the experiment measured an idle server.
+        assert sample.churn_writes > 0
+        assert sample.writes > 0
+        # Serialized writes cannot abort; only MVCC commits can lose races.
+        if sample.mode == "rwlock":
+            assert sample.aborts == 0
+        assert 0.0 <= sample.abort_rate <= 1.0
+
+
+def test_point_lookup_and_json_payload_shape():
+    run = _tiny_run()
+    assert run.point("rwlock", 2).mode == "rwlock"
+    assert run.point("mvcc", 2).mode == "mvcc"
+    payload = run.to_dict()
+    assert payload["experiment"] == "txn"
+    assert payload["patients"] == TINY.patients
+    assert payload["reader_counts"] == [2]
+    assert len(payload["sweep"]) == 2  # one reader count x two modes
+    for point in payload["sweep"]:
+        assert set(point) == {
+            "mode",
+            "readers",
+            "reads",
+            "elapsed_s",
+            "read_qps",
+            "p50_ms",
+            "p95_ms",
+            "writes",
+            "aborts",
+            "abort_rate",
+            "denied_writes",
+            "churn_writes",
+        }
+
+
+def test_table_renders_one_row_per_sweep_point():
+    run = _tiny_run()
+    table = txn_table(run)
+    lines = table.splitlines()
+    assert "policy churn" in lines[0]
+    assert "mode" in lines[1] and "aborts" in lines[1]
+    assert len(lines) == 3 + len(run.samples)  # title, header, rule, rows

@@ -1,0 +1,428 @@
+"""Snapshot-isolation MVCC semantics (DESIGN.md §15).
+
+The visibility matrix, write-write conflict detection, staged-overlay
+version identity (which is what keeps version-keyed caches — statistics,
+bitmaps, indexes — from ever serving staged state), snapshot-scoped
+enforcement, and version-chain pruning.  The WAL/crash half lives in
+``test_wal_recovery.py``; the differential schedules in
+``tests/fuzz/test_snapshot_enforcement.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import Snapshot, txn_scope
+from repro.engine.database import Database
+from repro.engine.mvcc import TransactionManager, resolve_txn_mode
+from repro.errors import (
+    ExecutionError,
+    SnapshotInvalidatedError,
+    TransactionError,
+    WriteConflictError,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _txn_on():
+    """This battery tests the MVCC engine itself — force it on so the suite
+    stays green under the CI off-mode leg (``REPRO_TXN=off``); the tests
+    that cover off-mode set the env themselves, after this."""
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_TXN", "on")
+    yield
+    patch.undo()
+
+
+@pytest.fixture()
+def db():
+    database = Database("mvcc-test")
+    database.execute("create table t (id integer, v text)")
+    database.execute("insert into t values (1, 'a')")
+    database.execute("insert into t values (2, 'b')")
+    return database
+
+
+def rows(db, sql="select id, v from t order by id"):
+    return list(db.execute(sql).rows)
+
+
+# -- mode resolution ----------------------------------------------------------
+
+
+def test_resolve_txn_mode_ladder(monkeypatch) -> None:
+    monkeypatch.delenv("REPRO_TXN", raising=False)
+    assert resolve_txn_mode() == "on"
+    monkeypatch.setenv("REPRO_TXN", "off")
+    assert resolve_txn_mode() == "off"
+    assert resolve_txn_mode("on") == "on"  # explicit beats env
+    with pytest.raises(ExecutionError):
+        resolve_txn_mode("serializable")
+
+
+def test_disabled_manager_rejects_begin(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_TXN", "off")
+    database = Database("off-mode")
+    database.execute("create table t (id integer)")
+    assert database.transactions.enabled is False
+    with pytest.raises(TransactionError):
+        database.begin()
+    # Plain writes still work and keep no version chains.
+    database.execute("insert into t values (1)")
+    assert database.table("t").version == 1
+
+
+# -- the visibility matrix ----------------------------------------------------
+
+
+def test_snapshot_sees_state_at_begin_not_later_commits(db) -> None:
+    txn = db.begin()
+    db.commit()  # empty commit just returns; reopen a handle explicitly
+    txn = db.transactions.begin()
+    with txn_scope(None):
+        db.execute("insert into t values (3, 'c')")  # autocommit, after snapshot
+    with txn_scope(txn):
+        assert rows(db) == [(1, "a"), (2, "b")]
+    db.transactions.rollback(txn)
+    assert rows(db) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_own_staged_writes_visible_only_inside(db) -> None:
+    txn = db.transactions.begin()
+    with txn_scope(txn):
+        db.execute("insert into t values (3, 'c')")
+        assert rows(db) == [(1, "a"), (2, "b"), (3, "c")]
+    # Outside the scope: staged rows invisible.
+    assert rows(db) == [(1, "a"), (2, "b")]
+    other = db.transactions.begin()
+    with txn_scope(other):
+        assert rows(db) == [(1, "a"), (2, "b")]
+    db.transactions.rollback(other)
+    db.transactions.commit(txn)
+    assert rows(db) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_rollback_discards_staged_writes(db) -> None:
+    txn = db.transactions.begin()
+    with txn_scope(txn):
+        db.execute("delete from t where id = 1")
+        db.execute("update t set v = 'B' where id = 2")
+        assert rows(db) == [(2, "B")]
+    db.transactions.rollback(txn)
+    assert rows(db) == [(1, "a"), (2, "b")]
+
+
+def test_two_snapshots_see_distinct_histories(db) -> None:
+    old = db.transactions.begin()
+    db.execute("update t set v = 'a2' where id = 1")
+    new = db.transactions.begin()
+    with txn_scope(old):
+        assert rows(db) == [(1, "a"), (2, "b")]
+    with txn_scope(new):
+        assert rows(db) == [(1, "a2"), (2, "b")]
+    db.transactions.rollback(old)
+    db.transactions.rollback(new)
+
+
+def test_version_as_of_tracks_commit_history(db) -> None:
+    table = db.table("t")
+    v0 = table.version
+    ts0 = db.transactions.clock
+    pin = db.transactions.begin()  # pin ts0 so history is not pruned away
+    try:
+        db.execute("insert into t values (3, 'c')")
+        assert table.version > v0
+        assert table.version_as_of(ts0) == v0
+        assert table.rows_as_of(ts0) == [(1, "a"), (2, "b")]
+    finally:
+        db.transactions.rollback(pin)
+
+
+# -- BEGIN/COMMIT/ROLLBACK through the SQL surface ---------------------------
+
+
+def test_sql_transaction_statements(db) -> None:
+    assert db.execute("begin transaction") == 0
+    db.execute("insert into t values (3, 'c')")
+    assert db.execute("commit work") == 0
+    assert rows(db) == [(1, "a"), (2, "b"), (3, "c")]
+    db.execute("begin")
+    db.execute("delete from t")
+    assert rows(db) == []
+    db.execute("rollback")
+    assert rows(db) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_commit_without_begin_raises(db) -> None:
+    with pytest.raises(TransactionError):
+        db.execute("commit")
+    with pytest.raises(TransactionError):
+        db.execute("rollback")
+
+
+def test_nested_begin_raises(db) -> None:
+    db.execute("begin")
+    try:
+        with pytest.raises(TransactionError):
+            db.execute("begin")
+    finally:
+        db.execute("rollback")
+
+
+def test_ddl_inside_transaction_is_rejected(db) -> None:
+    db.execute("begin")
+    try:
+        with pytest.raises(TransactionError):
+            db.execute("create table u (id integer)")
+        with pytest.raises(TransactionError):
+            db.execute("drop table t")
+    finally:
+        db.execute("rollback")
+
+
+# -- first committer wins ----------------------------------------------------
+
+
+def test_write_write_conflict_aborts_second_committer(db) -> None:
+    first = db.transactions.begin()
+    second = db.transactions.begin()
+    with txn_scope(first):
+        db.execute("update t set v = 'first' where id = 1")
+    with txn_scope(second):
+        db.execute("update t set v = 'second' where id = 1")
+    assert db.transactions.commit(first) > 0
+    with pytest.raises(WriteConflictError) as excinfo:
+        db.transactions.commit(second)
+    assert excinfo.value.table == "t"
+    assert second.status == "aborted"
+    assert db.transactions.stats.conflicts == 1
+    assert rows(db) == [(1, "first"), (2, "b")]
+
+
+def test_conflict_with_autocommit_writer(db) -> None:
+    txn = db.transactions.begin()
+    with txn_scope(txn):
+        db.execute("update t set v = 'staged' where id = 1")
+    db.execute("insert into t values (3, 'c')")  # autocommit after the snapshot
+    with pytest.raises(WriteConflictError):
+        db.transactions.commit(txn)
+    assert rows(db) == [(1, "a"), (2, "b"), (3, "c")]
+
+
+def test_disjoint_tables_do_not_conflict(db) -> None:
+    db.execute("create table u (id integer)")
+    first = db.transactions.begin()
+    second = db.transactions.begin()
+    with txn_scope(first):
+        db.execute("insert into t values (3, 'c')")
+    with txn_scope(second):
+        db.execute("insert into u values (9)")
+    db.transactions.commit(first)
+    db.transactions.commit(second)  # different table: no conflict
+    assert rows(db, "select id from u") == [(9,)]
+
+
+def test_aborted_transaction_is_unusable(db) -> None:
+    txn = db.transactions.begin()
+    db.transactions.rollback(txn)
+    with pytest.raises(TransactionError):
+        db.transactions.commit(txn)
+
+
+# -- staged version identity (version-keyed caches, satellite 3) --------------
+
+
+def test_staged_version_never_equals_a_committed_version(db) -> None:
+    table = db.table("t")
+    committed = table.version
+    txn = db.transactions.begin()
+    with txn_scope(txn):
+        db.execute("update t set v = 'x' where id = 1")
+        staged_v1 = table.version
+        assert isinstance(staged_v1, tuple) and staged_v1[0] == "txn"
+        db.execute("update t set v = 'y' where id = 2")
+        assert table.version != staged_v1  # bump per staged write
+    db.transactions.rollback(txn)
+    assert table.version == committed
+
+
+def test_analyze_inside_txn_is_invalidated_by_rollback(db) -> None:
+    """The PR 7 statistics fix: stats built from staged state die with it.
+
+    ANALYZE stamps the snapshot with ``table.version``; under staging that
+    is the ``("txn", id, bump)`` tuple, which can never equal a committed
+    integer version — so once the transaction rolls back (or commits,
+    changing the committed version) the snapshot reads as stale and the
+    optimizer falls back to heuristics instead of trusting numbers
+    describing rows that never existed.
+    """
+    table = db.table("t")
+    txn = db.transactions.begin()
+    with txn_scope(txn):
+        db.execute("insert into t values (3, 'c')")
+        db.execute("analyze t")
+        staged_stats = db.statistics.get("t")
+        assert staged_stats.row_count == 3
+        assert db.statistics.fresh(table) is staged_stats  # fresh while staged
+    db.transactions.rollback(txn)
+    assert db.statistics.fresh(table) is None, (
+        "statistics collected from rolled-back staged rows survived the "
+        "rollback"
+    )
+    assert db.statistics.is_stale(table)
+    # Re-ANALYZE against committed state makes them fresh again.
+    db.execute("analyze t")
+    fresh = db.statistics.fresh(table)
+    assert fresh is not None and fresh.row_count == 2
+
+
+def test_pre_txn_statistics_stay_fresh_across_rollback(db) -> None:
+    table = db.table("t")
+    db.execute("analyze t")
+    before = db.statistics.fresh(table)
+    assert before is not None
+    txn = db.transactions.begin()
+    with txn_scope(txn):
+        db.execute("insert into t values (3, 'c')")
+        # Under staging the committed snapshot must NOT look fresh.
+        assert db.statistics.fresh(table) is None
+    db.transactions.rollback(txn)
+    assert db.statistics.fresh(table) is before
+
+
+# -- snapshot identity & enforcement scoping ----------------------------------
+
+
+def test_snapshot_is_commit_ts_times_epoch() -> None:
+    manager = TransactionManager(enabled=True)
+    manager.epoch_provider = lambda: 7
+    snap = manager.snapshot()
+    assert snap == Snapshot(ts=0, epoch=7)
+    txn = manager.begin()
+    assert txn.snapshot.epoch == 7
+    manager.rollback(txn)
+
+
+def test_policy_metadata_change_dooms_active_snapshots(policy_scenario) -> None:
+    monitor = policy_scenario.monitor
+    admin = policy_scenario.admin
+    database = policy_scenario.database
+    txn = database.transactions.begin()
+    with txn_scope(txn):
+        monitor.execute("select count(*) from sensed_data", "p6")
+    removed = admin.remove_purpose("p8")  # metadata: purpose set changed
+    try:
+        assert txn.invalidated_by is not None
+        with txn_scope(txn), pytest.raises(SnapshotInvalidatedError):
+            monitor.execute("select count(*) from sensed_data", "p6")
+    finally:
+        database.transactions.rollback(txn)
+        admin.define_purpose(removed)
+    # Fresh snapshots after the change work fine.
+    fresh = database.transactions.begin()
+    with txn_scope(fresh):
+        monitor.execute("select count(*) from sensed_data", "p6")
+    database.transactions.rollback(fresh)
+
+
+def test_mask_churn_does_not_doom_snapshots(policy_scenario) -> None:
+    """Policy *mask* writes are ordinary row data: snapshot-isolated."""
+    from repro.workload.policies import scattered_policy
+
+    monitor = policy_scenario.monitor
+    database = policy_scenario.database
+    txn = database.transactions.begin()
+    with txn_scope(txn):
+        before = sorted(
+            monitor.execute(
+                "select watch_id, beats from sensed_data", "p6"
+            ).rows
+        )
+    policy_scenario.admin.apply_policy(
+        scattered_policy("sensed_data", False, 1, 0)  # pass-none everywhere
+    )
+    with txn_scope(txn):
+        pinned = sorted(
+            monitor.execute(
+                "select watch_id, beats from sensed_data", "p6"
+            ).rows
+        )
+    database.transactions.rollback(txn)
+    assert pinned == before  # snapshot still sees its policy masks
+    after = sorted(
+        monitor.execute("select watch_id, beats from sensed_data", "p6").rows
+    )
+    assert after == []  # latest readers see the pass-none world
+
+
+# -- read snapshots, pruning and concurrency ----------------------------------
+
+
+def test_read_snapshot_is_ephemeral_and_unregisters(db) -> None:
+    manager = db.transactions
+    with manager.read_snapshot() as txn:
+        assert txn.ephemeral is True
+        assert manager.active_count() == 1
+        assert rows(db) == [(1, "a"), (2, "b")]
+    assert manager.active_count() == 0
+
+
+def test_version_chains_prune_to_flat_when_idle(db) -> None:
+    table = db.table("t")
+    for i in range(10, 30):
+        db.execute(f"update t set v = 'v{i}' where id = 1")
+    # No active snapshots: each commit prunes dead versions behind the clock.
+    assert len(table._versions) <= len(table.rows) + 1
+    snap = db.transactions.begin()
+    db.execute("update t set v = 'held' where id = 1")
+    held = len(table._versions)
+    db.transactions.rollback(snap)
+    db.execute("update t set v = 'done' where id = 1")
+    assert len(table._versions) <= held
+
+
+def test_concurrent_writers_one_wins_per_table(db) -> None:
+    manager = db.transactions
+    outcomes: list[str] = []
+    barrier = threading.Barrier(4)
+    lock = threading.Lock()
+
+    def contend(i: int) -> None:
+        txn = manager.begin()
+        with txn_scope(txn):
+            db.execute(f"update t set v = 'w{i}' where id = 1")
+        barrier.wait()
+        try:
+            manager.commit(txn)
+            result = "committed"
+        except WriteConflictError:
+            result = "conflict"
+        with lock:
+            outcomes.append(result)
+
+    threads = [threading.Thread(target=contend, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert outcomes.count("committed") == 1
+    assert outcomes.count("conflict") == 3
+    assert rows(db)[0][1].startswith("w")
+
+
+def test_schema_change_collapses_history_and_is_barriered(db) -> None:
+    from repro.engine.schema import Column
+
+    table = db.table("t")
+    db.execute("insert into t values (3, 'c')")
+    txn = db.transactions.begin()
+    with txn_scope(txn):
+        with pytest.raises(TransactionError):
+            table.add_column(Column("extra", "integer"))
+    db.transactions.rollback(txn)
+    table.add_column(Column("extra", "integer"))
+    # Old snapshots now see post-DDL (3-wide) rows: history collapsed
+    # rather than reconstructing wrong-width tuples.
+    assert all(len(row) == 3 for row in table.rows_as_of(0))

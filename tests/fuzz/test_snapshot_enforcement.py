@@ -1,0 +1,217 @@
+"""Differential testing of snapshot-scoped enforcement under policy churn.
+
+:class:`~repro.fuzz.schedules.ScheduleRunner` pins a reader transaction and
+interleaves committed policy-mask churn, epoch bumps and DML between its
+reads; every pinned read must reproduce the serial frozen-policy reference
+exactly, and a fresh post-churn read must agree with the oracle recomputed
+under the churned state.
+
+Three layers of coverage:
+
+* the frozen regression corpus replayed as schedules on every test run
+  (tier-1),
+* a quick generated batch plus the live-threads churn test (tier-1),
+* a slow-marked 500-case seed-2015 campaign — the acceptance headline:
+  zero enforcement disagreements under concurrent policy churn.
+
+The ``REPRO_TXN=off`` leg pins the fallback: ``BEGIN`` fails cleanly with
+a :class:`~repro.errors.TransactionError` (wire code ``txn_error``) and
+plain differential runs still agree on every path.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.engine import txn_scope
+from repro.errors import RemoteError, TransactionError
+from repro.fuzz import (
+    DifferentialRunner,
+    FuzzQueryGenerator,
+    ScheduleRunner,
+    load_repro,
+)
+from repro.fuzz.runner import normalize_rows
+from repro.fuzz.scenario import ScenarioSpec, build_fuzz_scenario
+from repro.workload.policies import scattered_policy
+
+CAMPAIGN_SEED = 2015
+CAMPAIGN_CASES = 500
+CHURN_STEPS = 4
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+#: Smaller world than the default spec: schedules re-run the pinned reader
+#: after every churn step, so per-case cost is ~(steps + 2) executions.
+SCHEDULE_SPEC = ScenarioSpec(patients=12, samples=4, user_count=4)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _txn_on():
+    """Schedules pin snapshots, so MVCC must be on regardless of the
+    ambient CI mode; the ``off_mode_world`` tests re-set the env
+    per-test, after this."""
+    patch = pytest.MonkeyPatch()
+    patch.setenv("REPRO_TXN", "on")
+    yield
+    patch.undo()
+
+
+@pytest.fixture(scope="module")
+def schedule_runner():
+    """One world shared by all schedules (each schedule re-references at
+    pin time, so earlier schedules' churn cannot invalidate later ones)."""
+    with ScheduleRunner(spec=SCHEDULE_SPEC) as runner:
+        yield runner
+
+
+# -- corpus as schedules ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_case_pins_clean_under_churn(schedule_runner, path: Path) -> None:
+    _spec, case, recorded_failures = load_repro(path)
+    assert recorded_failures == []
+    report = schedule_runner.run_schedule(case, churn_steps=CHURN_STEPS)
+    assert report.ok, report.describe()
+
+
+# -- generated batches --------------------------------------------------------
+
+
+def test_quick_schedule_batch(schedule_runner) -> None:
+    generator = FuzzQueryGenerator.for_world(
+        schedule_runner.world, seed=CAMPAIGN_SEED
+    )
+    failures = []
+    for report in schedule_runner.run_schedules(
+        generator.cases(25), churn_steps=CHURN_STEPS
+    ):
+        if not report.ok:
+            failures.append(report.describe())
+    assert not failures, "\n\n".join(failures)
+
+
+@pytest.mark.slow
+def test_campaign_500_cases_seed_2015(schedule_runner) -> None:
+    """The acceptance campaign: 500 seed-2015 cases, churn between every
+    pinned read, zero enforcement disagreements."""
+    generator = FuzzQueryGenerator.for_world(
+        schedule_runner.world, seed=CAMPAIGN_SEED
+    )
+    failures = []
+    ran = 0
+    for report in schedule_runner.run_schedules(
+        generator.cases(CAMPAIGN_CASES), churn_steps=CHURN_STEPS
+    ):
+        ran += 1
+        if not report.ok:
+            failures.append(report.describe())
+    assert ran == CAMPAIGN_CASES
+    assert not failures, (
+        f"{len(failures)} of {CAMPAIGN_CASES} schedules disagreed:\n\n"
+        + "\n\n".join(failures[:10])
+    )
+
+
+# -- live concurrency ---------------------------------------------------------
+
+
+def test_pinned_reader_survives_live_policy_churn_threads() -> None:
+    """A reader thread re-executes under its pinned snapshot while a writer
+    thread churns policy masks as fast as it can commit them."""
+    world = build_fuzz_scenario(ScenarioSpec(patients=10, samples=4))
+    monitor = world.monitor
+    sql = "select watch_id, beats from sensed_data where beats >= 60"
+    txn = world.database.transactions.begin()
+    with txn_scope(txn):
+        reference = normalize_rows(monitor.execute(sql, "p6").rows)
+
+    stop = threading.Event()
+    churned = 0
+
+    def churn() -> None:
+        nonlocal churned
+        rng = random.Random(7)
+        while not stop.is_set():
+            world.admin.apply_policy(
+                scattered_policy(
+                    "sensed_data",
+                    compliant=rng.random() < 0.5,
+                    rule_count=rng.randint(1, 3),
+                    pass_all_position=rng.randint(0, 2),
+                )
+            )
+            churned += 1
+
+    writer = threading.Thread(target=churn)
+    writer.start()
+    mismatches = []
+    try:
+        for _ in range(40):
+            with txn_scope(txn):
+                rows = normalize_rows(monitor.execute(sql, "p6").rows)
+            if rows != reference:
+                mismatches.append(len(rows))
+    finally:
+        stop.set()
+        writer.join()
+        world.database.transactions.rollback(txn)
+    assert churned > 0, "the churn thread never committed a policy write"
+    assert not mismatches, (
+        f"pinned reads leaked concurrent policy churn: row counts "
+        f"{mismatches} != {len(reference)}"
+    )
+
+
+# -- the REPRO_TXN=off leg ----------------------------------------------------
+
+
+@pytest.fixture()
+def off_mode_world(monkeypatch):
+    monkeypatch.setenv("REPRO_TXN", "off")
+    return build_fuzz_scenario(ScenarioSpec(patients=8, samples=3))
+
+
+def test_off_mode_begin_fails_cleanly(off_mode_world) -> None:
+    assert off_mode_world.database.transactions.enabled is False
+    with pytest.raises(TransactionError):
+        off_mode_world.database.execute("begin")
+    # The failed BEGIN must not poison subsequent statements.
+    result = off_mode_world.monitor.execute(
+        "select count(*) from sensed_data", "p6"
+    )
+    assert result.rows
+
+
+def test_off_mode_begin_fails_cleanly_over_the_wire(off_mode_world) -> None:
+    from repro.server import Client, QueryServer
+
+    with QueryServer(off_mode_world.monitor) as server:
+        assert server.txn_mode == "off"
+        with Client(*server.address) as client:
+            client.hello("u0", "p6")
+            with pytest.raises(RemoteError) as excinfo:
+                client.begin()
+            assert excinfo.value.code == "txn_error"
+            # The session and the RW-lock read path stay usable.
+            assert client.query("select count(*) from sensed_data").rows
+
+
+def test_off_mode_differential_paths_still_agree(off_mode_world) -> None:
+    with DifferentialRunner(world=off_mode_world) as runner:
+        generator = FuzzQueryGenerator.for_world(
+            off_mode_world, seed=CAMPAIGN_SEED
+        )
+        failures = []
+        for report in runner.run_cases(generator.cases(8)):
+            if not report.ok:
+                failures.append(report.describe())
+        assert not failures, "\n\n".join(failures)
