@@ -238,14 +238,15 @@ def txn_table(run: TxnRun) -> str:
     writes serialize instead of aborting).
     """
     header = [
-        "mode", "readers", "reads", "qps",
-        "p50 ms", "p95 ms", "churn", "writes", "aborts",
+        "mode", "conflict", "readers", "reads", "qps",
+        "p50 ms", "p95 ms", "churn", "writes", "aborts", "abort%",
     ]
     rows = []
     for sample in run.samples:
         rows.append(
             [
                 sample.mode,
+                sample.granularity,
                 str(sample.readers),
                 str(sample.reads),
                 f"{sample.read_throughput:.0f}",
@@ -254,6 +255,7 @@ def txn_table(run: TxnRun) -> str:
                 str(sample.churn_writes),
                 str(sample.writes),
                 str(sample.aborts),
+                f"{sample.abort_rate * 100:.0f}",
             ]
         )
     title = (

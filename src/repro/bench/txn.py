@@ -20,14 +20,24 @@ Each sweep point crosses a reader-session count with an engine mode:
     snapshots, session writes run as ``BEGIN``/``UPDATE``/``COMMIT``
     transactions and lose first-committer-wins races against the policy
     churn (mask stores write the same table), so the cost shows up as a
-    non-zero abort rate instead of reader stalls.
+    non-zero abort rate instead of reader stalls.  The MVCC leg is run
+    **twice** — under ``REPRO_CONFLICT=table`` (PR 9's coarse detection:
+    any concurrent commit to ``sensed_data`` aborts the session write,
+    ~100% abort rate under continuous churn) and ``REPRO_CONFLICT=row``
+    (PR 10's primary-key write sets: a session write aborts only when
+    the churn actually rewrote *its* rows' masks) — so the artifact
+    records the abort-rate delta the granularity change buys.
 
 A dedicated churn thread recompiles a ``sensed_data`` policy in a tight
 loop for the whole measurement window (under ``server.exclusive()``,
 ordering it like any admin mutation); every reader session interleaves
-cached SELECTs with an occasional UPDATE.  The artifact,
+cached SELECTs with an occasional UPDATE on its own rotating
+``watch_id`` slice, so true row overlap with the churn (and with other
+sessions) is partial by construction.  The artifact,
 ``BENCH_txn.json``, reports read p50/p95, read throughput, the policy
-writes the churn thread landed, and the write/abort counts per mode.
+writes the churn thread landed, the write/abort counts per
+(mode, granularity) point, and an explicit per-reader-count
+``abort_rate_delta`` table.
 """
 
 from __future__ import annotations
@@ -36,9 +46,9 @@ import math
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from ..engine import TXN_ENV
+from ..engine import CONFLICT_ENV, TXN_ENV
 from ..errors import RemoteError
 from ..server import Client, QueryServer
 from ..shard import WorldRecipe
@@ -56,6 +66,10 @@ READ_QUERIES = (
 #: Every ``WRITE_EVERY``-th iteration the session also attempts an UPDATE.
 WRITE_EVERY = 8
 
+#: The sweep legs: engine mode × write-write conflict granularity.
+#: ``rwlock`` has no MVCC validation, so granularity does not apply.
+LEGS = (("rwlock", "serial"), ("mvcc", "table"), ("mvcc", "row"))
+
 MODES = ("rwlock", "mvcc")
 
 _MODE_ENV = {"rwlock": "off", "mvcc": "on"}
@@ -69,6 +83,9 @@ class TxnSample:
     readers: int
     reads: int
     elapsed: float
+    #: Write-write conflict granularity of this leg: ``"serial"`` for the
+    #: rwlock engine (writes cannot race), else ``"table"`` / ``"row"``.
+    granularity: str = "serial"
     latencies: list[float] = field(repr=False, default_factory=list)
     writes: int = 0
     aborts: int = 0
@@ -103,6 +120,7 @@ class TxnSample:
         """JSON-ready summary (latency list reduced to percentiles)."""
         return {
             "mode": self.mode,
+            "granularity": self.granularity,
             "readers": self.readers,
             "reads": self.reads,
             "elapsed_s": self.elapsed,
@@ -126,12 +144,44 @@ class TxnRun:
     reads_per_session: int
     samples: list[TxnSample] = field(default_factory=list)
 
-    def point(self, mode: str, readers: int) -> TxnSample:
-        """The sample for one (mode, reader count) cell."""
+    def point(
+        self, mode: str, readers: int, granularity: str | None = None
+    ) -> TxnSample:
+        """The sample for one (mode, granularity, reader count) cell.
+
+        ``granularity=None`` matches the mode's only leg (``rwlock``) or
+        the first matching one.
+        """
         for sample in self.samples:
-            if sample.mode == mode and sample.readers == readers:
+            if sample.mode != mode or sample.readers != readers:
+                continue
+            if granularity is None or sample.granularity == granularity:
                 return sample
-        raise KeyError((mode, readers))
+        raise KeyError((mode, granularity, readers))
+
+    def abort_rate_deltas(self) -> list[dict]:
+        """Per reader count: the abort rate table granularity pays over row.
+
+        The headline of the PR-10 conflict refactor — coarse detection
+        aborts (almost) every session write under continuous policy churn,
+        row-level write sets abort only on true overlap.
+        """
+        deltas = []
+        for readers in self.reader_counts:
+            try:
+                table = self.point("mvcc", readers, "table")
+                row = self.point("mvcc", readers, "row")
+            except KeyError:
+                continue
+            deltas.append(
+                {
+                    "readers": readers,
+                    "table_abort_rate": table.abort_rate,
+                    "row_abort_rate": row.abort_rate,
+                    "delta": table.abort_rate - row.abort_rate,
+                }
+            )
+        return deltas
 
     def to_dict(self) -> dict:
         """The ``BENCH_txn.json`` payload."""
@@ -143,6 +193,7 @@ class TxnRun:
             "reads_per_session": self.reads_per_session,
             "write_every": WRITE_EVERY,
             "sweep": [sample.to_dict() for sample in self.samples],
+            "abort_rate_delta": self.abort_rate_deltas(),
         }
 
 
@@ -154,6 +205,8 @@ def _reader_worker(
     sample: TxnSample,
     lock: threading.Lock,
     start_gate: threading.Event,
+    watch_offset: int = 0,
+    patients: int = 5,
 ) -> None:
     latencies: list[float] = []
     reads = writes = aborts = denied = 0
@@ -168,9 +221,15 @@ def _reader_worker(
             reads += 1
             if iteration % WRITE_EVERY:
                 continue
+            # Each session rotates through its own watch_id slice: the
+            # rows one UPDATE writes are a single patient's samples, so
+            # overlap with the churn thread's mask rewrites (and with
+            # other sessions) is partial — the quantity row-granularity
+            # conflict detection is supposed to be proportional to.
+            watch = (watch_offset + iteration) % patients
             update = (
                 "update sensed_data set beats = 71 "
-                f"where watch_id = 'watch{iteration % 5}'"
+                f"where watch_id = 'watch{watch}'"
             )
             writes += 1
             try:
@@ -207,30 +266,46 @@ def _drive_point(
     server: QueryServer,
     admin,
     mode: str,
+    granularity: str,
     readers: int,
     reads_per_session: int,
     users: list[str],
     churn_pause: float,
+    patients: int,
 ) -> TxnSample:
     """One measured point: reader threads racing one policy-churn thread."""
-    sample = TxnSample(mode=mode, readers=readers, reads=0, elapsed=0.0)
+    sample = TxnSample(
+        mode=mode,
+        granularity=granularity,
+        readers=readers,
+        reads=0,
+        elapsed=0.0,
+    )
     lock = threading.Lock()
     start_gate = threading.Event()
     stop_churn = threading.Event()
 
     def churn() -> None:
+        # Each step recompiles the policy of ONE patient's sample slice
+        # (the paper's per-tuple ``tp`` selector), so the churn's
+        # primary-key write set is 1/patients of the table — the row
+        # overlap a concurrent session UPDATE aborts against is partial
+        # by construction, while table-granularity detection still sees
+        # "sensed_data was written" and aborts regardless.
         step = 0
         start_gate.wait()
         while not stop_churn.is_set():
+            policy = replace(
+                scattered_policy(
+                    "sensed_data",
+                    compliant=True,
+                    rule_count=1 + step % 3,
+                    pass_all_position=step % 3,
+                ),
+                tuple_selector=("watch_id", f"watch{step % patients}"),
+            )
             with server.exclusive():
-                admin.apply_policy(
-                    scattered_policy(
-                        "sensed_data",
-                        compliant=True,
-                        rule_count=1 + step % 3,
-                        pass_all_position=step % 3,
-                    )
-                )
+                admin.apply_policy(policy)
             sample.churn_writes += 1
             step += 1
             if churn_pause:
@@ -247,6 +322,10 @@ def _drive_point(
                 sample,
                 lock,
                 start_gate,
+                # Co-prime-ish stride spreads sessions across the watch
+                # space so they do not update the same patient in lockstep.
+                index * 3 + 1,
+                patients,
             ),
         )
         for index in range(readers)
@@ -273,14 +352,15 @@ def run_txn(
     churn_pause: float = 0.001,
     max_pending: int = 64,
 ) -> TxnRun:
-    """Sweep reader counts across the RW-lock and MVCC engine modes.
+    """Sweep reader counts across the engine-mode × granularity legs.
 
-    Each mode rebuilds the same deterministic world under its
-    ``REPRO_TXN`` setting (the transaction manager and the server fence
-    are both fixed at construction), then measures every reader count
-    against one continuously churning policy writer.  The sweep is
-    ordered mode-major so each mode's plan caches warm once, during its
-    first point — identical treatment for both rows of every pair.
+    Each leg rebuilds the same deterministic world under its
+    ``REPRO_TXN`` / ``REPRO_CONFLICT`` settings (the transaction manager
+    and the server fence are both fixed at construction), then measures
+    every reader count against one continuously churning policy writer.
+    The sweep is ordered leg-major so each leg's plan caches warm once,
+    during its first point — identical treatment for every row of every
+    comparison pair.
     """
     config = config or ExperimentConfig.scaled()
     users = [f"bench{index}" for index in range(max(reader_counts))]
@@ -297,10 +377,15 @@ def run_txn(
         reader_counts=tuple(reader_counts),
         reads_per_session=reads_per_session,
     )
-    saved = os.environ.get(TXN_ENV)
+    saved_txn = os.environ.get(TXN_ENV)
+    saved_conflict = os.environ.get(CONFLICT_ENV)
     try:
-        for mode in MODES:
+        for mode, granularity in LEGS:
             os.environ[TXN_ENV] = _MODE_ENV[mode]
+            if mode == "mvcc":
+                os.environ[CONFLICT_ENV] = granularity
+            else:
+                os.environ.pop(CONFLICT_ENV, None)
             world = build_world(recipe)
             for readers in reader_counts:
                 with QueryServer(
@@ -311,15 +396,18 @@ def run_txn(
                             server,
                             world.admin,
                             mode,
+                            granularity,
                             readers,
                             reads_per_session,
                             users,
                             churn_pause,
+                            config.patients,
                         )
                     )
     finally:
-        if saved is None:
-            os.environ.pop(TXN_ENV, None)
-        else:
-            os.environ[TXN_ENV] = saved
+        for key, value in ((TXN_ENV, saved_txn), (CONFLICT_ENV, saved_conflict)):
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     return run

@@ -17,10 +17,14 @@ encoders (cached, invalidated on purpose/schema changes).
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass, field
+
 from ..engine import Column, Database, SqlType, TableSchema
 from ..engine.functions import MemoizedFunction
+from ..engine.mvcc import current_transaction
 from ..engine.types import BitString
-from ..errors import ConfigurationError, PolicyError
+from ..errors import ConfigurationError, ExecutionError, PolicyError
 from .categories import CategoryRegistry, DataCategory, DEFAULT_CATEGORIES
 from .masks import MaskLayout, complies_with
 from .policy import Policy
@@ -29,6 +33,40 @@ from .purposes import Purpose, PurposeSet
 #: Names of the security meta-data tables: Pr/Pm/Pa from configuration
 #: (§5.1), plus the audit log (``al``) and the role extension's tables.
 META_TABLES = frozenset({"pr", "pm", "pa", "al", "ro", "ur", "rp"})
+
+#: Environment variable selecting how purpose-taxonomy edits treat open
+#: snapshots: ``versioned`` (default — old snapshots keep resolving the
+#: taxonomy as of their catalog version) or ``failfast`` (the PR 9
+#: semantics — active snapshots are doomed and raise on next use).
+REVOCATION_ENV = "REPRO_REVOCATION"
+
+#: The supported revocation modes.
+REVOCATION_MODES = ("versioned", "failfast")
+
+
+def resolve_revocation_mode(explicit: str | None = None) -> str:
+    """Resolve the revocation mode: explicit argument beats the env var."""
+    mode = (explicit or os.environ.get(REVOCATION_ENV) or "versioned").lower()
+    if mode not in REVOCATION_MODES:
+        raise ExecutionError(
+            f"unknown revocation mode {mode!r} "
+            f"(expected one of {REVOCATION_MODES})"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class AcmState:
+    """One immutable version of the access-control taxonomy.
+
+    Committed to the database catalog under ``("acm", "state")`` on every
+    policy-relevant write, so snapshot-pinned readers resolve purposes and
+    categorizations *as of their catalog version* instead of racing live
+    mutations (DESIGN.md §16).
+    """
+
+    purposes: tuple[Purpose, ...] = ()
+    categories: dict = field(default_factory=dict)
 
 #: Name of the per-row policy-mask column appended to target tables.
 POLICY_COLUMN = "policy"
@@ -81,49 +119,90 @@ class AccessControlManager:
         self.database = database
         self.categories = categories or CategoryRegistry(DEFAULT_CATEGORIES)
         self.purposes = PurposeSet()
+        self.revocation_mode = resolve_revocation_mode()
         self._category_map: dict[tuple[str, str], DataCategory] = {}
-        self._layouts: dict[str, MaskLayout] = {}
+        self._layouts: dict[tuple, MaskLayout] = {}
         self._configured = False
-        self._policy_epoch = 0
         self._compliance_memo = MemoizedFunction(complies_with)
         self.epoch_scoped = EpochScoped()
         self.epoch_scoped.register(self._compliance_memo)
         self.epoch_scoped.register(database.policy_bitmaps)
-        # Snapshot identity is (commit ts × policy epoch): the transaction
-        # manager stamps every new snapshot with our epoch (DESIGN.md §15).
-        database.transactions.epoch_provider = lambda: self._policy_epoch
 
-    # -- policy epoch -------------------------------------------------------------
+    #: Bound on the versioned layout cache (old versions age out by LRU-ish
+    #: insertion order; pinned readers just rebuild from catalog state).
+    _LAYOUT_CACHE_LIMIT = 32
+
+    # -- policy epoch (catalog version) -------------------------------------------
 
     @property
     def policy_epoch(self) -> int:
-        """Monotonic counter of policy-relevant state changes.
+        """The database catalog version (PR 10: the epoch IS the catalog).
 
         Every mutation that can alter what a rewritten query returns —
         storing policy masks, (re)categorizing columns, changing the purpose
-        set, protecting new tables, mask migrations — bumps it.  Cached
-        enforcement plans embed the epoch they were compiled under, so a
-        bump invalidates them without any back-pointers from here to the
-        monitors holding the caches.
+        set, protecting new tables, mask migrations — commits a new
+        :class:`AcmState` to the catalog and hence advances this version.
+        Cached enforcement plans embed the version they were compiled
+        under, so a commit invalidates them without any back-pointers from
+        here to the monitors holding the caches.
         """
-        return self._policy_epoch
+        return self.database.catalog.version
 
     def bump_policy_epoch(self, metadata_changed: bool = False) -> None:
-        """Invalidate derived enforcement state after a policy-relevant write.
+        """Commit the current taxonomy to the catalog as a new version.
 
         ``metadata_changed`` marks changes to the purpose set or schema
-        categorization — state that lives in unversioned in-memory mirrors.
-        Mask churn is ordinary row data and stays snapshot-isolated, but
-        after a metadata change an open snapshot's enforcement state can no
-        longer be reconstructed, so active transactions are invalidated and
-        fail fast on next use (DESIGN.md §15).
+        categorization.  Mask churn is ordinary row data and stays
+        snapshot-isolated; taxonomy edits are versioned catalog commits
+        that open snapshots simply do not see (they keep resolving the
+        :class:`AcmState` as of their pinned catalog version).  Under
+        ``REPRO_REVOCATION=failfast`` the PR 9 semantics are kept instead:
+        a metadata change dooms every active snapshot (DESIGN.md §16).
         """
-        self._policy_epoch += 1
+        self.database.catalog.commit(
+            [
+                (
+                    "acm",
+                    "state",
+                    AcmState(
+                        purposes=tuple(self.purposes.ordered()),
+                        categories=dict(self._category_map),
+                    ),
+                )
+            ],
+            self.database.transactions.clock,
+        )
         self.epoch_scoped.clear_all()
-        if metadata_changed:
+        if metadata_changed and self.revocation_mode == "failfast":
             self.database.transactions.invalidate_active_snapshots(
-                f"policy metadata change at epoch {self._policy_epoch}"
+                f"policy metadata change at catalog version "
+                f"{self.database.catalog.version}"
             )
+
+    def _enforcement_version(self) -> int:
+        """The catalog version enforcement resolves against *right now*.
+
+        Inside a transaction this is the snapshot's pinned catalog version;
+        outside it is the live catalog head.
+        """
+        txn = current_transaction(self.database.transactions)
+        if txn is not None:
+            return txn.snapshot.catalog_version
+        return self.database.catalog.version
+
+    def _acm_state(self, version: int) -> AcmState | None:
+        """The taxonomy as of ``version`` (``None`` before the first commit)."""
+        return self.database.catalog.value_at("acm", "state", version)
+
+    def _purposes_at(self, version: int) -> PurposeSet:
+        """The purpose set as of ``version`` (the live set when identical)."""
+        state = self._acm_state(version)
+        if state is None or state.purposes == tuple(self.purposes.ordered()):
+            return self.purposes
+        pinned = PurposeSet()
+        for purpose in state.purposes:
+            pinned.add(purpose)
+        return pinned
 
     def compliance_memo_info(self) -> dict[str, int]:
         """Observability snapshot of the ``complieswith`` memo.
@@ -173,6 +252,9 @@ class AccessControlManager:
         )
         database.policy_function = COMPLIES_WITH
         database.policy_column = POLICY_COLUMN
+        # Seed the catalog with the restored taxonomy so versioned
+        # resolution works from the first snapshot on.
+        manager.bump_policy_epoch()
         return manager
 
     def configure(self, purposes: PurposeSet | None = None) -> None:
@@ -259,7 +341,6 @@ class AccessControlManager:
         self.require_configured()
         self.purposes.add(purpose)
         self.database.table("pr").insert_row((purpose.id, purpose.description))
-        self._layouts.clear()
         self.bump_policy_epoch(metadata_changed=True)
 
     def remove_purpose(self, purpose_id: str) -> Purpose:
@@ -271,7 +352,6 @@ class AccessControlManager:
         self.require_configured()
         purpose = self.purposes.remove(purpose_id)
         self.database.table("pr").delete_rows(lambda row: row[0] == purpose_id)
-        self._layouts.clear()
         self.bump_policy_epoch(metadata_changed=True)
         return purpose
 
@@ -293,10 +373,16 @@ class AccessControlManager:
         self.bump_policy_epoch(metadata_changed=True)
 
     def category(self, table: str, column: str) -> DataCategory:
-        """Categorizer protocol: Pm lookup with the *generic* fallback (§4.1)."""
-        return self._category_map.get(
-            (table.lower(), column.lower()), self.categories.default
-        )
+        """Categorizer protocol: Pm lookup with the *generic* fallback (§4.1).
+
+        Resolved as of the enforcement version, so snapshot-pinned readers
+        see the categorization their snapshot began under.
+        """
+        key = (table.lower(), column.lower())
+        state = self._acm_state(self._enforcement_version())
+        if state is not None:
+            return state.categories.get(key, self.categories.default)
+        return self._category_map.get(key, self.categories.default)
 
     # -- purpose authorizations (Pa) ---------------------------------------------------------
 
@@ -349,17 +435,29 @@ class AccessControlManager:
         return self.database.has_table(key) and key not in META_TABLES
 
     def layout(self, table: str) -> MaskLayout:
-        """The mask layout of a target table (cached until invalidated)."""
+        """The mask layout of a target table at the enforcement version.
+
+        Cached by *content* — ⟨table, columns, purpose ids⟩ as resolved at
+        the enforcement version — so mask churn (which moves the catalog
+        version without touching the taxonomy) keeps hitting one cached
+        layout, while taxonomy edits and schema changes resolve to a
+        different key.  Pinned readers resolve the key as of their snapshot
+        and so keep (or rebuild) *their* layout untouched.
+        """
         self.require_configured()
         key = table.lower()
         if key in META_TABLES or not self.database.has_table(key):
             raise PolicyError(f"{table!r} is not a protected target table")
-        layout = self._layouts.get(key)
+        version = self._enforcement_version()
+        columns = self.table_columns(key)
+        purposes = self._purposes_at(version)
+        cache_key = (key, columns, purposes.ids())
+        layout = self._layouts.get(cache_key)
         if layout is None:
-            layout = MaskLayout(
-                key, self.table_columns(key), self.purposes, self.categories
-            )
-            self._layouts[key] = layout
+            layout = MaskLayout(key, columns, purposes, self.categories)
+            while len(self._layouts) >= self._LAYOUT_CACHE_LIMIT:
+                self._layouts.pop(next(iter(self._layouts)))
+            self._layouts[cache_key] = layout
         return layout
 
     def invalidate_layouts(self, table: str | None = None) -> None:
@@ -367,7 +465,9 @@ class AccessControlManager:
         if table is None:
             self._layouts.clear()
         else:
-            self._layouts.pop(table.lower(), None)
+            key = table.lower()
+            for cache_key in [k for k in self._layouts if k[0] == key]:
+                del self._layouts[cache_key]
 
     # -- policy installation -----------------------------------------------------------------
 

@@ -274,8 +274,16 @@ class EnforcementMonitor:
         )
         registry.counter(
             "repro_txn_total",
-            "Transaction lifecycle events (event=begin|commit|rollback|"
-            "conflict)",
+            "Transaction lifecycle by outcome (outcome=begin|commit|"
+            "rollback|conflict)",
+        )
+        registry.gauge(
+            "repro_catalog_version",
+            "Current version of the database's versioned catalog",
+        )
+        registry.gauge(
+            "repro_active_snapshots",
+            "Snapshots currently pinned by open transactions",
         )
         registry.counter(
             "repro_wal_total",
@@ -289,6 +297,7 @@ class EnforcementMonitor:
             "Per-stage pipeline latency (tracing-enabled executions only)",
         )
         self.metrics = registry
+        self._set_catalog_gauges()
 
     def set_tracing(self, enabled: bool) -> None:
         """Turn per-execution span recording on or off.
@@ -780,13 +789,13 @@ class EnforcementMonitor:
         txn = self._current_txn()
         if txn is not None and not txn.ephemeral:
             lines.append(
-                f"Snapshot: ts={txn.snapshot.ts} epoch={txn.snapshot.epoch} "
-                f"txn={txn.txn_id}"
+                f"Snapshot: ts={txn.snapshot.ts} "
+                f"catalog={txn.snapshot.catalog_version} txn={txn.txn_id}"
             )
         else:
             # No transaction, or a per-statement read snapshot (which by
             # construction sees the latest committed state).
-            lines.append(f"Snapshot: latest epoch={plan.epoch}")
+            lines.append(f"Snapshot: latest catalog={plan.epoch}")
         lines.append("Logical:")
         lines.extend(f"  {line}" for line in plan.plan.logical_lines())
         rows = checks = memo_hits = 0
@@ -916,7 +925,20 @@ class EnforcementMonitor:
 
     def _count_txn(self, event: str) -> None:
         if self.metrics is not None:
-            self.metrics.counter("repro_txn_total").inc(event=event)
+            self.metrics.counter("repro_txn_total").inc(outcome=event)
+            self._set_catalog_gauges()
+
+    def _set_catalog_gauges(self) -> None:
+        """Refresh the catalog-version and active-snapshot gauges."""
+        if self.metrics is None:
+            return
+        database = self.admin.database
+        self.metrics.gauge("repro_catalog_version").set(
+            database.catalog.version
+        )
+        self.metrics.gauge("repro_active_snapshots").set(
+            database.transactions.active_count()
+        )
 
     def _execute_set_operation(
         self,

@@ -17,15 +17,19 @@ from .batch import (
     resolve_batch_size,
     resolve_executor_mode,
 )
+from .catalog import Catalog, CatalogEntry, CatalogOp
 from .database import Database, PreparedQuery, bind_parameters
 from .functions import FunctionRegistry, MemoizedFunction
 from .mvcc import (
+    CONFLICT_ENV,
+    CONFLICT_MODES,
     TXN_ENV,
     TXN_MODES,
     Snapshot,
     Transaction,
     TransactionManager,
     current_transaction,
+    resolve_conflict_mode,
     resolve_txn_mode,
     txn_scope,
 )
@@ -92,10 +96,16 @@ __all__ = [
     "SqlType",
     "TXN_ENV",
     "TXN_MODES",
+    "CONFLICT_ENV",
+    "CONFLICT_MODES",
+    "Catalog",
+    "CatalogEntry",
+    "CatalogOp",
     "Snapshot",
     "Transaction",
     "TransactionManager",
     "current_transaction",
+    "resolve_conflict_mode",
     "resolve_txn_mode",
     "txn_scope",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..errors import CatalogError, ExecutionError, TransactionError
 from ..sql import ast, parse_statement
+from .catalog import Catalog, CatalogOp
 from .executor import PreparedSelect, SelectExecutor
 from .expressions import Env, ExpressionCompiler, Scope
 from .functions import FunctionRegistry
@@ -254,6 +255,11 @@ class Database:
         self.statistics = StatisticsCollector(self)
         # MVCC: the commit clock + active-snapshot registry (DESIGN.md §15).
         self.transactions = TransactionManager()
+        # The versioned metadata catalog (DESIGN.md §16): schemas, index
+        # definitions and the purpose taxonomy as commit-stamped versions.
+        # Snapshots pin ``catalog.version``; it subsumes the policy epoch.
+        self.catalog = Catalog()
+        self.transactions.catalog = self.catalog
         # Durability hook; set by engine.wal.DurabilityManager when attached.
         self.durability = None
 
@@ -274,24 +280,60 @@ class Database:
         """All table names, in creation order."""
         return [table.name for table in self.tables.values()]
 
-    def create_table(self, schema: TableSchema) -> Table:
-        """Create a table from a prepared schema."""
+    def create_table(self, schema: TableSchema, record_catalog: bool = True) -> Table:
+        """Create a table from a prepared schema.
+
+        The creation commits a ``("table", name)`` catalog entry (and a WAL
+        DDL record when durability is attached); WAL replay passes
+        ``record_catalog=False`` because it stamps the entry itself at the
+        recovered commit's timestamp.
+        """
         key = schema.name.lower()
         if key in self.tables:
             raise CatalogError(f"table {schema.name!r} already exists")
         table = Table(schema)
         table.attach_manager(self.transactions)
         self.tables[key] = table
+        if record_catalog:
+            self._ddl_autocommit(
+                [
+                    CatalogOp(
+                        "table",
+                        key,
+                        schema,
+                        wal={"op": "create_table", "schema": schema},
+                        describe=f"CREATE TABLE {schema.name}",
+                    )
+                ]
+            )
         return table
 
-    def drop_table(self, name: str) -> None:
+    def drop_table(self, name: str, record_catalog: bool = True) -> None:
         """Drop a table (and its indexes/statistics); unknown names raise."""
         key = name.lower()
         if key not in self.tables:
             raise CatalogError(f"unknown table {name!r}")
         del self.tables[key]
-        self.indexes.drop_for_table(key)
+        doomed = self.indexes.drop_for_table(key)
         self.statistics.forget(key)
+        self.policy_bitmaps.forget(key)
+        if record_catalog:
+            ops = [
+                CatalogOp(
+                    "table",
+                    key,
+                    None,
+                    wal={"op": "drop_table", "table": key},
+                    describe=f"DROP TABLE {name}",
+                )
+            ]
+            # The cascade-dropped indexes get catalog tombstones in the same
+            # commit (no WAL descriptor: replaying drop_table re-cascades).
+            ops.extend(
+                CatalogOp("index", definition.name, None)
+                for definition in doomed
+            )
+            self._ddl_autocommit(ops)
 
     # -- transactions ------------------------------------------------------------
 
@@ -337,11 +379,21 @@ class Database:
                 f"{operation} is not allowed inside a transaction"
             )
 
-    def _checkpoint_ddl(self) -> None:
-        # WAL commit records carry rows, not schemas: a catalog change is
-        # made durable by checkpointing immediately (DESIGN.md §15).
-        if self.durability is not None:
-            self.durability.checkpoint()
+    def _ddl_autocommit(
+        self, ops: "list[CatalogOp]", table_effects: "dict | None" = None
+    ) -> None:
+        # Commit catalog ops outside any transaction: one commit timestamp,
+        # one WAL DDL record (DESIGN.md §16 — DDL no longer forces a
+        # checkpoint).  With MVCC off the catalog still versions (ts 0).
+        if self.transactions.enabled:
+            self.transactions.commit_ddl(ops, table_effects)
+            return
+        for op in ops:
+            if op.apply is not None:
+                op.apply(0)
+        for key, (table, op, rows, _written) in (table_effects or {}).items():
+            table._apply_plain(op, rows)
+        self.catalog.commit([(op.kind, op.key, op.value) for op in ops], 0)
 
     # -- statement execution -----------------------------------------------------
 
@@ -370,42 +422,32 @@ class Database:
             self.rollback()
             return 0
         if isinstance(statement, ast.CreateTable):
+            # CREATE/DROP TABLE stay autocommit-only: a staged table would
+            # need catalog-overlaid name resolution through every reader.
+            # They are still WAL-logged DDL commits (no forced checkpoint).
             self._forbid_txn("CREATE TABLE")
             self._execute_create(statement)
-            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.DropTable):
             self._forbid_txn("DROP TABLE")
             self.drop_table(statement.name)
-            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.AlterTableAddColumn):
+            # Transactional: Table.add_column stages inside a transaction
+            # (first-committer-wins on the schema catalog entry) and
+            # autocommits a DDL record otherwise.
             self.table(statement.table).add_column(
                 _column_from_def(statement.column)
             )
-            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.AlterTableDropColumn):
             self.table(statement.table).drop_column(statement.column_name)
-            self._checkpoint_ddl()
             return 0
         if isinstance(statement, ast.CreateIndex):
-            self._forbid_txn("CREATE INDEX")
-            self.indexes.create(
-                IndexDefinition(
-                    name=statement.name,
-                    table=statement.table,
-                    columns=statement.columns,
-                    kind=statement.kind,
-                    partitioned_by=statement.partitioned_by,
-                )
-            )
-            self._checkpoint_ddl()
+            self._execute_create_index(statement)
             return 0
         if isinstance(statement, ast.DropIndex):
-            self._forbid_txn("DROP INDEX")
-            self.indexes.drop(statement.name)
-            self._checkpoint_ddl()
+            self._execute_drop_index(statement)
             return 0
         if isinstance(statement, ast.Analyze):
             # ANALYZE reports the number of tables whose statistics were
@@ -591,6 +633,85 @@ class Database:
     def _execute_create(self, statement: ast.CreateTable) -> None:
         columns = [_column_from_def(definition) for definition in statement.columns]
         self.create_table(TableSchema(statement.name, columns))
+
+    def _execute_create_index(self, statement: ast.CreateIndex) -> None:
+        """CREATE INDEX: staged in the transaction's catalog overlay when one
+        is active (visible at commit, first-committer-wins on the index
+        name), an autocommit DDL record otherwise."""
+        definition = IndexDefinition(
+            name=statement.name,
+            table=statement.table,
+            columns=statement.columns,
+            kind=statement.kind,
+            partitioned_by=statement.partitioned_by,
+        )
+        txn = current_transaction(self.transactions)
+        if txn is None:
+            normalized = self.indexes.create(definition)
+            self._ddl_autocommit(
+                [
+                    CatalogOp(
+                        "index",
+                        normalized.name,
+                        normalized,
+                        wal={"op": "create_index", "definition": normalized},
+                        describe=f"CREATE INDEX {normalized.name}",
+                    )
+                ]
+            )
+            return
+        normalized = self.indexes.normalize(definition)
+        if (
+            self.indexes.find(normalized.name) is not None
+            or txn.has_staged_catalog("index", normalized.name)
+        ):
+            raise CatalogError(f"index {normalized.name!r} already exists")
+        txn.add_catalog_op(
+            CatalogOp(
+                "index",
+                normalized.name,
+                normalized,
+                wal={"op": "create_index", "definition": normalized},
+                apply=lambda ts: self.indexes.register(normalized),
+                validate=lambda: self._require_index_absent(normalized.name),
+                describe=f"CREATE INDEX {normalized.name}",
+            )
+        )
+
+    def _execute_drop_index(self, statement: ast.DropIndex) -> None:
+        """DROP INDEX: staged when a transaction is active, else autocommit."""
+        txn = current_transaction(self.transactions)
+        if txn is None:
+            dropped = self.indexes.drop(statement.name)
+            self._ddl_autocommit(
+                [
+                    CatalogOp(
+                        "index",
+                        dropped.name,
+                        None,
+                        wal={"op": "drop_index", "name": dropped.name},
+                        describe=f"DROP INDEX {dropped.name}",
+                    )
+                ]
+            )
+            return
+        key = statement.name.lower()
+        self.indexes.get(key)  # unknown names raise at statement time
+        txn.add_catalog_op(
+            CatalogOp(
+                "index",
+                key,
+                None,
+                wal={"op": "drop_index", "name": key},
+                apply=lambda ts: self.indexes.drop(key),
+                validate=lambda: self.indexes.get(key),
+                describe=f"DROP INDEX {key}",
+            )
+        )
+
+    def _require_index_absent(self, name: str) -> None:
+        if self.indexes.find(name) is not None:
+            raise CatalogError(f"index {name!r} already exists")
 
     # -- instrumentation ---------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from heapq import merge
 from typing import TYPE_CHECKING
 
 from ...errors import CatalogError, ExecutionError
+from ..mvcc import current_transaction
 from .btree import BTreeIndex
 from .hash import HashIndex
 
@@ -96,7 +97,9 @@ class IndexManager:
         self._database = database
         self._lock = threading.RLock()
         self._definitions: dict[str, IndexDefinition] = {}
-        self._entries: dict[str, tuple[int, _IndexEntry]] = {}
+        self._entries: dict[
+            str, tuple[object, IndexDefinition, _IndexEntry]
+        ] = {}
         # Monotonic counters, reported like the bitmap cache's stats() so
         # the monitor and metrics layer can take per-execution deltas.
         self._hits = 0
@@ -108,6 +111,15 @@ class IndexManager:
 
     def create(self, definition: IndexDefinition) -> IndexDefinition:
         """Validate and register ``definition`` (build happens lazily)."""
+        return self.register(self.normalize(definition))
+
+    def normalize(self, definition: IndexDefinition) -> IndexDefinition:
+        """Lower-case and validate ``definition`` without registering it.
+
+        Transactional CREATE INDEX validates at statement time with this,
+        then registers via :meth:`register` only when the transaction
+        commits (first-committer-wins on the catalog entry).
+        """
         normalized = IndexDefinition(
             name=definition.name.lower(),
             table=definition.table.lower(),
@@ -137,6 +149,10 @@ class IndexManager:
                     f"{normalized.partitioned_by!r} is not the policy column"
                 )
             table.schema.column_index(normalized.partitioned_by)
+        return normalized
+
+    def register(self, normalized: IndexDefinition) -> IndexDefinition:
+        """Register an already-normalized definition (duplicate names raise)."""
         with self._lock:
             if normalized.name in self._definitions:
                 raise CatalogError(f"index {normalized.name!r} already exists")
@@ -163,21 +179,63 @@ class IndexManager:
         return doomed
 
     def get(self, name: str) -> IndexDefinition:
-        """The definition named ``name``; unknown names raise."""
-        with self._lock:
-            definition = self._definitions.get(name.lower())
+        """The definition named ``name``; unknown names raise.
+
+        Resolved *as of* the ambient transaction's pinned catalog version:
+        an index created after a snapshot began is invisible to it, and one
+        dropped after it began is resurrected from catalog history — pinned
+        plans keep their access path no matter what DDL commits around
+        them.
+        """
+        definition = self._resolve(name, self._ambient_version())
         if definition is None:
             raise CatalogError(f"unknown index {name!r}")
         return definition
 
     def find(self, name: str) -> IndexDefinition | None:
-        with self._lock:
-            return self._definitions.get(name.lower())
+        return self._resolve(name, self._ambient_version())
 
     def definitions(self) -> list[IndexDefinition]:
-        """Every definition, sorted by name."""
+        """Every definition visible at the ambient version, sorted by name."""
+        version = self._ambient_version()
         with self._lock:
-            return sorted(self._definitions.values(), key=lambda d: d.name)
+            names = set(self._definitions)
+        if version is not None:
+            catalog = getattr(self._database, "catalog", None)
+            if catalog is not None:
+                names.update(catalog.keys("index"))
+        resolved = (self._resolve(name, version) for name in sorted(names))
+        return [definition for definition in resolved if definition is not None]
+
+    def _ambient_version(self) -> "int | None":
+        """The pinned catalog version, or ``None`` outside a transaction."""
+        transactions = getattr(self._database, "transactions", None)
+        if transactions is None:
+            return None
+        txn = current_transaction(transactions)
+        if txn is None:
+            return None
+        return txn.snapshot.catalog_version
+
+    def _resolve(
+        self, name: str, version: "int | None"
+    ) -> IndexDefinition | None:
+        """``name``'s definition as of ``version`` (``None`` = latest live).
+
+        Slots with no catalog history (definitions seeded before the first
+        catalog commit, e.g. checkpoint reloads) fall back to the live
+        state, matching :meth:`Catalog.value_at` semantics.
+        """
+        key = name.lower()
+        with self._lock:
+            live = self._definitions.get(key)
+        if version is None:
+            return live
+        catalog = getattr(self._database, "catalog", None)
+        if catalog is None or not catalog.has_entry("index", key):
+            return live
+        value = catalog.value_at("index", key, version)
+        return value if isinstance(value, IndexDefinition) else None
 
     def for_table(self, table_name: str) -> list[IndexDefinition]:
         """Every definition on one table, sorted by name."""
@@ -197,10 +255,14 @@ class IndexManager:
         table = self._database.table(definition.table)
         with self._lock:
             cached = self._entries.get(definition.name)
-            if cached is not None and cached[0] == table.version:
-                return cached[1]
+            if (
+                cached is not None
+                and cached[0] == table.version
+                and cached[1] == definition
+            ):
+                return cached[2]
             entry = self._build(definition, table)
-            self._entries[definition.name] = (table.version, entry)
+            self._entries[definition.name] = (table.version, definition, entry)
             self._rebuilds += 1
             return entry
 
@@ -314,9 +376,9 @@ class IndexManager:
             info["built"] = built is not None
             if built is not None:
                 info["version"] = built[0]
-                info["distinct_keys"] = len(built[1].structure)
-                if built[1].partitions is not None:
-                    info["partitions"] = len(built[1].partitions)
+                info["distinct_keys"] = len(built[2].structure)
+                if built[2].partitions is not None:
+                    info["partitions"] = len(built[2].partitions)
             out.append(info)
         return out
 

@@ -11,8 +11,10 @@ manager with :meth:`repro.core.admin.AccessControlManager.from_existing`.
 Format history: version 1 had no ``indexes`` list; version 2 added it
 together with the ``policy`` marker object (the enforcement framework's
 policy function/column names, needed to re-validate partitioned index
-definitions at load time).  Version-1 documents still load (no indexes
-are restored).
+definitions at load time); version 3 added ``catalog_version`` (the
+versioned-catalog counter, DESIGN.md §16) so a reloaded database's catalog
+version never moves backwards across a checkpoint.  Older documents still
+load (no indexes / catalog version 0).
 """
 
 from __future__ import annotations
@@ -26,10 +28,10 @@ from .index import IndexDefinition
 from .schema import Column, TableSchema
 from .types import BitString, SqlType
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: Snapshot versions :func:`from_document` accepts.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 _BITS_KEY = "$bits"
 
@@ -46,6 +48,27 @@ def _decode_value(value: object) -> object:
     return value
 
 
+def _encode_column(column: Column) -> dict:
+    """Serialize one column definition (shared with the WAL's DDL records)."""
+    return {
+        "name": column.name,
+        "type": column.sql_type.value,
+        "primary_key": column.primary_key,
+        "not_null": column.not_null,
+        "default": _encode_value(column.default),
+    }
+
+
+def _decode_column(entry: dict) -> Column:
+    return Column(
+        entry["name"],
+        SqlType(entry["type"]),
+        primary_key=entry.get("primary_key", False),
+        not_null=entry.get("not_null", False),
+        default=_decode_value(entry.get("default")),
+    )
+
+
 def to_document(database: Database) -> dict:
     """Serialize a database to a JSON-compatible dict."""
     tables = []
@@ -54,14 +77,7 @@ def to_document(database: Database) -> dict:
             {
                 "name": table.schema.name,
                 "columns": [
-                    {
-                        "name": column.name,
-                        "type": column.sql_type.value,
-                        "primary_key": column.primary_key,
-                        "not_null": column.not_null,
-                        "default": _encode_value(column.default),
-                    }
-                    for column in table.schema.columns
+                    _encode_column(column) for column in table.schema.columns
                 ],
                 "rows": [
                     [_encode_value(value) for value in row] for row in table.rows
@@ -71,6 +87,7 @@ def to_document(database: Database) -> dict:
     return {
         "version": FORMAT_VERSION,
         "name": database.name,
+        "catalog_version": database.catalog.version,
         "tables": tables,
         "policy": {
             "function": database.policy_function,
@@ -89,16 +106,7 @@ def from_document(document: dict) -> Database:
         raise EngineError(f"unsupported snapshot version {version!r}")
     database = Database(document.get("name", "db"))
     for entry in document["tables"]:
-        columns = [
-            Column(
-                column["name"],
-                SqlType(column["type"]),
-                primary_key=column.get("primary_key", False),
-                not_null=column.get("not_null", False),
-                default=_decode_value(column.get("default")),
-            )
-            for column in entry["columns"]
-        ]
+        columns = [_decode_column(column) for column in entry["columns"]]
         table = database.create_table(TableSchema(entry["name"], columns))
         table.rows = [
             tuple(_decode_value(value) for value in row) for row in entry["rows"]
@@ -111,6 +119,10 @@ def from_document(document: dict) -> Database:
     database.policy_column = policy.get("column")
     for entry in document.get("indexes", ()):
         database.indexes.create(IndexDefinition.from_dict(entry))
+    # Restore the catalog-version floor last: registrations above already
+    # advanced the counter from zero, and the stored value (stamped after
+    # the same registrations pre-checkpoint) must win ties.
+    database.catalog.advance_to(int(document.get("catalog_version", 0)))
     return database
 
 

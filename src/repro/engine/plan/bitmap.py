@@ -99,9 +99,17 @@ class PolicyBitmapCache:
             }
 
     def clear(self) -> None:
-        """Drop every bitmap and verdict (policy-epoch invalidation)."""
+        """Drop every bitmap and verdict (catalog-version invalidation)."""
         with self._lock:
             self._entries.clear()
+
+    def forget(self, table_name: str) -> None:
+        """Drop every entry of one table (DROP TABLE cleanup) so a later
+        same-named table can never inherit its bitmaps or verdicts."""
+        key = table_name.lower()
+        with self._lock:
+            for entry_key in [k for k in self._entries if k[0] == key]:
+                del self._entries[entry_key]
 
     def __len__(self) -> int:
         with self._lock:

@@ -14,14 +14,23 @@ Since the MVCC work (DESIGN.md §15) a table keeps two representations:
   sees exactly the versions with ``xmin <= ts`` and ``xmax`` unset or
   ``> ts``, reconstructed (and cached) on demand.
 
-The :attr:`rows` and :attr:`version` properties consult the context's
-active transaction (:mod:`repro.engine.mvcc`): inside a transaction they
-serve the staged overlay or the snapshot reconstruction, and ``version``
-returns a value that *identifies the snapshot state* — an int for
-committed states, a ``("txn", id, bump)`` tuple for staged ones — so every
-cache keyed on ``Table.version`` (policy bitmaps, index builds, table
-statistics) is snapshot-keyed for free and can never leak staged or
-future state into another snapshot's reads.
+Since the catalog work (DESIGN.md §16) the *schema* is versioned the same
+way: ALTER TABLE commits the rewritten rows and the new schema at one
+commit timestamp, ``_schema_log`` keeps ``(ts, schema)`` pairs, and the
+:attr:`schema` property resolves the schema as of the reading snapshot —
+an old snapshot sees old-width rows *and* the old schema.  Each committed
+write also records its primary-key **write set** in ``_write_log`` so the
+transaction manager can validate first-committer-wins at row granularity
+(:meth:`written_since`).
+
+The :attr:`rows`, :attr:`version` and :attr:`schema` properties consult
+the context's active transaction (:mod:`repro.engine.mvcc`): inside a
+transaction they serve the staged overlay/schema or the snapshot
+reconstruction, and ``version`` returns a value that *identifies the
+snapshot state* — an int for committed states, a ``("txn", id, bump)``
+tuple for staged ones — so every cache keyed on ``Table.version`` (policy
+bitmaps, index builds, table statistics) is snapshot-keyed for free and
+can never leak staged or future state into another snapshot's reads.
 
 Writers outside a transaction autocommit through the owning
 :class:`~repro.engine.mvcc.TransactionManager` (one commit timestamp per
@@ -35,7 +44,8 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Iterable, Iterator
 
-from ..errors import CatalogError, ExecutionError, TransactionError
+from ..errors import ExecutionError
+from .catalog import CatalogOp
 from .mvcc import _ACTIVE, Transaction, TransactionManager
 from .schema import Column, TableSchema
 from .types import coerce_value
@@ -65,7 +75,11 @@ class Table:
     """A heap table: a schema, a row list and an MVCC version chain."""
 
     def __init__(self, schema: TableSchema):
-        self.schema = schema
+        self._schema = schema
+        #: ``(commit ts, schema)`` pairs, ascending — the schema history a
+        #: pinned snapshot resolves :attr:`schema` against.
+        self._schema_log: list[tuple[int, TableSchema]] = [(0, schema)]
+        self._last_schema_ts: int = 0
         self._rows: list[tuple] = []
         #: Bumped on every committed change; cached artifacts derived from
         #: the rows (policy bitmaps, index builds, statistics) key on the
@@ -75,9 +89,14 @@ class Table:
         #: ``(commit ts, version)`` pairs, ascending; maps a snapshot ts to
         #: the committed ``version`` value it observes.
         self._commit_log: list[tuple[int, int]] = [(0, 0)]
+        #: ``(commit ts, write set)`` pairs, ascending.  The write set is a
+        #: frozenset of primary-key tuples, or ``None`` for "all rows"
+        #: (no primary key, schema change, table-granularity mode).
+        self._write_log: list[tuple[int, "frozenset | None"]] = []
         self._last_commit_ts: int = 0
         self._manager: TransactionManager | None = None
         self._asof_cache: dict[int, list[tuple]] = {}
+        self._pk_cache: "tuple[TableSchema, tuple[int, ...]] | None" = None
 
     # -- transaction plumbing ------------------------------------------------
 
@@ -113,16 +132,64 @@ class Table:
             txn._check_usable()
         return txn
 
-    def _forbid_txn(self, operation: str) -> None:
-        if self._active_txn() is not None:
-            raise TransactionError(
-                f"{operation} is not allowed inside a transaction"
-            )
-
     @property
     def last_commit_ts(self) -> int:
         """Commit timestamp of the most recent committed change."""
         return self._last_commit_ts
+
+    # -- schema access -------------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        """The visible schema.
+
+        Inside a transaction: the schema staged by this transaction's
+        ALTER TABLE if any, otherwise the schema as of the snapshot
+        timestamp.  Outside: the latest committed schema.
+        """
+        txn = self._active_txn()
+        if txn is not None:
+            staged = txn.staged_schema(self)
+            if staged is not None:
+                return staged
+            if txn.snapshot.ts < self._last_schema_ts:
+                return self.schema_as_of(txn.snapshot.ts)
+        return self._schema
+
+    def schema_as_of(self, ts: int) -> TableSchema:
+        """The committed schema visible to a snapshot at ``ts``."""
+        for committed_ts, schema in reversed(self._schema_log):
+            if committed_ts <= ts:
+                return schema
+        return self._schema_log[0][1]
+
+    def apply_committed_schema(self, schema: TableSchema, ts: int) -> None:
+        """Install a committed schema change at timestamp ``ts``."""
+        self._schema = schema
+        self._pk_cache = None
+        if self._mvcc_on():
+            self._schema_log.append((ts, schema))
+            self._last_schema_ts = ts
+        else:
+            self._schema_log = [(0, schema)]
+
+    def row_key_indexes(self) -> tuple[int, ...]:
+        """Column indexes of the primary key in the latest committed schema.
+
+        Empty when the table declares no primary key — write-set tracking
+        then falls back to table granularity.
+        """
+        schema = self._schema
+        cached = self._pk_cache
+        if cached is not None and cached[0] is schema:
+            return cached[1]
+        pk = tuple(
+            index
+            for index, column in enumerate(schema.columns)
+            if column.primary_key
+        )
+        self._pk_cache = (schema, pk)
+        return pk
 
     # -- row access ----------------------------------------------------------
 
@@ -154,6 +221,14 @@ class Table:
             return
         self._autocommit("replace", list(new_rows))
 
+    def latest_rows(self) -> list[tuple]:
+        """The latest committed rows, ignoring any ambient transaction.
+
+        Used by the transaction manager (under its lock) for commit-time
+        write-set diffs and rebases.
+        """
+        return self._rows
+
     @property
     def version(self) -> "int | tuple":
         """Snapshot identity of the visible row state.
@@ -176,7 +251,7 @@ class Table:
     @property
     def name(self) -> str:
         """The table name."""
-        return self.schema.name
+        return self._schema.name
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -215,8 +290,36 @@ class Table:
         index = bisect.bisect_right(self._commit_log, (ts, float("inf"))) - 1
         return self._commit_log[max(index, 0)][1]
 
+    def written_since(self, ts: int) -> "frozenset | None":
+        """Union of the write sets of commits after ``ts``.
+
+        ``None`` means "potentially every row": at least one of those
+        commits had no row-level write set (no primary key, a schema
+        change, table-granularity mode), so a concurrent writer must
+        conflict regardless of which rows it touched.
+        """
+        written: set = set()
+        for committed_ts, keys in reversed(self._write_log):
+            if committed_ts <= ts:
+                break
+            if keys is None:
+                return None
+            written |= keys
+        return frozenset(written)
+
     def prune_versions(self, horizon: int) -> None:
         """Drop versions invisible to every snapshot at or after ``horizon``."""
+        if self._write_log and self._write_log[0][0] <= horizon:
+            self._write_log = [
+                entry for entry in self._write_log if entry[0] > horizon
+            ]
+        if len(self._schema_log) > 1 and self._schema_log[1][0] <= horizon:
+            keep = 0
+            for index, (committed_ts, _schema) in enumerate(self._schema_log):
+                if committed_ts <= horizon:
+                    keep = index
+            if keep > 0:
+                self._schema_log = self._schema_log[keep:]
         if not self._versions:
             return
         live = [
@@ -232,16 +335,21 @@ class Table:
 
     # -- commit application (called by the transaction manager) ---------------
 
-    def apply_committed_append(self, rows: list[tuple], ts: int) -> None:
+    def apply_committed_append(
+        self, rows: list[tuple], ts: int, written: "frozenset | None" = None
+    ) -> None:
         """Apply an append-only commit at timestamp ``ts``."""
         self._rows.extend(rows)
         self._version += 1
         if self._mvcc_on():
             self._versions.extend(TupleVersion(row, ts) for row in rows)
             self._commit_log.append((ts, self._version))
+            self._write_log.append((ts, written))
         self._last_commit_ts = ts
 
-    def apply_committed_replace(self, rows: list[tuple], ts: int) -> None:
+    def apply_committed_replace(
+        self, rows: list[tuple], ts: int, written: "frozenset | None" = None
+    ) -> None:
         """Apply a whole-list replacement commit at timestamp ``ts``."""
         if self._mvcc_on():
             for version in self._versions:
@@ -252,6 +360,7 @@ class Table:
         self._version += 1
         if self._mvcc_on():
             self._commit_log.append((ts, self._version))
+            self._write_log.append((ts, written))
         self._last_commit_ts = ts
 
     def _autocommit(self, op: str, rows: list[tuple]) -> None:
@@ -276,27 +385,28 @@ class Table:
     ) -> tuple:
         """Align ``values`` with the schema, coerce types, check NOT NULL."""
         values = list(values)
+        schema = self.schema
         if columns:
             if len(values) != len(columns):
                 raise ExecutionError(
                     f"INSERT into {self.name!r}: {len(columns)} columns but "
                     f"{len(values)} values"
                 )
-            row = [column.default for column in self.schema.columns]
+            row = [column.default for column in schema.columns]
             for column_name, value in zip(columns, values):
-                row[self.schema.column_index(column_name)] = value
+                row[schema.column_index(column_name)] = value
         else:
-            if len(values) != len(self.schema):
+            if len(values) != len(schema):
                 raise ExecutionError(
-                    f"INSERT into {self.name!r}: expected {len(self.schema)} "
+                    f"INSERT into {self.name!r}: expected {len(schema)} "
                     f"values, got {len(values)}"
                 )
             row = values
         coerced = tuple(
             coerce_value(column.sql_type, value)
-            for column, value in zip(self.schema.columns, row)
+            for column, value in zip(schema.columns, row)
         )
-        for column, value in zip(self.schema.columns, coerced):
+        for column, value in zip(schema.columns, coerced):
             if value is None and column.not_null:
                 raise ExecutionError(
                     f"NULL value in NOT NULL column {column.name!r} of "
@@ -352,13 +462,14 @@ class Table:
         """Apply ``updater`` to every row matching ``predicate``; return count."""
         updated = 0
         new_rows = []
+        schema = self.schema
         for row in self.rows:
             if predicate(row):
                 new_row = updater(row)
                 new_rows.append(
                     tuple(
                         coerce_value(column.sql_type, value)
-                        for column, value in zip(self.schema.columns, new_row)
+                        for column, value in zip(schema.columns, new_row)
                     )
                 )
                 updated += 1
@@ -383,35 +494,104 @@ class Table:
     def add_column(self, column: Column) -> None:
         """Append a column, filling existing rows with its default.
 
-        Schema changes are not snapshot-isolated: they are rejected inside
-        a transaction and collapse the version chain (a *schema barrier*),
-        so concurrent snapshots observe the post-DDL state rather than
-        reconstructing rows of the wrong width.
+        Since the catalog work (DESIGN.md §16) ALTER TABLE is a versioned
+        commit, not a barrier: inside a transaction it stages the new
+        schema and the widened rows in the transaction's overlay (visible
+        only to that transaction until commit, first-committer-wins on the
+        table's ``schema`` catalog entry); outside one it autocommits rows
+        and schema at a single timestamp, so pinned snapshots keep seeing
+        the old rows under the old schema.
         """
-        self._forbid_txn("ALTER TABLE")
-        self.schema = self.schema.with_column(column)
+        new_schema = self.schema.with_column(column)
         fill = column.default
-        self.rows = [(*row, fill) for row in self._rows]
-        self._schema_barrier()
+        txn = self._write_txn()
+        if txn is not None:
+            self._stage_schema_change(
+                txn,
+                new_schema,
+                lambda row: (*row, fill),
+                wal={"op": "add_column", "table": self.name, "column": column},
+                describe=f"ALTER TABLE {self.name} ADD COLUMN {column.name}",
+            )
+            return
+        new_rows = [(*row, fill) for row in self._rows]
+        self._autocommit_schema_change(
+            new_schema,
+            new_rows,
+            wal={"op": "add_column", "table": self.name, "column": column},
+        )
 
     def drop_column(self, name: str) -> None:
         """Drop a column and rewrite stored rows."""
-        self._forbid_txn("ALTER TABLE")
         index = self.schema.column_index(name)
-        self.schema = self.schema.without_column(name)
-        self.rows = [
-            tuple(v for i, v in enumerate(row) if i != index)
-            for row in self._rows
-        ]
-        self._schema_barrier()
+        new_schema = self.schema.without_column(name)
 
-    def _schema_barrier(self) -> None:
-        """Collapse version history so every snapshot sees current rows."""
-        if not self._mvcc_on():
+        def narrow(row: tuple) -> tuple:
+            return tuple(v for i, v in enumerate(row) if i != index)
+
+        txn = self._write_txn()
+        if txn is not None:
+            self._stage_schema_change(
+                txn,
+                new_schema,
+                narrow,
+                wal={"op": "drop_column", "table": self.name, "column": name},
+                describe=f"ALTER TABLE {self.name} DROP COLUMN {name}",
+            )
             return
-        self._versions = [TupleVersion(row, 0) for row in self._rows]
-        self._commit_log = [(0, self._version)]
-        self._asof_cache.clear()
+        new_rows = [narrow(row) for row in self._rows]
+        self._autocommit_schema_change(
+            new_schema,
+            new_rows,
+            wal={"op": "drop_column", "table": self.name, "column": name},
+        )
+
+    def _stage_schema_change(
+        self,
+        txn: Transaction,
+        new_schema: TableSchema,
+        rewrite: Callable[[tuple], tuple],
+        wal: dict,
+        describe: str,
+    ) -> None:
+        """Stage an ALTER in the transaction: rewrite the overlay rows and
+        record the schema as a catalog op (conflicting first-committer-wins
+        on the table's ``schema`` entry)."""
+        overlay = txn.stage(self)
+        overlay.rows = [rewrite(row) for row in overlay.rows]
+        overlay.append_only = False
+        overlay.bump += 1
+        txn._staged_schemas[self.name.lower()] = new_schema
+        txn.add_catalog_op(
+            CatalogOp(
+                "schema",
+                self.name.lower(),
+                new_schema,
+                wal=wal,
+                apply=lambda ts: self.apply_committed_schema(new_schema, ts),
+                describe=describe,
+            )
+        )
+
+    def _autocommit_schema_change(
+        self, new_schema: TableSchema, new_rows: list[tuple], wal: dict
+    ) -> None:
+        """Commit an ALTER outside any transaction: schema + rewritten rows
+        land at one timestamp (WAL DDL record when durability is attached)."""
+        manager = self.manager
+        if not manager.enabled:
+            self.apply_committed_schema(new_schema, 0)
+            self._apply_plain("replace", new_rows)
+            return
+        key = self.name.lower()
+        op = CatalogOp(
+            "schema",
+            key,
+            new_schema,
+            wal=wal,
+            apply=lambda ts: self.apply_committed_schema(new_schema, ts),
+        )
+        manager.commit_ddl([op], {key: (self, "replace", new_rows, None)})
 
     # -- column-level access (used by the policy administration layer) --------
 

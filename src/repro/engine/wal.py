@@ -19,8 +19,11 @@ redo-only physical logging of *committed* effects:
 * A checkpoint writes a full database snapshot (via
   :mod:`repro.engine.persist`) with an atomic rename, then truncates the
   log; recovery = load newest checkpoint + replay the WAL suffix.
-  Because the snapshot carries schemas and WAL records don't, DDL
-  triggers an immediate checkpoint.
+* DDL commits — transactional or autocommit — append a :data:`DDL`
+  record carrying the logical catalog ops (create/drop table or index,
+  add/drop column) *plus* the per-table row effects, all at one commit
+  timestamp.  Recovery replays them in order like any other commit, so
+  DDL no longer forces a checkpoint (DESIGN.md §16).
 
 Failpoints (:attr:`WriteAheadLog.failpoints`) simulate crashes at the
 exact moments that distinguish a correct recovery protocol from a lucky
@@ -45,6 +48,9 @@ WAL_SYNC_ENV = "REPRO_WAL_SYNC"
 
 #: Commit-record type tag.
 COMMIT = "commit"
+
+#: DDL-commit record type tag: catalog ops + row effects at one timestamp.
+DDL = "ddl"
 
 #: Checkpoint-marker record type tag (first record of a fresh log).
 CHECKPOINT = "checkpoint"
@@ -217,6 +223,85 @@ def _decode_frame(line: bytes) -> "dict | None":
         return None
 
 
+def _encode_ddl_op(op: dict) -> dict:
+    """Make a CatalogOp WAL descriptor JSON-serializable.
+
+    Embedded engine objects — a :class:`~repro.engine.schema.Column`, a
+    :class:`~repro.engine.schema.TableSchema`, an
+    :class:`~repro.engine.index.IndexDefinition` — are flattened here so
+    the staging code can hand over live objects.
+    """
+    from .persist import _encode_column
+    from .schema import Column, TableSchema
+
+    encoded = {}
+    for key, value in op.items():
+        if isinstance(value, Column):
+            encoded[key] = _encode_column(value)
+        elif isinstance(value, TableSchema):
+            encoded[key] = {
+                "name": value.name,
+                "columns": [_encode_column(column) for column in value.columns],
+            }
+        elif hasattr(value, "to_dict"):
+            encoded[key] = value.to_dict()
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def _replay_ddl(database: Database, record: dict, ts: int) -> None:
+    """Reapply one DDL record: catalog ops first, then the row effects."""
+    from . import persist
+    from .index import IndexDefinition
+    from .schema import TableSchema
+
+    entries = []
+    for op in record.get("ops", ()):
+        kind = op["op"]
+        if kind == "create_table":
+            schema = TableSchema(
+                op["schema"]["name"],
+                [persist._decode_column(c) for c in op["schema"]["columns"]],
+            )
+            database.create_table(schema, record_catalog=False)
+            entries.append(("table", schema.name.lower(), schema))
+        elif kind == "drop_table":
+            database.drop_table(op["table"], record_catalog=False)
+            entries.append(("table", op["table"].lower(), None))
+        elif kind == "add_column":
+            table = database.table(op["table"])
+            schema = table.schema.with_column(persist._decode_column(op["column"]))
+            table.apply_committed_schema(schema, ts)
+            entries.append(("schema", op["table"].lower(), schema))
+        elif kind == "drop_column":
+            table = database.table(op["table"])
+            schema = table.schema.without_column(op["column"])
+            table.apply_committed_schema(schema, ts)
+            entries.append(("schema", op["table"].lower(), schema))
+        elif kind == "create_index":
+            definition = IndexDefinition.from_dict(op["definition"])
+            database.indexes.create(definition)
+            entries.append(("index", definition.name.lower(), definition))
+        elif kind == "drop_index":
+            database.indexes.drop(op["name"])
+            entries.append(("index", op["name"].lower(), None))
+        else:  # pragma: no cover - forward compatibility guard
+            raise WalError(f"unknown DDL op {kind!r} in WAL record")
+    for table_name, effect in record.get("tables", {}).items():
+        table = database.table(table_name)
+        rows = [
+            tuple(persist._decode_value(value) for value in row)
+            for row in effect["rows"]
+        ]
+        if effect["op"] == "append":
+            table.apply_committed_append(rows, ts)
+        else:
+            table.apply_committed_replace(rows, ts)
+    if entries:
+        database.catalog.commit(entries, ts)
+
+
 class DurabilityManager:
     """Glue between a database, its transaction manager and the disk.
 
@@ -270,6 +355,36 @@ class DurabilityManager:
                     "rows": [[_encode_value(v) for v in row] for row in rows],
                 }
                 for name, (op, rows) in ops.items()
+            },
+        }
+        return self.wal.append(record, sync=False)
+
+    def log_ddl(
+        self,
+        ts: int,
+        ops: "list[dict]",
+        table_ops: "dict[str, tuple[str, list[tuple]]]",
+    ) -> int:
+        """Log one DDL commit: logical catalog ops + row effects.
+
+        ``ops`` are the :attr:`~repro.engine.catalog.CatalogOp.wal`
+        descriptors of the statement's catalog mutations; ``table_ops``
+        carries any row rewrites committing at the same timestamp (the
+        widened rows of an ALTER TABLE).  Called under the
+        transaction-manager lock like :meth:`log_commit`.
+        """
+        from .persist import _encode_value
+
+        record = {
+            "type": DDL,
+            "ts": ts,
+            "ops": [_encode_ddl_op(op) for op in ops],
+            "tables": {
+                name: {
+                    "op": op,
+                    "rows": [[_encode_value(v) for v in row] for row in rows],
+                }
+                for name, (op, rows) in table_ops.items()
             },
         }
         return self.wal.append(record, sync=False)
@@ -343,21 +458,25 @@ def open_database(
     records, torn = wal.replay()
     recovered = 0
     for record in records:
-        if record.get("type") != COMMIT:
+        record_type = record.get("type")
+        if record_type not in (COMMIT, DDL):
             continue
         ts = int(record["ts"])
         if ts <= checkpoint_clock:
             continue
-        for table_name, effect in record["tables"].items():
-            table = database.table(table_name)
-            rows = [
-                tuple(persist._decode_value(value) for value in row)
-                for row in effect["rows"]
-            ]
-            if effect["op"] == "append":
-                table.apply_committed_append(rows, ts)
-            else:
-                table.apply_committed_replace(rows, ts)
+        if record_type == DDL:
+            _replay_ddl(database, record, ts)
+        else:
+            for table_name, effect in record["tables"].items():
+                table = database.table(table_name)
+                rows = [
+                    tuple(persist._decode_value(value) for value in row)
+                    for row in effect["rows"]
+                ]
+                if effect["op"] == "append":
+                    table.apply_committed_append(rows, ts)
+                else:
+                    table.apply_committed_replace(rows, ts)
         manager.advance_clock_to(ts)
         recovered += 1
     wal.close()

@@ -93,10 +93,31 @@ class WriteConflictError(TransactionError):
         self.committed_ts = committed_ts
 
 
+class CatalogConflictError(TransactionError):
+    """First-committer-wins validation failed on a *catalog* entry: another
+    transaction (or an autocommit DDL statement) committed a change to the
+    same schema/index/taxonomy slot since this transaction's snapshot."""
+
+    def __init__(
+        self, kind: str, key: str, snapshot_version: int, committed_version: int
+    ):
+        super().__init__(
+            f"catalog conflict on {kind} {key!r}: snapshot pinned catalog "
+            f"version {snapshot_version} but a conflicting commit landed at "
+            f"version {committed_version}"
+        )
+        self.kind = kind
+        self.key = key
+        self.snapshot_version = snapshot_version
+        self.committed_version = committed_version
+
+
 class SnapshotInvalidatedError(TransactionError):
     """The policy *metadata* (purposes, categorization) changed under an open
-    snapshot, so the snapshot's enforcement state can no longer be
-    reconstructed; the transaction must be rolled back and retried."""
+    snapshot while the engine runs in fail-fast revocation mode
+    (``REPRO_REVOCATION=failfast``); the transaction must be rolled back and
+    retried.  The default ``versioned`` mode resolves metadata as of the
+    snapshot's catalog version instead and never dooms snapshots."""
 
 
 class WalError(EngineError):
@@ -181,3 +202,19 @@ class RemoteError(ServerError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+class RemoteTxnConflictError(RemoteError):
+    """Typed ``txn_conflict``: the server aborted this session's COMMIT
+    because another transaction won the first-committer-wins race on a row
+    (or, with ``REPRO_CONFLICT=table``, a table) this transaction wrote."""
+
+
+class RemoteCatalogConflictError(RemoteError):
+    """Typed ``catalog_conflict``: a concurrent DDL/taxonomy commit beat
+    this transaction to the same catalog entry."""
+
+
+class RemoteSnapshotInvalidatedError(RemoteError):
+    """Typed ``snapshot_invalidated``: the session's snapshot was doomed by
+    a policy-metadata change under fail-fast revocation mode."""

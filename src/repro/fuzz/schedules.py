@@ -12,7 +12,9 @@ For each :class:`~.generator.FuzzCase` the runner:
    (commit ts × policy epoch);
 3. interleaves a seeded schedule of committed writer steps — scattered
    policy-mask churn (which bumps the policy epoch), row duplications,
-   row deletions — re-running the pinned reader after **every** step;
+   row deletions, index DDL, and taxonomy edits (a scratch purpose
+   defined/removed with mask migration) — re-running the pinned reader
+   after **every** step;
 4. requires every pinned read to reproduce the reference exactly: same
    rows, same columns, same denial outcome, and (with the bitmap cache
    cleared before each read) the same ``complieswith`` count;
@@ -33,13 +35,26 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..core.policy_manager import PolicyManager
+from ..core.purposes import Purpose
 from ..errors import ReproError, UnauthorizedPurposeError
 from ..workload.policies import scattered_policy
 from .generator import FuzzCase
 from .runner import DifferentialRunner, normalize_rows
 
 #: Writer-step kinds a schedule may draw (weights in ``_churn_step``).
-SCHEDULE_OPS = ("mask-churn", "epoch-bump", "dml-duplicate", "dml-delete")
+SCHEDULE_OPS = (
+    "mask-churn",
+    "epoch-bump",
+    "dml-duplicate",
+    "dml-delete",
+    "ddl-index",
+    "taxonomy-edit",
+)
+
+#: The purpose id the taxonomy-edit op toggles (never granted to a user or
+#: referenced by a rule — its existence only shifts every mask layout).
+SCRATCH_PURPOSE = "zz_sched_scratch"
 
 
 @dataclass
@@ -87,6 +102,13 @@ class ScheduleRunner(DifferentialRunner):
 
     def __init__(self, world=None, spec=None, use_server: bool = False):
         super().__init__(world=world, spec=spec, use_server=use_server)
+        self._policies: PolicyManager | None = None
+
+    def _policy_manager(self) -> PolicyManager:
+        """The (lazily built) mask-migration manager for taxonomy edits."""
+        if self._policies is None:
+            self._policies = PolicyManager(self.world.admin)
+        return self._policies
 
     # -- the pinned reader -------------------------------------------------
 
@@ -138,6 +160,38 @@ class ScheduleRunner(DifferentialRunner):
         if op == "epoch-bump":
             admin.bump_policy_epoch()
             return f"{index}:epoch-bump"
+        if op == "ddl-index":
+            # Toggle a secondary index through SQL DDL: pure access-path
+            # churn.  Index definitions resolve as of the pinned snapshot's
+            # catalog version, so neither the create nor the drop may alter
+            # a pinned read — rows, columns or ``complieswith`` count.
+            database = self.world.database
+            name = f"idx_sched_{table}"
+            if database.indexes.find(name) is None:
+                column = database.table(table).schema.columns[0].name
+                database.execute(f"create index {name} on {table} ({column})")
+                return f"{index}:ddl-index[create {name}]"
+            database.execute(f"drop index {name}")
+            return f"{index}:ddl-index[drop {name}]"
+        if op == "taxonomy-edit":
+            # Toggle one scratch purpose under an open snapshot, driving the
+            # Policy Management module end-to-end: snapshot the layouts,
+            # edit the taxonomy (a versioned catalog commit), then migrate
+            # stored masks so fresh reads stay oracle-consistent.  Pinned
+            # readers keep decoding under the taxonomy their snapshot
+            # captured.
+            manager = self._policy_manager()
+            manager.snapshot_layouts()
+            if SCRATCH_PURPOSE in admin.purposes:
+                admin.remove_purpose(SCRATCH_PURPOSE)
+                action = "remove"
+            else:
+                admin.define_purpose(
+                    Purpose(SCRATCH_PURPOSE, "schedule scratch purpose")
+                )
+                action = "define"
+            manager.migrate()
+            return f"{index}:taxonomy-edit[{action} {SCRATCH_PURPOSE}]"
         storage = self.world.database.table(table)
         rows = storage.rows
         if not rows:

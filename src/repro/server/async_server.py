@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 
 from ..engine import txn_scope
 from ..errors import (
+    CatalogConflictError,
     ReproError,
     ServerBusyError,
     TransactionError,
@@ -542,7 +543,7 @@ class AsyncQueryServer:
                     if written:
                         self.coordinator._route_cache.clear()
                         await self.coordinator._resync(tuple(written))
-            except WriteConflictError:
+            except (CatalogConflictError, WriteConflictError):
                 session.conflicts += 1
                 self.monitor._count_txn("conflict")
                 raise
@@ -604,8 +605,15 @@ class AsyncQueryServer:
             },
             "lock": self.coordinator.fence.state(),
             "transactions": self._txn_stats(),
+            "catalog": self._catalog_stats(),
             "shards": await self.coordinator.stats(),
         }
+
+    def _catalog_stats(self) -> dict:
+        database = self.monitor.database
+        stats = database.catalog.stats()
+        stats["active_snapshots"] = database.transactions.active_count()
+        return stats
 
     def _txn_stats(self) -> dict:
         database = self.monitor.database

@@ -25,8 +25,28 @@ from __future__ import annotations
 import socket
 from dataclasses import dataclass
 
-from ..errors import RemoteError, WireProtocolError
-from .protocol import recv_message, rows_from_wire, send_message
+from ..errors import (
+    RemoteCatalogConflictError,
+    RemoteError,
+    RemoteSnapshotInvalidatedError,
+    RemoteTxnConflictError,
+    WireProtocolError,
+)
+from .protocol import (
+    E_CATALOG_CONFLICT,
+    E_SNAPSHOT_INVALIDATED,
+    E_TXN_CONFLICT,
+    recv_message,
+    rows_from_wire,
+    send_message,
+)
+
+#: Wire code → typed exception; anything unlisted raises plain RemoteError.
+_TYPED_ERRORS: dict = {
+    E_TXN_CONFLICT: RemoteTxnConflictError,
+    E_CATALOG_CONFLICT: RemoteCatalogConflictError,
+    E_SNAPSHOT_INVALIDATED: RemoteSnapshotInvalidatedError,
+}
 
 
 @dataclass
@@ -67,9 +87,9 @@ class Client:
             raise WireProtocolError("server closed the connection")
         if not response.get("ok"):
             error = response.get("error") or {}
-            raise RemoteError(
-                str(error.get("code", "internal_error")),
-                str(error.get("message", "")),
+            code = str(error.get("code", "internal_error"))
+            raise _TYPED_ERRORS.get(code, RemoteError)(
+                code, str(error.get("message", ""))
             )
         return response
 
@@ -152,9 +172,14 @@ class Client:
     def commit(self) -> int:
         """Commit the open transaction; returns its commit timestamp.
 
-        A first-committer-wins loss surfaces as :class:`RemoteError` with
-        code ``txn_conflict`` — the transaction is already rolled back
-        server-side; retry the whole transaction.
+        A first-committer-wins loss surfaces as
+        :class:`~repro.errors.RemoteTxnConflictError` (code
+        ``txn_conflict``) for row/table data or
+        :class:`~repro.errors.RemoteCatalogConflictError` (code
+        ``catalog_conflict``) for DDL racing on a catalog entry — the
+        transaction is already rolled back server-side; retry the whole
+        transaction.  Under ``REPRO_REVOCATION=failfast`` a doomed snapshot
+        raises :class:`~repro.errors.RemoteSnapshotInvalidatedError`.
         """
         response = self._call({"op": "execute", "sql": "commit"})
         return int(response["commit_ts"])

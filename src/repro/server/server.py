@@ -37,6 +37,7 @@ from contextlib import contextmanager
 from ..core.monitor import EnforcementMonitor
 from ..engine import resolve_txn_mode, txn_scope
 from ..errors import (
+    CatalogConflictError,
     ReproError,
     ServerBusyError,
     TransactionError,
@@ -427,8 +428,17 @@ class QueryServer:
             with txn_scope(session.txn):
                 yield
         elif self.txn_mode == "on":
-            with self.monitor.database.transactions.read_snapshot():
+            # Pin the snapshot under the read side of the lock — a snapshot
+            # can never begin in the middle of an exclusive admin batch or
+            # a DML write — then release it and execute lock-free: writers
+            # never block the read itself (the snapshot handoff).
+            scope = self.monitor.database.transactions.read_snapshot()
+            with self.rwlock.read_locked():
+                scope.__enter__()
+            try:
                 yield
+            finally:
+                scope.__exit__(None, None, None)
         else:
             with self.rwlock.read_locked():
                 yield
@@ -481,7 +491,10 @@ class QueryServer:
         if isinstance(statement, ast.Begin):
             if session.txn is not None:
                 raise TransactionError("a transaction is already in progress")
-            session.txn = transactions.begin()
+            # Under the read lock: a transaction cannot pin its snapshot
+            # in the middle of an exclusive admin batch (see _read_scope).
+            with self.rwlock.read_locked():
+                session.txn = transactions.begin()
             self.monitor._count_txn("begin")
             return ok_response(
                 txn=session.txn.txn_id,
@@ -498,7 +511,7 @@ class QueryServer:
                 # DML and in-process admin mutations (`exclusive()`).
                 with self.rwlock.write_locked():
                     ts = transactions.commit(txn)
-            except WriteConflictError:
+            except (CatalogConflictError, WriteConflictError):
                 session.conflicts += 1
                 self.monitor._count_txn("conflict")
                 raise
@@ -578,7 +591,14 @@ class QueryServer:
             },
             "lock": self.rwlock.state(),
             "transactions": self._txn_stats(),
+            "catalog": self._catalog_stats(),
         }
+
+    def _catalog_stats(self) -> dict:
+        database = self.monitor.database
+        stats = database.catalog.stats()
+        stats["active_snapshots"] = database.transactions.active_count()
+        return stats
 
     def _txn_stats(self) -> dict:
         database = self.monitor.database

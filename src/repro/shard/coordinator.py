@@ -215,9 +215,13 @@ class ShardCoordinator:
         self._route_counts: dict[str, int] = {}
         # Route decisions depend only on SQL text + catalog, so repeat
         # statements skip the parse/classify/decompose work the same way
-        # shard-side plan caches skip recompilation.  Writes clear it —
-        # DDL can change a statement's route.
+        # shard-side plan caches skip recompilation.  The cache is stamped
+        # with the catalog version it was built under: any catalog commit
+        # (DDL — transactional or autocommit — and taxonomy edits included)
+        # invalidates it on the next lookup, because DDL can change a
+        # statement's route.  Write paths additionally clear it eagerly.
         self._route_cache: dict = {}
+        self._route_cache_version = self.database.catalog.version
 
     def close(self) -> None:
         """Release the shard transports (processes for the process backend)."""
@@ -265,6 +269,10 @@ class ShardCoordinator:
 
     def _routed(self, sql: str):
         """``(route, shard_sql, merge_spec)`` for one statement, cached."""
+        version = self.database.catalog.version
+        if version != self._route_cache_version:
+            self._route_cache.clear()
+            self._route_cache_version = version
         cached = self._route_cache.get(sql)
         if cached is not None:
             return cached
@@ -469,6 +477,11 @@ class ShardCoordinator:
             "shard_count": self.shard_count,
             "backend": self.backend,
             "epoch": self.admin.policy_epoch,
+            "catalog_version": self.database.catalog.version,
+            "route_cache": {
+                "size": len(self._route_cache),
+                "version": self._route_cache_version,
+            },
             "epoch_invalidations": int(
                 self.metrics.counter("repro_epoch_invalidations_total").value()
             ),

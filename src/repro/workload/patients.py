@@ -87,8 +87,8 @@ def create_patients_schema(database: Database) -> None:
         TableSchema(
             "sensed_data",
             [
-                Column("watch_id", SqlType.TEXT),
-                Column("timestamp", SqlType.INTEGER),
+                Column("watch_id", SqlType.TEXT, primary_key=True),
+                Column("timestamp", SqlType.INTEGER, primary_key=True),
                 Column("temperature", SqlType.DOUBLE),
                 Column("position", SqlType.TEXT),
                 Column("beats", SqlType.INTEGER),
@@ -99,7 +99,7 @@ def create_patients_schema(database: Database) -> None:
         TableSchema(
             "nutritional_profiles",
             [
-                Column("profile_id", SqlType.INTEGER),
+                Column("profile_id", SqlType.INTEGER, primary_key=True),
                 Column("food_intolerances", SqlType.TEXT),
                 Column("food_preferences", SqlType.TEXT),
                 Column("diet_type", SqlType.TEXT),

@@ -21,13 +21,15 @@ def _tiny_run(reader_counts=(2,), reads_per_session=12) -> TxnRun:
     )
 
 
-def test_grid_crosses_reader_counts_with_both_modes():
+def test_grid_crosses_reader_counts_with_every_leg():
     run = _tiny_run(reader_counts=(1, 2), reads_per_session=9)
-    assert [(s.mode, s.readers) for s in run.samples] == [
-        ("rwlock", 1),
-        ("rwlock", 2),
-        ("mvcc", 1),
-        ("mvcc", 2),
+    assert [(s.mode, s.granularity, s.readers) for s in run.samples] == [
+        ("rwlock", "serial", 1),
+        ("rwlock", "serial", 2),
+        ("mvcc", "table", 1),
+        ("mvcc", "table", 2),
+        ("mvcc", "row", 1),
+        ("mvcc", "row", 2),
     ]
     for sample in run.samples:
         assert sample.reads == sample.readers * 9
@@ -47,15 +49,17 @@ def test_grid_crosses_reader_counts_with_both_modes():
 def test_point_lookup_and_json_payload_shape():
     run = _tiny_run()
     assert run.point("rwlock", 2).mode == "rwlock"
-    assert run.point("mvcc", 2).mode == "mvcc"
+    assert run.point("mvcc", 2, "table").granularity == "table"
+    assert run.point("mvcc", 2, "row").granularity == "row"
     payload = run.to_dict()
     assert payload["experiment"] == "txn"
     assert payload["patients"] == TINY.patients
     assert payload["reader_counts"] == [2]
-    assert len(payload["sweep"]) == 2  # one reader count x two modes
+    assert len(payload["sweep"]) == 3  # one reader count x three legs
     for point in payload["sweep"]:
         assert set(point) == {
             "mode",
+            "granularity",
             "readers",
             "reads",
             "elapsed_s",
@@ -68,6 +72,18 @@ def test_point_lookup_and_json_payload_shape():
             "denied_writes",
             "churn_writes",
         }
+    # The headline columns: per reader count, the abort rate coarse
+    # (table) conflict detection pays over row-level write sets.
+    assert len(payload["abort_rate_delta"]) == 1
+    delta = payload["abort_rate_delta"][0]
+    assert set(delta) == {
+        "readers",
+        "table_abort_rate",
+        "row_abort_rate",
+        "delta",
+    }
+    assert delta["readers"] == 2
+    assert 0.0 <= delta["row_abort_rate"] <= delta["table_abort_rate"] + 1e-9
 
 
 def test_table_renders_one_row_per_sweep_point():
@@ -76,4 +92,5 @@ def test_table_renders_one_row_per_sweep_point():
     lines = table.splitlines()
     assert "policy churn" in lines[0]
     assert "mode" in lines[1] and "aborts" in lines[1]
+    assert "conflict" in lines[1]
     assert len(lines) == 3 + len(run.samples)  # title, header, rule, rows

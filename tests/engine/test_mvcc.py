@@ -16,7 +16,11 @@ import pytest
 
 from repro.engine import Snapshot, txn_scope
 from repro.engine.database import Database
-from repro.engine.mvcc import TransactionManager, resolve_txn_mode
+from repro.engine.mvcc import (
+    TransactionManager,
+    resolve_conflict_mode,
+    resolve_txn_mode,
+)
 from repro.errors import (
     ExecutionError,
     SnapshotInvalidatedError,
@@ -295,36 +299,83 @@ def test_pre_txn_statistics_stay_fresh_across_rollback(db) -> None:
 # -- snapshot identity & enforcement scoping ----------------------------------
 
 
-def test_snapshot_is_commit_ts_times_epoch() -> None:
+def test_snapshot_pins_commit_ts_and_catalog_version() -> None:
     manager = TransactionManager(enabled=True)
-    manager.epoch_provider = lambda: 7
+    manager.epoch_provider = lambda: 7  # legacy path: no catalog attached
     snap = manager.snapshot()
-    assert snap == Snapshot(ts=0, epoch=7)
+    assert snap == Snapshot(ts=0, catalog_version=7)
+    assert snap.epoch == 7  # backward-compatible alias
     txn = manager.begin()
-    assert txn.snapshot.epoch == 7
+    assert txn.snapshot.catalog_version == 7
     manager.rollback(txn)
 
 
-def test_policy_metadata_change_dooms_active_snapshots(policy_scenario) -> None:
+def test_snapshot_pins_database_catalog_version(db) -> None:
+    before = db.catalog.version
+    txn = db.transactions.begin()
+    assert txn.snapshot.catalog_version == before
+    db.execute("create table extra (id integer)")  # bumps the catalog
+    assert db.catalog.version > before
+    assert txn.snapshot.catalog_version == before  # still pinned
+    db.transactions.rollback(txn)
+    fresh = db.transactions.begin()
+    assert fresh.snapshot.catalog_version == db.catalog.version
+    db.transactions.rollback(fresh)
+
+
+def test_policy_metadata_change_dooms_snapshots_only_in_failfast(
+    policy_scenario,
+) -> None:
+    """``REPRO_REVOCATION=failfast`` keeps the PR 9 dooming semantics;
+    the default ``versioned`` mode (covered by
+    ``test_taxonomy_edit_is_versioned_under_open_snapshot``) does not."""
     monitor = policy_scenario.monitor
     admin = policy_scenario.admin
     database = policy_scenario.database
+    admin.revocation_mode = "failfast"
+    try:
+        txn = database.transactions.begin()
+        with txn_scope(txn):
+            monitor.execute("select count(*) from sensed_data", "p6")
+        removed = admin.remove_purpose("p8")  # metadata: purpose set changed
+        try:
+            assert txn.invalidated_by is not None
+            with txn_scope(txn), pytest.raises(SnapshotInvalidatedError):
+                monitor.execute("select count(*) from sensed_data", "p6")
+        finally:
+            database.transactions.rollback(txn)
+            admin.define_purpose(removed)
+        # Fresh snapshots after the change work fine.
+        fresh = database.transactions.begin()
+        with txn_scope(fresh):
+            monitor.execute("select count(*) from sensed_data", "p6")
+        database.transactions.rollback(fresh)
+    finally:
+        admin.revocation_mode = "versioned"
+
+
+def test_taxonomy_edit_is_versioned_under_open_snapshot(policy_scenario) -> None:
+    """Default mode: purpose removal is a versioned catalog commit — an open
+    snapshot keeps resolving the taxonomy as of its catalog version instead
+    of being doomed (the heart of the PR 10 tentpole)."""
+    monitor = policy_scenario.monitor
+    admin = policy_scenario.admin
+    database = policy_scenario.database
+    assert admin.revocation_mode == "versioned"
     txn = database.transactions.begin()
     with txn_scope(txn):
-        monitor.execute("select count(*) from sensed_data", "p6")
-    removed = admin.remove_purpose("p8")  # metadata: purpose set changed
+        before = monitor.execute("select count(*) from sensed_data", "p6").rows
+    removed = admin.remove_purpose("p8")
     try:
-        assert txn.invalidated_by is not None
-        with txn_scope(txn), pytest.raises(SnapshotInvalidatedError):
-            monitor.execute("select count(*) from sensed_data", "p6")
+        assert txn.invalidated_by is None  # not doomed
+        with txn_scope(txn):
+            pinned = monitor.execute(
+                "select count(*) from sensed_data", "p6"
+            ).rows
+        assert pinned == before
     finally:
         database.transactions.rollback(txn)
         admin.define_purpose(removed)
-    # Fresh snapshots after the change work fine.
-    fresh = database.transactions.begin()
-    with txn_scope(fresh):
-        monitor.execute("select count(*) from sensed_data", "p6")
-    database.transactions.rollback(fresh)
 
 
 def test_mask_churn_does_not_doom_snapshots(policy_scenario) -> None:
@@ -412,17 +463,324 @@ def test_concurrent_writers_one_wins_per_table(db) -> None:
     assert rows(db)[0][1].startswith("w")
 
 
-def test_schema_change_collapses_history_and_is_barriered(db) -> None:
-    from repro.engine.schema import Column
-
+def test_schema_change_is_versioned_not_barriered(db) -> None:
+    """ALTER TABLE commits rows and schema at one timestamp: a snapshot
+    pinned before it sees the old-width rows under the old schema."""
     table = db.table("t")
     db.execute("insert into t values (3, 'c')")
+    pinned = db.transactions.begin()
+    db.execute("alter table t add column extra integer")
+    try:
+        with txn_scope(pinned):
+            assert table.schema.column_names == ("id", "v")
+            assert all(len(row) == 2 for row in table.rows)
+        assert table.schema.column_names == ("id", "v", "extra")
+        assert all(len(row) == 3 for row in table.rows)
+    finally:
+        db.transactions.rollback(pinned)
+
+
+# -- transactional DDL (PR 10) ------------------------------------------------
+
+
+def test_transactional_alter_visible_only_after_commit(db) -> None:
+    table = db.table("t")
+    db.execute("begin")
+    db.execute("alter table t add column extra integer")
+    db.execute("insert into t values (3, 'c', 9)")
+    assert table.schema.column_names == ("id", "v", "extra")  # staged view
+    with txn_scope(None):
+        assert table.schema.column_names == ("id", "v")  # outside: unchanged
+    db.execute("commit")
+    assert table.schema.column_names == ("id", "v", "extra")
+    assert rows(db, "select id, extra from t order by id") == [
+        (1, None),
+        (2, None),
+        (3, 9),
+    ]
+
+
+def test_transactional_alter_rolls_back_cleanly(db) -> None:
+    table = db.table("t")
+    db.execute("begin")
+    db.execute("alter table t drop column v")
+    assert table.schema.column_names == ("id",)
+    db.execute("rollback")
+    assert table.schema.column_names == ("id", "v")
+    assert rows(db) == [(1, "a"), (2, "b")]
+
+
+def test_concurrent_schema_changes_conflict_on_catalog_entry(db) -> None:
+    from repro.errors import CatalogConflictError
+
+    first = db.transactions.begin()
+    second = db.transactions.begin()
+    with txn_scope(first):
+        db.execute("alter table t add column x integer")
+    with txn_scope(second):
+        db.execute("alter table t add column y integer")
+    db.transactions.commit(first)
+    with pytest.raises(CatalogConflictError) as excinfo:
+        db.transactions.commit(second)
+    assert excinfo.value.kind == "schema"
+    assert excinfo.value.key == "t"
+    assert db.transactions.stats.catalog_conflicts == 1
+    assert db.table("t").schema.column_names == ("id", "v", "x")
+
+
+def test_transactional_create_index_stages_until_commit(db) -> None:
+    db.execute("begin")
+    db.execute("create index i_t on t (id)")
+    assert db.indexes.find("i_t") is None  # not registered while staged
+    db.execute("commit")
+    assert db.indexes.find("i_t") is not None
+    assert db.indexes.lookup_equal("i_t", 2) == [1]
+
+
+def test_transactional_create_index_rolls_back(db) -> None:
+    db.execute("begin")
+    db.execute("create index i_t on t (id)")
+    db.execute("rollback")
+    assert db.indexes.find("i_t") is None
+    # The name is free again.
+    db.execute("create index i_t on t (id)")
+    assert db.indexes.find("i_t") is not None
+
+
+def test_concurrent_create_index_same_name_conflicts(db) -> None:
+    from repro.errors import CatalogConflictError
+
+    first = db.transactions.begin()
+    second = db.transactions.begin()
+    with txn_scope(first):
+        db.execute("create index i_t on t (id)")
+    with txn_scope(second):
+        db.execute("create index i_t on t (v)")
+    db.transactions.commit(first)
+    with pytest.raises(CatalogConflictError):
+        db.transactions.commit(second)
+    assert db.indexes.get("i_t").columns == ("id",)
+
+
+def test_transactional_drop_index(db) -> None:
+    db.execute("create index i_t on t (id)")
+    db.execute("begin")
+    db.execute("drop index i_t")
+    assert db.indexes.find("i_t") is not None  # still visible until commit
+    db.execute("commit")
+    assert db.indexes.find("i_t") is None
+
+
+def test_index_created_after_snapshot_is_invisible_to_it(db) -> None:
+    """Index definitions resolve as of the pinned catalog version: DDL
+    committed after a snapshot began must not change its access paths."""
+    txn = db.transactions.begin()
+    db.execute("create index i_t on t (id)")  # autocommit, later version
+    assert db.indexes.find("i_t") is not None
+    with txn_scope(txn):
+        assert db.indexes.find("i_t") is None
+        assert db.indexes.for_table("t") == []
+    db.transactions.rollback(txn)
+
+
+def test_index_dropped_after_snapshot_is_resurrected_for_it(db) -> None:
+    db.execute("create index i_t on t (id)")
+    txn = db.transactions.begin()
+    db.execute("drop index i_t")
+    assert db.indexes.find("i_t") is None
+    with txn_scope(txn):
+        definition = db.indexes.find("i_t")
+        assert definition is not None and definition.columns == ("id",)
+        # Probes still work, against the snapshot's rows.
+        assert db.indexes.lookup_equal("i_t", 2) == [1]
+    db.transactions.rollback(txn)
+
+
+def test_index_recreated_with_new_columns_keeps_snapshots_apart(db) -> None:
+    """Drop + recreate under one name: a pinned snapshot keeps the old
+    definition (and its structure); fresh readers get the new one."""
+    db.execute("create index i_t on t (id)")
+    txn = db.transactions.begin()
+    db.execute("drop index i_t")
+    db.execute("create index i_t on t (v)")
+    with txn_scope(txn):
+        assert db.indexes.get("i_t").columns == ("id",)
+        assert db.indexes.lookup_equal("i_t", 2) == [1]
+    assert db.indexes.get("i_t").columns == ("v",)
+    assert db.indexes.lookup_equal("i_t", "b") == [1]
+    db.transactions.rollback(txn)
+
+
+def test_dml_conflicts_with_concurrent_alter(db) -> None:
+    """A schema change writes "all rows": any concurrent DML on the table
+    must abort, even in row mode."""
     txn = db.transactions.begin()
     with txn_scope(txn):
-        with pytest.raises(TransactionError):
-            table.add_column(Column("extra", "integer"))
-    db.transactions.rollback(txn)
-    table.add_column(Column("extra", "integer"))
-    # Old snapshots now see post-DDL (3-wide) rows: history collapsed
-    # rather than reconstructing wrong-width tuples.
-    assert all(len(row) == 3 for row in table.rows_as_of(0))
+        db.execute("update t set v = 'staged' where id = 1")
+    db.execute("alter table t add column extra integer")
+    with pytest.raises(WriteConflictError):
+        db.transactions.commit(txn)
+
+
+# -- row-level first-committer-wins (PR 10 satellite) --------------------------
+
+
+@pytest.fixture()
+def pkdb():
+    """A table *with* a primary key: eligible for row-granularity conflicts."""
+    database = Database("mvcc-row")
+    database.execute("create table r (id integer primary key, v text)")
+    database.execute("insert into r values (1, 'a'), (2, 'b'), (3, 'c')")
+    return database
+
+
+def rrows(database, sql="select id, v from r order by id"):
+    return list(database.execute(sql).rows)
+
+
+def test_resolve_conflict_mode_ladder(monkeypatch) -> None:
+    monkeypatch.delenv("REPRO_CONFLICT", raising=False)
+    assert resolve_conflict_mode() == "row"
+    monkeypatch.setenv("REPRO_CONFLICT", "table")
+    assert resolve_conflict_mode() == "table"
+    assert resolve_conflict_mode("row") == "row"  # explicit beats env
+    with pytest.raises(ExecutionError):
+        resolve_conflict_mode("page")
+
+
+def test_disjoint_row_writers_both_commit(pkdb) -> None:
+    first = pkdb.transactions.begin()
+    second = pkdb.transactions.begin()
+    with txn_scope(first):
+        pkdb.execute("update r set v = 'x' where id = 1")
+    with txn_scope(second):
+        pkdb.execute("update r set v = 'y' where id = 2")
+    pkdb.transactions.commit(first)
+    pkdb.transactions.commit(second)  # rebased over the first commit
+    assert pkdb.transactions.stats.conflicts == 0
+    assert pkdb.transactions.stats.rebased == 1
+    assert rrows(pkdb) == [(1, "x"), (2, "y"), (3, "c")]
+
+
+def test_same_row_writers_still_conflict(pkdb) -> None:
+    first = pkdb.transactions.begin()
+    second = pkdb.transactions.begin()
+    with txn_scope(first):
+        pkdb.execute("update r set v = 'x' where id = 2")
+    with txn_scope(second):
+        pkdb.execute("update r set v = 'y' where id = 2")
+    pkdb.transactions.commit(first)
+    with pytest.raises(WriteConflictError) as excinfo:
+        pkdb.transactions.commit(second)
+    assert excinfo.value.table == "r"
+    assert pkdb.transactions.stats.conflicts == 1
+    assert rrows(pkdb) == [(1, "a"), (2, "x"), (3, "c")]
+
+
+def test_delete_vs_update_same_row_conflicts(pkdb) -> None:
+    deleter = pkdb.transactions.begin()
+    updater = pkdb.transactions.begin()
+    with txn_scope(deleter):
+        pkdb.execute("delete from r where id = 2")
+    with txn_scope(updater):
+        pkdb.execute("update r set v = 'u' where id = 2")
+    pkdb.transactions.commit(deleter)
+    with pytest.raises(WriteConflictError):
+        pkdb.transactions.commit(updater)
+    assert rrows(pkdb) == [(1, "a"), (3, "c")]
+
+
+def test_concurrent_inserts_distinct_keys_both_commit(pkdb) -> None:
+    first = pkdb.transactions.begin()
+    second = pkdb.transactions.begin()
+    with txn_scope(first):
+        pkdb.execute("insert into r values (10, 'x')")
+    with txn_scope(second):
+        pkdb.execute("insert into r values (11, 'y')")
+    pkdb.transactions.commit(first)
+    pkdb.transactions.commit(second)
+    assert rrows(pkdb)[-2:] == [(10, "x"), (11, "y")]
+
+
+def test_concurrent_inserts_same_key_conflict(pkdb) -> None:
+    first = pkdb.transactions.begin()
+    second = pkdb.transactions.begin()
+    with txn_scope(first):
+        pkdb.execute("insert into r values (10, 'x')")
+    with txn_scope(second):
+        pkdb.execute("insert into r values (10, 'y')")
+    pkdb.transactions.commit(first)
+    with pytest.raises(WriteConflictError):
+        pkdb.transactions.commit(second)
+    assert rrows(pkdb) == [(1, "a"), (2, "b"), (3, "c"), (10, "x")]
+
+
+def test_rebase_preserves_concurrent_committed_insert(pkdb) -> None:
+    """The rebase merge must not lose rows committed after the snapshot."""
+    txn = pkdb.transactions.begin()
+    with txn_scope(txn):
+        pkdb.execute("update r set v = 'mine' where id = 1")
+    pkdb.execute("insert into r values (4, 'd')")  # concurrent autocommit
+    pkdb.transactions.commit(txn)
+    assert pkdb.transactions.stats.rebased == 1
+    assert rrows(pkdb) == [(1, "mine"), (2, "b"), (3, "c"), (4, "d")]
+
+
+def test_four_disjoint_writers_all_commit(pkdb) -> None:
+    pkdb.execute("insert into r values (4, 'd')")
+    manager = pkdb.transactions
+    outcomes: list[str] = []
+    barrier = threading.Barrier(4)
+    lock = threading.Lock()
+
+    def contend(i: int) -> None:
+        txn = manager.begin()
+        with txn_scope(txn):
+            pkdb.execute(f"update r set v = 'w{i}' where id = {i}")
+        barrier.wait()
+        try:
+            manager.commit(txn)
+            result = "committed"
+        except WriteConflictError:
+            result = "conflict"
+        with lock:
+            outcomes.append(result)
+
+    threads = [
+        threading.Thread(target=contend, args=(i,)) for i in (1, 2, 3, 4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert outcomes.count("committed") == 4, outcomes
+    assert rrows(pkdb) == [(1, "w1"), (2, "w2"), (3, "w3"), (4, "w4")]
+
+
+def test_no_primary_key_falls_back_to_table_granularity(db) -> None:
+    first = db.transactions.begin()
+    second = db.transactions.begin()
+    with txn_scope(first):
+        db.execute("update t set v = 'x' where id = 1")
+    with txn_scope(second):
+        db.execute("update t set v = 'y' where id = 2")
+    db.transactions.commit(first)
+    with pytest.raises(WriteConflictError):
+        db.transactions.commit(second)
+
+
+def test_table_mode_restores_coarse_conflicts(monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_CONFLICT", "table")
+    database = Database("coarse")
+    database.execute("create table r (id integer primary key, v text)")
+    database.execute("insert into r values (1, 'a'), (2, 'b')")
+    assert database.transactions.conflict_mode == "table"
+    first = database.transactions.begin()
+    second = database.transactions.begin()
+    with txn_scope(first):
+        database.execute("update r set v = 'x' where id = 1")
+    with txn_scope(second):
+        database.execute("update r set v = 'y' where id = 2")
+    database.transactions.commit(first)
+    with pytest.raises(WriteConflictError):
+        database.transactions.commit(second)

@@ -102,7 +102,7 @@ class TestIndexRoundTrip:
         database = self._database()
         database.execute("create index i_a on t (a)")
         document = persist.to_document(database)
-        assert document["version"] == 2
+        assert document["version"] == 3
         # A version-1 snapshot predates the index catalog entirely.
         legacy = {k: v for k, v in document.items() if k != "indexes"}
         legacy["version"] = 1

@@ -104,7 +104,8 @@ def test_commits_survive_reopen(tmp_path) -> None:
 
     recovered, redo = durable_db(tmp_path)
     assert table_rows(recovered) == expected
-    assert redo.recovered_commits == 8
+    # 8 workload commits + the CREATE TABLE DDL record (DESIGN.md §16).
+    assert redo.recovered_commits == 9
     assert redo.torn_bytes == 0
 
 
@@ -117,7 +118,8 @@ def test_rolled_back_transaction_leaves_no_trace(tmp_path) -> None:
     durability.close()
     recovered, redo = durable_db(tmp_path)
     assert table_rows(recovered) == [(1, "keep")]
-    assert redo.recovered_commits == 1  # only the autocommit was logged
+    # Only CREATE TABLE and the autocommit were logged.
+    assert redo.recovered_commits == 2
 
 
 def test_checkpoint_truncates_and_recovery_replays_suffix(tmp_path) -> None:
@@ -135,15 +137,22 @@ def test_checkpoint_truncates_and_recovery_replays_suffix(tmp_path) -> None:
     assert redo.recovered_commits == 1
 
 
-def test_ddl_triggers_checkpoint(tmp_path) -> None:
+def test_ddl_is_logged_not_checkpointed(tmp_path) -> None:
+    """DDL appends a WAL DDL record (DESIGN.md §16) instead of forcing a
+    checkpoint, and recovery replays it like any other commit."""
     db, durability = durable_db(tmp_path)
     checkpoints_before = durability.checkpoints
     db.execute("create table extra (id integer)")
-    assert durability.checkpoints == checkpoints_before + 1
-    db.execute("insert into extra values (7)")
+    db.execute("create index i_extra on extra (id)")
+    db.execute("alter table extra add column tag text")
+    assert durability.checkpoints == checkpoints_before
+    db.execute("insert into extra values (7, 'x')")
     durability.close()
     recovered, _ = durable_db(tmp_path)
-    assert sorted(recovered.table("extra").rows) == [(7,)]
+    assert sorted(recovered.table("extra").rows) == [(7, "x")]
+    assert recovered.table("extra").schema.column_names == ("id", "tag")
+    assert recovered.indexes.get("i_extra").columns == ("id",)
+    assert recovered.indexes.lookup_equal("i_extra", 7) == [0]
 
 
 def test_wal_requires_mvcc(tmp_path, monkeypatch) -> None:
@@ -186,10 +195,10 @@ def test_crash_mid_commit_recovers_committed_prefix(tmp_path, failpoint) -> None
         # The record reached the log before the crash: the unacknowledged
         # commit is allowed — and with a real file, guaranteed — to replay.
         assert table_rows(recovered) == sorted(prefix + [(777, "doomed")])
-        assert redo.recovered_commits == 7
+        assert redo.recovered_commits == 8  # CREATE TABLE + 6 steps + doomed
     else:
         assert table_rows(recovered) == prefix
-        assert redo.recovered_commits == 6
+        assert redo.recovered_commits == 7  # CREATE TABLE + 6 steps
     if failpoint == "wal.partial_append":
         assert redo.torn_bytes > 0  # the torn half-frame was discarded
     else:
@@ -216,6 +225,53 @@ def test_crash_mid_transactional_commit(tmp_path, failpoint) -> None:
     else:
         # Atomicity: neither the insert nor the update may survive alone.
         assert table_rows(recovered) == prefix
+    if failpoint != "wal.partial_append":
+        assert redo.torn_bytes == 0
+
+
+@pytest.mark.parametrize("failpoint", sorted(FAILPOINT_SURVIVES))
+def test_crash_mid_ddl_commit(tmp_path, failpoint) -> None:
+    """The committed-prefix rule holds for autocommit DDL WAL records."""
+    db, durability = durable_db(tmp_path)
+    db.execute("insert into t values (1, 'base')")
+    durability.wal.failpoints.add(failpoint)
+    with pytest.raises(InjectedFailure):
+        db.execute("alter table t add column extra integer")
+
+    recovered, redo = durable_db(tmp_path)
+    if FAILPOINT_SURVIVES[failpoint]:
+        assert recovered.table("t").schema.column_names == ("id", "v", "extra")
+        assert table_rows(recovered) == [(1, "base", None)]
+    else:
+        assert recovered.table("t").schema.column_names == ("id", "v")
+        assert table_rows(recovered) == [(1, "base")]
+    if failpoint != "wal.partial_append":
+        assert redo.torn_bytes == 0
+
+
+@pytest.mark.parametrize("failpoint", sorted(FAILPOINT_SURVIVES))
+def test_crash_mid_transactional_ddl_commit(tmp_path, failpoint) -> None:
+    """Atomicity across a transaction mixing DDL and DML: the schema change,
+    the index and the staged rows all land or all vanish."""
+    db, durability = durable_db(tmp_path)
+    db.execute("insert into t values (1, 'base')")
+    db.execute("begin")
+    db.execute("alter table t add column extra integer")
+    db.execute("insert into t values (2, 'new', 5)")
+    db.execute("create index i_t on t (id)")
+    durability.wal.failpoints.add(failpoint)
+    with pytest.raises(InjectedFailure):
+        db.execute("commit")
+
+    recovered, redo = durable_db(tmp_path)
+    if FAILPOINT_SURVIVES[failpoint]:
+        assert recovered.table("t").schema.column_names == ("id", "v", "extra")
+        assert table_rows(recovered) == [(1, "base", None), (2, "new", 5)]
+        assert recovered.indexes.find("i_t") is not None
+    else:
+        assert recovered.table("t").schema.column_names == ("id", "v")
+        assert table_rows(recovered) == [(1, "base")]
+        assert recovered.indexes.find("i_t") is None
     if failpoint != "wal.partial_append":
         assert redo.torn_bytes == 0
 
@@ -276,13 +332,44 @@ def test_randomized_crash_campaign(tmp_path) -> None:
     next_id = 1000
     for iteration in range(8):
         for _ in range(rng.randint(1, 5)):
-            apply_step(db, next_id, rng)
-            next_id += 1
+            if rng.random() < 0.2:
+                # DDL step: toggle a secondary index so DDL WAL records
+                # interleave with DML commits in the replayed log.
+                if db.indexes.find("idx_campaign") is None:
+                    db.execute("create index idx_campaign on t (id)")
+                else:
+                    db.execute("drop index idx_campaign")
+            else:
+                apply_step(db, next_id, rng)
+                next_id += 1
             expected = table_rows(db)
         if rng.random() < 0.3:
             durability.checkpoint()
         failpoint = rng.choice(sorted(FAILPOINT_SURVIVES))
         durability.wal.failpoints.add(failpoint)
+        if rng.random() < 0.3:
+            # Crash around a DDL WAL record: the committed-prefix rule
+            # must hold for catalog changes exactly as for row commits.
+            creating = db.indexes.find("idx_crash") is None
+            doomed_sql = (
+                "create index idx_crash on t (id)"
+                if creating
+                else "drop index idx_crash"
+            )
+            with pytest.raises(InjectedFailure):
+                db.execute(doomed_sql)
+            db, durability = durable_db(directory)
+            assert table_rows(db) == expected, (
+                f"iteration {iteration}: rows drifted across a DDL crash "
+                f"at {failpoint}"
+            )
+            exists = db.indexes.find("idx_crash") is not None
+            survived = FAILPOINT_SURVIVES[failpoint]
+            assert exists == (creating if survived else not creating), (
+                f"iteration {iteration}: DDL at {failpoint} "
+                f"{'lost' if survived else 'resurrected'} the catalog entry"
+            )
+            continue
         doomed = next_id
         next_id += 1
         with pytest.raises(InjectedFailure):
@@ -308,7 +395,7 @@ def test_randomized_crash_campaign(tmp_path) -> None:
 
 def test_group_commit_coalesces_concurrent_fsyncs(tmp_path) -> None:
     db, durability = durable_db(tmp_path)
-    appends_before = durability.wal.appends  # the DDL checkpoint marker
+    appends_before = durability.wal.appends  # the CREATE TABLE DDL record
     workers = 8
     commits_per_worker = 5
     barrier = threading.Barrier(workers)
@@ -340,7 +427,8 @@ def test_group_commit_coalesces_concurrent_fsyncs(tmp_path) -> None:
     durability.close()
     recovered, redo = durable_db(tmp_path)
     assert len(table_rows(recovered)) == workers * commits_per_worker
-    assert redo.recovered_commits == workers * commits_per_worker
+    # + 1: the CREATE TABLE DDL record replays too.
+    assert redo.recovered_commits == workers * commits_per_worker + 1
 
 
 # -- frame-level robustness ---------------------------------------------------

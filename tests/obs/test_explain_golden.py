@@ -15,6 +15,7 @@ To intentionally accept new plans::
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
@@ -47,7 +48,11 @@ def golden_monitor():
 def explain_text(monitor, sql: str, purpose: str) -> str:
     result = monitor.explain(sql, purpose)
     assert list(result.columns) == ["plan"]
-    return "\n".join(row[0] for row in result.rows) + "\n"
+    text = "\n".join(row[0] for row in result.rows) + "\n"
+    # The catalog version counts every metadata commit since the world was
+    # built, and the MVCC and fallback engines take slightly different
+    # build paths — goldens pin the plan shape, not the counter.
+    return re.sub(r"catalog=\d+", "catalog=<v>", text)
 
 
 @pytest.mark.parametrize("purpose", PURPOSES)

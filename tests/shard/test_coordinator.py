@@ -199,3 +199,38 @@ class TestStats:
         }
         total = len(coordinator.database.table("users"))
         assert sum(s["rows"]["users"] for s in stats["shards"]) == total
+
+
+class TestRouteCacheInvalidation:
+    def test_catalog_commit_invalidates_route_cache(self, coordinator) -> None:
+        """PR 10 regression: a DDL/catalog commit that bypasses the write
+        paths (``execute()``/``policy_write()``) must still invalidate the
+        bounded route cache — routes are stamped with the catalog version
+        they were computed under."""
+        sql = "select watch_id, beats from sensed_data where beats > 60"
+        run(coordinator.query(sql, "p6", user="demo"))
+        assert sql in coordinator._route_cache
+        coordinator._route_cache["sentinel"] = ("stale", None, None)
+        # DDL straight against the local replica: no coordinator write path.
+        coordinator.database.execute(
+            "create index i_beats on sensed_data (beats)"
+        )
+        coordinator._routed(sql)
+        assert "sentinel" not in coordinator._route_cache
+        assert (
+            coordinator._route_cache_version
+            == coordinator.database.catalog.version
+        )
+
+    def test_taxonomy_edit_invalidates_route_cache(self, coordinator) -> None:
+        sql = "select watch_id from sensed_data order by watch_id limit 4"
+        run(coordinator.query(sql, "p6", user="demo"))
+        coordinator._route_cache["sentinel"] = ("stale", None, None)
+        coordinator.admin.bump_policy_epoch()  # catalog commit, no fence
+        coordinator._routed(sql)
+        assert "sentinel" not in coordinator._route_cache
+
+    def test_stats_reports_route_cache_version(self, coordinator) -> None:
+        stats = run(coordinator.stats())
+        assert stats["catalog_version"] == coordinator.database.catalog.version
+        assert stats["route_cache"]["version"] == stats["catalog_version"]
